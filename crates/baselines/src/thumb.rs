@@ -1,0 +1,288 @@
+//! A Thumb/MIPS16-style 16-bit re-encoding estimator (paper §2.1).
+//!
+//! Thumb and MIPS16 shrink programs by re-encoding a *subset* of the ISA in
+//! 16 bits: two-operand ALU forms over eight "low" registers, small
+//! immediates, short branch ranges. Everything else needs a 32-bit form
+//! (or an extra instruction). The paper quotes ~30% size reduction for
+//! Thumb (at a 15–20% speed cost on ideal memory) and ~40% for MIPS16.
+//!
+//! This module is a **static estimator**: it classifies each SR32
+//! instruction as 16-bit-encodable or not under MIPS16-like rules and
+//! reports the resulting size and the instruction-count overhead (extra
+//! `mov`s for three-operand forms, immediate splitting). It does not
+//! execute 16-bit code — dense-fetch *performance* questions are CodePack's
+//! territory and are covered by the main simulator.
+
+use codepack_isa::{decode, Instruction, Reg};
+
+/// Outcome of re-encoding one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reencoding {
+    /// Fits a 16-bit form directly.
+    Half,
+    /// Needs a 16-bit pair or a 32-bit form (same size as native).
+    Full,
+    /// Fits 16 bits only with one extra helper instruction (e.g. a `mov`
+    /// to make a three-operand form two-operand): 2 × 16 bits.
+    HalfWithFixup,
+}
+
+/// Static size/overhead estimate for a 16-bit re-encoding of a program.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThumbEstimate {
+    /// Instructions encodable in 16 bits directly.
+    pub half_insns: u64,
+    /// Instructions that needed a fixup instruction.
+    pub fixup_insns: u64,
+    /// Instructions kept at 32 bits.
+    pub full_insns: u64,
+    /// Words that failed to decode (counted at full size).
+    pub undecodable: u64,
+}
+
+impl ThumbEstimate {
+    /// Total bytes of the re-encoded text.
+    pub fn reencoded_bytes(&self) -> u64 {
+        self.half_insns * 2 + self.fixup_insns * 4 + (self.full_insns + self.undecodable) * 4
+    }
+
+    /// Original bytes.
+    pub fn original_bytes(&self) -> u64 {
+        (self.half_insns + self.fixup_insns + self.full_insns + self.undecodable) * 4
+    }
+
+    /// Size ratio (re-encoded / original); Thumb reports ~0.70.
+    pub fn size_ratio(&self) -> f64 {
+        if self.original_bytes() == 0 {
+            1.0
+        } else {
+            self.reencoded_bytes() as f64 / self.original_bytes() as f64
+        }
+    }
+
+    /// Fractional increase in static instruction count (the "executes more
+    /// instructions" cost the paper attributes to 16-bit ISAs).
+    pub fn insn_overhead(&self) -> f64 {
+        let base = self.half_insns + self.fixup_insns + self.full_insns + self.undecodable;
+        if base == 0 {
+            0.0
+        } else {
+            self.fixup_insns as f64 / base as f64
+        }
+    }
+}
+
+/// Is `r` one of the eight "low" registers a 16-bit format can name?
+///
+/// MIPS16 uses `$2–$7, $16, $17`; a compiler retargeting to the 16-bit ISA
+/// allocates into those. Our programs were "compiled" for full SR32, so we
+/// map the low set onto the eight registers the generator actually
+/// favours. Even so, the estimate is a *lower bound* on what a true
+/// 16-bit-targeting compiler would achieve.
+fn low(r: Reg) -> bool {
+    matches!(r.index(), 3..=6 | 8..=11)
+}
+
+/// Classifies one instruction under MIPS16-like encodability rules.
+pub fn reencode(insn: &Instruction) -> Reencoding {
+    use Instruction::*;
+    use Reencoding::*;
+    match *insn {
+        // Two-operand ALU over low registers fits; three-operand needs a mov.
+        Addu { rd, rs, rt } | Subu { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt }
+        | Xor { rd, rs, rt } | Slt { rd, rs, rt } | Sltu { rd, rs, rt } | Nor { rd, rs, rt } => {
+            if !(low(rd) && low(rs) && low(rt)) {
+                Full
+            } else if rd == rs || rd == rt {
+                Half
+            } else {
+                HalfWithFixup
+            }
+        }
+        Sll { rd, rt, shamt } | Srl { rd, rt, shamt } | Sra { rd, rt, shamt } => {
+            if low(rd) && low(rt) && shamt < 8 && rd == rt {
+                Half
+            } else if low(rd) && low(rt) && shamt < 8 {
+                HalfWithFixup
+            } else {
+                Full
+            }
+        }
+        Sllv { rd, rt, rs } | Srlv { rd, rt, rs } | Srav { rd, rt, rs } => {
+            if low(rd) && low(rt) && low(rs) && rd == rt {
+                Half
+            } else {
+                Full
+            }
+        }
+        Addiu { rt, rs, imm } => {
+            // MIPS16 ADDIU8: rd == rs, 8-bit immediate. SP-relative forms
+            // also exist.
+            if rt == rs && (low(rt) || rt == Reg::SP) && (-128..128).contains(&imm) {
+                Half
+            } else if low(rt) && low(rs) && (-128..128).contains(&imm) {
+                HalfWithFixup
+            } else {
+                Full
+            }
+        }
+        Slti { rt, rs, imm } | Sltiu { rt, rs, imm } => {
+            if low(rt) && low(rs) && (0..256).contains(&imm) {
+                Half
+            } else {
+                Full
+            }
+        }
+        Andi { rt, rs, imm } | Ori { rt, rs, imm } | Xori { rt, rs, imm } => {
+            if low(rt) && low(rs) && rt == rs && imm < 256 {
+                Half
+            } else {
+                Full
+            }
+        }
+        Lui { .. } => Full,
+        Lw { rt, base, offset } | Sw { rt, base, offset } => {
+            // 5-bit scaled word offsets, low or SP base.
+            let scaled = (0..128).contains(&offset) && offset % 4 == 0;
+            if low(rt) && (low(base) || base == Reg::SP) && scaled {
+                Half
+            } else {
+                Full
+            }
+        }
+        Lb { rt, base, offset } | Lbu { rt, base, offset } | Sb { rt, base, offset } => {
+            if low(rt) && low(base) && (0..32).contains(&offset) {
+                Half
+            } else {
+                Full
+            }
+        }
+        Lh { rt, base, offset } | Lhu { rt, base, offset } | Sh { rt, base, offset } => {
+            if low(rt) && low(base) && (0..64).contains(&offset) && offset % 2 == 0 {
+                Half
+            } else {
+                Full
+            }
+        }
+        Beq { rs, rt, offset } | Bne { rs, rt, offset } => {
+            // MIPS16 compares against an implicit register; a two-register
+            // compare-and-branch needs a fixup (cmp + short branch).
+            if rt == Reg::ZERO && low(rs) && (-128..128).contains(&offset) {
+                Half
+            } else if low(rs) && low(rt) && (-128..128).contains(&offset) {
+                HalfWithFixup
+            } else {
+                Full
+            }
+        }
+        Blez { rs, offset } | Bgtz { rs, offset } | Bltz { rs, offset } | Bgez { rs, offset } => {
+            if low(rs) && (-128..128).contains(&offset) {
+                Half
+            } else {
+                Full
+            }
+        }
+        Jr { .. } => Half,
+        Jalr { .. } => Half,
+        J { .. } | Jal { .. } => Full, // 26-bit targets keep the long form
+        Mfhi { rd } | Mflo { rd } => {
+            if low(rd) {
+                Half
+            } else {
+                Full
+            }
+        }
+        Mult { rs, rt } | Multu { rs, rt } | Div { rs, rt } | Divu { rs, rt } => {
+            if low(rs) && low(rt) {
+                Half
+            } else {
+                Full
+            }
+        }
+        // No FP or system forms in the 16-bit subset.
+        _ => Full,
+    }
+}
+
+/// Estimates a 16-bit re-encoding of a whole text section.
+///
+/// ```
+/// use codepack_baselines::estimate_thumb;
+/// use codepack_isa::{encode, Instruction, Reg};
+/// // `addu $v1, $v1, $a0` is 16-bit encodable.
+/// let text = vec![encode(Instruction::Addu { rd: Reg::V1, rs: Reg::V1, rt: Reg::A0 }); 10];
+/// let e = estimate_thumb(&text);
+/// assert_eq!(e.size_ratio(), 0.5);
+/// ```
+pub fn estimate_thumb(text: &[u32]) -> ThumbEstimate {
+    let mut est = ThumbEstimate::default();
+    for &w in text {
+        match decode(w) {
+            Ok(insn) => match reencode(&insn) {
+                Reencoding::Half => est.half_insns += 1,
+                Reencoding::HalfWithFixup => est.fixup_insns += 1,
+                Reencoding::Full => est.full_insns += 1,
+            },
+            Err(_) => est.undecodable += 1,
+        }
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codepack_isa::encode;
+
+    #[test]
+    fn two_operand_low_reg_alu_is_half() {
+        let i = Instruction::Addu { rd: Reg::V1, rs: Reg::V1, rt: Reg::A1 };
+        assert_eq!(reencode(&i), Reencoding::Half);
+    }
+
+    #[test]
+    fn three_operand_needs_fixup() {
+        let i = Instruction::Addu { rd: Reg::V1, rs: Reg::A0, rt: Reg::A1 };
+        assert_eq!(reencode(&i), Reencoding::HalfWithFixup);
+    }
+
+    #[test]
+    fn high_registers_stay_full() {
+        let i = Instruction::Addu { rd: Reg::S0, rs: Reg::S0, rt: Reg::S1 };
+        assert_eq!(reencode(&i), Reencoding::Full);
+    }
+
+    #[test]
+    fn large_immediates_stay_full() {
+        let i = Instruction::Addiu { rt: Reg::V1, rs: Reg::V1, imm: 5000 };
+        assert_eq!(reencode(&i), Reencoding::Full);
+        let i = Instruction::Lui { rt: Reg::V1, imm: 1 };
+        assert_eq!(reencode(&i), Reencoding::Full);
+    }
+
+    #[test]
+    fn fp_stays_full() {
+        use codepack_isa::FReg;
+        let i = Instruction::AddS { fd: FReg::F0, fs: FReg::F0, ft: FReg::F12 };
+        assert_eq!(reencode(&i), Reencoding::Full);
+    }
+
+    #[test]
+    fn estimate_accounts_fixups_at_full_size() {
+        let text = vec![
+            encode(Instruction::Addu { rd: Reg::V1, rs: Reg::A0, rt: Reg::A1 }), // fixup: 4B
+            encode(Instruction::Jr { rs: Reg::RA }),                             // half: 2B
+        ];
+        let e = estimate_thumb(&text);
+        assert_eq!(e.reencoded_bytes(), 6);
+        assert!((e.size_ratio() - 0.75).abs() < 1e-12);
+        assert!((e.insn_overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undecodable_words_count_full() {
+        let e = estimate_thumb(&[0xffff_ffff]);
+        assert_eq!(e.undecodable, 1);
+        assert_eq!(e.size_ratio(), 1.0);
+    }
+}

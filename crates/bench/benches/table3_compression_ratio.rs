@@ -1,0 +1,25 @@
+//! Paper Table 3: compression ratio of the `.text` section.
+
+use codepack_bench::{paper, Workload};
+use codepack_sim::Table;
+
+fn main() {
+    let mut table = Table::new(
+        ["Bench", "Original (bytes)", "Compressed (bytes)", "Ratio", "paper"]
+            .map(String::from)
+            .to_vec(),
+    )
+    .with_title("Table 3: Compression ratio of .text section (smaller is better)");
+
+    for (i, w) in Workload::suite().into_iter().enumerate() {
+        let stats = w.image.stats();
+        table.row(vec![
+            w.profile.name.to_string(),
+            format!("{}", stats.original_bytes),
+            format!("{}", stats.total_bytes()),
+            format!("{:.1}%", stats.compression_ratio() * 100.0),
+            format!("{:.1}%", paper::TABLE3_RATIO[i].1),
+        ]);
+    }
+    table.print();
+}

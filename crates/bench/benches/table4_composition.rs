@@ -1,0 +1,32 @@
+//! Paper Table 4: composition of the compressed region — what fraction of
+//! the compressed image is index table, dictionaries, codeword tags,
+//! dictionary indices, raw tags, raw (uncompressed) bits, and alignment pad.
+
+use codepack_bench::{paper, Workload};
+use codepack_sim::Table;
+
+fn main() {
+    let headers = ["Bench", "Index", "Dict", "Tags", "Indices", "RawTag", "RawBits", "Pad", "Total B"]
+        .map(String::from)
+        .to_vec();
+    let mut measured = Table::new(headers.clone())
+        .with_title("Table 4: Composition of compressed region (measured)");
+    for w in Workload::suite() {
+        let s = w.image.stats();
+        let f = s.table4_fractions();
+        let mut row = vec![w.profile.name.to_string()];
+        row.extend(f.iter().map(|v| format!("{:.1}%", v * 100.0)));
+        row.push(format!("{}", s.total_bytes()));
+        measured.row(row);
+    }
+    measured.print();
+
+    let mut reference = Table::new(headers).with_title("Table 4 (paper, for comparison)");
+    for (name, f) in paper::TABLE4_COMPOSITION {
+        let mut row = vec![name.to_string()];
+        row.extend(f.iter().map(|v| format!("{v:.1}%")));
+        row.push("-".to_string());
+        reference.row(row);
+    }
+    reference.print();
+}

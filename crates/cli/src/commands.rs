@@ -1,0 +1,252 @@
+//! Implementation of the `cpack` subcommands.
+
+use codepack_baselines::{estimate_thumb, CcrpImage, HuffPackImage, InsnDictImage};
+use codepack_core::{CodePackImage, CompressionConfig};
+use codepack_isa::{decode, Program, TEXT_BASE};
+use codepack_sim::{ArchConfig, CodeModel, Simulation, Table};
+use codepack_synth::{generate, BenchmarkProfile};
+
+/// Help text.
+pub const USAGE: &str = "\
+cpack — CodePack code compression toolkit (MICRO-32 1999 reproduction)
+
+USAGE:
+    cpack list                          list the benchmark profiles
+    cpack compress <profile> [-o FILE]  compress to a CPK1 ROM image (default <profile>.cpk)
+    cpack inspect  <FILE>               print stats + dictionaries of a ROM image
+    cpack disasm   <profile> [N]        disassemble the first N instructions (default 32)
+    cpack sim      <profile> [INSNS]    simulate native vs CodePack (default 500000)
+    cpack sweep    <bus|latency|cache|l2> <profile> [INSNS]
+    cpack compare  <profile>            compression ratio across schemes
+";
+
+const SEED: u64 = 42;
+
+fn profile_by_name(name: &str) -> Result<BenchmarkProfile, String> {
+    BenchmarkProfile::suite()
+        .into_iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown profile `{name}` (one of: {})",
+                BenchmarkProfile::suite()
+                    .iter()
+                    .map(|p| p.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+fn program_for(name: &str) -> Result<Program, String> {
+    Ok(generate(&profile_by_name(name)?, SEED))
+}
+
+/// `cpack list`
+pub fn list() -> Result<(), String> {
+    let mut t = Table::new(
+        ["Profile", "Functions", "Text (approx)", "Character"].map(String::from).to_vec(),
+    );
+    for p in BenchmarkProfile::suite() {
+        let character = if p.loop_iters > 20 { "loop-dominated" } else { "branchy, miss-heavy" };
+        t.row(vec![
+            p.name.to_string(),
+            format!("{}", p.functions),
+            format!("~{} KB", p.functions * 110 * 4 / 1024),
+            character.to_string(),
+        ]);
+    }
+    t.print();
+    Ok(())
+}
+
+/// `cpack compress <profile> [-o FILE]`
+pub fn compress(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("compress: missing profile name")?;
+    let out = match args.get(1).map(String::as_str) {
+        Some("-o") => args.get(2).ok_or("compress: -o needs a file name")?.clone(),
+        Some(other) => return Err(format!("compress: unexpected argument `{other}`")),
+        None => format!("{name}.cpk"),
+    };
+    let program = program_for(name)?;
+    let image = CodePackImage::compress(program.text_words(), &CompressionConfig::default());
+    let rom = image.to_rom_bytes();
+    std::fs::write(&out, &rom).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "{name}: {} -> {} bytes ({:.1}%), rom {} bytes -> {out}",
+        image.stats().original_bytes,
+        image.stats().total_bytes(),
+        image.stats().compression_ratio() * 100.0,
+        rom.len()
+    );
+    Ok(())
+}
+
+/// `cpack inspect <FILE>`
+pub fn inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("inspect: missing rom file")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let image = CodePackImage::from_rom_bytes(&bytes).map_err(|e| e.to_string())?;
+    println!("{path}: {} instructions, {} blocks, {} groups", image.len_insns(), image.num_blocks(), image.num_groups());
+    println!("{}", image.stats());
+    println!("high dictionary: {} entries; head:", image.high_dict().len());
+    for (rank, value) in image.high_dict().iter().take(6) {
+        println!("  {rank:3} -> {value:#06x}");
+    }
+    println!("low dictionary: {} entries; head:", image.low_dict().len());
+    for (rank, value) in image.low_dict().iter().take(6) {
+        println!("  {rank:3} -> {value:#06x}");
+    }
+    Ok(())
+}
+
+/// `cpack disasm <profile> [N]`
+pub fn disasm(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("disasm: missing profile name")?;
+    let count: usize = args.get(1).map_or(Ok(32), |s| s.parse().map_err(|_| "disasm: bad count"))?;
+    let program = program_for(name)?;
+    for (i, &w) in program.text_words().iter().take(count).enumerate() {
+        let addr = TEXT_BASE + 4 * i as u32;
+        match decode(w) {
+            Ok(insn) => println!("{addr:#010x}:  {w:08x}  {insn}"),
+            Err(_) => println!("{addr:#010x}:  {w:08x}  .word"),
+        }
+    }
+    Ok(())
+}
+
+fn parse_insns(args: &[String], idx: usize, default: u64) -> Result<u64, String> {
+    args.get(idx)
+        .map_or(Ok(default), |s| s.parse().map_err(|_| format!("bad instruction count `{s}`")))
+}
+
+/// `cpack sim <profile> [INSNS]`
+pub fn sim(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("sim: missing profile name")?;
+    let insns = parse_insns(args, 1, 500_000)?;
+    let program = program_for(name)?;
+    let arch = ArchConfig::four_issue();
+    let native = Simulation::new(arch, CodeModel::Native).run(&program, insns);
+    let packed = Simulation::new(arch, CodeModel::codepack_baseline()).run(&program, insns);
+    let opt = Simulation::new(arch, CodeModel::codepack_optimized()).run(&program, insns);
+
+    let mut t = Table::new(
+        ["Model", "Cycles", "IPC", "Speedup", "I-miss/insn"].map(String::from).to_vec(),
+    )
+    .with_title(format!("{name} on the 4-issue machine ({insns} instructions)"));
+    for (label, r) in [
+        ("Native", &native),
+        ("CodePack baseline", &packed),
+        ("CodePack optimized", &opt),
+    ] {
+        t.row(vec![
+            label.to_string(),
+            format!("{}", r.cycles()),
+            format!("{:.3}", r.ipc()),
+            format!("{:.2}x", r.speedup_over(&native)),
+            format!("{:.2}%", r.imiss_per_insn() * 100.0),
+        ]);
+    }
+    t.print();
+    if let Some(c) = packed.compression {
+        println!("compression ratio: {:.1}%", c.compression_ratio() * 100.0);
+    }
+    Ok(())
+}
+
+/// `cpack sweep <bus|latency|cache> <profile> [INSNS]`
+pub fn sweep(args: &[String]) -> Result<(), String> {
+    let kind = args.first().ok_or("sweep: missing kind (bus|latency|cache)")?;
+    let name = args.get(1).ok_or("sweep: missing profile name")?;
+    let insns = parse_insns(args, 2, 300_000)?;
+    let program = program_for(name)?;
+
+    let points: Vec<(String, ArchConfig)> = match kind.as_str() {
+        "bus" => [16u32, 32, 64, 128]
+            .iter()
+            .map(|&b| (format!("{b}-bit"), ArchConfig::four_issue().with_bus_bits(b)))
+            .collect(),
+        "latency" => [0.5f64, 1.0, 2.0, 4.0, 8.0]
+            .iter()
+            .map(|&s| (format!("{s}x"), ArchConfig::four_issue().with_memory_scale(s)))
+            .collect(),
+        "cache" => [1u32, 4, 16, 64]
+            .iter()
+            .map(|&k| (format!("{k} KB"), ArchConfig::four_issue().with_icache_kb(k)))
+            .collect(),
+        "l2" => [0u32, 64, 128, 256, 512]
+            .iter()
+            .map(|&k| {
+                if k == 0 {
+                    ("no L2".to_string(), ArchConfig::four_issue())
+                } else {
+                    (format!("{k} KB L2"), ArchConfig::four_issue().with_l2_kb(k))
+                }
+            })
+            .collect(),
+        other => return Err(format!("sweep: unknown kind `{other}` (bus|latency|cache|l2)")),
+    };
+
+    let mut t = Table::new(
+        ["Point", "Native IPC", "CodePack", "Optimized", "Opt speedup"]
+            .map(String::from)
+            .to_vec(),
+    )
+    .with_title(format!("{name}: {kind} sweep (4-issue)"));
+    for (label, arch) in points {
+        let native = Simulation::new(arch, CodeModel::Native).run(&program, insns);
+        let packed = Simulation::new(arch, CodeModel::codepack_baseline()).run(&program, insns);
+        let opt = Simulation::new(arch, CodeModel::codepack_optimized()).run(&program, insns);
+        t.row(vec![
+            label,
+            format!("{:.3}", native.ipc()),
+            format!("{:.3}", packed.ipc()),
+            format!("{:.3}", opt.ipc()),
+            format!("{:.2}x", opt.speedup_over(&native)),
+        ]);
+    }
+    t.print();
+    Ok(())
+}
+
+/// `cpack compare <profile>`
+pub fn compare(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("compare: missing profile name")?;
+    let program = program_for(name)?;
+    let text = program.text_words();
+    let cp = CodePackImage::compress(text, &CompressionConfig::default());
+    let ccrp = CcrpImage::compress(text, 32);
+    let dict = InsnDictImage::compress(text);
+    let thumb = estimate_thumb(text);
+
+    let mut t = Table::new(["Scheme", "Ratio", "Notes"].map(String::from).to_vec())
+        .with_title(format!("{name}: compression schemes"));
+    t.row(vec![
+        "CodePack".into(),
+        format!("{:.1}%", cp.stats().compression_ratio() * 100.0),
+        format!("2 dicts, {} + {} entries", cp.high_dict().len(), cp.low_dict().len()),
+    ]);
+    t.row(vec![
+        "CCRP (Huffman lines)".into(),
+        format!("{:.1}%", ccrp.stats().compression_ratio() * 100.0),
+        format!("{} raw lines", ccrp.stats().raw_lines),
+    ]);
+    t.row(vec![
+        "Insn dictionary".into(),
+        format!("{:.1}%", dict.stats().compression_ratio() * 100.0),
+        format!("{} entries", dict.stats().dict_entries),
+    ]);
+    t.row(vec![
+        "Thumb-style 16-bit".into(),
+        format!("{:.1}%", thumb.size_ratio() * 100.0),
+        format!("+{:.1}% instructions", thumb.insn_overhead() * 100.0),
+    ]);
+    let huff = HuffPackImage::compress(text);
+    t.row(vec![
+        "HuffPack (future work)".into(),
+        format!("{:.1}%", huff.stats().compression_ratio() * 100.0),
+        "bit-serial decode".into(),
+    ]);
+    t.print();
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! `cpack` — the command-line face of the CodePack reproduction.
+//!
+//! ```text
+//! cpack list                          the six benchmark profiles
+//! cpack compress <profile> [-o FILE]  compress to a CPK1 ROM image
+//! cpack inspect  <FILE>               stats + dictionaries of a ROM image
+//! cpack disasm   <profile> [N]        disassemble the first N instructions
+//! cpack sim      <profile> [INSNS]    native vs CodePack on the 4-issue machine
+//! cpack sweep    <bus|latency|cache> <profile> [INSNS]
+//! cpack compare  <profile>            compression ratio across schemes
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => commands::list(),
+        Some("compress") => commands::compress(&args[1..]),
+        Some("inspect") => commands::inspect(&args[1..]),
+        Some("disasm") => commands::disasm(&args[1..]),
+        Some("sim") => commands::sim(&args[1..]),
+        Some("sweep") => commands::sweep(&args[1..]),
+        Some("compare") => commands::compare(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `cpack help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cpack: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

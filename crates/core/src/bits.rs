@@ -1,0 +1,199 @@
+//! MSB-first bit-granular I/O over byte buffers.
+//!
+//! CodePack codewords are 2–19 bits long and packed back-to-back; blocks are
+//! byte-aligned by padding with zero bits (the paper's Table 4 *Pad* column).
+
+use crate::DecompressError;
+
+/// Writes an MSB-first bit stream into a growable byte buffer.
+///
+/// ```
+/// use codepack_core::BitWriter;
+/// let mut w = BitWriter::new();
+/// w.write(0b101, 3);
+/// w.write(0b1, 1);
+/// let pad = w.align_to_byte();
+/// assert_eq!(pad, 4);
+/// assert_eq!(w.into_bytes(), vec![0b1011_0000]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final partial byte (0–7).
+    partial_bits: u32,
+    bits_written: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Total bits written so far (including any partial byte).
+    pub fn bit_len(&self) -> u64 {
+        self.bits_written
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn write(&mut self, value: u32, count: u32) {
+        assert!(count <= 32, "cannot write more than 32 bits at once");
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            if self.partial_bits == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= (bit as u8) << (7 - self.partial_bits);
+            self.partial_bits = (self.partial_bits + 1) % 8;
+        }
+        self.bits_written += u64::from(count);
+    }
+
+    /// Pads with zero bits to the next byte boundary; returns the number of
+    /// pad bits added (0–7).
+    pub fn align_to_byte(&mut self) -> u32 {
+        let pad = (8 - self.partial_bits) % 8;
+        if pad > 0 {
+            self.bits_written += u64::from(pad);
+            self.partial_bits = 0;
+        }
+        pad
+    }
+
+    /// Finishes the stream (padding to a byte) and returns the bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.bytes
+    }
+}
+
+/// Reads an MSB-first bit stream from a byte slice.
+///
+/// ```
+/// use codepack_core::BitReader;
+/// let mut r = BitReader::new(&[0b1011_0000]);
+/// assert_eq!(r.read(3).unwrap(), 0b101);
+/// assert_eq!(r.read(1).unwrap(), 1);
+/// assert!(r.read(8).is_err(), "only 4 bits remain");
+/// ```
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, bit_pos: 0 }
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> u64 {
+        self.bit_pos
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> u64 {
+        (self.bytes.len() as u64 * 8).saturating_sub(self.bit_pos)
+    }
+
+    /// Reads `count` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompressError::Truncated`] if fewer than `count` bits
+    /// remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn read(&mut self, count: u32) -> Result<u32, DecompressError> {
+        assert!(count <= 32, "cannot read more than 32 bits at once");
+        if self.remaining() < u64::from(count) {
+            return Err(DecompressError::Truncated { at_bit: self.bit_pos });
+        }
+        let mut value = 0u32;
+        for _ in 0..count {
+            let byte = self.bytes[(self.bit_pos / 8) as usize];
+            let bit = (byte >> (7 - (self.bit_pos % 8))) & 1;
+            value = (value << 1) | u32::from(bit);
+            self.bit_pos += 1;
+        }
+        Ok(value)
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        self.bit_pos = self.bit_pos.div_ceil(8) * 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_packs_msb_first() {
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        w.write(0, 1);
+        w.write(0b111111, 6);
+        assert_eq!(w.into_bytes(), vec![0b1011_1111]);
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let fields = [(0b11u32, 2), (0x1234, 16), (0, 3), (0x7f, 7), (1, 1)];
+        let mut w = BitWriter::new();
+        for (v, n) in fields {
+            w.write(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in fields {
+            assert_eq!(r.read(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bit_len_counts_pad() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        assert_eq!(w.align_to_byte(), 5);
+        assert_eq!(w.bit_len(), 8);
+        assert_eq!(w.align_to_byte(), 0, "already aligned");
+    }
+
+    #[test]
+    fn truncated_read_reports_position() {
+        let mut r = BitReader::new(&[0xff]);
+        r.read(6).unwrap();
+        match r.read(4) {
+            Err(DecompressError::Truncated { at_bit }) => assert_eq!(at_bit, 6),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_align_skips_partial_byte() {
+        let mut r = BitReader::new(&[0xab, 0xcd]);
+        r.read(3).unwrap();
+        r.align_to_byte();
+        assert_eq!(r.read(8).unwrap(), 0xcd);
+    }
+
+    #[test]
+    fn thirty_two_bit_fields() {
+        let mut w = BitWriter::new();
+        w.write(0xdead_beef, 32);
+        let bytes = w.into_bytes();
+        assert_eq!(BitReader::new(&bytes).read(32).unwrap(), 0xdead_beef);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the CodePack codec.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while decompressing a CodePack stream.
+///
+/// Corrupt input must surface as one of these variants — never a panic — so
+/// the failure-injection tests in `tests/` exercise each case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The bit stream ended in the middle of a codeword.
+    Truncated {
+        /// Bit position at which more input was needed.
+        at_bit: u64,
+    },
+    /// A codeword indexed past the end of a dictionary.
+    BadDictIndex {
+        /// Was it the high-half-word dictionary?
+        high: bool,
+        /// The out-of-range rank.
+        rank: u16,
+        /// Number of entries actually present.
+        dict_len: u16,
+    },
+    /// A block number outside the compressed image was requested.
+    BadBlock {
+        /// The requested block number.
+        block: u32,
+        /// Number of blocks in the image.
+        blocks: u32,
+    },
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecompressError::Truncated { at_bit } => {
+                write!(f, "compressed stream truncated at bit {at_bit}")
+            }
+            DecompressError::BadDictIndex { high, rank, dict_len } => write!(
+                f,
+                "codeword indexes entry {rank} of the {} dictionary, which has {dict_len} entries",
+                if high { "high" } else { "low" }
+            ),
+            DecompressError::BadBlock { block, blocks } => {
+                write!(f, "block {block} requested from an image of {blocks} blocks")
+            }
+        }
+    }
+}
+
+impl Error for DecompressError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = DecompressError::BadDictIndex { high: true, rank: 500, dict_len: 12 };
+        let s = e.to_string();
+        assert!(s.contains("high dictionary") && s.contains("500"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &(dyn Error + Send + Sync)) {}
+        takes_err(&DecompressError::Truncated { at_bit: 0 });
+    }
+}

@@ -1,0 +1,579 @@
+//! Cycle-level models of the L1 I-miss service path.
+//!
+//! Three models, matching the paper's Figure 2:
+//!
+//! * [`NativeFetch`] — native code: critical-word-first burst read of the
+//!   missed line (Figure 2-a),
+//! * [`CodePackFetch`] — the decompressor: index lookup, burst read of the
+//!   compressed block, serial decode overlapped with the burst
+//!   (Figure 2-b), with the optimizations of Figure 2-c (index cache,
+//!   wider decode bandwidth) as configuration.
+//!
+//! The model reproduces the paper's worked example exactly: with a 10/2-cycle
+//! 64-bit memory, an index fetch followed by codes arriving 2–3 instructions
+//! per beat and a 1-instruction/cycle decoder makes the critical (5th)
+//! instruction available at t=25; caching the index and doubling decode
+//! bandwidth pulls it to t=14 (see `tests::figure2_worked_example`).
+
+use std::sync::Arc;
+
+use codepack_mem::{FullyAssociativeCache, MemoryTiming};
+
+use crate::layout::{BLOCK_INSNS, INDEX_ENTRY_BYTES};
+use crate::CodePackImage;
+
+/// How the decompressor reaches the index table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexCacheModel {
+    /// Every miss pays a main-memory index fetch (ablation only — even the
+    /// paper's baseline caches the last-used entry).
+    None,
+    /// A fully-associative cache of index entries, probed in parallel with
+    /// the L1 so a hit adds no latency (paper §5.3). The paper's baseline is
+    /// `lines: 1, entries_per_line: 1`; the optimized model is
+    /// `lines: 64, entries_per_line: 4`.
+    Cached {
+        /// Number of cache lines.
+        lines: usize,
+        /// Consecutive index entries per line.
+        entries_per_line: u32,
+    },
+    /// An index cache that always hits (paper Table 7 "Perfect": the whole
+    /// table in on-chip ROM).
+    Perfect,
+}
+
+/// Configuration of the decompressor timing model.
+///
+/// ```
+/// use codepack_core::DecompressorConfig;
+/// let base = DecompressorConfig::baseline();
+/// assert_eq!(base.decode_rate, 1);
+/// let opt = DecompressorConfig::optimized();
+/// assert_eq!(opt.decode_rate, 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecompressorConfig {
+    /// Index-table access model.
+    pub index_cache: IndexCacheModel,
+    /// Instructions decompressed per cycle (paper Table 8: 1, 2, or 16).
+    pub decode_rate: u32,
+    /// Keep the 16-instruction output buffer that is always filled on a miss
+    /// and acts as a prefetch for the block's other cache line.
+    pub output_buffer: bool,
+    /// Forward instructions to the CPU as they are decompressed rather than
+    /// waiting for the whole line.
+    pub forwarding: bool,
+    /// Fixed request/response overhead of a decompressor-serviced miss, in
+    /// cycles — miss detection, request issue, and result hand-off around
+    /// the idealized Figure-2 timeline. Does not apply to output-buffer
+    /// hits.
+    pub request_overhead: u32,
+}
+
+impl DecompressorConfig {
+    /// The paper's baseline CodePack: last-used index entry cached, one
+    /// instruction per cycle, output buffer and forwarding on (§3.2).
+    pub fn baseline() -> DecompressorConfig {
+        DecompressorConfig {
+            index_cache: IndexCacheModel::Cached { lines: 1, entries_per_line: 1 },
+            decode_rate: 1,
+            output_buffer: true,
+            forwarding: true,
+            request_overhead: 2,
+        }
+    }
+
+    /// The paper's optimized model (§5.3): 64-line × 4-entry fully
+    /// associative index cache and two decompressors per cycle.
+    pub fn optimized() -> DecompressorConfig {
+        DecompressorConfig {
+            index_cache: IndexCacheModel::Cached { lines: 64, entries_per_line: 4 },
+            decode_rate: 2,
+            ..DecompressorConfig::baseline()
+        }
+    }
+
+    /// Baseline with only the index-cache optimization (Table 9 "Index").
+    pub fn index_cache_only() -> DecompressorConfig {
+        DecompressorConfig {
+            index_cache: IndexCacheModel::Cached { lines: 64, entries_per_line: 4 },
+            ..DecompressorConfig::baseline()
+        }
+    }
+
+    /// Baseline with only the wider decoder (Table 9 "Decompress").
+    pub fn decoders(rate: u32) -> DecompressorConfig {
+        DecompressorConfig { decode_rate: rate, ..DecompressorConfig::baseline() }
+    }
+
+    /// Optimized model with a perfect index cache (Table 7 "Perfect").
+    pub fn perfect_index() -> DecompressorConfig {
+        DecompressorConfig { index_cache: IndexCacheModel::Perfect, ..DecompressorConfig::baseline() }
+    }
+}
+
+/// Where a miss was served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissSource {
+    /// Native line fill from main memory.
+    Memory,
+    /// Compressed block fetched from main memory and decompressed.
+    Decompressor,
+    /// The whole block was already in the decompressor's output buffer.
+    OutputBuffer,
+}
+
+/// Timing of one serviced L1 I-miss, in cycles after the miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MissService {
+    /// When the requested (critical) instruction reaches the CPU.
+    pub critical_ready: u64,
+    /// When the full 8-instruction cache line has been filled.
+    pub line_fill_complete: u64,
+    /// Where the instructions came from.
+    pub source: MissSource,
+    /// Did the index-cache probe hit? `None` for native fetches and
+    /// buffer hits (no index access happens).
+    pub index_hit: Option<bool>,
+}
+
+/// Counters accumulated by a fetch engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Misses serviced.
+    pub misses: u64,
+    /// Misses served from the output buffer.
+    pub buffer_hits: u64,
+    /// Index-cache probes that hit.
+    pub index_hits: u64,
+    /// Index-cache probes that missed (index fetched from main memory).
+    pub index_misses: u64,
+    /// Total main-memory bus beats used.
+    pub memory_beats: u64,
+    /// Sum of critical-word latencies (for average miss penalty).
+    pub total_critical_cycles: u64,
+}
+
+impl FetchStats {
+    /// Index-cache miss ratio among index probes (paper Table 6).
+    pub fn index_miss_ratio(&self) -> f64 {
+        let probes = self.index_hits + self.index_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.index_misses as f64 / probes as f64
+        }
+    }
+
+    /// Mean critical-word miss penalty in cycles.
+    pub fn avg_miss_penalty(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.total_critical_cycles as f64 / self.misses as f64
+        }
+    }
+}
+
+/// A model of the path that services L1 I-cache misses.
+pub trait FetchEngine {
+    /// Services a miss whose critical instruction is at byte address
+    /// `critical_addr`, filling the `line_bytes`-sized line containing it.
+    fn service_miss(&mut self, critical_addr: u32, line_bytes: u32) -> MissService;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> FetchStats;
+
+    /// Short human-readable name for tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Native-code fetch: critical-word-first burst read (paper Figure 2-a).
+#[derive(Clone, Debug)]
+pub struct NativeFetch {
+    timing: MemoryTiming,
+    stats: FetchStats,
+}
+
+impl NativeFetch {
+    /// Creates a native fetch path over the given memory.
+    pub fn new(timing: MemoryTiming) -> NativeFetch {
+        NativeFetch { timing, stats: FetchStats::default() }
+    }
+}
+
+impl FetchEngine for NativeFetch {
+    fn service_miss(&mut self, critical_addr: u32, line_bytes: u32) -> MissService {
+        let fill = self.timing.line_fill(line_bytes, critical_addr % line_bytes);
+        self.stats.misses += 1;
+        self.stats.memory_beats += u64::from(self.timing.beats_for(line_bytes));
+        self.stats.total_critical_cycles += fill.critical_word_ready;
+        MissService {
+            critical_ready: fill.critical_word_ready,
+            line_fill_complete: fill.fill_complete,
+            source: MissSource::Memory,
+            index_hit: None,
+        }
+    }
+
+    fn stats(&self) -> FetchStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "native"
+    }
+}
+
+/// Cycles to deliver instructions already sitting in the output buffer.
+const BUFFER_HIT_CYCLES: u64 = 1;
+
+/// The CodePack decompressor fetch path (paper Figures 2-b and 2-c).
+pub struct CodePackFetch {
+    image: Arc<CodePackImage>,
+    timing: MemoryTiming,
+    config: DecompressorConfig,
+    text_base: u32,
+    index_cache: Option<FullyAssociativeCache>,
+    /// Block number currently held by the 16-instruction output buffer.
+    buffer_block: Option<u32>,
+    stats: FetchStats,
+}
+
+impl CodePackFetch {
+    /// Creates a decompressor over a compressed image whose native text
+    /// starts at `text_base`.
+    pub fn new(
+        image: Arc<CodePackImage>,
+        timing: MemoryTiming,
+        config: DecompressorConfig,
+        text_base: u32,
+    ) -> CodePackFetch {
+        let index_cache = match config.index_cache {
+            IndexCacheModel::Cached { lines, entries_per_line } => {
+                Some(FullyAssociativeCache::new(lines, entries_per_line))
+            }
+            _ => None,
+        };
+        CodePackFetch {
+            image,
+            timing,
+            config,
+            text_base,
+            index_cache,
+            buffer_block: None,
+            stats: FetchStats::default(),
+        }
+    }
+
+    /// The decompressor configuration in effect.
+    pub fn config(&self) -> &DecompressorConfig {
+        &self.config
+    }
+
+    /// Index-cache statistics (probes/hits), if an index cache is present.
+    pub fn index_cache_stats(&self) -> Option<codepack_mem::CacheStats> {
+        self.index_cache.as_ref().map(FullyAssociativeCache::stats)
+    }
+
+    /// Cycle at which each instruction of `block` is decoded, given the
+    /// code burst starts at `t_start`. Implements
+    /// `ready[j] = max(arrival[j] + 1, ready[j - rate] + 1)` where
+    /// `arrival[j]` is the completion of the bus beat carrying the last bit
+    /// of instruction `j`.
+    fn decode_schedule(&self, block: u32, t_start: u64) -> [u64; BLOCK_INSNS as usize] {
+        let info = self.image.block_info(block);
+        let bus = self.timing.bus_bytes();
+        let first = u64::from(self.timing.first_access_cycles());
+        let rate = u64::from(self.timing.next_access_cycles());
+        let decode_rate = self.config.decode_rate as usize;
+
+        let mut ready = [0u64; BLOCK_INSNS as usize];
+        for j in 0..BLOCK_INSNS as usize {
+            let bytes_needed = u32::from(info.cum_bits[j + 1]).div_ceil(8);
+            let beat = bytes_needed.div_ceil(bus).max(1) - 1; // 0-based beat index
+            let arrival = t_start + first + u64::from(beat) * rate;
+            let capacity_bound = if j >= decode_rate { ready[j - decode_rate] + 1 } else { 0 };
+            ready[j] = (arrival + 1).max(capacity_bound);
+        }
+        ready
+    }
+}
+
+impl FetchEngine for CodePackFetch {
+    fn service_miss(&mut self, critical_addr: u32, line_bytes: u32) -> MissService {
+        assert!(
+            line_bytes <= BLOCK_INSNS * 4,
+            "a cache line must fit within one compression block"
+        );
+        debug_assert!(critical_addr >= self.text_base);
+        self.stats.misses += 1;
+
+        let insn = (critical_addr - self.text_base) / 4;
+        let block = self.image.block_of_insn(insn);
+        let within = (insn % BLOCK_INSNS) as usize;
+        let insns_per_line = (line_bytes / 4) as usize;
+        let line_start = (within / insns_per_line) * insns_per_line;
+
+        // Output buffer: the previous miss always decompressed the whole
+        // block, so the block's other line may already be sitting there.
+        if self.config.output_buffer && self.buffer_block == Some(block) {
+            self.stats.buffer_hits += 1;
+            self.stats.total_critical_cycles += BUFFER_HIT_CYCLES;
+            return MissService {
+                critical_ready: BUFFER_HIT_CYCLES,
+                line_fill_complete: BUFFER_HIT_CYCLES,
+                source: MissSource::OutputBuffer,
+                index_hit: None,
+            };
+        }
+
+        // Index lookup, probed in parallel with the L1: a hit is free.
+        let group = self.image.group_of_insn(insn);
+        let (t_index, index_hit) = match self.config.index_cache {
+            IndexCacheModel::Perfect => (0, Some(true)),
+            IndexCacheModel::None => {
+                self.stats.memory_beats += u64::from(self.timing.beats_for(INDEX_ENTRY_BYTES));
+                (self.timing.burst_read_cycles(INDEX_ENTRY_BYTES), Some(false))
+            }
+            IndexCacheModel::Cached { .. } => {
+                let cache = self.index_cache.as_mut().expect("cache built in new()");
+                if cache.access(group) {
+                    self.stats.index_hits += 1;
+                    (0, Some(true))
+                } else {
+                    self.stats.index_misses += 1;
+                    self.stats.memory_beats += u64::from(self.timing.beats_for(INDEX_ENTRY_BYTES));
+                    (self.timing.burst_read_cycles(INDEX_ENTRY_BYTES), Some(false))
+                }
+            }
+        };
+
+        // Burst-read the compressed block and decode it, overlapped.
+        let info = self.image.block_info(block);
+        self.stats.memory_beats += u64::from(self.timing.beats_for(u32::from(info.byte_len)));
+        let ready = self.decode_schedule(block, t_index + u64::from(self.config.request_overhead));
+
+        let critical_ready = if self.config.forwarding {
+            ready[within]
+        } else {
+            ready[line_start + insns_per_line - 1]
+        };
+        let line_fill_complete = ready[line_start + insns_per_line - 1];
+        if self.config.output_buffer {
+            self.buffer_block = Some(block);
+        }
+        self.stats.total_critical_cycles += critical_ready;
+
+        MissService {
+            critical_ready,
+            line_fill_complete,
+            source: MissSource::Decompressor,
+            index_hit,
+        }
+    }
+
+    fn stats(&self) -> FetchStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "codepack"
+    }
+}
+
+impl std::fmt::Debug for CodePackFetch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodePackFetch")
+            .field("config", &self.config)
+            .field("buffer_block", &self.buffer_block)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompressionConfig, BLOCK_INSNS};
+
+    /// Builds an image whose blocks have the paper's Figure 2 beat profile:
+    /// successive 64-bit accesses return 2, 3, 3, 3, 3, 2 instructions.
+    ///
+    /// Construction: every high half-word is unique (raw escape, 19 bits);
+    /// low half-words are zero (2-bit codeword) except instructions 0 and 5
+    /// of each block, which use a dictionary value at rank 1 (5-bit
+    /// codeword). Sizes are thus 24,21,21,21,21,24,21,…: cumulative bits
+    /// 25,46,67,88,109,133,… put exactly two instructions in the first
+    /// 64-bit beat and three in each of the next four.
+    fn figure2_image() -> Arc<CodePackImage> {
+        let mut text = Vec::new();
+        for b in 0..2u32 {
+            for j in 0..BLOCK_INSNS {
+                let high = 0x8000 + (b * BLOCK_INSNS + j) * 257; // unique -> raw
+                let low = if j == 0 || j == 5 { 0xaa } else { 0 };
+                text.push((high << 16) | low);
+            }
+        }
+        let image = CodePackImage::compress(&text, &CompressionConfig::default());
+        // Validate the construction produced the intended profile.
+        let cum = &image.block_info(0).cum_bits;
+        assert_eq!(&cum[..7], &[0, 25, 46, 67, 88, 109, 133]);
+        Arc::new(image)
+    }
+
+    /// Figure 2 idealizes away the hardware request/response overhead, so
+    /// the exact-cycle regression tests use a zero-overhead config.
+    fn ideal(cfg: DecompressorConfig) -> DecompressorConfig {
+        DecompressorConfig { request_overhead: 0, ..cfg }
+    }
+
+    #[test]
+    fn figure2_worked_example() {
+        // 21-bit instructions + 1 flag bit: cum bits ≈ 22, 43, 64, ...
+        // 64-bit beats deliver: beat0 = 64 bits -> insns 0-1 (cum 43 ≤ 64 < 85),
+        // beat1 -> through insn 4 (cum 106 ≤ 128), i.e. 2 then 3 per beat,
+        // the paper's 2,3,3,3,3,2 pattern.
+        let image = figure2_image();
+        let timing = MemoryTiming::default();
+
+        // Baseline (Figure 2-b): cold index, 1 insn/cycle. Paper: the
+        // critical (5th) instruction is ready at t = 25.
+        let mut base = CodePackFetch::new(
+            Arc::clone(&image),
+            timing,
+            ideal(DecompressorConfig::baseline()),
+            0x40_0000,
+        );
+        let svc = base.service_miss(0x40_0000 + 4 * 4, 32);
+        assert_eq!(svc.index_hit, Some(false));
+        assert_eq!(
+            svc.critical_ready, 25,
+            "paper Figure 2-b: critical instruction at t=25"
+        );
+
+        // Optimized (Figure 2-c): index-cache hit, 2 insns/cycle. Paper: t=14.
+        let mut opt = CodePackFetch::new(
+            Arc::clone(&image),
+            timing,
+            ideal(DecompressorConfig::optimized()),
+            0x40_0000,
+        );
+        // Warm the index cache with a first miss in the same group, then
+        // miss on the next block (same group, other block).
+        opt.service_miss(0x40_0000, 32);
+        let svc = opt.service_miss(0x40_0000 + (16 + 4) * 4, 32);
+        assert_eq!(svc.index_hit, Some(true));
+        assert_eq!(svc.critical_ready, 14, "paper Figure 2-c: critical instruction at t=14");
+    }
+
+    #[test]
+    fn native_critical_word_first() {
+        let mut native = NativeFetch::new(MemoryTiming::default());
+        let svc = native.service_miss(0x40_001c, 32);
+        assert_eq!(svc.critical_ready, 10);
+        assert_eq!(svc.line_fill_complete, 16);
+        assert_eq!(svc.source, MissSource::Memory);
+    }
+
+    #[test]
+    fn output_buffer_serves_other_line_of_block() {
+        let image = figure2_image();
+        let mut f = CodePackFetch::new(
+            image,
+            MemoryTiming::default(),
+            DecompressorConfig::baseline(),
+            0,
+        );
+        let first = f.service_miss(0, 32); // line 0 of block 0
+        assert_eq!(first.source, MissSource::Decompressor);
+        let second = f.service_miss(32, 32); // line 1 of block 0
+        assert_eq!(second.source, MissSource::OutputBuffer);
+        assert_eq!(second.critical_ready, BUFFER_HIT_CYCLES);
+        let third = f.service_miss(64, 32); // block 1 evicted nothing: buffer misses
+        assert_eq!(third.source, MissSource::Decompressor);
+    }
+
+    #[test]
+    fn disabling_output_buffer_always_decompresses() {
+        let image = figure2_image();
+        let cfg = DecompressorConfig { output_buffer: false, ..DecompressorConfig::baseline() };
+        let mut f = CodePackFetch::new(image, MemoryTiming::default(), cfg, 0);
+        f.service_miss(0, 32);
+        let second = f.service_miss(32, 32);
+        assert_eq!(second.source, MissSource::Decompressor);
+    }
+
+    #[test]
+    fn perfect_index_never_pays_memory_for_index() {
+        let image = figure2_image();
+        let mut f = CodePackFetch::new(
+            image,
+            MemoryTiming::default(),
+            ideal(DecompressorConfig::perfect_index()),
+            0,
+        );
+        let svc = f.service_miss(0, 32);
+        assert_eq!(svc.index_hit, Some(true));
+        // critical insn 0 (22 bits -> beat 0): ready = 10 + 1 = 11.
+        assert_eq!(svc.critical_ready, 11);
+    }
+
+    #[test]
+    fn without_forwarding_critical_waits_for_line() {
+        let image = figure2_image();
+        let cfg = DecompressorConfig { forwarding: false, ..DecompressorConfig::perfect_index() };
+        let mut f = CodePackFetch::new(image, MemoryTiming::default(), cfg, 0);
+        let svc = f.service_miss(0, 32);
+        assert_eq!(
+            svc.critical_ready, svc.line_fill_complete,
+            "no forwarding: critical waits for the whole line"
+        );
+        assert!(svc.critical_ready > 11);
+    }
+
+    #[test]
+    fn wider_decoder_caps_at_arrival() {
+        let image = figure2_image();
+        let mut r16 = CodePackFetch::new(
+            Arc::clone(&image),
+            MemoryTiming::default(),
+            ideal(DecompressorConfig { decode_rate: 16, ..DecompressorConfig::perfect_index() }),
+            0,
+        );
+        let mut r1 = CodePackFetch::new(
+            image,
+            MemoryTiming::default(),
+            ideal(DecompressorConfig::perfect_index()),
+            0,
+        );
+        let wide = r16.service_miss(7 * 4, 32);
+        let narrow = r1.service_miss(7 * 4, 32);
+        assert!(wide.critical_ready < narrow.critical_ready);
+        // Even infinitely wide decode cannot beat the bus: insn 7 needs
+        // cum_bits[8] = 175 bits -> 22 bytes -> beat 2 -> t=14, +1 = 15.
+        assert_eq!(wide.critical_ready, 15);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let image = figure2_image();
+        let mut f = CodePackFetch::new(
+            image,
+            MemoryTiming::default(),
+            DecompressorConfig::optimized(),
+            0,
+        );
+        f.service_miss(0, 32);
+        f.service_miss(32, 32); // buffer hit
+        f.service_miss(64, 32); // index hit (same group)
+        let s = f.stats();
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.buffer_hits, 1);
+        assert_eq!(s.index_hits, 1);
+        assert_eq!(s.index_misses, 1);
+        assert!(s.avg_miss_penalty() > 0.0);
+        assert!((s.index_miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

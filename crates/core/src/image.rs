@@ -1,0 +1,597 @@
+//! Whole-program compression: blocks, groups, and the index table.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::dict::Dictionary;
+use crate::layout::{
+    class_for_rank, CodewordClass, BLOCKS_PER_GROUP, BLOCK_INSNS, GROUP_INSNS, HIGH_CLASSES,
+    HIGH_DICT_CAPACITY, INDEX_ENTRY_BYTES, LOW_CLASSES, LOW_DICT_CAPACITY, RAW_TAG, RAW_TAG_BITS,
+};
+use crate::stats::CompositionStats;
+use crate::DecompressError;
+
+/// Tuning knobs of the compressor.
+///
+/// The defaults reproduce the paper's CodePack; the other settings exist for
+/// the ablation benchmarks.
+///
+/// ```
+/// use codepack_core::CompressionConfig;
+/// let c = CompressionConfig::default();
+/// assert!(c.raw_block_fallback && c.pin_low_zero);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompressionConfig {
+    /// Store a block non-compressed when compression would expand it
+    /// (paper §5.1: "CodePack may choose to not compress entire blocks").
+    pub raw_block_fallback: bool,
+    /// Give the low half-word value 0 the dedicated 2-bit codeword
+    /// (paper §3.1). Disabling ranks 0 by frequency like any other value.
+    pub pin_low_zero: bool,
+    /// Minimum occurrence count for a half-word to earn a dictionary slot.
+    /// A slot costs 16 bits of dictionary space, so singletons are cheaper
+    /// as raw escapes.
+    pub dict_min_count: u32,
+}
+
+impl Default for CompressionConfig {
+    fn default() -> CompressionConfig {
+        CompressionConfig {
+            raw_block_fallback: true,
+            pin_low_zero: true,
+            dict_min_count: 2,
+        }
+    }
+}
+
+/// Placement and decode-timing metadata of one compression block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Byte offset of the block within the compressed region.
+    pub byte_offset: u32,
+    /// Byte length of the block (including alignment padding).
+    pub byte_len: u16,
+    /// `cum_bits[j]` = bits that must arrive before instruction `j` of the
+    /// block can finish decoding; `cum_bits[16]` is the unpadded bit length.
+    /// The decompressor timing model uses this to overlap burst reads with
+    /// decoding.
+    pub cum_bits: [u16; BLOCK_INSNS as usize + 1],
+}
+
+/// A CodePack-compressed program image: two dictionaries, a byte-aligned
+/// stream of compression blocks, and the index table mapping native
+/// instruction addresses into the compressed space.
+///
+/// ```
+/// use codepack_core::{CodePackImage, CompressionConfig};
+/// let text: Vec<u32> = (0..64).map(|i| 0x2400_0000 | (i % 7)).collect();
+/// let image = CodePackImage::compress(&text, &CompressionConfig::default());
+/// assert_eq!(image.decompress_all().unwrap(), text);
+/// assert!(image.stats().compression_ratio() < 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CodePackImage {
+    high_dict: Dictionary,
+    low_dict: Dictionary,
+    index: Vec<u32>,
+    bytes: Vec<u8>,
+    blocks: Vec<BlockInfo>,
+    n_insns: u32,
+    stats: CompositionStats,
+}
+
+/// Number of bits of the second-block offset field in an index entry.
+const SECOND_OFFSET_BITS: u32 = 7;
+const SECOND_OFFSET_MASK: u32 = (1 << SECOND_OFFSET_BITS) - 1;
+
+impl CodePackImage {
+    /// Compresses a text section.
+    ///
+    /// The text is padded with zero words to a whole compression group
+    /// (32 instructions); the pad never affects [`Self::decompress_all`],
+    /// which returns exactly the original words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` is empty or longer than 2²⁵ bytes of compressed
+    /// output (the index-entry address width — far beyond any embedded
+    /// program).
+    pub fn compress(text: &[u32], config: &CompressionConfig) -> CodePackImage {
+        assert!(!text.is_empty(), "cannot compress an empty text section");
+        let n_insns = text.len() as u32;
+        let padded_len = (text.len()).div_ceil(GROUP_INSNS as usize) * GROUP_INSNS as usize;
+        let mut padded = text.to_vec();
+        padded.resize(padded_len, 0);
+
+        let high_dict = Dictionary::build(
+            padded.iter().map(|&w| (w >> 16) as u16),
+            HIGH_DICT_CAPACITY,
+            config.dict_min_count,
+            false,
+        );
+        let low_dict = Dictionary::build(
+            padded.iter().map(|&w| w as u16),
+            LOW_DICT_CAPACITY,
+            config.dict_min_count,
+            config.pin_low_zero,
+        );
+
+        let mut stats = CompositionStats {
+            original_bytes: u64::from(n_insns) * 4,
+            dictionary_bytes: u64::from(high_dict.size_bytes() + low_dict.size_bytes()),
+            ..CompositionStats::default()
+        };
+
+        let mut bytes = Vec::new();
+        let mut blocks = Vec::with_capacity(padded_len / BLOCK_INSNS as usize);
+        for chunk in padded.chunks_exact(BLOCK_INSNS as usize) {
+            let byte_offset = bytes.len() as u32;
+            let (block_bytes, cum_bits, delta) =
+                encode_block(chunk, &high_dict, &low_dict, config);
+            stats.compressed_tag_bits += delta.compressed_tag_bits;
+            stats.dict_index_bits += delta.dict_index_bits;
+            stats.raw_tag_bits += delta.raw_tag_bits;
+            stats.raw_literal_bits += delta.raw_literal_bits;
+            stats.pad_bits += delta.pad_bits;
+            stats.raw_halfwords += delta.raw_halfwords;
+            stats.raw_blocks += delta.raw_blocks;
+            stats.blocks += 1;
+            let byte_len = u16::try_from(block_bytes.len()).expect("block fits in u16 bytes");
+            assert!(
+                u32::from(byte_len) <= SECOND_OFFSET_MASK,
+                "block of {byte_len} bytes exceeds the index second-offset field"
+            );
+            bytes.extend_from_slice(&block_bytes);
+            blocks.push(BlockInfo { byte_offset, byte_len, cum_bits });
+        }
+
+        // Build the index table: one 32-bit entry per group of two blocks.
+        let mut index = Vec::with_capacity(blocks.len() / BLOCKS_PER_GROUP as usize);
+        for pair in blocks.chunks_exact(BLOCKS_PER_GROUP as usize) {
+            let first = pair[0].byte_offset;
+            assert!(
+                first < (1 << (32 - SECOND_OFFSET_BITS)),
+                "compressed region exceeds index address width"
+            );
+            let second_rel = u32::from(pair[0].byte_len);
+            index.push((first << SECOND_OFFSET_BITS) | second_rel);
+        }
+        stats.index_table_bytes = index.len() as u64 * u64::from(INDEX_ENTRY_BYTES);
+
+        CodePackImage { high_dict, low_dict, index, bytes, blocks, n_insns, stats }
+    }
+
+    /// Number of instructions in the original (unpadded) text.
+    pub fn len_insns(&self) -> u32 {
+        self.n_insns
+    }
+
+    /// Number of compression blocks (16 instructions each, after padding).
+    pub fn num_blocks(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+
+    /// Number of compression groups / index-table entries.
+    pub fn num_groups(&self) -> u32 {
+        self.index.len() as u32
+    }
+
+    /// The compressed instruction stream.
+    pub fn compressed_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The index table entries.
+    pub fn index_table(&self) -> &[u32] {
+        &self.index
+    }
+
+    /// Composition statistics (Tables 3 and 4).
+    pub fn stats(&self) -> &CompositionStats {
+        &self.stats
+    }
+
+    /// The high half-word dictionary.
+    pub fn high_dict(&self) -> &Dictionary {
+        &self.high_dict
+    }
+
+    /// The low half-word dictionary.
+    pub fn low_dict(&self) -> &Dictionary {
+        &self.low_dict
+    }
+
+    /// Placement metadata of block `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= num_blocks()`.
+    pub fn block_info(&self, block: u32) -> &BlockInfo {
+        &self.blocks[block as usize]
+    }
+
+    /// The compression block containing instruction index `insn`.
+    pub fn block_of_insn(&self, insn: u32) -> u32 {
+        insn / BLOCK_INSNS
+    }
+
+    /// The compression group containing instruction index `insn`.
+    pub fn group_of_insn(&self, insn: u32) -> u32 {
+        insn / GROUP_INSNS
+    }
+
+    /// Resolves a block's byte offset *through the index table*, exactly as
+    /// the hardware does: the entry gives the first block's address and the
+    /// second block's short relative offset (paper §3.1).
+    pub fn block_offset_via_index(&self, block: u32) -> Result<u32, DecompressError> {
+        let group = (block / BLOCKS_PER_GROUP) as usize;
+        let entry = *self
+            .index
+            .get(group)
+            .ok_or(DecompressError::BadBlock { block, blocks: self.num_blocks() })?;
+        let first = entry >> SECOND_OFFSET_BITS;
+        Ok(if block.is_multiple_of(BLOCKS_PER_GROUP) {
+            first
+        } else {
+            first + (entry & SECOND_OFFSET_MASK)
+        })
+    }
+
+    /// Decompresses one 16-instruction block, resolving its location through
+    /// the index table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecompressError`] if `block` is out of range or the
+    /// stream is corrupt.
+    pub fn decompress_block(&self, block: u32) -> Result<[u32; BLOCK_INSNS as usize], DecompressError> {
+        let offset = self.block_offset_via_index(block)? as usize;
+        let mut reader = BitReader::new(&self.bytes[offset..]);
+        decode_block(&mut reader, &self.high_dict, &self.low_dict)
+    }
+
+    /// Decompresses the whole image back to the original text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecompressError`] on corrupt input; on a well-formed
+    /// image this returns exactly the words passed to [`Self::compress`].
+    pub fn decompress_all(&self) -> Result<Vec<u32>, DecompressError> {
+        let mut out = Vec::with_capacity(self.blocks.len() * BLOCK_INSNS as usize);
+        for b in 0..self.num_blocks() {
+            out.extend_from_slice(&self.decompress_block(b)?);
+        }
+        out.truncate(self.n_insns as usize);
+        Ok(out)
+    }
+
+    /// Assembles an image from pre-validated parts (the ROM loader).
+    pub(crate) fn from_parts(
+        high_dict: Dictionary,
+        low_dict: Dictionary,
+        index: Vec<u32>,
+        bytes: Vec<u8>,
+        blocks: Vec<BlockInfo>,
+        n_insns: u32,
+        stats: CompositionStats,
+    ) -> CodePackImage {
+        CodePackImage { high_dict, low_dict, index, bytes, blocks, n_insns, stats }
+    }
+
+    /// Test-only: constructs an image with corrupted stream bytes, keeping
+    /// dictionaries and index intact. Used by failure-injection tests.
+    #[doc(hidden)]
+    pub fn with_corrupted_bytes(mut self, at: usize, value: u8) -> CodePackImage {
+        if at < self.bytes.len() {
+            self.bytes[at] = value;
+        }
+        self
+    }
+}
+
+/// Decodes one compression block from raw stream bytes with the given
+/// dictionaries — the low-level entry point a hardware decompressor
+/// implements. [`CodePackImage::decompress_block`] wraps this with
+/// index-table resolution.
+///
+/// # Errors
+///
+/// Returns a [`DecompressError`] if the stream is truncated or a codeword
+/// indexes past a dictionary. Never panics, whatever the input bytes.
+///
+/// ```
+/// use codepack_core::{decode_block_bytes, CodePackImage, CompressionConfig, Dictionary};
+/// let text = vec![0x2402_0001u32; 16];
+/// let image = CodePackImage::compress(&text, &CompressionConfig::default());
+/// let words = decode_block_bytes(
+///     image.compressed_bytes(),
+///     image.high_dict(),
+///     image.low_dict(),
+/// ).unwrap();
+/// assert_eq!(&words[..], &text[..]);
+/// ```
+pub fn decode_block_bytes(
+    bytes: &[u8],
+    high_dict: &Dictionary,
+    low_dict: &Dictionary,
+) -> Result<[u32; BLOCK_INSNS as usize], DecompressError> {
+    let mut reader = BitReader::new(bytes);
+    decode_block(&mut reader, high_dict, low_dict)
+}
+
+#[derive(Default)]
+struct BlockDelta {
+    compressed_tag_bits: u64,
+    dict_index_bits: u64,
+    raw_tag_bits: u64,
+    raw_literal_bits: u64,
+    pad_bits: u64,
+    raw_halfwords: u64,
+    raw_blocks: u64,
+}
+
+fn encode_halfword(
+    w: &mut BitWriter,
+    value: u16,
+    dict: &Dictionary,
+    classes: &[CodewordClass; 5],
+    delta: &mut BlockDelta,
+) {
+    match dict.rank_of(value).and_then(|r| class_for_rank(classes, r).map(|c| (r, c))) {
+        Some((rank, class)) => {
+            w.write(u32::from(class.tag), u32::from(class.tag_bits));
+            w.write(u32::from(rank - class.base), u32::from(class.index_bits));
+            delta.compressed_tag_bits += u64::from(class.tag_bits);
+            delta.dict_index_bits += u64::from(class.index_bits);
+        }
+        None => {
+            w.write(u32::from(RAW_TAG), u32::from(RAW_TAG_BITS));
+            w.write(u32::from(value), 16);
+            delta.raw_tag_bits += u64::from(RAW_TAG_BITS);
+            delta.raw_literal_bits += 16;
+            delta.raw_halfwords += 1;
+        }
+    }
+}
+
+/// Encodes one block; returns (bytes, cumulative decode bits, stats delta).
+fn encode_block(
+    words: &[u32],
+    high_dict: &Dictionary,
+    low_dict: &Dictionary,
+    config: &CompressionConfig,
+) -> (Vec<u8>, [u16; BLOCK_INSNS as usize + 1], BlockDelta) {
+    debug_assert_eq!(words.len(), BLOCK_INSNS as usize);
+
+    let mut delta = BlockDelta::default();
+    let mut w = BitWriter::new();
+    let mut cum = [0u16; BLOCK_INSNS as usize + 1];
+    // Mode flag: 0 = compressed block.
+    w.write(0, 1);
+    delta.compressed_tag_bits += 1;
+    for (j, &word) in words.iter().enumerate() {
+        encode_halfword(&mut w, (word >> 16) as u16, high_dict, &HIGH_CLASSES, &mut delta);
+        encode_halfword(&mut w, word as u16, low_dict, &LOW_CLASSES, &mut delta);
+        cum[j + 1] = w.bit_len() as u16;
+    }
+
+    let expands = w.bit_len() > u64::from(BLOCK_INSNS) * 32;
+    if config.raw_block_fallback && expands {
+        // Store the block non-compressed: flag 1, then 16 raw words.
+        let mut delta = BlockDelta { raw_tag_bits: 1, raw_blocks: 1, ..BlockDelta::default() };
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        let mut cum = [0u16; BLOCK_INSNS as usize + 1];
+        for (j, &word) in words.iter().enumerate() {
+            w.write(word, 32);
+            cum[j + 1] = w.bit_len() as u16;
+            delta.raw_literal_bits += 32;
+        }
+        delta.pad_bits += u64::from(w.align_to_byte());
+        return (w.into_bytes(), cum, delta);
+    }
+
+    delta.pad_bits += u64::from(w.align_to_byte());
+    (w.into_bytes(), cum, delta)
+}
+
+fn decode_halfword(
+    reader: &mut BitReader<'_>,
+    dict: &Dictionary,
+    classes: &[CodewordClass; 5],
+    high: bool,
+) -> Result<u16, DecompressError> {
+    let first_two = reader.read(2)? as u8;
+    let (tag, tag_bits) = if first_two <= 0b01 {
+        (first_two, 2u8)
+    } else {
+        ((first_two << 1) | reader.read(1)? as u8, 3u8)
+    };
+    if tag == RAW_TAG {
+        return Ok(reader.read(16)? as u16);
+    }
+    let class = classes
+        .iter()
+        .find(|c| c.tag == tag && c.tag_bits == tag_bits)
+        .expect("every non-raw tag pattern maps to a class");
+    let rank = class.base + reader.read(u32::from(class.index_bits))? as u16;
+    dict.value(rank).ok_or(DecompressError::BadDictIndex {
+        high,
+        rank,
+        dict_len: dict.len(),
+    })
+}
+
+fn decode_block(
+    reader: &mut BitReader<'_>,
+    high_dict: &Dictionary,
+    low_dict: &Dictionary,
+) -> Result<[u32; BLOCK_INSNS as usize], DecompressError> {
+    decode_block_tracking(reader, high_dict, low_dict).map(|(words, _)| words)
+}
+
+/// Decodes a block while recording the cumulative bit position after each
+/// instruction — used by the ROM loader to rebuild decode-timing metadata
+/// from the stream alone.
+pub(crate) fn decode_block_tracking(
+    reader: &mut BitReader<'_>,
+    high_dict: &Dictionary,
+    low_dict: &Dictionary,
+) -> Result<([u32; BLOCK_INSNS as usize], [u16; BLOCK_INSNS as usize + 1]), DecompressError> {
+    let start = reader.bit_pos();
+    let mut out = [0u32; BLOCK_INSNS as usize];
+    let mut cum = [0u16; BLOCK_INSNS as usize + 1];
+    let raw = reader.read(1)? == 1;
+    for (j, slot) in out.iter_mut().enumerate() {
+        if raw {
+            *slot = reader.read(32)?;
+        } else {
+            let high = decode_halfword(reader, high_dict, &HIGH_CLASSES, true)?;
+            let low = decode_halfword(reader, low_dict, &LOW_CLASSES, false)?;
+            *slot = (u32::from(high) << 16) | u32::from(low);
+        }
+        cum[j + 1] = (reader.bit_pos() - start) as u16;
+    }
+    Ok((out, cum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repetitive_text(n: usize) -> Vec<u32> {
+        // A handful of frequent words plus occasional unique constants.
+        (0..n)
+            .map(|i| match i % 16 {
+                15 => 0x3c01_0000 | (i as u32).wrapping_mul(2654435761) >> 16, // rare constants
+                k => 0x2402_0000 | (k as u32),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let text = repetitive_text(200);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        assert_eq!(img.decompress_all().unwrap(), text);
+    }
+
+    #[test]
+    fn per_block_decode_matches_source() {
+        let text = repetitive_text(64);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        for b in 0..img.num_blocks() {
+            let words = img.decompress_block(b).unwrap();
+            for (j, &w) in words.iter().enumerate() {
+                let idx = b as usize * 16 + j;
+                if idx < text.len() {
+                    assert_eq!(w, text[idx], "block {b} insn {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repetitive_code_compresses_well() {
+        let text = vec![0x2402_0001u32; 512];
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        assert!(
+            img.stats().compression_ratio() < 0.35,
+            "uniform text should compress hard, got {}",
+            img.stats().compression_ratio()
+        );
+    }
+
+    #[test]
+    fn random_code_falls_back_to_raw_blocks() {
+        // Words that never repeat: nothing earns a dictionary slot.
+        let text: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(2654435761).rotate_left(7)).collect();
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        assert!(img.stats().raw_blocks > 0, "incompressible blocks must fall back");
+        assert_eq!(img.decompress_all().unwrap(), text);
+        // With fallback, expansion is bounded: flag bit + pad per block + tables.
+        assert!(img.stats().compression_ratio() < 1.15);
+    }
+
+    #[test]
+    fn disabling_fallback_expands_random_code() {
+        let text: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(2654435761).rotate_left(7)).collect();
+        let cfg = CompressionConfig { raw_block_fallback: false, ..CompressionConfig::default() };
+        let img = CodePackImage::compress(&text, &cfg);
+        assert_eq!(img.stats().raw_blocks, 0);
+        assert!(img.stats().compression_ratio() > 1.0, "raw escapes cost 19 bits per half-word");
+        assert_eq!(img.decompress_all().unwrap(), text);
+    }
+
+    #[test]
+    fn index_table_has_one_entry_per_group() {
+        let text = repetitive_text(100); // pads to 128 insns = 8 blocks = 4 groups
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        assert_eq!(img.num_blocks(), 8);
+        assert_eq!(img.num_groups(), 4);
+        assert_eq!(img.stats().index_table_bytes, 16);
+    }
+
+    #[test]
+    fn index_offsets_match_block_info() {
+        let text = repetitive_text(256);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        for b in 0..img.num_blocks() {
+            assert_eq!(
+                img.block_offset_via_index(b).unwrap(),
+                img.block_info(b).byte_offset,
+                "index table and layout disagree for block {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn cum_bits_are_monotonic_and_match_length() {
+        let text = repetitive_text(64);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        for b in 0..img.num_blocks() {
+            let info = img.block_info(b);
+            for j in 0..16 {
+                assert!(info.cum_bits[j] < info.cum_bits[j + 1]);
+            }
+            let padded = info.byte_len * 8;
+            assert!(info.cum_bits[16] <= padded && padded < info.cum_bits[16] + 8);
+        }
+    }
+
+    #[test]
+    fn stats_partition_the_image() {
+        let text = repetitive_text(512);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        let s = img.stats();
+        let sum: f64 = s.table4_fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(
+            s.total_bytes(),
+            s.index_table_bytes + s.dictionary_bytes + img.compressed_bytes().len() as u64
+        );
+    }
+
+    #[test]
+    fn out_of_range_block_is_an_error() {
+        let text = repetitive_text(32);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        assert!(matches!(
+            img.decompress_block(99),
+            Err(DecompressError::BadBlock { block: 99, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_text_panics() {
+        let _ = CodePackImage::compress(&[], &CompressionConfig::default());
+    }
+
+    #[test]
+    fn padding_words_do_not_leak_into_output() {
+        let text = repetitive_text(17); // pads to 32
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        assert_eq!(img.len_insns(), 17);
+        assert_eq!(img.decompress_all().unwrap().len(), 17);
+    }
+}

@@ -1,0 +1,156 @@
+//! The CodePack codeword layout: tag classes and their dictionary ranges.
+//!
+//! From the paper (§3.1): each 32-bit instruction splits into 16-bit high and
+//! low half-words, each translated to a variable-length codeword of 2–11 bits
+//! (or a 3-bit raw tag followed by the 16 literal bits). The first section of
+//! each codeword is a 2- or 3-bit tag giving the size class; the second
+//! indexes one of two dictionaries of fewer than 512 entries. The value 0 in
+//! the **low** half-word is encoded with only the 2-bit tag `00` because it
+//! is the most frequent value; the high dictionary gives tag `00` a 2-bit
+//! index instead.
+
+/// One size class of codewords: a tag and a run of dictionary ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodewordClass {
+    /// Tag bit pattern (right-aligned).
+    pub tag: u8,
+    /// Number of tag bits (2 or 3).
+    pub tag_bits: u8,
+    /// Number of index bits following the tag.
+    pub index_bits: u8,
+    /// First dictionary rank covered by this class.
+    pub base: u16,
+}
+
+impl CodewordClass {
+    /// Number of dictionary entries addressable by this class.
+    pub const fn capacity(&self) -> u16 {
+        1 << self.index_bits
+    }
+
+    /// Total encoded length (tag + index) in bits.
+    pub const fn len_bits(&self) -> u8 {
+        self.tag_bits + self.index_bits
+    }
+
+    /// Does this class cover dictionary rank `rank`?
+    pub const fn covers(&self, rank: u16) -> bool {
+        rank >= self.base && rank < self.base + self.capacity()
+    }
+}
+
+/// The raw-escape tag (`111`): 3 tag bits followed by the 16-bit literal.
+pub const RAW_TAG: u8 = 0b111;
+/// Number of bits in the raw tag.
+pub const RAW_TAG_BITS: u8 = 3;
+/// Total bits of a raw-escaped half-word (tag + literal).
+pub const RAW_LEN_BITS: u8 = RAW_TAG_BITS + 16;
+
+/// Classes for **low** half-words. Class 0 (`00`, zero index bits) encodes
+/// only dictionary rank 0, which the dictionary builder pins to the value
+/// `0x0000` — the paper's "value 0 … encoded using only a 2 bit tag".
+pub const LOW_CLASSES: [CodewordClass; 5] = [
+    CodewordClass { tag: 0b00, tag_bits: 2, index_bits: 0, base: 0 },
+    CodewordClass { tag: 0b01, tag_bits: 2, index_bits: 3, base: 1 },
+    CodewordClass { tag: 0b100, tag_bits: 3, index_bits: 6, base: 9 },
+    CodewordClass { tag: 0b101, tag_bits: 3, index_bits: 7, base: 73 },
+    CodewordClass { tag: 0b110, tag_bits: 3, index_bits: 8, base: 201 },
+];
+
+/// Classes for **high** half-words. No single value dominates, so tag `00`
+/// carries a 2-bit index (the four most frequent high half-words get 4-bit
+/// codewords).
+pub const HIGH_CLASSES: [CodewordClass; 5] = [
+    CodewordClass { tag: 0b00, tag_bits: 2, index_bits: 2, base: 0 },
+    CodewordClass { tag: 0b01, tag_bits: 2, index_bits: 3, base: 4 },
+    CodewordClass { tag: 0b100, tag_bits: 3, index_bits: 6, base: 12 },
+    CodewordClass { tag: 0b101, tag_bits: 3, index_bits: 7, base: 76 },
+    CodewordClass { tag: 0b110, tag_bits: 3, index_bits: 8, base: 204 },
+];
+
+/// Total dictionary capacity implied by a class list.
+pub const fn dict_capacity(classes: &[CodewordClass; 5]) -> u16 {
+    let last = classes[4];
+    last.base + last.capacity()
+}
+
+/// Capacity of the low dictionary (457 entries — fewer than 512, as the
+/// paper requires).
+pub const LOW_DICT_CAPACITY: u16 = dict_capacity(&LOW_CLASSES);
+/// Capacity of the high dictionary (460 entries).
+pub const HIGH_DICT_CAPACITY: u16 = dict_capacity(&HIGH_CLASSES);
+
+/// Finds the class covering `rank`, if any.
+pub fn class_for_rank(classes: &[CodewordClass; 5], rank: u16) -> Option<&CodewordClass> {
+    classes.iter().find(|c| c.covers(rank))
+}
+
+/// Number of instructions per compression block (paper: "Each group of 16
+/// instructions is combined into a compression block").
+pub const BLOCK_INSNS: u32 = 16;
+/// Blocks per compression group ("each entry in the table maps one
+/// compression group consisting of 2 compressed blocks — 32 instructions").
+pub const BLOCKS_PER_GROUP: u32 = 2;
+/// Instructions per compression group.
+pub const GROUP_INSNS: u32 = BLOCK_INSNS * BLOCKS_PER_GROUP;
+/// Bytes of one index-table entry (32-bit entries, paper §3.1).
+pub const INDEX_ENTRY_BYTES: u32 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_tile_ranks_contiguously() {
+        for classes in [&LOW_CLASSES, &HIGH_CLASSES] {
+            let mut next = 0u16;
+            for c in classes {
+                assert_eq!(c.base, next, "classes must tile without gaps");
+                next += c.capacity();
+            }
+        }
+    }
+
+    #[test]
+    fn capacities_stay_under_512() {
+        // "paper: dictionaries < 512 entries" — compile-time facts.
+        const _: () = assert!(LOW_DICT_CAPACITY < 512 && HIGH_DICT_CAPACITY < 512);
+        assert_eq!(LOW_DICT_CAPACITY, 457);
+        assert_eq!(HIGH_DICT_CAPACITY, 460);
+    }
+
+    #[test]
+    fn codeword_lengths_span_2_to_11_bits() {
+        let all = LOW_CLASSES.iter().chain(HIGH_CLASSES.iter());
+        let lens: Vec<u8> = all.map(CodewordClass::len_bits).collect();
+        assert_eq!(*lens.iter().min().unwrap(), 2, "low zero codeword is 2 bits");
+        assert_eq!(*lens.iter().max().unwrap(), 11, "longest dictionary codeword is 11 bits");
+        assert_eq!(RAW_LEN_BITS, 19);
+    }
+
+    #[test]
+    fn tags_form_a_prefix_code() {
+        // 2-bit tags 00,01 and 3-bit tags 100,101,110,111: no 2-bit tag is a
+        // prefix of a 3-bit tag.
+        for classes in [&LOW_CLASSES, &HIGH_CLASSES] {
+            for c in classes {
+                if c.tag_bits == 3 {
+                    assert!(c.tag >> 1 >= 0b10, "3-bit tags must start with 1x");
+                } else {
+                    assert!(c.tag <= 0b01, "2-bit tags must start with 0");
+                }
+            }
+        }
+        assert_eq!(RAW_TAG, 0b111);
+    }
+
+    #[test]
+    fn rank_lookup_finds_correct_class() {
+        assert_eq!(class_for_rank(&LOW_CLASSES, 0).unwrap().tag, 0b00);
+        assert_eq!(class_for_rank(&LOW_CLASSES, 8).unwrap().tag, 0b01);
+        assert_eq!(class_for_rank(&LOW_CLASSES, 9).unwrap().tag, 0b100);
+        assert_eq!(class_for_rank(&LOW_CLASSES, 456).unwrap().tag, 0b110);
+        assert!(class_for_rank(&LOW_CLASSES, 457).is_none());
+        assert_eq!(class_for_rank(&HIGH_CLASSES, 3).unwrap().len_bits(), 4);
+    }
+}

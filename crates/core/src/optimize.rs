@@ -1,0 +1,136 @@
+//! Compression-aware code canonicalization — the compiler assist the paper
+//! suggests in §5.1: "It is possible that new compiler optimizations could
+//! select instructions so that more of them fit in the dictionary and less
+//! raw bits are required."
+//!
+//! This pass applies the cheapest such optimization: for **commutative**
+//! integer operations (`addu`, `and`, `or`, `xor`, plus `mult`/`multu`
+//! operand order), it orders the two source registers canonically
+//! (lower-numbered register first). The rewritten instruction computes the
+//! identical result, but programs become more self-similar: `addu $3,$5,$4`
+//! and `addu $3,$4,$5` collapse to one dictionary entry.
+
+use codepack_isa::{decode, encode, Instruction, Reg};
+
+/// Statistics from one canonicalization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CanonicalizeStats {
+    /// Instructions whose operands were reordered.
+    pub rewritten: u64,
+    /// Total instructions examined.
+    pub total: u64,
+}
+
+/// Reorders commutative source operands into canonical (ascending register
+/// number) order. Returns the rewritten text and what changed.
+///
+/// The transformation is semantics-preserving: only operand *order* of
+/// commutative operations changes, never the computed value, the
+/// destination, or any control flow. Undecodable words pass through
+/// untouched.
+///
+/// ```
+/// use codepack_core::canonicalize_commutative;
+/// use codepack_isa::{decode, encode, Instruction, Reg};
+///
+/// let messy = encode(Instruction::Addu { rd: Reg::V0, rs: Reg::A1, rt: Reg::A0 });
+/// let (text, stats) = canonicalize_commutative(&[messy]);
+/// assert_eq!(stats.rewritten, 1);
+/// match decode(text[0]).unwrap() {
+///     Instruction::Addu { rs, rt, .. } => assert!(rs.index() < rt.index()),
+///     _ => unreachable!(),
+/// }
+/// ```
+pub fn canonicalize_commutative(text: &[u32]) -> (Vec<u32>, CanonicalizeStats) {
+    let mut stats = CanonicalizeStats::default();
+    let out = text
+        .iter()
+        .map(|&w| {
+            stats.total += 1;
+            let Ok(insn) = decode(w) else { return w };
+            match canonical_form(insn) {
+                Some(better) => {
+                    stats.rewritten += 1;
+                    encode(better)
+                }
+                None => w,
+            }
+        })
+        .collect();
+    (out, stats)
+}
+
+/// The canonical form of `insn` if one exists and differs from `insn`.
+fn canonical_form(insn: Instruction) -> Option<Instruction> {
+    use Instruction::*;
+    let swap = |rs: Reg, rt: Reg| rs.index() > rt.index();
+    match insn {
+        Addu { rd, rs, rt } if swap(rs, rt) => Some(Addu { rd, rs: rt, rt: rs }),
+        And { rd, rs, rt } if swap(rs, rt) => Some(And { rd, rs: rt, rt: rs }),
+        Or { rd, rs, rt } if swap(rs, rt) => Some(Or { rd, rs: rt, rt: rs }),
+        Xor { rd, rs, rt } if swap(rs, rt) => Some(Xor { rd, rs: rt, rt: rs }),
+        Nor { rd, rs, rt } if swap(rs, rt) => Some(Nor { rd, rs: rt, rt: rs }),
+        Mult { rs, rt } if swap(rs, rt) => Some(Mult { rs: rt, rt: rs }),
+        Multu { rs, rt } if swap(rs, rt) => Some(Multu { rs: rt, rt: rs }),
+        AddS { fd, fs, ft } if fs.index() > ft.index() => Some(AddS { fd, fs: ft, ft: fs }),
+        MulS { fd, fs, ft } if fs.index() > ft.index() => Some(MulS { fd, fs: ft, ft: fs }),
+        CEqS { fs, ft } if fs.index() > ft.index() => Some(CEqS { fs: ft, ft: fs }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CodePackImage, CompressionConfig};
+
+    #[test]
+    fn non_commutative_ops_untouched() {
+        let sub = encode(Instruction::Subu { rd: Reg::V0, rs: Reg::A1, rt: Reg::A0 });
+        let (text, stats) = canonicalize_commutative(&[sub]);
+        assert_eq!(text[0], sub, "subtraction is not commutative");
+        assert_eq!(stats.rewritten, 0);
+    }
+
+    #[test]
+    fn already_canonical_is_a_fixpoint() {
+        let ok = encode(Instruction::Or { rd: Reg::T0, rs: Reg::A0, rt: Reg::A1 });
+        let (text, stats) = canonicalize_commutative(&[ok]);
+        assert_eq!(text[0], ok);
+        assert_eq!(stats.rewritten, 0);
+        // Idempotence on a rewritten stream.
+        let messy = encode(Instruction::Or { rd: Reg::T0, rs: Reg::A1, rt: Reg::A0 });
+        let (once, _) = canonicalize_commutative(&[messy]);
+        let (twice, stats) = canonicalize_commutative(&once);
+        assert_eq!(once, twice);
+        assert_eq!(stats.rewritten, 0);
+    }
+
+    #[test]
+    fn undecodable_words_pass_through() {
+        let (text, stats) = canonicalize_commutative(&[0xffff_ffff]);
+        assert_eq!(text[0], 0xffff_ffff);
+        assert_eq!(stats.rewritten, 0);
+    }
+
+    #[test]
+    fn canonicalization_never_hurts_compression() {
+        // A stream of commutative ops with scrambled operand order.
+        let text: Vec<u32> = (0..512u32)
+            .map(|i| {
+                let a = Reg::new(8 + (i % 6) as u8);
+                let b = Reg::new(8 + ((i / 7) % 6) as u8);
+                encode(Instruction::Addu { rd: Reg::new(2 + (i % 4) as u8), rs: a, rt: b })
+            })
+            .collect();
+        let before = CodePackImage::compress(&text, &CompressionConfig::default())
+            .stats()
+            .total_bytes();
+        let (canon, stats) = canonicalize_commutative(&text);
+        let after = CodePackImage::compress(&canon, &CompressionConfig::default())
+            .stats()
+            .total_bytes();
+        assert!(stats.rewritten > 0);
+        assert!(after <= before, "canonical text must compress at least as well: {after} vs {before}");
+    }
+}

@@ -1,0 +1,294 @@
+//! ROM image serialization — the artifact the real CodePack toolchain
+//! produces: a self-contained binary blob (dictionaries + index table +
+//! compressed stream) that gets burned into an embedded system's ROM and
+//! handed to the decompressor at boot.
+//!
+//! Format (`CPK1`, all little-endian):
+//!
+//! ```text
+//! magic "CPK1" | n_insns u32 | high_len u16 | low_len u16
+//! high dict entries (u16 each) | low dict entries (u16 each)
+//! n_groups u32 | index entries (u32 each)
+//! stream_len u32 | stream bytes
+//! stats (11 × u64)
+//! ```
+//!
+//! Loading fully re-validates the image: every block is decoded once to
+//! reconstruct the per-block decode-timing metadata, so a corrupt ROM is
+//! rejected rather than mis-simulated.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::bits::BitReader;
+use crate::dict::Dictionary;
+use crate::image::{decode_block_tracking, BlockInfo};
+use crate::layout::{BLOCKS_PER_GROUP, BLOCK_INSNS};
+use crate::stats::CompositionStats;
+use crate::{CodePackImage, DecompressError};
+
+/// Magic bytes identifying a CodePack ROM image.
+pub const ROM_MAGIC: [u8; 4] = *b"CPK1";
+
+/// Error loading a ROM image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RomError {
+    /// The blob does not start with [`ROM_MAGIC`].
+    BadMagic,
+    /// The blob ended before the structure it declares.
+    Truncated {
+        /// Byte offset where more data was needed.
+        at: usize,
+    },
+    /// A declared size is internally inconsistent.
+    Inconsistent(&'static str),
+    /// The compressed stream failed to decode during validation.
+    Corrupt(DecompressError),
+}
+
+impl fmt::Display for RomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RomError::BadMagic => write!(f, "not a CodePack ROM image (bad magic)"),
+            RomError::Truncated { at } => write!(f, "rom image truncated at byte {at}"),
+            RomError::Inconsistent(what) => write!(f, "rom image inconsistent: {what}"),
+            RomError::Corrupt(e) => write!(f, "rom stream corrupt: {e}"),
+        }
+    }
+}
+
+impl Error for RomError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RomError::Corrupt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecompressError> for RomError {
+    fn from(e: DecompressError) -> RomError {
+        RomError::Corrupt(e)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RomError> {
+        let end = self.pos.checked_add(n).ok_or(RomError::Truncated { at: self.pos })?;
+        if end > self.bytes.len() {
+            return Err(RomError::Truncated { at: self.pos });
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, RomError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, RomError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, RomError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+impl CodePackImage {
+    /// Serializes the image to a self-contained ROM blob.
+    ///
+    /// ```
+    /// use codepack_core::{CodePackImage, CompressionConfig};
+    /// let text: Vec<u32> = (0..64).map(|i| 0x8c43_0000 | (i % 6)).collect();
+    /// let image = CodePackImage::compress(&text, &CompressionConfig::default());
+    /// let rom = image.to_rom_bytes();
+    /// let loaded = CodePackImage::from_rom_bytes(&rom).unwrap();
+    /// assert_eq!(loaded.decompress_all().unwrap(), text);
+    /// ```
+    pub fn to_rom_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&ROM_MAGIC);
+        out.extend_from_slice(&self.len_insns().to_le_bytes());
+        out.extend_from_slice(&self.high_dict().len().to_le_bytes());
+        out.extend_from_slice(&self.low_dict().len().to_le_bytes());
+        for (_, v) in self.high_dict().iter() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for (_, v) in self.low_dict().iter() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.num_groups().to_le_bytes());
+        for &e in self.index_table() {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.compressed_bytes().len() as u32).to_le_bytes());
+        out.extend_from_slice(self.compressed_bytes());
+        let s = self.stats();
+        for v in [
+            s.original_bytes,
+            s.index_table_bytes,
+            s.dictionary_bytes,
+            s.compressed_tag_bits,
+            s.dict_index_bits,
+            s.raw_tag_bits,
+            s.raw_literal_bits,
+            s.pad_bits,
+            s.raw_halfwords,
+            s.raw_blocks,
+            s.blocks,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses and validates a ROM blob produced by [`Self::to_rom_bytes`].
+    ///
+    /// Every compression block is decoded once during loading, so the
+    /// returned image is known-good: the decode-timing metadata used by the
+    /// simulator is reconstructed from the stream itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RomError`] for short, inconsistent, or corrupt blobs.
+    pub fn from_rom_bytes(bytes: &[u8]) -> Result<CodePackImage, RomError> {
+        let mut c = Cursor { bytes, pos: 0 };
+        if c.take(4)? != ROM_MAGIC {
+            return Err(RomError::BadMagic);
+        }
+        let n_insns = c.u32()?;
+        if n_insns == 0 {
+            return Err(RomError::Inconsistent("image with zero instructions"));
+        }
+        let high_len = c.u16()?;
+        let low_len = c.u16()?;
+        let high_values: Vec<u16> =
+            (0..high_len).map(|_| c.u16()).collect::<Result<_, _>>()?;
+        let low_values: Vec<u16> = (0..low_len).map(|_| c.u16()).collect::<Result<_, _>>()?;
+        let high_dict = Dictionary::from_ranked_values(high_values);
+        let low_dict = Dictionary::from_ranked_values(low_values);
+
+        let n_groups = c.u32()?;
+        let expected_groups = n_insns.div_ceil(BLOCK_INSNS * BLOCKS_PER_GROUP);
+        if n_groups != expected_groups {
+            return Err(RomError::Inconsistent("group count does not match instruction count"));
+        }
+        let index: Vec<u32> = (0..n_groups).map(|_| c.u32()).collect::<Result<_, _>>()?;
+
+        let stream_len = c.u32()? as usize;
+        let stream = c.take(stream_len)?.to_vec();
+
+        let mut stats_fields = [0u64; 11];
+        for f in &mut stats_fields {
+            *f = c.u64()?;
+        }
+        let stats = CompositionStats {
+            original_bytes: stats_fields[0],
+            index_table_bytes: stats_fields[1],
+            dictionary_bytes: stats_fields[2],
+            compressed_tag_bits: stats_fields[3],
+            dict_index_bits: stats_fields[4],
+            raw_tag_bits: stats_fields[5],
+            raw_literal_bits: stats_fields[6],
+            pad_bits: stats_fields[7],
+            raw_halfwords: stats_fields[8],
+            raw_blocks: stats_fields[9],
+            blocks: stats_fields[10],
+        };
+
+        // Rebuild per-block metadata by decoding every block through the
+        // index table — this also validates the whole stream.
+        let n_blocks = n_groups * BLOCKS_PER_GROUP;
+        let mut blocks = Vec::with_capacity(n_blocks as usize);
+        for b in 0..n_blocks {
+            let group = (b / BLOCKS_PER_GROUP) as usize;
+            let entry = index[group];
+            let first = entry >> 7;
+            let offset = if b % BLOCKS_PER_GROUP == 0 { first } else { first + (entry & 0x7f) };
+            let offset = offset as usize;
+            if offset > stream.len() {
+                return Err(RomError::Inconsistent("index entry points past the stream"));
+            }
+            let mut reader = BitReader::new(&stream[offset..]);
+            let (_, cum_bits) = decode_block_tracking(&mut reader, &high_dict, &low_dict)?;
+            let byte_len = u16::try_from(u32::from(cum_bits[BLOCK_INSNS as usize]).div_ceil(8))
+                .expect("block length fits u16");
+            blocks.push(BlockInfo { byte_offset: offset as u32, byte_len, cum_bits });
+        }
+
+        Ok(CodePackImage::from_parts(high_dict, low_dict, index, stream, blocks, n_insns, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompressionConfig;
+
+    fn image() -> CodePackImage {
+        let text: Vec<u32> = (0..300)
+            .map(|i| match i % 11 {
+                10 => (i as u32).wrapping_mul(0x9e37_79b9),
+                k => 0x2442_0000 | k as u32,
+            })
+            .collect();
+        CodePackImage::compress(&text, &CompressionConfig::default())
+    }
+
+    #[test]
+    fn rom_round_trip_preserves_everything() {
+        let original = image();
+        let rom = original.to_rom_bytes();
+        let loaded = CodePackImage::from_rom_bytes(&rom).unwrap();
+        assert_eq!(loaded.decompress_all().unwrap(), original.decompress_all().unwrap());
+        assert_eq!(loaded.stats(), original.stats());
+        assert_eq!(loaded.index_table(), original.index_table());
+        for b in 0..original.num_blocks() {
+            assert_eq!(loaded.block_info(b).cum_bits, original.block_info(b).cum_bits);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut rom = image().to_rom_bytes();
+        rom[0] = b'X';
+        assert!(matches!(CodePackImage::from_rom_bytes(&rom), Err(RomError::BadMagic)));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let rom = image().to_rom_bytes();
+        // Chop the blob at many points; load must error, never panic.
+        for cut in (0..rom.len()).step_by(53) {
+            let r = CodePackImage::from_rom_bytes(&rom[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupted_stream_rejected_or_decodes_differently() {
+        let original = image();
+        let rom = original.to_rom_bytes();
+        // Find the stream region and flip a byte in it.
+        let mut corrupted = rom.clone();
+        let last = corrupted.len() - 120; // inside the stream, before stats
+        corrupted[last] ^= 0xa5;
+        match CodePackImage::from_rom_bytes(&corrupted) {
+            Err(_) => {}
+            Ok(img) => {
+                // A flipped byte that still decodes must change the output.
+                assert_ne!(
+                    img.decompress_all().unwrap(),
+                    original.decompress_all().unwrap()
+                );
+            }
+        }
+    }
+}

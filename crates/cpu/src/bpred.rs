@@ -1,0 +1,293 @@
+//! Branch predictors: bimodal, gshare, and a hybrid chooser, plus a return
+//! address stack — the predictor complement of the paper's Table 2
+//! ("bimode 2048 entries / gshare with 14-bit history / hybrid predictors
+//! with 1024 entry meta table").
+
+/// Two-bit saturating counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Counter2(u8);
+
+impl Counter2 {
+    const WEAK_TAKEN: Counter2 = Counter2(2);
+
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Configuration of a direction predictor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredictorConfig {
+    /// Always predict taken (used by tests and as a degenerate baseline).
+    Static,
+    /// Bimodal: a table of 2-bit counters indexed by PC.
+    Bimodal {
+        /// Table entries (power of two).
+        entries: usize,
+    },
+    /// Gshare: global history XOR PC indexing a 2-bit counter table of
+    /// `2^history_bits` entries.
+    Gshare {
+        /// History length in bits.
+        history_bits: u32,
+    },
+    /// Hybrid: a meta table chooses between a bimodal and a gshare
+    /// component per branch.
+    Hybrid {
+        /// Meta-table entries (power of two).
+        meta_entries: usize,
+        /// Bimodal component size.
+        bimodal_entries: usize,
+        /// Gshare component history bits.
+        history_bits: u32,
+    },
+}
+
+impl PredictorConfig {
+    /// The paper's 1-issue predictor: bimodal, 2048 entries.
+    pub fn paper_1issue() -> PredictorConfig {
+        PredictorConfig::Bimodal { entries: 2048 }
+    }
+
+    /// The paper's 4-issue predictor: gshare with 14-bit history.
+    pub fn paper_4issue() -> PredictorConfig {
+        PredictorConfig::Gshare { history_bits: 14 }
+    }
+
+    /// The paper's 8-issue predictor: hybrid with a 1024-entry meta table.
+    pub fn paper_8issue() -> PredictorConfig {
+        PredictorConfig::Hybrid { meta_entries: 1024, bimodal_entries: 2048, history_bits: 14 }
+    }
+
+    /// Builds the predictor.
+    pub fn build(&self) -> DirectionPredictor {
+        match *self {
+            PredictorConfig::Static => DirectionPredictor { inner: Inner::Static },
+            PredictorConfig::Bimodal { entries } => {
+                assert!(entries.is_power_of_two(), "bimodal table must be a power of two");
+                DirectionPredictor { inner: Inner::Bimodal { table: vec![Counter2::WEAK_TAKEN; entries] } }
+            }
+            PredictorConfig::Gshare { history_bits } => {
+                assert!(history_bits <= 20, "history beyond 20 bits is unrealistic");
+                DirectionPredictor {
+                    inner: Inner::Gshare {
+                        table: vec![Counter2::WEAK_TAKEN; 1 << history_bits],
+                        history: 0,
+                        mask: (1u32 << history_bits) - 1,
+                    },
+                }
+            }
+            PredictorConfig::Hybrid { meta_entries, bimodal_entries, history_bits } => {
+                assert!(meta_entries.is_power_of_two());
+                DirectionPredictor {
+                    inner: Inner::Hybrid {
+                        meta: vec![Counter2::WEAK_TAKEN; meta_entries],
+                        bimodal: vec![Counter2::WEAK_TAKEN; bimodal_entries],
+                        gshare: vec![Counter2::WEAK_TAKEN; 1 << history_bits],
+                        history: 0,
+                        mask: (1u32 << history_bits) - 1,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// A conditional-branch direction predictor.
+///
+/// `predict_and_train` performs the predict-at-fetch / train-at-commit pair
+/// in one call — the trace-driven pipeline knows the true outcome when it
+/// processes the branch.
+#[derive(Clone, Debug)]
+pub struct DirectionPredictor {
+    inner: Inner,
+}
+
+#[derive(Clone, Debug)]
+enum Inner {
+    Static,
+    Bimodal {
+        table: Vec<Counter2>,
+    },
+    Gshare {
+        table: Vec<Counter2>,
+        history: u32,
+        mask: u32,
+    },
+    Hybrid {
+        meta: Vec<Counter2>,
+        bimodal: Vec<Counter2>,
+        gshare: Vec<Counter2>,
+        history: u32,
+        mask: u32,
+    },
+}
+
+impl DirectionPredictor {
+    /// Returns the direction that was predicted for the branch at `pc`,
+    /// then trains on the actual outcome `taken`.
+    pub fn predict_and_train(&mut self, pc: u32, taken: bool) -> bool {
+        match &mut self.inner {
+            Inner::Static => true,
+            Inner::Bimodal { table } => {
+                let idx = ((pc >> 2) as usize) & (table.len() - 1);
+                let predicted = table[idx].predict();
+                table[idx].train(taken);
+                predicted
+            }
+            Inner::Gshare { table, history, mask } => {
+                let idx = (((pc >> 2) ^ *history) & *mask) as usize;
+                let predicted = table[idx].predict();
+                table[idx].train(taken);
+                *history = ((*history << 1) | u32::from(taken)) & *mask;
+                predicted
+            }
+            Inner::Hybrid { meta, bimodal, gshare, history, mask } => {
+                let b_idx = ((pc >> 2) as usize) & (bimodal.len() - 1);
+                let g_idx = (((pc >> 2) ^ *history) & *mask) as usize;
+                let m_idx = ((pc >> 2) as usize) & (meta.len() - 1);
+                let b_pred = bimodal[b_idx].predict();
+                let g_pred = gshare[g_idx].predict();
+                let use_gshare = meta[m_idx].predict();
+                let predicted = if use_gshare { g_pred } else { b_pred };
+                // Train components and the chooser (toward whichever was right).
+                bimodal[b_idx].train(taken);
+                gshare[g_idx].train(taken);
+                if b_pred != g_pred {
+                    meta[m_idx].train(g_pred == taken);
+                }
+                *history = ((*history << 1) | u32::from(taken)) & *mask;
+                predicted
+            }
+        }
+    }
+}
+
+/// A return-address stack for predicting `jr $ra` targets.
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    stack: Vec<u32>,
+    capacity: usize,
+}
+
+impl Default for ReturnAddressStack {
+    fn default() -> ReturnAddressStack {
+        ReturnAddressStack::new(8)
+    }
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS of the given depth.
+    pub fn new(capacity: usize) -> ReturnAddressStack {
+        ReturnAddressStack { stack: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Records a call's return address (oldest entry drops when full).
+    pub fn push(&mut self, return_addr: u32) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(return_addr);
+    }
+
+    /// Pops the predicted return target; `None` when empty.
+    pub fn pop(&mut self) -> Option<u32> {
+        self.stack.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_learns_a_bias() {
+        let mut p = PredictorConfig::Bimodal { entries: 16 }.build();
+        for _ in 0..4 {
+            p.predict_and_train(0x100, false);
+        }
+        assert!(!p.predict_and_train(0x100, false), "trained not-taken");
+    }
+
+    #[test]
+    fn gshare_learns_an_alternating_pattern() {
+        let mut p = PredictorConfig::Gshare { history_bits: 8 }.build();
+        let mut correct = 0;
+        for i in 0..200 {
+            let taken = i % 2 == 0;
+            if p.predict_and_train(0x40, taken) == taken {
+                correct += 1;
+            }
+        }
+        // After warmup, history disambiguates the alternation perfectly.
+        assert!(correct > 150, "gshare should learn T/NT alternation, got {correct}/200");
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternation() {
+        let mut p = PredictorConfig::Bimodal { entries: 16 }.build();
+        let mut correct = 0;
+        for i in 0..200 {
+            let taken = i % 2 == 0;
+            if p.predict_and_train(0x40, taken) == taken {
+                correct += 1;
+            }
+        }
+        assert!(correct < 150, "bimodal lacks history, got {correct}/200");
+    }
+
+    #[test]
+    fn hybrid_tracks_the_better_component() {
+        let mut p = PredictorConfig::paper_8issue().build();
+        let mut correct = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            if p.predict_and_train(0x40, taken) == taken {
+                correct += 1;
+            }
+        }
+        assert!(correct > 250, "hybrid should defer to gshare here, got {correct}/400");
+    }
+
+    #[test]
+    fn ras_predicts_nested_returns() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(0x100);
+        ras.push(0x200);
+        assert_eq!(ras.pop(), Some(0x200));
+        assert_eq!(ras.pop(), Some(0x100));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None, "entry 1 was displaced");
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut c = Counter2::WEAK_TAKEN;
+        for _ in 0..10 {
+            c.train(true);
+        }
+        assert_eq!(c.0, 3);
+        for _ in 0..10 {
+            c.train(false);
+        }
+        assert_eq!(c.0, 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Binary decoding of SR32 instructions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::*;
+use crate::{FReg, Instruction, Reg};
+
+/// Error returned by [`decode`] for a word that is not a valid SR32
+/// instruction.
+///
+/// The offending word is carried so callers (e.g. the executor's illegal-
+/// instruction trap) can report it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeInstructionError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeInstructionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid SR32 instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeInstructionError {}
+
+#[inline]
+fn rs(w: u32) -> Reg {
+    Reg::from_field(w >> 21)
+}
+#[inline]
+fn rt(w: u32) -> Reg {
+    Reg::from_field(w >> 16)
+}
+#[inline]
+fn rd(w: u32) -> Reg {
+    Reg::from_field(w >> 11)
+}
+#[inline]
+fn ft(w: u32) -> FReg {
+    FReg::from_field(w >> 16)
+}
+#[inline]
+fn fs(w: u32) -> FReg {
+    FReg::from_field(w >> 11)
+}
+#[inline]
+fn fd(w: u32) -> FReg {
+    FReg::from_field(w >> 6)
+}
+#[inline]
+fn shamt(w: u32) -> u8 {
+    ((w >> 6) & 31) as u8
+}
+#[inline]
+fn simm(w: u32) -> i16 {
+    w as u16 as i16
+}
+#[inline]
+fn uimm(w: u32) -> u16 {
+    w as u16
+}
+
+/// Decodes a 32-bit machine word into an [`Instruction`].
+///
+/// # Errors
+///
+/// Returns [`DecodeInstructionError`] if the word does not correspond to any
+/// SR32 instruction (unknown opcode, funct, or format field). Decoding is
+/// strict: reserved fields must be zero where the encoder writes zero, so
+/// `decode(encode(i)) == Ok(i)` and any successfully decoded word re-encodes
+/// to itself.
+///
+/// ```
+/// use codepack_isa::decode;
+/// assert!(decode(0xffff_ffff).is_err());
+/// assert_eq!(decode(0).unwrap(), codepack_isa::Instruction::NOP);
+/// ```
+pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
+    use Instruction::*;
+    let err = Err(DecodeInstructionError { word: w });
+    let op = w >> 26;
+    let insn = match op {
+        OP_SPECIAL => {
+            let funct = w & 0x3f;
+            match funct {
+                FN_SLL | FN_SRL | FN_SRA => {
+                    if (w >> 21) & 31 != 0 {
+                        return err;
+                    }
+                    match funct {
+                        FN_SLL => Sll { rd: rd(w), rt: rt(w), shamt: shamt(w) },
+                        FN_SRL => Srl { rd: rd(w), rt: rt(w), shamt: shamt(w) },
+                        _ => Sra { rd: rd(w), rt: rt(w), shamt: shamt(w) },
+                    }
+                }
+                FN_SLLV | FN_SRLV | FN_SRAV => {
+                    if shamt(w) != 0 {
+                        return err;
+                    }
+                    match funct {
+                        FN_SLLV => Sllv { rd: rd(w), rt: rt(w), rs: rs(w) },
+                        FN_SRLV => Srlv { rd: rd(w), rt: rt(w), rs: rs(w) },
+                        _ => Srav { rd: rd(w), rt: rt(w), rs: rs(w) },
+                    }
+                }
+                FN_JR => {
+                    if (w >> 6) & 0x7fff != 0 {
+                        return err;
+                    }
+                    Jr { rs: rs(w) }
+                }
+                FN_JALR => {
+                    if (w >> 16) & 31 != 0 || shamt(w) != 0 {
+                        return err;
+                    }
+                    Jalr { rd: rd(w), rs: rs(w) }
+                }
+                FN_SYSCALL => {
+                    if w >> 6 != 0 {
+                        return err;
+                    }
+                    Syscall
+                }
+                FN_BREAK => {
+                    if w >> 6 != 0 {
+                        return err;
+                    }
+                    Break
+                }
+                FN_MFHI | FN_MFLO => {
+                    if (w >> 16) & 0x3ff != 0 || shamt(w) != 0 {
+                        return err;
+                    }
+                    if funct == FN_MFHI {
+                        Mfhi { rd: rd(w) }
+                    } else {
+                        Mflo { rd: rd(w) }
+                    }
+                }
+                FN_MULT | FN_MULTU | FN_DIV | FN_DIVU => {
+                    if (w >> 6) & 0x3ff != 0 {
+                        return err;
+                    }
+                    match funct {
+                        FN_MULT => Mult { rs: rs(w), rt: rt(w) },
+                        FN_MULTU => Multu { rs: rs(w), rt: rt(w) },
+                        FN_DIV => Div { rs: rs(w), rt: rt(w) },
+                        _ => Divu { rs: rs(w), rt: rt(w) },
+                    }
+                }
+                FN_ADDU | FN_SUBU | FN_AND | FN_OR | FN_XOR | FN_NOR | FN_SLT | FN_SLTU => {
+                    if shamt(w) != 0 {
+                        return err;
+                    }
+                    let (rd, rs, rt) = (rd(w), rs(w), rt(w));
+                    match funct {
+                        FN_ADDU => Addu { rd, rs, rt },
+                        FN_SUBU => Subu { rd, rs, rt },
+                        FN_AND => And { rd, rs, rt },
+                        FN_OR => Or { rd, rs, rt },
+                        FN_XOR => Xor { rd, rs, rt },
+                        FN_NOR => Nor { rd, rs, rt },
+                        FN_SLT => Slt { rd, rs, rt },
+                        _ => Sltu { rd, rs, rt },
+                    }
+                }
+                _ => return err,
+            }
+        }
+        OP_REGIMM => match (w >> 16) & 31 {
+            RT_BLTZ => Bltz { rs: rs(w), offset: simm(w) },
+            RT_BGEZ => Bgez { rs: rs(w), offset: simm(w) },
+            _ => return err,
+        },
+        OP_J => J { target: w & 0x03ff_ffff },
+        OP_JAL => Jal { target: w & 0x03ff_ffff },
+        OP_BEQ => Beq { rs: rs(w), rt: rt(w), offset: simm(w) },
+        OP_BNE => Bne { rs: rs(w), rt: rt(w), offset: simm(w) },
+        OP_BLEZ | OP_BGTZ => {
+            if (w >> 16) & 31 != 0 {
+                return err;
+            }
+            if op == OP_BLEZ {
+                Blez { rs: rs(w), offset: simm(w) }
+            } else {
+                Bgtz { rs: rs(w), offset: simm(w) }
+            }
+        }
+        OP_ADDIU => Addiu { rt: rt(w), rs: rs(w), imm: simm(w) },
+        OP_SLTI => Slti { rt: rt(w), rs: rs(w), imm: simm(w) },
+        OP_SLTIU => Sltiu { rt: rt(w), rs: rs(w), imm: simm(w) },
+        OP_ANDI => Andi { rt: rt(w), rs: rs(w), imm: uimm(w) },
+        OP_ORI => Ori { rt: rt(w), rs: rs(w), imm: uimm(w) },
+        OP_XORI => Xori { rt: rt(w), rs: rs(w), imm: uimm(w) },
+        OP_LUI => {
+            if (w >> 21) & 31 != 0 {
+                return err;
+            }
+            Lui { rt: rt(w), imm: uimm(w) }
+        }
+        OP_COP1 => {
+            let fmt = (w >> 21) & 31;
+            match fmt {
+                FMT_MFC1 | FMT_MTC1 => {
+                    if (w >> 6) & 31 != 0 || w & 0x3f != 0 {
+                        return err;
+                    }
+                    if fmt == FMT_MTC1 {
+                        Mtc1 { rt: rt(w), fs: fs(w) }
+                    } else {
+                        Mfc1 { rt: rt(w), fs: fs(w) }
+                    }
+                }
+                FMT_BC => match (w >> 16) & 31 {
+                    0 => Bc1f { offset: simm(w) },
+                    1 => Bc1t { offset: simm(w) },
+                    _ => return err,
+                },
+                FMT_S => match w & 0x3f {
+                    FN_ADD_S => AddS { fd: fd(w), fs: fs(w), ft: ft(w) },
+                    FN_SUB_S => SubS { fd: fd(w), fs: fs(w), ft: ft(w) },
+                    FN_MUL_S => MulS { fd: fd(w), fs: fs(w), ft: ft(w) },
+                    FN_DIV_S => DivS { fd: fd(w), fs: fs(w), ft: ft(w) },
+                    FN_MOV_S => {
+                        if (w >> 16) & 31 != 0 {
+                            return err;
+                        }
+                        MovS { fd: fd(w), fs: fs(w) }
+                    }
+                    FN_CVT_W => {
+                        if (w >> 16) & 31 != 0 {
+                            return err;
+                        }
+                        CvtWS { fd: fd(w), fs: fs(w) }
+                    }
+                    FN_C_EQ | FN_C_LT | FN_C_LE => {
+                        if (w >> 6) & 31 != 0 {
+                            return err;
+                        }
+                        match w & 0x3f {
+                            FN_C_EQ => CEqS { fs: fs(w), ft: ft(w) },
+                            FN_C_LT => CLtS { fs: fs(w), ft: ft(w) },
+                            _ => CLeS { fs: fs(w), ft: ft(w) },
+                        }
+                    }
+                    _ => return err,
+                },
+                FMT_W => match w & 0x3f {
+                    FN_CVT_S => {
+                        if (w >> 16) & 31 != 0 {
+                            return err;
+                        }
+                        CvtSW { fd: fd(w), fs: fs(w) }
+                    }
+                    _ => return err,
+                },
+                _ => return err,
+            }
+        }
+        OP_LB => Lb { rt: rt(w), base: rs(w), offset: simm(w) },
+        OP_LH => Lh { rt: rt(w), base: rs(w), offset: simm(w) },
+        OP_LW => Lw { rt: rt(w), base: rs(w), offset: simm(w) },
+        OP_LBU => Lbu { rt: rt(w), base: rs(w), offset: simm(w) },
+        OP_LHU => Lhu { rt: rt(w), base: rs(w), offset: simm(w) },
+        OP_SB => Sb { rt: rt(w), base: rs(w), offset: simm(w) },
+        OP_SH => Sh { rt: rt(w), base: rs(w), offset: simm(w) },
+        OP_SW => Sw { rt: rt(w), base: rs(w), offset: simm(w) },
+        OP_LWC1 => Lwc1 { ft: ft(w), base: rs(w), offset: simm(w) },
+        OP_SWC1 => Swc1 { ft: ft(w), base: rs(w), offset: simm(w) },
+        _ => return err,
+    };
+    Ok(insn)
+}
+
+impl TryFrom<u32> for Instruction {
+    type Error = DecodeInstructionError;
+
+    fn try_from(word: u32) -> Result<Instruction, DecodeInstructionError> {
+        decode(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn rejects_unknown_primary_opcode() {
+        // opcode 0x3f is unused
+        assert!(decode(0x3f << 26).is_err());
+    }
+
+    #[test]
+    fn rejects_nonzero_reserved_fields() {
+        // ADDU with nonzero shamt
+        let w = encode(Instruction::Addu {
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2,
+        }) | (1 << 6);
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn error_reports_word() {
+        let e = decode(0xffff_ffff).unwrap_err();
+        assert_eq!(e.word, 0xffff_ffff);
+        assert!(e.to_string().contains("0xffffffff"));
+    }
+
+    #[test]
+    fn decode_is_left_inverse_of_encode_for_samples() {
+        use crate::FReg;
+        let samples = [
+            Instruction::NOP,
+            Instruction::Jal { target: 0x123456 },
+            Instruction::Bgez {
+                rs: Reg::S3,
+                offset: -128,
+            },
+            Instruction::CLtS {
+                fs: FReg::new(4),
+                ft: FReg::new(9),
+            },
+            Instruction::Swc1 {
+                ft: FReg::new(31),
+                base: Reg::SP,
+                offset: -4,
+            },
+            Instruction::Syscall,
+        ];
+        for s in samples {
+            assert_eq!(decode(encode(s)).unwrap(), s);
+        }
+    }
+}

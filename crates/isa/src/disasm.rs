@@ -1,0 +1,117 @@
+//! Textual disassembly (`Display` for [`Instruction`]).
+
+use std::fmt;
+
+use crate::Instruction;
+
+impl fmt::Display for Instruction {
+    /// Formats in conventional MIPS assembler syntax, e.g.
+    /// `addu $v0, $a0, $a1` or `lw $t0, 16($sp)`. Branch offsets are printed
+    /// in instructions (not bytes) relative to PC + 4.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            Sll { rd, rt, shamt } if rd == crate::Reg::ZERO && shamt == 0 && rt == crate::Reg::ZERO => {
+                write!(f, "nop")
+            }
+            Sll { rd, rt, shamt } => write!(f, "sll {rd}, {rt}, {shamt}"),
+            Srl { rd, rt, shamt } => write!(f, "srl {rd}, {rt}, {shamt}"),
+            Sra { rd, rt, shamt } => write!(f, "sra {rd}, {rt}, {shamt}"),
+            Sllv { rd, rt, rs } => write!(f, "sllv {rd}, {rt}, {rs}"),
+            Srlv { rd, rt, rs } => write!(f, "srlv {rd}, {rt}, {rs}"),
+            Srav { rd, rt, rs } => write!(f, "srav {rd}, {rt}, {rs}"),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Jalr { rd, rs } => write!(f, "jalr {rd}, {rs}"),
+            Mfhi { rd } => write!(f, "mfhi {rd}"),
+            Mflo { rd } => write!(f, "mflo {rd}"),
+            Mult { rs, rt } => write!(f, "mult {rs}, {rt}"),
+            Multu { rs, rt } => write!(f, "multu {rs}, {rt}"),
+            Div { rs, rt } => write!(f, "div {rs}, {rt}"),
+            Divu { rs, rt } => write!(f, "divu {rs}, {rt}"),
+            Addu { rd, rs, rt } => write!(f, "addu {rd}, {rs}, {rt}"),
+            Subu { rd, rs, rt } => write!(f, "subu {rd}, {rs}, {rt}"),
+            And { rd, rs, rt } => write!(f, "and {rd}, {rs}, {rt}"),
+            Or { rd, rs, rt } => write!(f, "or {rd}, {rs}, {rt}"),
+            Xor { rd, rs, rt } => write!(f, "xor {rd}, {rs}, {rt}"),
+            Nor { rd, rs, rt } => write!(f, "nor {rd}, {rs}, {rt}"),
+            Slt { rd, rs, rt } => write!(f, "slt {rd}, {rs}, {rt}"),
+            Sltu { rd, rs, rt } => write!(f, "sltu {rd}, {rs}, {rt}"),
+            Syscall => write!(f, "syscall"),
+            Break => write!(f, "break"),
+            Beq { rs, rt, offset } => write!(f, "beq {rs}, {rt}, {offset}"),
+            Bne { rs, rt, offset } => write!(f, "bne {rs}, {rt}, {offset}"),
+            Blez { rs, offset } => write!(f, "blez {rs}, {offset}"),
+            Bgtz { rs, offset } => write!(f, "bgtz {rs}, {offset}"),
+            Bltz { rs, offset } => write!(f, "bltz {rs}, {offset}"),
+            Bgez { rs, offset } => write!(f, "bgez {rs}, {offset}"),
+            Addiu { rt, rs, imm } => write!(f, "addiu {rt}, {rs}, {imm}"),
+            Slti { rt, rs, imm } => write!(f, "slti {rt}, {rs}, {imm}"),
+            Sltiu { rt, rs, imm } => write!(f, "sltiu {rt}, {rs}, {imm}"),
+            Andi { rt, rs, imm } => write!(f, "andi {rt}, {rs}, {imm:#x}"),
+            Ori { rt, rs, imm } => write!(f, "ori {rt}, {rs}, {imm:#x}"),
+            Xori { rt, rs, imm } => write!(f, "xori {rt}, {rs}, {imm:#x}"),
+            Lui { rt, imm } => write!(f, "lui {rt}, {imm:#x}"),
+            Lb { rt, base, offset } => write!(f, "lb {rt}, {offset}({base})"),
+            Lh { rt, base, offset } => write!(f, "lh {rt}, {offset}({base})"),
+            Lw { rt, base, offset } => write!(f, "lw {rt}, {offset}({base})"),
+            Lbu { rt, base, offset } => write!(f, "lbu {rt}, {offset}({base})"),
+            Lhu { rt, base, offset } => write!(f, "lhu {rt}, {offset}({base})"),
+            Sb { rt, base, offset } => write!(f, "sb {rt}, {offset}({base})"),
+            Sh { rt, base, offset } => write!(f, "sh {rt}, {offset}({base})"),
+            Sw { rt, base, offset } => write!(f, "sw {rt}, {offset}({base})"),
+            J { target } => write!(f, "j {:#x}", target << 2),
+            Jal { target } => write!(f, "jal {:#x}", target << 2),
+            AddS { fd, fs, ft } => write!(f, "add.s {fd}, {fs}, {ft}"),
+            SubS { fd, fs, ft } => write!(f, "sub.s {fd}, {fs}, {ft}"),
+            MulS { fd, fs, ft } => write!(f, "mul.s {fd}, {fs}, {ft}"),
+            DivS { fd, fs, ft } => write!(f, "div.s {fd}, {fs}, {ft}"),
+            MovS { fd, fs } => write!(f, "mov.s {fd}, {fs}"),
+            CEqS { fs, ft } => write!(f, "c.eq.s {fs}, {ft}"),
+            CLtS { fs, ft } => write!(f, "c.lt.s {fs}, {ft}"),
+            CLeS { fs, ft } => write!(f, "c.le.s {fs}, {ft}"),
+            Bc1t { offset } => write!(f, "bc1t {offset}"),
+            Bc1f { offset } => write!(f, "bc1f {offset}"),
+            Mtc1 { rt, fs } => write!(f, "mtc1 {rt}, {fs}"),
+            Mfc1 { rt, fs } => write!(f, "mfc1 {rt}, {fs}"),
+            CvtSW { fd, fs } => write!(f, "cvt.s.w {fd}, {fs}"),
+            CvtWS { fd, fs } => write!(f, "cvt.w.s {fd}, {fs}"),
+            Lwc1 { ft, base, offset } => write!(f, "lwc1 {ft}, {offset}({base})"),
+            Swc1 { ft, base, offset } => write!(f, "swc1 {ft}, {offset}({base})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FReg, Instruction, Reg};
+
+    #[test]
+    fn nop_prints_as_nop() {
+        assert_eq!(Instruction::NOP.to_string(), "nop");
+    }
+
+    #[test]
+    fn load_prints_offset_base_syntax() {
+        let i = Instruction::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            offset: -8,
+        };
+        assert_eq!(i.to_string(), "lw $t0, -8($sp)");
+    }
+
+    #[test]
+    fn fp_ops_use_dot_s_suffix() {
+        let i = Instruction::MulS {
+            fd: FReg::new(2),
+            fs: FReg::new(4),
+            ft: FReg::new(6),
+        };
+        assert_eq!(i.to_string(), "mul.s $f2, $f4, $f6");
+    }
+
+    #[test]
+    fn jump_prints_byte_target() {
+        assert_eq!(Instruction::J { target: 0x400 }.to_string(), "j 0x1000");
+    }
+}

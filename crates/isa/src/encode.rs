@@ -1,0 +1,234 @@
+//! Binary encoding of SR32 instructions.
+//!
+//! Layouts (MIPS-style):
+//!
+//! ```text
+//! R-type: | op 6 | rs 5 | rt 5 | rd 5 | shamt 5 | funct 6 |
+//! I-type: | op 6 | rs 5 | rt 5 |        imm 16            |
+//! J-type: | op 6 |             target 26                  |
+//! COP1  : | 0x11 | fmt 5| ft 5 | fs 5 |  fd 5   | funct 6 |
+//! ```
+
+use crate::Instruction;
+
+// Primary opcodes.
+pub(crate) const OP_SPECIAL: u32 = 0x00;
+pub(crate) const OP_REGIMM: u32 = 0x01;
+pub(crate) const OP_J: u32 = 0x02;
+pub(crate) const OP_JAL: u32 = 0x03;
+pub(crate) const OP_BEQ: u32 = 0x04;
+pub(crate) const OP_BNE: u32 = 0x05;
+pub(crate) const OP_BLEZ: u32 = 0x06;
+pub(crate) const OP_BGTZ: u32 = 0x07;
+pub(crate) const OP_ADDIU: u32 = 0x09;
+pub(crate) const OP_SLTI: u32 = 0x0a;
+pub(crate) const OP_SLTIU: u32 = 0x0b;
+pub(crate) const OP_ANDI: u32 = 0x0c;
+pub(crate) const OP_ORI: u32 = 0x0d;
+pub(crate) const OP_XORI: u32 = 0x0e;
+pub(crate) const OP_LUI: u32 = 0x0f;
+pub(crate) const OP_COP1: u32 = 0x11;
+pub(crate) const OP_LB: u32 = 0x20;
+pub(crate) const OP_LH: u32 = 0x21;
+pub(crate) const OP_LW: u32 = 0x23;
+pub(crate) const OP_LBU: u32 = 0x24;
+pub(crate) const OP_LHU: u32 = 0x25;
+pub(crate) const OP_SB: u32 = 0x28;
+pub(crate) const OP_SH: u32 = 0x29;
+pub(crate) const OP_SW: u32 = 0x2b;
+pub(crate) const OP_LWC1: u32 = 0x31;
+pub(crate) const OP_SWC1: u32 = 0x39;
+
+// SPECIAL functs.
+pub(crate) const FN_SLL: u32 = 0x00;
+pub(crate) const FN_SRL: u32 = 0x02;
+pub(crate) const FN_SRA: u32 = 0x03;
+pub(crate) const FN_SLLV: u32 = 0x04;
+pub(crate) const FN_SRLV: u32 = 0x06;
+pub(crate) const FN_SRAV: u32 = 0x07;
+pub(crate) const FN_JR: u32 = 0x08;
+pub(crate) const FN_JALR: u32 = 0x09;
+pub(crate) const FN_SYSCALL: u32 = 0x0c;
+pub(crate) const FN_BREAK: u32 = 0x0d;
+pub(crate) const FN_MFHI: u32 = 0x10;
+pub(crate) const FN_MFLO: u32 = 0x12;
+pub(crate) const FN_MULT: u32 = 0x18;
+pub(crate) const FN_MULTU: u32 = 0x19;
+pub(crate) const FN_DIV: u32 = 0x1a;
+pub(crate) const FN_DIVU: u32 = 0x1b;
+pub(crate) const FN_ADDU: u32 = 0x21;
+pub(crate) const FN_SUBU: u32 = 0x23;
+pub(crate) const FN_AND: u32 = 0x24;
+pub(crate) const FN_OR: u32 = 0x25;
+pub(crate) const FN_XOR: u32 = 0x26;
+pub(crate) const FN_NOR: u32 = 0x27;
+pub(crate) const FN_SLT: u32 = 0x2a;
+pub(crate) const FN_SLTU: u32 = 0x2b;
+
+// REGIMM rt selectors.
+pub(crate) const RT_BLTZ: u32 = 0x00;
+pub(crate) const RT_BGEZ: u32 = 0x01;
+
+// COP1 fmt fields.
+pub(crate) const FMT_MFC1: u32 = 0x00;
+pub(crate) const FMT_MTC1: u32 = 0x04;
+pub(crate) const FMT_BC: u32 = 0x08;
+pub(crate) const FMT_S: u32 = 0x10;
+pub(crate) const FMT_W: u32 = 0x14;
+
+// COP1.S functs.
+pub(crate) const FN_ADD_S: u32 = 0x00;
+pub(crate) const FN_SUB_S: u32 = 0x01;
+pub(crate) const FN_MUL_S: u32 = 0x02;
+pub(crate) const FN_DIV_S: u32 = 0x03;
+pub(crate) const FN_MOV_S: u32 = 0x06;
+pub(crate) const FN_CVT_S: u32 = 0x20;
+pub(crate) const FN_CVT_W: u32 = 0x24;
+pub(crate) const FN_C_EQ: u32 = 0x32;
+pub(crate) const FN_C_LT: u32 = 0x3c;
+pub(crate) const FN_C_LE: u32 = 0x3e;
+
+#[inline]
+fn r_type(rs: u32, rt: u32, rd: u32, shamt: u32, funct: u32) -> u32 {
+    (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
+}
+
+#[inline]
+fn i_type(op: u32, rs: u32, rt: u32, imm: u16) -> u32 {
+    (op << 26) | (rs << 21) | (rt << 16) | u32::from(imm)
+}
+
+#[inline]
+fn cop1(fmt: u32, ft: u32, fs: u32, fd: u32, funct: u32) -> u32 {
+    (OP_COP1 << 26) | (fmt << 21) | (ft << 16) | (fs << 11) | (fd << 6) | funct
+}
+
+/// Encodes an instruction to its 32-bit machine word.
+///
+/// Encoding is total: every [`Instruction`] value has exactly one encoding,
+/// and [`crate::decode`] inverts it.
+///
+/// ```
+/// use codepack_isa::{encode, Instruction};
+/// assert_eq!(encode(Instruction::NOP), 0);
+/// ```
+pub fn encode(insn: Instruction) -> u32 {
+    use Instruction::*;
+    match insn {
+        Sll { rd, rt, shamt } => r_type(0, rt.into(), rd.into(), u32::from(shamt & 31), FN_SLL),
+        Srl { rd, rt, shamt } => r_type(0, rt.into(), rd.into(), u32::from(shamt & 31), FN_SRL),
+        Sra { rd, rt, shamt } => r_type(0, rt.into(), rd.into(), u32::from(shamt & 31), FN_SRA),
+        Sllv { rd, rt, rs } => r_type(rs.into(), rt.into(), rd.into(), 0, FN_SLLV),
+        Srlv { rd, rt, rs } => r_type(rs.into(), rt.into(), rd.into(), 0, FN_SRLV),
+        Srav { rd, rt, rs } => r_type(rs.into(), rt.into(), rd.into(), 0, FN_SRAV),
+        Jr { rs } => r_type(rs.into(), 0, 0, 0, FN_JR),
+        Jalr { rd, rs } => r_type(rs.into(), 0, rd.into(), 0, FN_JALR),
+        Mfhi { rd } => r_type(0, 0, rd.into(), 0, FN_MFHI),
+        Mflo { rd } => r_type(0, 0, rd.into(), 0, FN_MFLO),
+        Mult { rs, rt } => r_type(rs.into(), rt.into(), 0, 0, FN_MULT),
+        Multu { rs, rt } => r_type(rs.into(), rt.into(), 0, 0, FN_MULTU),
+        Div { rs, rt } => r_type(rs.into(), rt.into(), 0, 0, FN_DIV),
+        Divu { rs, rt } => r_type(rs.into(), rt.into(), 0, 0, FN_DIVU),
+        Addu { rd, rs, rt } => r_type(rs.into(), rt.into(), rd.into(), 0, FN_ADDU),
+        Subu { rd, rs, rt } => r_type(rs.into(), rt.into(), rd.into(), 0, FN_SUBU),
+        And { rd, rs, rt } => r_type(rs.into(), rt.into(), rd.into(), 0, FN_AND),
+        Or { rd, rs, rt } => r_type(rs.into(), rt.into(), rd.into(), 0, FN_OR),
+        Xor { rd, rs, rt } => r_type(rs.into(), rt.into(), rd.into(), 0, FN_XOR),
+        Nor { rd, rs, rt } => r_type(rs.into(), rt.into(), rd.into(), 0, FN_NOR),
+        Slt { rd, rs, rt } => r_type(rs.into(), rt.into(), rd.into(), 0, FN_SLT),
+        Sltu { rd, rs, rt } => r_type(rs.into(), rt.into(), rd.into(), 0, FN_SLTU),
+        Syscall => FN_SYSCALL,
+        Break => FN_BREAK,
+        Beq { rs, rt, offset } => i_type(OP_BEQ, rs.into(), rt.into(), offset as u16),
+        Bne { rs, rt, offset } => i_type(OP_BNE, rs.into(), rt.into(), offset as u16),
+        Blez { rs, offset } => i_type(OP_BLEZ, rs.into(), 0, offset as u16),
+        Bgtz { rs, offset } => i_type(OP_BGTZ, rs.into(), 0, offset as u16),
+        Bltz { rs, offset } => i_type(OP_REGIMM, rs.into(), RT_BLTZ, offset as u16),
+        Bgez { rs, offset } => i_type(OP_REGIMM, rs.into(), RT_BGEZ, offset as u16),
+        Addiu { rt, rs, imm } => i_type(OP_ADDIU, rs.into(), rt.into(), imm as u16),
+        Slti { rt, rs, imm } => i_type(OP_SLTI, rs.into(), rt.into(), imm as u16),
+        Sltiu { rt, rs, imm } => i_type(OP_SLTIU, rs.into(), rt.into(), imm as u16),
+        Andi { rt, rs, imm } => i_type(OP_ANDI, rs.into(), rt.into(), imm),
+        Ori { rt, rs, imm } => i_type(OP_ORI, rs.into(), rt.into(), imm),
+        Xori { rt, rs, imm } => i_type(OP_XORI, rs.into(), rt.into(), imm),
+        Lui { rt, imm } => i_type(OP_LUI, 0, rt.into(), imm),
+        Lb { rt, base, offset } => i_type(OP_LB, base.into(), rt.into(), offset as u16),
+        Lh { rt, base, offset } => i_type(OP_LH, base.into(), rt.into(), offset as u16),
+        Lw { rt, base, offset } => i_type(OP_LW, base.into(), rt.into(), offset as u16),
+        Lbu { rt, base, offset } => i_type(OP_LBU, base.into(), rt.into(), offset as u16),
+        Lhu { rt, base, offset } => i_type(OP_LHU, base.into(), rt.into(), offset as u16),
+        Sb { rt, base, offset } => i_type(OP_SB, base.into(), rt.into(), offset as u16),
+        Sh { rt, base, offset } => i_type(OP_SH, base.into(), rt.into(), offset as u16),
+        Sw { rt, base, offset } => i_type(OP_SW, base.into(), rt.into(), offset as u16),
+        J { target } => (OP_J << 26) | (target & 0x03ff_ffff),
+        Jal { target } => (OP_JAL << 26) | (target & 0x03ff_ffff),
+        AddS { fd, fs, ft } => cop1(FMT_S, ft.into(), fs.into(), fd.into(), FN_ADD_S),
+        SubS { fd, fs, ft } => cop1(FMT_S, ft.into(), fs.into(), fd.into(), FN_SUB_S),
+        MulS { fd, fs, ft } => cop1(FMT_S, ft.into(), fs.into(), fd.into(), FN_MUL_S),
+        DivS { fd, fs, ft } => cop1(FMT_S, ft.into(), fs.into(), fd.into(), FN_DIV_S),
+        MovS { fd, fs } => cop1(FMT_S, 0, fs.into(), fd.into(), FN_MOV_S),
+        CEqS { fs, ft } => cop1(FMT_S, ft.into(), fs.into(), 0, FN_C_EQ),
+        CLtS { fs, ft } => cop1(FMT_S, ft.into(), fs.into(), 0, FN_C_LT),
+        CLeS { fs, ft } => cop1(FMT_S, ft.into(), fs.into(), 0, FN_C_LE),
+        Bc1t { offset } => i_type(OP_COP1, FMT_BC, 1, offset as u16),
+        Bc1f { offset } => i_type(OP_COP1, FMT_BC, 0, offset as u16),
+        Mtc1 { rt, fs } => cop1(FMT_MTC1, rt.into(), fs.into(), 0, 0),
+        Mfc1 { rt, fs } => cop1(FMT_MFC1, rt.into(), fs.into(), 0, 0),
+        CvtSW { fd, fs } => cop1(FMT_W, 0, fs.into(), fd.into(), FN_CVT_S),
+        CvtWS { fd, fs } => cop1(FMT_S, 0, fs.into(), fd.into(), FN_CVT_W),
+        Lwc1 { ft, base, offset } => i_type(OP_LWC1, base.into(), ft.into(), offset as u16),
+        Swc1 { ft, base, offset } => i_type(OP_SWC1, base.into(), ft.into(), offset as u16),
+    }
+}
+
+impl From<Instruction> for u32 {
+    fn from(insn: Instruction) -> u32 {
+        encode(insn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn addu_field_layout() {
+        let w = encode(Instruction::Addu {
+            rd: Reg::V0,
+            rs: Reg::A0,
+            rt: Reg::A1,
+        });
+        assert_eq!(w >> 26, OP_SPECIAL);
+        assert_eq!((w >> 21) & 31, 4); // rs = $a0
+        assert_eq!((w >> 16) & 31, 5); // rt = $a1
+        assert_eq!((w >> 11) & 31, 2); // rd = $v0
+        assert_eq!(w & 0x3f, FN_ADDU);
+    }
+
+    #[test]
+    fn negative_branch_offset_encodes_twos_complement() {
+        let w = encode(Instruction::Bne {
+            rs: Reg::T0,
+            rt: Reg::ZERO,
+            offset: -4,
+        });
+        assert_eq!(w & 0xffff, 0xfffc);
+    }
+
+    #[test]
+    fn jump_target_masked_to_26_bits() {
+        let w = encode(Instruction::J { target: 0xffff_ffff });
+        assert_eq!(w, (OP_J << 26) | 0x03ff_ffff);
+    }
+
+    #[test]
+    fn lui_uses_zero_rs() {
+        let w = encode(Instruction::Lui {
+            rt: Reg::T0,
+            imm: 0x1234,
+        });
+        assert_eq!((w >> 21) & 31, 0);
+        assert_eq!(w & 0xffff, 0x1234);
+    }
+}

@@ -1,0 +1,210 @@
+//! Integer and floating-point register newtypes.
+
+use std::fmt;
+
+/// One of the 32 integer registers, `$0`–`$31`.
+///
+/// Register 0 (`$zero`) always reads as zero; writes to it are discarded by
+/// the executor. The conventional MIPS ABI names are provided as associated
+/// constants and used by the disassembler.
+///
+/// ```
+/// use codepack_isa::Reg;
+/// assert_eq!(Reg::SP.index(), 29);
+/// assert_eq!(Reg::new(29), Reg::SP);
+/// assert_eq!(Reg::SP.to_string(), "$sp");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary.
+    pub const AT: Reg = Reg(1);
+    /// Function result registers.
+    pub const V0: Reg = Reg(2);
+    pub const V1: Reg = Reg(3);
+    /// Argument registers.
+    pub const A0: Reg = Reg(4);
+    pub const A1: Reg = Reg(5);
+    pub const A2: Reg = Reg(6);
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporaries.
+    pub const T0: Reg = Reg(8);
+    pub const T1: Reg = Reg(9);
+    pub const T2: Reg = Reg(10);
+    pub const T3: Reg = Reg(11);
+    pub const T4: Reg = Reg(12);
+    pub const T5: Reg = Reg(13);
+    pub const T6: Reg = Reg(14);
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved registers.
+    pub const S0: Reg = Reg(16);
+    pub const S1: Reg = Reg(17);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    /// More caller-saved temporaries.
+    pub const T8: Reg = Reg(24);
+    pub const T9: Reg = Reg(25);
+    /// Reserved for the kernel.
+    pub const K0: Reg = Reg(26);
+    pub const K1: Reg = Reg(27);
+    /// Global pointer.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// Return address.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "integer register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from the low 5 bits of an encoded field.
+    #[inline]
+    pub(crate) fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0x1f) as u8)
+    }
+
+    /// The register number, 0–31.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// The conventional ABI name, e.g. `"$sp"` for register 29.
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3",
+            "$t4", "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+            "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({})", self.name())
+    }
+}
+
+impl From<Reg> for u32 {
+    fn from(r: Reg) -> u32 {
+        u32::from(r.0)
+    }
+}
+
+/// One of the 32 single-precision floating-point registers, `$f0`–`$f31`.
+///
+/// ```
+/// use codepack_isa::FReg;
+/// assert_eq!(FReg::new(12).to_string(), "$f12");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// FP function result register.
+    pub const F0: FReg = FReg(0);
+    /// First FP argument register.
+    pub const F12: FReg = FReg(12);
+
+    /// Creates an FP register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> FReg {
+        assert!(index < 32, "fp register index {index} out of range");
+        FReg(index)
+    }
+
+    #[inline]
+    pub(crate) fn from_field(bits: u32) -> FReg {
+        FReg((bits & 0x1f) as u8)
+    }
+
+    /// The register number, 0–31.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$f{}", self.0)
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FReg($f{})", self.0)
+    }
+}
+
+impl From<FReg> for u32 {
+    fn from(r: FReg) -> u32 {
+        u32::from(r.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_match_indices() {
+        assert_eq!(Reg::ZERO.name(), "$zero");
+        assert_eq!(Reg::RA.name(), "$ra");
+        assert_eq!(Reg::new(8), Reg::T0);
+        assert_eq!(Reg::new(16), Reg::S0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_index_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_index_out_of_range_panics() {
+        let _ = FReg::new(40);
+    }
+
+    #[test]
+    fn from_field_masks_to_five_bits() {
+        assert_eq!(Reg::from_field(0xffff_ffe3), Reg::new(3));
+        assert_eq!(FReg::from_field(0x25), FReg::new(5));
+    }
+
+    #[test]
+    fn display_round_trips_conventions() {
+        assert_eq!(Reg::GP.to_string(), "$gp");
+        assert_eq!(FReg::F12.to_string(), "$f12");
+        assert_eq!(format!("{:?}", Reg::SP), "Reg($sp)");
+    }
+}

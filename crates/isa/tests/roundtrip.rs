@@ -1,0 +1,112 @@
+//! Property tests: encode/decode round-trips and decode strictness.
+
+use codepack_isa::{decode, encode, FReg, Instruction, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg::new)
+}
+
+/// Every constructible instruction, with arbitrary operand values.
+fn arb_insn() -> impl Strategy<Value = Instruction> {
+    use Instruction::*;
+    let r = arb_reg;
+    let f = arb_freg;
+    let sh = || 0u8..32;
+    let off = any::<i16>;
+    let u = any::<u16>;
+    let tgt = || 0u32..(1 << 26);
+    prop_oneof![
+        (r(), r(), sh()).prop_map(|(rd, rt, shamt)| Sll { rd, rt, shamt }),
+        (r(), r(), sh()).prop_map(|(rd, rt, shamt)| Srl { rd, rt, shamt }),
+        (r(), r(), sh()).prop_map(|(rd, rt, shamt)| Sra { rd, rt, shamt }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Sllv { rd, rt, rs }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Srlv { rd, rt, rs }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Srav { rd, rt, rs }),
+        r().prop_map(|rs| Jr { rs }),
+        (r(), r()).prop_map(|(rd, rs)| Jalr { rd, rs }),
+        r().prop_map(|rd| Mfhi { rd }),
+        r().prop_map(|rd| Mflo { rd }),
+        (r(), r()).prop_map(|(rs, rt)| Mult { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Multu { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Div { rs, rt }),
+        (r(), r()).prop_map(|(rs, rt)| Divu { rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Addu { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Subu { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| And { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Or { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Xor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Nor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Slt { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Sltu { rd, rs, rt }),
+        Just(Syscall),
+        Just(Break),
+        (r(), r(), off()).prop_map(|(rs, rt, offset)| Beq { rs, rt, offset }),
+        (r(), r(), off()).prop_map(|(rs, rt, offset)| Bne { rs, rt, offset }),
+        (r(), off()).prop_map(|(rs, offset)| Blez { rs, offset }),
+        (r(), off()).prop_map(|(rs, offset)| Bgtz { rs, offset }),
+        (r(), off()).prop_map(|(rs, offset)| Bltz { rs, offset }),
+        (r(), off()).prop_map(|(rs, offset)| Bgez { rs, offset }),
+        (r(), r(), off()).prop_map(|(rt, rs, imm)| Addiu { rt, rs, imm }),
+        (r(), r(), off()).prop_map(|(rt, rs, imm)| Slti { rt, rs, imm }),
+        (r(), r(), off()).prop_map(|(rt, rs, imm)| Sltiu { rt, rs, imm }),
+        (r(), r(), u()).prop_map(|(rt, rs, imm)| Andi { rt, rs, imm }),
+        (r(), r(), u()).prop_map(|(rt, rs, imm)| Ori { rt, rs, imm }),
+        (r(), r(), u()).prop_map(|(rt, rs, imm)| Xori { rt, rs, imm }),
+        (r(), u()).prop_map(|(rt, imm)| Lui { rt, imm }),
+        (r(), r(), off()).prop_map(|(rt, base, offset)| Lb { rt, base, offset }),
+        (r(), r(), off()).prop_map(|(rt, base, offset)| Lh { rt, base, offset }),
+        (r(), r(), off()).prop_map(|(rt, base, offset)| Lw { rt, base, offset }),
+        (r(), r(), off()).prop_map(|(rt, base, offset)| Lbu { rt, base, offset }),
+        (r(), r(), off()).prop_map(|(rt, base, offset)| Lhu { rt, base, offset }),
+        (r(), r(), off()).prop_map(|(rt, base, offset)| Sb { rt, base, offset }),
+        (r(), r(), off()).prop_map(|(rt, base, offset)| Sh { rt, base, offset }),
+        (r(), r(), off()).prop_map(|(rt, base, offset)| Sw { rt, base, offset }),
+        tgt().prop_map(|target| J { target }),
+        tgt().prop_map(|target| Jal { target }),
+        (f(), f(), f()).prop_map(|(fd, fs, ft)| AddS { fd, fs, ft }),
+        (f(), f(), f()).prop_map(|(fd, fs, ft)| SubS { fd, fs, ft }),
+        (f(), f(), f()).prop_map(|(fd, fs, ft)| MulS { fd, fs, ft }),
+        (f(), f(), f()).prop_map(|(fd, fs, ft)| DivS { fd, fs, ft }),
+        (f(), f()).prop_map(|(fd, fs)| MovS { fd, fs }),
+        (f(), f()).prop_map(|(fs, ft)| CEqS { fs, ft }),
+        (f(), f()).prop_map(|(fs, ft)| CLtS { fs, ft }),
+        (f(), f()).prop_map(|(fs, ft)| CLeS { fs, ft }),
+        off().prop_map(|offset| Bc1t { offset }),
+        off().prop_map(|offset| Bc1f { offset }),
+        (r(), f()).prop_map(|(rt, fs)| Mtc1 { rt, fs }),
+        (r(), f()).prop_map(|(rt, fs)| Mfc1 { rt, fs }),
+        (f(), f()).prop_map(|(fd, fs)| CvtSW { fd, fs }),
+        (f(), f()).prop_map(|(fd, fs)| CvtWS { fd, fs }),
+        (f(), r(), off()).prop_map(|(ft, base, offset)| Lwc1 { ft, base, offset }),
+        (f(), r(), off()).prop_map(|(ft, base, offset)| Swc1 { ft, base, offset }),
+    ]
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every instruction.
+    #[test]
+    fn encode_decode_roundtrip(insn in arb_insn()) {
+        let word = encode(insn);
+        prop_assert_eq!(decode(word), Ok(insn));
+    }
+
+    /// Any word that decodes successfully re-encodes to the identical word
+    /// (decode is injective on its accepted domain).
+    #[test]
+    fn decode_encode_is_identity_on_valid_words(word in any::<u32>()) {
+        if let Ok(insn) = decode(word) {
+            prop_assert_eq!(encode(insn), word);
+        }
+    }
+
+    /// Disassembly never panics and is never empty.
+    #[test]
+    fn disassembly_is_total(insn in arb_insn()) {
+        prop_assert!(!insn.to_string().is_empty());
+    }
+}

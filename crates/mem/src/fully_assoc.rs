@@ -1,0 +1,159 @@
+//! A small fully-associative LRU cache keyed by block number.
+//!
+//! The CodePack decompressor's index cache is fully associative
+//! (paper §5.3: "All index caches are fully-associative"), organised as
+//! `lines × entries_per_line`: each line holds several consecutive index
+//! entries so a single fill captures spatial locality in the index table.
+
+use crate::CacheStats;
+
+/// Fully-associative LRU cache over `u32` keys grouped into lines.
+///
+/// A key `k` maps to line-block `k / entries_per_line`; a hit on any key in a
+/// resident block hits the whole line. This models the paper's Table 6
+/// organisations (1–64 lines × 1–8 index entries per line).
+///
+/// ```
+/// use codepack_mem::FullyAssociativeCache;
+/// let mut ic = FullyAssociativeCache::new(2, 4);
+/// assert!(!ic.access(0)); // cold
+/// assert!(ic.access(3));  // same 4-entry line
+/// assert!(!ic.access(4)); // next line
+/// ```
+#[derive(Clone, Debug)]
+pub struct FullyAssociativeCache {
+    blocks: Vec<(u32, u64)>, // (block id, last-use tick)
+    lines: usize,
+    entries_per_line: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl FullyAssociativeCache {
+    /// Creates a cache of `lines` lines, each covering `entries_per_line`
+    /// consecutive keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(lines: usize, entries_per_line: u32) -> FullyAssociativeCache {
+        assert!(lines > 0, "cache must have at least one line");
+        assert!(entries_per_line > 0, "line must hold at least one entry");
+        FullyAssociativeCache {
+            blocks: Vec::with_capacity(lines),
+            lines,
+            entries_per_line,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Entries covered by each line.
+    pub fn entries_per_line(&self) -> u32 {
+        self.entries_per_line
+    }
+
+    /// Accesses `key`; returns `true` on hit. A miss fills the containing
+    /// line, evicting the LRU line when full.
+    pub fn access(&mut self, key: u32) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let block = key / self.entries_per_line;
+        if let Some(entry) = self.blocks.iter_mut().find(|(b, _)| *b == block) {
+            entry.1 = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        if self.blocks.len() == self.lines {
+            let victim = self
+                .blocks
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("cache is non-empty when full");
+            self.blocks.swap_remove(victim);
+        }
+        self.blocks.push((block, self.tick));
+        false
+    }
+
+    /// Probes without changing state.
+    pub fn contains(&self, key: u32) -> bool {
+        let block = key / self.entries_per_line;
+        self.blocks.iter().any(|(b, _)| *b == block)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets counters (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates all lines.
+    pub fn flush(&mut self) {
+        self.blocks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_grouping_hits_within_line() {
+        let mut c = FullyAssociativeCache::new(1, 4);
+        assert!(!c.access(8));
+        for k in 8..12 {
+            assert!(c.access(k), "key {k} shares the line");
+        }
+        assert!(!c.access(12));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = FullyAssociativeCache::new(2, 1);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 2 is now LRU
+        c.access(3); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn stats_track_hit_ratio() {
+        let mut c = FullyAssociativeCache::new(4, 1);
+        for k in [0, 0, 0, 1] {
+            c.access(k);
+        }
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_empties_but_keeps_stats() {
+        let mut c = FullyAssociativeCache::new(2, 2);
+        c.access(0);
+        c.flush();
+        assert!(!c.contains(0));
+        assert_eq!(c.stats().accesses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_lines_panics() {
+        let _ = FullyAssociativeCache::new(0, 4);
+    }
+}

@@ -1,0 +1,157 @@
+//! Paged sparse functional memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// A byte-addressable sparse memory backed by 4 KiB pages allocated on first
+/// touch. Unwritten bytes read as zero, like freshly mapped pages.
+///
+/// This is the *functional* data memory of the simulated machine; timing is
+/// handled separately by the cache models and [`crate::MemoryTiming`].
+///
+/// Multi-byte accesses use little-endian byte order and may span pages.
+///
+/// ```
+/// use codepack_mem::SparseMemory;
+/// let mut m = SparseMemory::new();
+/// m.write_u32(0x1000_0000, 0xdead_beef);
+/// assert_eq!(m.read_u32(0x1000_0000), 0xdead_beef);
+/// assert_eq!(m.read_u8(0x1000_0000), 0xef);
+/// assert_eq!(m.read_u32(0x7fff_0000), 0, "untouched memory reads zero");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u32, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    pub fn new() -> SparseMemory {
+        SparseMemory::default()
+    }
+
+    /// Number of pages that have been touched by a write.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_BYTES - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+        page[(addr as usize) & (PAGE_BYTES - 1)] = value;
+    }
+
+    /// Reads a little-endian 16-bit value.
+    #[inline]
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from(self.read_u8(addr)) | (u16::from(self.read_u8(addr.wrapping_add(1))) << 8)
+    }
+
+    /// Writes a little-endian 16-bit value.
+    #[inline]
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        self.write_u8(addr, value as u8);
+        self.write_u8(addr.wrapping_add(1), (value >> 8) as u8);
+    }
+
+    /// Reads a little-endian 32-bit value.
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        // Fast path: access within one page.
+        let offset = (addr as usize) & (PAGE_BYTES - 1);
+        if offset + 4 <= PAGE_BYTES {
+            if let Some(page) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+                return u32::from_le_bytes(page[offset..offset + 4].try_into().expect("4 bytes"));
+            }
+            return 0;
+        }
+        u32::from(self.read_u16(addr)) | (u32::from(self.read_u16(addr.wrapping_add(2))) << 16)
+    }
+
+    /// Writes a little-endian 32-bit value.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let offset = (addr as usize) & (PAGE_BYTES - 1);
+        if offset + 4 <= PAGE_BYTES {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            page[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
+        self.write_u16(addr, value as u16);
+        self.write_u16(addr.wrapping_add(2), (value >> 16) as u16);
+    }
+
+    /// Bulk-loads `bytes` starting at `addr` (used by the program loader).
+    pub fn load(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.read_u32(0xffff_fffc), 0);
+        assert_eq!(m.resident_pages(), 0, "reads never allocate");
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = SparseMemory::new();
+        m.write_u32(0x100, 0x0403_0201);
+        assert_eq!(m.read_u8(0x100), 1);
+        assert_eq!(m.read_u8(0x103), 4);
+        assert_eq!(m.read_u16(0x102), 0x0403);
+    }
+
+    #[test]
+    fn cross_page_word_access() {
+        let mut m = SparseMemory::new();
+        let addr = (1 << PAGE_SHIFT) - 2;
+        m.write_u32(addr, 0xaabb_ccdd);
+        assert_eq!(m.read_u32(addr), 0xaabb_ccdd);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_load_round_trips() {
+        let mut m = SparseMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.load(0x2000_0000, &data);
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(m.read_u8(0x2000_0000 + i as u32), b);
+        }
+    }
+
+    #[test]
+    fn wrapping_address_arithmetic() {
+        let mut m = SparseMemory::new();
+        m.write_u16(0xffff_ffff, 0xbeef);
+        assert_eq!(m.read_u8(0xffff_ffff), 0xef);
+        assert_eq!(m.read_u8(0x0000_0000), 0xbe);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property test: the optimized `Cache` agrees with a straightforward
+//! reference model (per-set vectors with explicit LRU reordering) on every
+//! access of a random trace.
+
+use codepack_mem::{Cache, CacheConfig, FullyAssociativeCache};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Obviously-correct set-associative LRU: each set is a Vec in MRU order.
+struct ReferenceCache {
+    sets: Vec<Vec<u32>>, // each holds tags, most recent first
+    ways: usize,
+    line_shift: u32,
+    set_mask: u32,
+    set_bits: u32,
+}
+
+impl ReferenceCache {
+    fn new(cfg: CacheConfig) -> ReferenceCache {
+        ReferenceCache {
+            sets: vec![Vec::new(); cfg.sets() as usize],
+            ways: cfg.assoc() as usize,
+            line_shift: cfg.line_bytes().trailing_zeros(),
+            set_mask: cfg.sets() - 1,
+            set_bits: cfg.sets().trailing_zeros(),
+        }
+    }
+
+    fn access(&mut self, addr: u32) -> bool {
+        let block = addr >> self.line_shift;
+        let set = (block & self.set_mask) as usize;
+        let tag = block >> self.set_bits;
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&t| t == tag) {
+            entries.remove(pos);
+            entries.insert(0, tag);
+            true
+        } else {
+            if entries.len() == self.ways {
+                entries.pop();
+            }
+            entries.insert(0, tag);
+            false
+        }
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (0u32..4, 0u32..3).prop_map(|(size_sel, assoc_sel)| {
+        let assoc = 1 << assoc_sel; // 1, 2, 4
+        let size = (1u32 << (9 + size_sel)) * assoc.max(1); // keeps ≥1 set, pow2 sets
+        CacheConfig::new(size, 32, assoc)
+    })
+}
+
+/// Traces with locality: mostly small addresses, occasional far jumps.
+fn arb_trace() -> impl Strategy<Value = Vec<u32>> {
+    vec(
+        prop_oneof![
+            4 => 0u32..4096,
+            1 => any::<u32>(),
+        ],
+        1..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_model(cfg in arb_config(), trace in arb_trace()) {
+        let mut cache = Cache::new(cfg);
+        let mut reference = ReferenceCache::new(cfg);
+        for (i, &addr) in trace.iter().enumerate() {
+            let got = cache.access(addr);
+            let want = reference.access(addr);
+            prop_assert_eq!(got, want, "access {} to {:#x} diverged", i, addr);
+        }
+        prop_assert_eq!(cache.stats().accesses, trace.len() as u64);
+    }
+
+    #[test]
+    fn probe_agrees_with_access_history(trace in arb_trace()) {
+        let cfg = CacheConfig::new(2048, 32, 2);
+        let mut cache = Cache::new(cfg);
+        let mut reference = ReferenceCache::new(cfg);
+        for &addr in &trace {
+            // Probe must predict exactly what a (non-mutating) hit would be.
+            prop_assert_eq!(cache.probe(addr), {
+                let block = addr >> 5;
+                let set = (block & (cfg.sets() - 1)) as usize;
+                let tag = block >> cfg.sets().trailing_zeros();
+                reference.sets[set].contains(&tag)
+            });
+            cache.access(addr);
+            reference.access(addr);
+        }
+    }
+
+    #[test]
+    fn fully_associative_is_order_invariant_for_hits(keys in vec(0u32..64, 1..200)) {
+        // A fully-associative cache big enough for the key universe never
+        // misses twice on the same key.
+        let mut c = FullyAssociativeCache::new(64, 1);
+        let mut seen = std::collections::HashSet::new();
+        for &k in &keys {
+            let hit = c.access(k);
+            prop_assert_eq!(hit, seen.contains(&k));
+            seen.insert(k);
+        }
+    }
+}

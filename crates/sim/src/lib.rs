@@ -1,0 +1,25 @@
+//! # codepack-sim — whole-system experiments
+//!
+//! Ties the workspace together: pick an [`ArchConfig`] (the paper's Table 2
+//! machines), a [`CodeModel`] (native vs. CodePack, baseline or optimized),
+//! and a synthetic benchmark, then [`Simulation::run`] produces cycles, IPC,
+//! miss rates, decompressor statistics, and compression composition — the
+//! raw material of every table in the paper.
+//!
+//! ```no_run
+//! use codepack_sim::{ArchConfig, CodeModel, Simulation};
+//! use codepack_synth::{generate, BenchmarkProfile};
+//!
+//! let program = generate(&BenchmarkProfile::go_like(), 42);
+//! let sim = Simulation::new(ArchConfig::four_issue(), CodeModel::codepack_optimized());
+//! let result = sim.run(&program, 2_000_000);
+//! println!("{}: IPC {:.2}", result.benchmark, result.ipc());
+//! ```
+
+mod arch;
+mod report;
+mod run;
+
+pub use arch::{ArchConfig, CodeModel};
+pub use report::{fmt_percent, fmt_speedup, Table};
+pub use run::{SimResult, Simulation};

@@ -1,0 +1,22 @@
+//! # codepack-synth — deterministic synthetic benchmarks
+//!
+//! The paper evaluates CodePack on SPEC CINT95 and MediaBench binaries that
+//! we cannot redistribute or execute; this crate generates *executable SR32
+//! stand-ins* whose properties match what drives the paper's results: text
+//! size, I-cache miss class, call-graph shape, and half-word value skew
+//! (compressibility). See `BenchmarkProfile` for the six workloads and
+//! DESIGN.md for the substitution argument.
+//!
+//! ```
+//! use codepack_synth::{generate, BenchmarkProfile};
+//! let program = generate(&BenchmarkProfile::mpeg2enc_like(), 42);
+//! assert!(program.text_size_bytes() > 64 * 1024);
+//! ```
+
+mod gen;
+mod mix;
+mod profile;
+
+pub use gen::generate;
+pub use mix::{instruction_mix, InstructionMix};
+pub use profile::BenchmarkProfile;

@@ -1,0 +1,64 @@
+//! Inspect how CodePack encodes real instructions: dictionary heads,
+//! per-component composition, and a disassembly of one block annotated
+//! with each instruction's compressed size.
+//!
+//! Run with: `cargo run --release --example inspect_compression`
+
+use codepack::core::{CodePackImage, CompressionConfig};
+use codepack::isa::decode;
+use codepack::synth::{generate, BenchmarkProfile};
+
+fn main() {
+    let program = generate(&BenchmarkProfile::pegwit_like(), 42);
+    let image = CodePackImage::compress(program.text_words(), &CompressionConfig::default());
+    let stats = image.stats();
+
+    println!("== {} ==", program.name());
+    println!(
+        "{} instructions -> {} compressed bytes (ratio {:.1}%)",
+        image.len_insns(),
+        stats.total_bytes(),
+        stats.compression_ratio() * 100.0
+    );
+    println!(
+        "{} blocks in {} groups; {} raw half-words; {} blocks stored raw",
+        image.num_blocks(),
+        image.num_groups(),
+        stats.raw_halfwords,
+        stats.raw_blocks
+    );
+    println!();
+
+    println!("composition: {}", stats);
+    println!();
+
+    println!("high dictionary head (most frequent high half-words):");
+    for (rank, value) in image.high_dict().iter().take(8) {
+        println!("  rank {rank:3}: {value:#06x}");
+    }
+    println!("low dictionary head:");
+    for (rank, value) in image.low_dict().iter().take(8) {
+        println!("  rank {rank:3}: {value:#06x}");
+    }
+    println!(
+        "dictionary sizes: high {} entries, low {} entries ({} bytes total)",
+        image.high_dict().len(),
+        image.low_dict().len(),
+        stats.dictionary_bytes
+    );
+    println!();
+
+    // Annotated disassembly of a *compressed* block (some blocks hold rare
+    // constants and fall back to raw storage; skip those).
+    let block = (0..image.num_blocks())
+        .find(|&b| image.block_info(b).byte_len < 60)
+        .expect("most blocks compress");
+    let info = image.block_info(block);
+    let words = image.decompress_block(block).expect("block decodes");
+    println!("block {block} ({} compressed bytes for 64 native bytes):", info.byte_len);
+    for (j, &word) in words.iter().enumerate() {
+        let bits = info.cum_bits[j + 1] - info.cum_bits[j];
+        let text = decode(word).map_or_else(|_| format!(".word {word:#010x}"), |i| i.to_string());
+        println!("  [{bits:2} bits] {text}");
+    }
+}

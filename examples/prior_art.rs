@@ -1,0 +1,83 @@
+//! Prior art in one view: compress the same program with every scheme the
+//! paper's background section discusses, then show why CodePack's 16-bit
+//! symbols beat CCRP's byte-granularity Huffman on the miss path.
+//!
+//! Run with: `cargo run --release --example prior_art`
+
+use codepack::baselines::{
+    estimate_thumb, CcrpConfig, CcrpFetch, CcrpImage, InsnDictImage,
+};
+use codepack::core::{CodePackFetch, DecompressorConfig, FetchEngine};
+use codepack::mem::MemoryTiming;
+use codepack::sim::Table;
+use codepack::synth::{generate, BenchmarkProfile};
+use std::sync::Arc;
+
+fn main() {
+    let program = generate(&BenchmarkProfile::go_like(), 42);
+    let text = program.text_words();
+
+    // --- size ---
+    let cp = codepack::core::CodePackImage::compress(
+        text,
+        &codepack::core::CompressionConfig::default(),
+    );
+    let ccrp = CcrpImage::compress(text, 32);
+    let dict = InsnDictImage::compress(text);
+    let thumb = estimate_thumb(text);
+
+    let mut t = Table::new(["Scheme", "Compressed", "Ratio"].map(String::from).to_vec())
+        .with_title(format!("go ({} bytes of text)", program.text_size_bytes()));
+    t.row(vec![
+        "CodePack (half-word dicts)".into(),
+        format!("{}", cp.stats().total_bytes()),
+        format!("{:.1}%", cp.stats().compression_ratio() * 100.0),
+    ]);
+    t.row(vec![
+        "CCRP (Huffman bytes/line)".into(),
+        format!("{}", ccrp.stats().total_bytes()),
+        format!("{:.1}%", ccrp.stats().compression_ratio() * 100.0),
+    ]);
+    t.row(vec![
+        "Whole-insn dictionary".into(),
+        format!("{}", dict.stats().total_bytes()),
+        format!("{:.1}%", dict.stats().compression_ratio() * 100.0),
+    ]);
+    t.row(vec![
+        "Thumb-style 16-bit (est.)".into(),
+        format!("{}", thumb.reencoded_bytes()),
+        format!("{:.1}%", thumb.size_ratio() * 100.0),
+    ]);
+    t.print();
+    println!();
+
+    // --- decode latency on one miss ---
+    // Same miss (5th instruction of a cache line), serviced by each
+    // hardware decompressor.
+    let timing = MemoryTiming::default();
+    let mut cp_fetch = CodePackFetch::new(
+        Arc::new(cp),
+        timing,
+        DecompressorConfig::baseline(),
+        codepack::isa::TEXT_BASE,
+    );
+    let mut ccrp_fetch = CcrpFetch::new(
+        Arc::new(ccrp),
+        timing,
+        CcrpConfig::default(),
+        codepack::isa::TEXT_BASE,
+    );
+    let addr = codepack::isa::TEXT_BASE + 4 * 4;
+    let cp_svc = cp_fetch.service_miss(addr, 32);
+    let ccrp_svc = ccrp_fetch.service_miss(addr, 32);
+    println!("one L1 miss on the 5th instruction of a line:");
+    println!("  CodePack: critical ready at t={} (2 half-word lookups/insn)", cp_svc.critical_ready);
+    println!("  CCRP:     critical ready at t={} (4 Huffman symbols/insn)", ccrp_svc.critical_ready);
+    println!();
+    println!(
+        "CodePack's coarser symbols serve this miss {:.1}x faster — the \
+         serial-decode cost the paper attributes to CCRP's 4 symbols per \
+         instruction.",
+        ccrp_svc.critical_ready as f64 / cp_svc.critical_ready.max(1) as f64
+    );
+}

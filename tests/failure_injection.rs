@@ -1,0 +1,87 @@
+//! Failure injection: corrupt inputs must surface as typed errors, never
+//! as panics or silent wrong answers.
+
+use codepack::core::{CodePackImage, CompressionConfig, DecompressError};
+use codepack::cpu::{ExecError, Machine};
+use codepack::isa::{Assembler, Instruction, Reg};
+use codepack::sim::{ArchConfig, CodeModel, Simulation};
+use codepack::synth::{generate, BenchmarkProfile};
+
+fn compressible_text() -> Vec<u32> {
+    generate(&BenchmarkProfile::pegwit_like(), 9).text_words().to_vec()
+}
+
+#[test]
+fn corrupted_streams_error_or_misdecode_but_never_panic() {
+    let text = compressible_text();
+    let clean = CodePackImage::compress(&text, &CompressionConfig::default());
+    // Flip bytes at many positions; every decode attempt must return
+    // Ok(something) or Err(DecompressError) — panics fail the test harness.
+    for at in (0..clean.compressed_bytes().len()).step_by(97) {
+        let corrupt = clean.clone().with_corrupted_bytes(at, 0xff);
+        for block in 0..corrupt.num_blocks().min(64) {
+            let _ = corrupt.decompress_block(block);
+        }
+    }
+}
+
+#[test]
+fn truncation_error_carries_position() {
+    // A reader over an empty slice must report truncation immediately.
+    let mut reader = codepack::core::BitReader::new(&[]);
+    match reader.read(2) {
+        Err(DecompressError::Truncated { at_bit }) => assert_eq!(at_bit, 0),
+        other => panic!("expected truncation, got {other:?}"),
+    }
+}
+
+#[test]
+fn illegal_instruction_surfaces_through_simulation() {
+    let mut a = Assembler::new();
+    a.push(Instruction::NOP);
+    a.push_raw(0xffff_ffff); // not a valid SR32 encoding
+    a.halt();
+    let program = a.finish("bad").unwrap();
+    let err = Simulation::new(ArchConfig::four_issue(), CodeModel::Native)
+        .try_run(&program, 1_000)
+        .unwrap_err();
+    assert!(matches!(err, ExecError::IllegalInstruction { pc, .. } if pc == codepack::isa::TEXT_BASE + 4));
+}
+
+#[test]
+fn wild_jump_is_a_clean_trap() {
+    let mut a = Assembler::new();
+    a.li(Reg::T0, 0x0000_1000); // below TEXT_BASE
+    a.push(Instruction::Jr { rs: Reg::T0 });
+    let program = a.finish("wild").unwrap();
+    let err = Simulation::new(ArchConfig::one_issue(), CodeModel::codepack_baseline())
+        .try_run(&program, 1_000)
+        .unwrap_err();
+    assert!(matches!(err, ExecError::PcOutOfText { .. }));
+}
+
+#[test]
+fn unknown_syscall_reports_code() {
+    let mut a = Assembler::new();
+    a.li(Reg::V0, 99);
+    a.push(Instruction::Syscall);
+    let program = a.finish("sys").unwrap();
+    let mut m = Machine::load(&program);
+    m.step().unwrap();
+    match m.step() {
+        Err(ExecError::UnknownSyscall { code, .. }) => assert_eq!(code, 99),
+        other => panic!("expected unknown syscall, got {other:?}"),
+    }
+}
+
+#[test]
+fn break_instruction_traps() {
+    let mut a = Assembler::new();
+    a.push(Instruction::Break);
+    let program = a.finish("brk").unwrap();
+    let err = Simulation::new(ArchConfig::four_issue(), CodeModel::Native)
+        .try_run(&program, 10)
+        .unwrap_err();
+    assert!(matches!(err, ExecError::Break { .. }));
+    assert!(err.to_string().contains("break"));
+}

@@ -1,0 +1,117 @@
+//! Property tests over the CodePack codec at the whole-image level.
+
+use codepack::core::{CodePackImage, CompressionConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Instruction-word generator with a realistic mixture: many repeats of a
+/// few values, plus arbitrary noise words.
+fn arb_text() -> impl Strategy<Value = Vec<u32>> {
+    let common = prop_oneof![
+        Just(0x2402_0001u32),
+        Just(0x8c62_0004u32),
+        Just(0xafbf_0014u32),
+        Just(0x0000_0000u32),
+        Just(0x03e0_0008u32),
+    ];
+    let word = prop_oneof![4 => common, 1 => any::<u32>()];
+    vec(word, 1..400)
+}
+
+fn arb_config() -> impl Strategy<Value = CompressionConfig> {
+    (any::<bool>(), any::<bool>(), 1u32..4).prop_map(|(raw, pin, min)| CompressionConfig {
+        raw_block_fallback: raw,
+        pin_low_zero: pin,
+        dict_min_count: min,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lossless: decompress(compress(text)) == text for any text and any
+    /// codec configuration.
+    #[test]
+    fn roundtrip_any_text_any_config(text in arb_text(), config in arb_config()) {
+        let image = CodePackImage::compress(&text, &config);
+        prop_assert_eq!(image.decompress_all().unwrap(), text);
+    }
+
+    /// The composition accounting always partitions the image exactly.
+    #[test]
+    fn composition_partitions_image(text in arb_text()) {
+        let image = CodePackImage::compress(&text, &CompressionConfig::default());
+        let s = image.stats();
+        let sum: f64 = s.table4_fractions().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(
+            s.total_bytes(),
+            s.index_table_bytes + s.dictionary_bytes + image.compressed_bytes().len() as u64
+        );
+    }
+
+    /// With the raw-block fallback on, expansion is bounded: a block never
+    /// exceeds its native 64 bytes by more than the flag byte, so the whole
+    /// stream stays within ~2% of native plus table overheads.
+    #[test]
+    fn fallback_bounds_expansion(text in vec(any::<u32>(), 1..400)) {
+        let image = CodePackImage::compress(&text, &CompressionConfig::default());
+        let padded_blocks = (text.len() as u64).div_ceil(32) * 2;
+        let stream_limit = padded_blocks * 65; // 64B + flag byte, aligned
+        prop_assert!(image.compressed_bytes().len() as u64 <= stream_limit);
+    }
+
+    /// Index-table resolution agrees with the layout for every block.
+    #[test]
+    fn index_table_consistent(text in arb_text()) {
+        let image = CodePackImage::compress(&text, &CompressionConfig::default());
+        for b in 0..image.num_blocks() {
+            prop_assert_eq!(
+                image.block_offset_via_index(b).unwrap(),
+                image.block_info(b).byte_offset
+            );
+        }
+    }
+
+    /// Block metadata invariants: monotone cumulative bits, byte length
+    /// covers them, blocks tile the stream.
+    #[test]
+    fn block_metadata_invariants(text in arb_text()) {
+        let image = CodePackImage::compress(&text, &CompressionConfig::default());
+        let mut expected_offset = 0u32;
+        for b in 0..image.num_blocks() {
+            let info = image.block_info(b);
+            prop_assert_eq!(info.byte_offset, expected_offset, "blocks tile contiguously");
+            expected_offset += u32::from(info.byte_len);
+            for j in 0..16 {
+                prop_assert!(info.cum_bits[j] < info.cum_bits[j + 1]);
+            }
+            prop_assert!(u32::from(info.cum_bits[16]).div_ceil(8) <= u32::from(info.byte_len));
+        }
+        prop_assert_eq!(expected_offset as usize, image.compressed_bytes().len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ROM serialization round-trips for arbitrary texts; the loaded image
+    /// behaves identically (same decode output, same per-block metadata).
+    #[test]
+    fn rom_round_trip(text in arb_text()) {
+        let image = CodePackImage::compress(&text, &CompressionConfig::default());
+        let loaded = CodePackImage::from_rom_bytes(&image.to_rom_bytes()).unwrap();
+        prop_assert_eq!(loaded.decompress_all().unwrap(), text);
+        for b in 0..image.num_blocks() {
+            prop_assert_eq!(&loaded.block_info(b).cum_bits, &image.block_info(b).cum_bits);
+        }
+    }
+
+    /// Truncating a ROM anywhere yields an error, never a panic.
+    #[test]
+    fn rom_truncation_always_errors(text in arb_text(), cut_frac in 0.0f64..1.0) {
+        let rom = CodePackImage::compress(&text, &CompressionConfig::default()).to_rom_bytes();
+        let cut = ((rom.len() as f64) * cut_frac) as usize;
+        prop_assert!(CodePackImage::from_rom_bytes(&rom[..cut.min(rom.len() - 1)]).is_err());
+    }
+}
