@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate. Must pass on a machine with no network and a cold cargo
+# registry cache: the workspace has zero external dependencies (enforced
+# by tests/hermetic.rs), so --offline is load-bearing, not an option.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+echo "ci: all green"

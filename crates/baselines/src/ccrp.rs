@@ -120,7 +120,10 @@ impl CcrpImage {
     /// of 4.
     pub fn compress(text: &[u32], line_bytes: u32) -> CcrpImage {
         assert!(!text.is_empty(), "cannot compress an empty text section");
-        assert!(line_bytes >= 4 && line_bytes.is_multiple_of(4), "line size must be whole instructions");
+        assert!(
+            line_bytes >= 4 && line_bytes.is_multiple_of(4),
+            "line size must be whole instructions"
+        );
         let insns_per_line = (line_bytes / 4) as usize;
         let n_insns = text.len() as u32;
         let padded_len = text.len().div_ceil(insns_per_line) * insns_per_line;
@@ -172,14 +175,25 @@ impl CcrpImage {
             stats.lines += 1;
             let byte_len = u16::try_from(line_bytes_vec.len()).expect("line fits u16");
             bytes.extend_from_slice(&line_bytes_vec);
-            lines.push(LineInfo { byte_offset, byte_len, cum_bits: cum });
+            lines.push(LineInfo {
+                byte_offset,
+                byte_len,
+                cum_bits: cum,
+            });
         }
 
         stats.stream_bytes = bytes.len() as u64;
-        stats.lat_bytes =
-            u64::from((lines.len() as u32).div_ceil(LINES_PER_LAT_ENTRY)) * u64::from(LAT_ENTRY_BYTES);
+        stats.lat_bytes = u64::from((lines.len() as u32).div_ceil(LINES_PER_LAT_ENTRY))
+            * u64::from(LAT_ENTRY_BYTES);
 
-        CcrpImage { code, bytes, lines, line_bytes, n_insns, stats }
+        CcrpImage {
+            code,
+            bytes,
+            lines,
+            line_bytes,
+            n_insns,
+            stats,
+        }
     }
 
     /// Size accounting.
@@ -215,7 +229,10 @@ impl CcrpImage {
         let info = self
             .lines
             .get(line as usize)
-            .ok_or(DecompressError::BadBlock { block: line, blocks: self.num_lines() })?;
+            .ok_or(DecompressError::BadBlock {
+                block: line,
+                blocks: self.num_lines(),
+            })?;
         let mut r = BitReader::new(&self.bytes[info.byte_offset as usize..]);
         let insns = (self.line_bytes / 4) as usize;
         let mut out = Vec::with_capacity(insns);
@@ -266,7 +283,10 @@ pub struct CcrpConfig {
 impl Default for CcrpConfig {
     fn default() -> CcrpConfig {
         CcrpConfig {
-            lat_cache: IndexCacheModel::Cached { lines: 1, entries_per_line: 1 },
+            lat_cache: IndexCacheModel::Cached {
+                lines: 1,
+                entries_per_line: 1,
+            },
             symbols_per_cycle: 1,
             request_overhead: 2,
         }
@@ -295,12 +315,20 @@ impl CcrpFetch {
         text_base: u32,
     ) -> CcrpFetch {
         let lat_cache = match config.lat_cache {
-            IndexCacheModel::Cached { lines, entries_per_line } => {
-                Some(FullyAssociativeCache::new(lines, entries_per_line))
-            }
+            IndexCacheModel::Cached {
+                lines,
+                entries_per_line,
+            } => Some(FullyAssociativeCache::new(lines, entries_per_line)),
             _ => None,
         };
-        CcrpFetch { image, timing, config, text_base, lat_cache, stats: FetchStats::default() }
+        CcrpFetch {
+            image,
+            timing,
+            config,
+            text_base,
+            lat_cache,
+            stats: FetchStats::default(),
+        }
     }
 }
 
@@ -359,7 +387,11 @@ impl FetchEngine for CcrpFetch {
             let bytes_needed = u32::from(info.cum_bits[j + 1]).div_ceil(8);
             let beat = bytes_needed.div_ceil(bus).max(1) - 1;
             let arrival = t_start + first + u64::from(beat) * rate;
-            let serial = if j > 0 { ready[j - 1] + cycles_per_insn } else { 0 };
+            let serial = if j > 0 {
+                ready[j - 1] + cycles_per_insn
+            } else {
+                0
+            };
             ready[j] = (arrival + cycles_per_insn).max(serial);
         }
 
@@ -441,7 +473,11 @@ mod tests {
             .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect();
         let img = CcrpImage::compress(&text, 32);
-        assert_eq!(img.stats().raw_lines, img.stats().lines, "every line must fall back");
+        assert_eq!(
+            img.stats().raw_lines,
+            img.stats().lines,
+            "every line must fall back"
+        );
         assert_eq!(img.decompress_all().unwrap(), text);
     }
 
@@ -469,8 +505,8 @@ mod tests {
         let mut f = CcrpFetch::new(Arc::clone(&img), MemoryTiming::default(), cfg, 0);
         let early = f.service_miss(0, 32);
         let late = f.service_miss(32 + 28, 32); // last insn of line 1
-        // Serial decode: the last instruction of a line is at least
-        // 7 * 4 cycles behind the first.
+                                                // Serial decode: the last instruction of a line is at least
+                                                // 7 * 4 cycles behind the first.
         assert!(late.critical_ready >= early.critical_ready + 7 * 4);
         assert_eq!(late.critical_ready, late.line_fill_complete);
     }

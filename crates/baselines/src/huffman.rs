@@ -56,7 +56,10 @@ impl HuffmanCode {
     /// than `u16::MAX` symbols.
     pub fn build(freqs: &[u64]) -> HuffmanCode {
         assert!(freqs.len() <= usize::from(u16::MAX), "alphabet too large");
-        assert!(freqs.iter().any(|&f| f > 0), "cannot build a code for an empty stream");
+        assert!(
+            freqs.iter().any(|&f| f > 0),
+            "cannot build a code for an empty stream"
+        );
 
         let mut working: Vec<u64> = freqs.to_vec();
         let mut floor = 1u64;
@@ -113,7 +116,15 @@ impl HuffmanCode {
             prev_len = len;
         }
 
-        HuffmanCode { lengths, codes, sorted_symbols, first_code, first_index, count, max_len }
+        HuffmanCode {
+            lengths,
+            codes,
+            sorted_symbols,
+            first_code,
+            first_index,
+            count,
+            max_len,
+        }
     }
 
     /// Code length (bits) of `symbol`; 0 if the symbol has no code.
@@ -210,7 +221,10 @@ fn optimal_lengths(freqs: &[u64]) -> Vec<u8> {
         parent.push(usize::MAX);
         parent[a.id] = id;
         parent[b.id] = id;
-        heap.push(Reverse(Node { weight: a.weight + b.weight, id }));
+        heap.push(Reverse(Node {
+            weight: a.weight + b.weight,
+            id,
+        }));
     }
     let root = heap.pop().map(|n| n.0.id);
     let mut lengths = vec![0u8; freqs.len()];
@@ -260,7 +274,11 @@ mod tests {
         let kraft: f64 = (0..200u16)
             .map(|s| {
                 let l = code.len_of(s);
-                if l == 0 { 0.0 } else { 2f64.powi(-i32::from(l)) }
+                if l == 0 {
+                    0.0
+                } else {
+                    2f64.powi(-i32::from(l))
+                }
             })
             .sum();
         assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
@@ -268,7 +286,9 @@ mod tests {
 
     #[test]
     fn roundtrip_skewed_byte_alphabet() {
-        let freqs: Vec<u64> = (0..256u64).map(|i| if i < 8 { 1000 } else { 1 + i % 5 }).collect();
+        let freqs: Vec<u64> = (0..256u64)
+            .map(|i| if i < 8 { 1000 } else { 1 + i % 5 })
+            .collect();
         let code = HuffmanCode::build(&freqs);
         let stream: Vec<u16> = (0..2000u32).map(|i| ((i * 37) % 256) as u16).collect();
         roundtrip(&code, &stream);
@@ -287,7 +307,11 @@ mod tests {
         }
         let code = HuffmanCode::build(&freqs);
         for s in 0..64u16 {
-            assert!(code.len_of(s) <= MAX_CODE_LEN, "symbol {s}: {}", code.len_of(s));
+            assert!(
+                code.len_of(s) <= MAX_CODE_LEN,
+                "symbol {s}: {}",
+                code.len_of(s)
+            );
         }
         roundtrip(&code, &(0..64u16).collect::<Vec<_>>());
     }

@@ -80,7 +80,11 @@ impl HalfCodec {
         if freqs[usize::from(escape)] == 0 {
             freqs[usize::from(escape)] = 1;
         }
-        HalfCodec { dict, code: HuffmanCode::build(&freqs), escape }
+        HalfCodec {
+            dict,
+            code: HuffmanCode::build(&freqs),
+            escape,
+        }
     }
 
     fn encode(&self, w: &mut BitWriter, value: u16, stats: &mut HuffPackStats) {
@@ -194,13 +198,24 @@ impl HuffPackImage {
             };
             let byte_len = u16::try_from(block_bytes.len()).expect("block fits u16");
             bytes.extend_from_slice(&block_bytes);
-            blocks.push(HuffBlockInfo { byte_offset, byte_len, cum_bits: cum });
+            blocks.push(HuffBlockInfo {
+                byte_offset,
+                byte_len,
+                cum_bits: cum,
+            });
         }
 
         stats.stream_bytes = bytes.len() as u64;
         stats.index_table_bytes = (blocks.len() as u64 / 2) * 4;
 
-        HuffPackImage { high, low, bytes, blocks, n_insns, stats }
+        HuffPackImage {
+            high,
+            low,
+            bytes,
+            blocks,
+            n_insns,
+            stats,
+        }
     }
 
     /// Size accounting.
@@ -231,7 +246,10 @@ impl HuffPackImage {
         let info = self
             .blocks
             .get(block as usize)
-            .ok_or(DecompressError::BadBlock { block, blocks: self.num_blocks() })?;
+            .ok_or(DecompressError::BadBlock {
+                block,
+                blocks: self.num_blocks(),
+            })?;
         let mut r = BitReader::new(&self.bytes[info.byte_offset as usize..]);
         let raw = r.read(1)? == 1;
         let mut out = [0u32; 16];
@@ -285,7 +303,10 @@ pub struct HuffPackConfig {
 impl Default for HuffPackConfig {
     fn default() -> HuffPackConfig {
         HuffPackConfig {
-            index_cache: IndexCacheModel::Cached { lines: 64, entries_per_line: 4 },
+            index_cache: IndexCacheModel::Cached {
+                lines: 64,
+                entries_per_line: 4,
+            },
             halfwords_per_cycle: 1,
             request_overhead: 2,
         }
@@ -314,9 +335,10 @@ impl HuffPackFetch {
         text_base: u32,
     ) -> HuffPackFetch {
         let index_cache = match config.index_cache {
-            IndexCacheModel::Cached { lines, entries_per_line } => {
-                Some(FullyAssociativeCache::new(lines, entries_per_line))
-            }
+            IndexCacheModel::Cached {
+                lines,
+                entries_per_line,
+            } => Some(FullyAssociativeCache::new(lines, entries_per_line)),
             _ => None,
         };
         HuffPackFetch {
@@ -387,7 +409,11 @@ impl FetchEngine for HuffPackFetch {
             let bytes_needed = u32::from(info.cum_bits[j + 1]).div_ceil(8);
             let beat = bytes_needed.div_ceil(bus).max(1) - 1;
             let arrival = t_start + first + u64::from(beat) * rate;
-            let serial = if j > 0 { ready[j - 1] + cycles_per_insn } else { 0 };
+            let serial = if j > 0 {
+                ready[j - 1] + cycles_per_insn
+            } else {
+                0
+            };
             ready[j] = (arrival + cycles_per_insn).max(serial);
         }
 
@@ -482,7 +508,9 @@ mod tests {
 
     #[test]
     fn raw_fallback_bounds_expansion() {
-        let t: Vec<u32> = (0..128u32).map(|i| i.wrapping_mul(0x9e37_79b9).rotate_left(11)).collect();
+        let t: Vec<u32> = (0..128u32)
+            .map(|i| i.wrapping_mul(0x9e37_79b9).rotate_left(11))
+            .collect();
         let img = HuffPackImage::compress(&t);
         assert_eq!(img.decompress_all().unwrap(), t);
         assert!(img.stats().compression_ratio() < 1.25);

@@ -106,13 +106,15 @@ impl InsnDictImage {
             *counts.entry(w).or_insert(0) += 1;
         }
         // Worth a slot only if the codeword + dictionary entry beats raw.
-        let mut ranked: Vec<(u32, u32)> =
-            counts.into_iter().filter(|&(_, c)| c >= 2).collect();
+        let mut ranked: Vec<(u32, u32)> = counts.into_iter().filter(|&(_, c)| c >= 2).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(MAX_DICT_ENTRIES as usize);
         let dict: Vec<u32> = ranked.iter().map(|&(w, _)| w).collect();
-        let index: HashMap<u32, u32> =
-            dict.iter().enumerate().map(|(i, &w)| (w, i as u32)).collect();
+        let index: HashMap<u32, u32> = dict
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w, i as u32))
+            .collect();
 
         let mut stream = Vec::new();
         let mut block_offsets = Vec::new();
@@ -144,7 +146,13 @@ impl InsnDictImage {
             escaped_insns: escaped,
             dict_entries: dict.len() as u64,
         };
-        InsnDictImage { dict, stream, block_offsets, n_insns: text.len() as u32, stats }
+        InsnDictImage {
+            dict,
+            stream,
+            block_offsets,
+            n_insns: text.len() as u32,
+            stats,
+        }
     }
 
     /// Size accounting.
@@ -170,34 +178,41 @@ impl InsnDictImage {
             self.stream
                 .get(pos)
                 .copied()
-                .ok_or(DecompressError::Truncated { at_bit: pos as u64 * 8 })
+                .ok_or(DecompressError::Truncated {
+                    at_bit: pos as u64 * 8,
+                })
         };
         while out.len() < self.n_insns as usize {
             let b0 = at(pos)?;
             if b0 & 0x80 == 0 {
                 let rank = u32::from(b0);
-                let word = self.dict.get(rank as usize).copied().ok_or(
-                    DecompressError::BadDictIndex {
-                        high: false,
-                        rank: rank as u16,
-                        dict_len: self.dict.len().min(usize::from(u16::MAX)) as u16,
-                    },
-                )?;
+                let word =
+                    self.dict
+                        .get(rank as usize)
+                        .copied()
+                        .ok_or(DecompressError::BadDictIndex {
+                            high: false,
+                            rank: rank as u16,
+                            dict_len: self.dict.len().min(usize::from(u16::MAX)) as u16,
+                        })?;
                 out.push(word);
                 pos += 1;
             } else if b0 == ESCAPE {
-                let word = u32::from_le_bytes([at(pos + 1)?, at(pos + 2)?, at(pos + 3)?, at(pos + 4)?]);
+                let word =
+                    u32::from_le_bytes([at(pos + 1)?, at(pos + 2)?, at(pos + 3)?, at(pos + 4)?]);
                 out.push(word);
                 pos += 5;
             } else {
                 let rank = 128 + ((u32::from(b0 & 0x3f)) << 8 | u32::from(at(pos + 1)?));
-                let word = self.dict.get(rank as usize).copied().ok_or(
-                    DecompressError::BadDictIndex {
-                        high: false,
-                        rank: rank.min(u32::from(u16::MAX)) as u16,
-                        dict_len: self.dict.len().min(usize::from(u16::MAX)) as u16,
-                    },
-                )?;
+                let word =
+                    self.dict
+                        .get(rank as usize)
+                        .copied()
+                        .ok_or(DecompressError::BadDictIndex {
+                            high: false,
+                            rank: rank.min(u32::from(u16::MAX)) as u16,
+                            dict_len: self.dict.len().min(usize::from(u16::MAX)) as u16,
+                        })?;
                 out.push(word);
                 pos += 2;
             }
@@ -256,9 +271,15 @@ mod tests {
     fn dictionary_grows_into_thousands_for_diverse_code() {
         // The trade-off the paper calls out: similar ratio to CodePack but a
         // much larger dictionary.
-        let text: Vec<u32> = (0..20_000u32).map(|i| 0x2000_0000 | (i % 3000) << 2).collect();
+        let text: Vec<u32> = (0..20_000u32)
+            .map(|i| 0x2000_0000 | (i % 3000) << 2)
+            .collect();
         let img = InsnDictImage::compress(&text);
-        assert!(img.stats().dict_entries >= 3000, "got {}", img.stats().dict_entries);
+        assert!(
+            img.stats().dict_entries >= 3000,
+            "got {}",
+            img.stats().dict_entries
+        );
     }
 
     #[test]
@@ -266,6 +287,9 @@ mod tests {
         let text = vec![0x1234_5678u32; 8]; // single dict entry
         let mut img = InsnDictImage::compress(&text);
         img.stream.truncate(3);
-        assert!(matches!(img.decompress_all(), Err(DecompressError::Truncated { .. })));
+        assert!(matches!(
+            img.decompress_all(),
+            Err(DecompressError::Truncated { .. })
+        ));
     }
 }

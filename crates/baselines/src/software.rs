@@ -11,9 +11,7 @@
 //! last decompressed block, giving the same prefetch effect as the
 //! hardware output buffer at a small software cost.
 
-use codepack_core::{
-    CodePackImage, FetchEngine, FetchStats, MissService, MissSource, BLOCK_INSNS,
-};
+use codepack_core::{CodePackImage, FetchEngine, FetchStats, MissService, MissSource, BLOCK_INSNS};
 use codepack_mem::MemoryTiming;
 use std::fmt;
 use std::sync::Arc;
@@ -77,7 +75,10 @@ impl SoftwareDecompFetch {
 
 impl FetchEngine for SoftwareDecompFetch {
     fn service_miss(&mut self, critical_addr: u32, line_bytes: u32) -> MissService {
-        assert!(line_bytes <= BLOCK_INSNS * 4, "a line must fit within one block");
+        assert!(
+            line_bytes <= BLOCK_INSNS * 4,
+            "a line must fit within one block"
+        );
         self.stats.misses += 1;
 
         let insn = (critical_addr - self.text_base) / 4;
@@ -143,7 +144,10 @@ mod tests {
 
     fn image() -> Arc<CodePackImage> {
         let text: Vec<u32> = (0..64).map(|i| 0x2402_0000 | (i % 9)).collect();
-        Arc::new(CodePackImage::compress(&text, &CompressionConfig::default()))
+        Arc::new(CodePackImage::compress(
+            &text,
+            &CompressionConfig::default(),
+        ))
     }
 
     #[test]
@@ -183,7 +187,10 @@ mod tests {
         sw.service_miss(0, 32);
         let second = sw.service_miss(32, 32); // other line, same block
         assert_eq!(second.source, MissSource::OutputBuffer);
-        assert_eq!(second.critical_ready, SoftwareDecompConfig::default().scratchpad_hit_cycles);
+        assert_eq!(
+            second.critical_ready,
+            SoftwareDecompConfig::default().scratchpad_hit_cycles
+        );
     }
 
     #[test]

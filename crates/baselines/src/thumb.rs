@@ -89,8 +89,14 @@ pub fn reencode(insn: &Instruction) -> Reencoding {
     use Reencoding::*;
     match *insn {
         // Two-operand ALU over low registers fits; three-operand needs a mov.
-        Addu { rd, rs, rt } | Subu { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt }
-        | Xor { rd, rs, rt } | Slt { rd, rs, rt } | Sltu { rd, rs, rt } | Nor { rd, rs, rt } => {
+        Addu { rd, rs, rt }
+        | Subu { rd, rs, rt }
+        | And { rd, rs, rt }
+        | Or { rd, rs, rt }
+        | Xor { rd, rs, rt }
+        | Slt { rd, rs, rt }
+        | Sltu { rd, rs, rt }
+        | Nor { rd, rs, rt } => {
             if !(low(rd) && low(rs) && low(rt)) {
                 Full
             } else if rd == rs || rd == rt {
@@ -236,42 +242,69 @@ mod tests {
 
     #[test]
     fn two_operand_low_reg_alu_is_half() {
-        let i = Instruction::Addu { rd: Reg::V1, rs: Reg::V1, rt: Reg::A1 };
+        let i = Instruction::Addu {
+            rd: Reg::V1,
+            rs: Reg::V1,
+            rt: Reg::A1,
+        };
         assert_eq!(reencode(&i), Reencoding::Half);
     }
 
     #[test]
     fn three_operand_needs_fixup() {
-        let i = Instruction::Addu { rd: Reg::V1, rs: Reg::A0, rt: Reg::A1 };
+        let i = Instruction::Addu {
+            rd: Reg::V1,
+            rs: Reg::A0,
+            rt: Reg::A1,
+        };
         assert_eq!(reencode(&i), Reencoding::HalfWithFixup);
     }
 
     #[test]
     fn high_registers_stay_full() {
-        let i = Instruction::Addu { rd: Reg::S0, rs: Reg::S0, rt: Reg::S1 };
+        let i = Instruction::Addu {
+            rd: Reg::S0,
+            rs: Reg::S0,
+            rt: Reg::S1,
+        };
         assert_eq!(reencode(&i), Reencoding::Full);
     }
 
     #[test]
     fn large_immediates_stay_full() {
-        let i = Instruction::Addiu { rt: Reg::V1, rs: Reg::V1, imm: 5000 };
+        let i = Instruction::Addiu {
+            rt: Reg::V1,
+            rs: Reg::V1,
+            imm: 5000,
+        };
         assert_eq!(reencode(&i), Reencoding::Full);
-        let i = Instruction::Lui { rt: Reg::V1, imm: 1 };
+        let i = Instruction::Lui {
+            rt: Reg::V1,
+            imm: 1,
+        };
         assert_eq!(reencode(&i), Reencoding::Full);
     }
 
     #[test]
     fn fp_stays_full() {
         use codepack_isa::FReg;
-        let i = Instruction::AddS { fd: FReg::F0, fs: FReg::F0, ft: FReg::F12 };
+        let i = Instruction::AddS {
+            fd: FReg::F0,
+            fs: FReg::F0,
+            ft: FReg::F12,
+        };
         assert_eq!(reencode(&i), Reencoding::Full);
     }
 
     #[test]
     fn estimate_accounts_fixups_at_full_size() {
         let text = vec![
-            encode(Instruction::Addu { rd: Reg::V1, rs: Reg::A0, rt: Reg::A1 }), // fixup: 4B
-            encode(Instruction::Jr { rs: Reg::RA }),                             // half: 2B
+            encode(Instruction::Addu {
+                rd: Reg::V1,
+                rs: Reg::A0,
+                rt: Reg::A1,
+            }), // fixup: 4B
+            encode(Instruction::Jr { rs: Reg::RA }), // half: 2B
         ];
         let e = estimate_thumb(&text);
         assert_eq!(e.reencoded_bytes(), 6);

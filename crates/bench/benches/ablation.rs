@@ -7,9 +7,7 @@
 //! instruction forwarding, and the index cache itself.
 
 use codepack_bench::Workload;
-use codepack_core::{
-    CodePackImage, CompressionConfig, DecompressorConfig, IndexCacheModel,
-};
+use codepack_core::{CodePackImage, CompressionConfig, DecompressorConfig, IndexCacheModel};
 use codepack_sim::{ArchConfig, CodeModel, Table};
 use codepack_synth::{generate, BenchmarkProfile};
 
@@ -21,7 +19,9 @@ fn main() {
 
 fn compression_ablation() {
     let mut table = Table::new(
-        ["Variant", "cc1", "go", "pegwit"].map(String::from).to_vec(),
+        ["Variant", "cc1", "go", "pegwit"]
+            .map(String::from)
+            .to_vec(),
     )
     .with_title("Ablation A: compression ratio by codec feature");
 
@@ -38,15 +38,24 @@ fn compression_ablation() {
         ("full CodePack", CompressionConfig::default()),
         (
             "no raw-block fallback",
-            CompressionConfig { raw_block_fallback: false, ..CompressionConfig::default() },
+            CompressionConfig {
+                raw_block_fallback: false,
+                ..CompressionConfig::default()
+            },
         ),
         (
             "no low-zero codeword",
-            CompressionConfig { pin_low_zero: false, ..CompressionConfig::default() },
+            CompressionConfig {
+                pin_low_zero: false,
+                ..CompressionConfig::default()
+            },
         ),
         (
             "admit singletons to dict",
-            CompressionConfig { dict_min_count: 1, ..CompressionConfig::default() },
+            CompressionConfig {
+                dict_min_count: 1,
+                ..CompressionConfig::default()
+            },
         ),
     ];
 
@@ -70,15 +79,24 @@ fn timing_ablation() {
         ("baseline", DecompressorConfig::baseline()),
         (
             "no output buffer",
-            DecompressorConfig { output_buffer: false, ..DecompressorConfig::baseline() },
+            DecompressorConfig {
+                output_buffer: false,
+                ..DecompressorConfig::baseline()
+            },
         ),
         (
             "no forwarding",
-            DecompressorConfig { forwarding: false, ..DecompressorConfig::baseline() },
+            DecompressorConfig {
+                forwarding: false,
+                ..DecompressorConfig::baseline()
+            },
         ),
         (
             "no index cache at all",
-            DecompressorConfig { index_cache: IndexCacheModel::None, ..DecompressorConfig::baseline() },
+            DecompressorConfig {
+                index_cache: IndexCacheModel::None,
+                ..DecompressorConfig::baseline()
+            },
         ),
         ("optimized", DecompressorConfig::optimized()),
     ];

@@ -18,9 +18,16 @@ fn main() {
     let workloads = Workload::suite();
 
     let mut ratios = Table::new(
-        ["Bench", "CodePack", "CCRP", "InsnDict", "Thumb16", "dict entries"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Bench",
+            "CodePack",
+            "CCRP",
+            "InsnDict",
+            "Thumb16",
+            "dict entries",
+        ]
+        .map(String::from)
+        .to_vec(),
     )
     .with_title("Compression ratio by scheme (smaller is better)");
 
@@ -29,27 +36,47 @@ fn main() {
         let ccrp = CcrpImage::compress(text, 32);
         let dict = InsnDictImage::compress(text);
         let thumb = estimate_thumb(text);
-        assert_eq!(ccrp.decompress_all().unwrap(), text, "ccrp must be lossless");
-        assert_eq!(dict.decompress_all().unwrap(), text, "insn-dict must be lossless");
+        assert_eq!(
+            ccrp.decompress_all().unwrap(),
+            text,
+            "ccrp must be lossless"
+        );
+        assert_eq!(
+            dict.decompress_all().unwrap(),
+            text,
+            "insn-dict must be lossless"
+        );
         ratios.row(vec![
             w.profile.name.to_string(),
             format!("{:.1}%", w.image.stats().compression_ratio() * 100.0),
             format!("{:.1}%", ccrp.stats().compression_ratio() * 100.0),
             format!("{:.1}%", dict.stats().compression_ratio() * 100.0),
             format!("{:.1}%", thumb.size_ratio() * 100.0),
-            format!("{} vs {}", dict.stats().dict_entries,
-                    w.image.high_dict().len() as u32 + w.image.low_dict().len() as u32),
+            format!(
+                "{} vs {}",
+                dict.stats().dict_entries,
+                w.image.high_dict().len() as u32 + w.image.low_dict().len() as u32
+            ),
         ]);
     }
     ratios.print();
-    println!("(dict entries: whole-instruction dictionary vs CodePack's two half-word dictionaries)");
+    println!(
+        "(dict entries: whole-instruction dictionary vs CodePack's two half-word dictionaries)"
+    );
     println!();
 
     // Miss-path performance: CCRP's 4-decodes-per-instruction vs CodePack.
     let mut perf = Table::new(
-        ["Bench", "Native IPC", "CCRP IPC", "CodePack IPC", "CCRP avg penalty", "CP avg penalty"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Bench",
+            "Native IPC",
+            "CCRP IPC",
+            "CodePack IPC",
+            "CCRP avg penalty",
+            "CP avg penalty",
+        ]
+        .map(String::from)
+        .to_vec(),
     )
     .with_title("CCRP vs CodePack miss-path performance (4-issue)");
     let arch = ArchConfig::four_issue();

@@ -34,10 +34,7 @@ fn main() {
         let cp_l2 = w.run(l2, CodeModel::codepack_baseline());
         let opt_l2 = w.run(l2, CodeModel::codepack_optimized());
 
-        let l2_missrate = opt_l2
-            .pipeline
-            .l2
-            .map_or(0.0, |s| s.miss_ratio());
+        let l2_missrate = opt_l2.pipeline.l2.map_or(0.0, |s| s.miss_ratio());
 
         table.row(vec![
             w.profile.name.to_string(),

@@ -1,71 +1,51 @@
-//! Criterion micro-benchmarks of the codec itself: dictionary construction,
+//! Micro-benchmarks of the codec itself: dictionary construction,
 //! whole-image compression, per-block decompression, and full-image
 //! decompression throughput. Not a paper table — these quantify the
 //! software cost of the algorithm a hardware decompressor implements.
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use std::time::Duration;
+//!
+//! Runs on the in-tree `codepack_testkit::bench` harness (no criterion).
+//! Results print as a table and land in `target/bench/codec_micro.json`.
+//! Set `TESTKIT_BENCH_FAST=1` for a quick smoke run.
 
 use codepack_core::{CodePackImage, CompressionConfig, Dictionary};
 use codepack_synth::{generate, BenchmarkProfile};
+use codepack_testkit::{Bench, Throughput};
 
 fn text() -> Vec<u32> {
-    generate(&BenchmarkProfile::pegwit_like(), 42).text_words().to_vec()
+    generate(&BenchmarkProfile::pegwit_like(), 42)
+        .text_words()
+        .to_vec()
 }
 
-fn bench_dictionary_build(c: &mut Criterion) {
-    let words = text();
-    let mut g = c.benchmark_group("dictionary_build");
-    g.throughput(Throughput::Elements(words.len() as u64));
-    g.bench_function("low_halfwords", |b| {
-        b.iter(|| Dictionary::build(words.iter().map(|&w| w as u16), 457, 2, true))
-    });
-    g.finish();
-}
-
-fn bench_compress(c: &mut Criterion) {
+fn main() {
     let words = text();
     let cfg = CompressionConfig::default();
-    let mut g = c.benchmark_group("compress");
-    g.throughput(Throughput::Bytes(words.len() as u64 * 4));
-    g.bench_function("pegwit_text", |b| b.iter(|| CodePackImage::compress(&words, &cfg)));
-    g.finish();
-}
+    let image = CodePackImage::compress(&words, &cfg);
 
-fn bench_decompress(c: &mut Criterion) {
-    let words = text();
-    let image = CodePackImage::compress(&words, &CompressionConfig::default());
-    let mut g = c.benchmark_group("decompress");
-    g.throughput(Throughput::Bytes(words.len() as u64 * 4));
-    g.bench_function("full_image", |b| b.iter(|| image.decompress_all().unwrap()));
-    g.finish();
+    let mut b = Bench::new("codec_micro");
 
-    let mut g = c.benchmark_group("decompress_block");
-    g.throughput(Throughput::Elements(16));
-    g.bench_function("single_block", |b| {
-        let mut block = 0u32;
-        b.iter_batched(
-            || {
-                block = (block + 1) % image.num_blocks();
-                block
-            },
-            |bk| image.decompress_block(bk).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
+    b.with_throughput(Throughput::Elements(words.len() as u64))
+        .bench("dictionary_build/low_halfwords", || {
+            Dictionary::build(words.iter().map(|&w| w as u16), 457, 2, true)
+        });
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500))
-}
+    b.with_throughput(Throughput::Bytes(words.len() as u64 * 4))
+        .bench("compress/pegwit_text", || {
+            CodePackImage::compress(&words, &cfg)
+        });
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_dictionary_build, bench_compress, bench_decompress
+    b.with_throughput(Throughput::Bytes(words.len() as u64 * 4))
+        .bench("decompress/full_image", || image.decompress_all().unwrap());
+
+    let mut block = 0u32;
+    b.with_throughput(Throughput::Elements(16))
+        .bench("decompress_block/single_block", || {
+            block = (block + 1) % image.num_blocks();
+            image.decompress_block(block).unwrap()
+        });
+
+    print!("{}", b.render());
+    if let Some(path) = b.finish() {
+        println!("results written to {}", path.display());
+    }
 }
-criterion_main!(benches);

@@ -11,9 +11,16 @@ use codepack_sim::Table;
 
 fn main() {
     let mut table = Table::new(
-        ["Bench", "Ratio before", "Ratio after", "Raw HW before", "after", "rewritten"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Bench",
+            "Ratio before",
+            "Ratio after",
+            "Raw HW before",
+            "after",
+            "rewritten",
+        ]
+        .map(String::from)
+        .to_vec(),
     )
     .with_title("Compiler assist: canonical commutative operand order (paper §5.1)");
 
@@ -28,7 +35,11 @@ fn main() {
             format!("{:.2}%", after.compression_ratio() * 100.0),
             format!("{}", before.raw_halfwords),
             format!("{}", after.raw_halfwords),
-            format!("{} ({:.1}%)", cstats.rewritten, cstats.rewritten as f64 / cstats.total as f64 * 100.0),
+            format!(
+                "{} ({:.1}%)",
+                cstats.rewritten,
+                cstats.rewritten as f64 / cstats.total as f64 * 100.0
+            ),
         ]);
     }
     table.print();

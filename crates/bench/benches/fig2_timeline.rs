@@ -27,7 +27,10 @@ fn figure2_image() -> Arc<CodePackImage> {
             text.push((high << 16) | low);
         }
     }
-    Arc::new(CodePackImage::compress(&text, &CompressionConfig::default()))
+    Arc::new(CodePackImage::compress(
+        &text,
+        &CompressionConfig::default(),
+    ))
 }
 
 fn main() {
@@ -37,14 +40,21 @@ fn main() {
 
     println!("=== Figure 2: example of L1 miss activity (64-bit bus, 10-cycle latency, 2-cycle rate) ===");
     println!();
-    println!("Compressed block 0: {} bytes; instructions per 64-bit beat:", info.byte_len);
+    println!(
+        "Compressed block 0: {} bytes; instructions per 64-bit beat:",
+        info.byte_len
+    );
     let mut per_beat = [0u32; 8];
     for j in 0..16 {
         let bytes = u32::from(info.cum_bits[j + 1]).div_ceil(8);
         let beat = bytes.div_ceil(8).max(1) - 1;
         per_beat[beat as usize] += 1;
     }
-    let beats: Vec<String> = per_beat.iter().filter(|&&c| c > 0).map(|c| c.to_string()).collect();
+    let beats: Vec<String> = per_beat
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|c| c.to_string())
+        .collect();
     println!("  {}   (paper: 2,3,3,3,3,2)", beats.join(","));
     println!();
 
@@ -52,24 +62,51 @@ fn main() {
     let mut native = NativeFetch::new(timing);
     let svc = native.service_miss(4 * 4, 32);
     println!("(a) Native, miss on 5th instruction of the line:");
-    println!("    critical word ready t={} (critical-word-first), line fill done t={}",
-             svc.critical_ready, svc.line_fill_complete);
+    println!(
+        "    critical word ready t={} (critical-word-first), line fill done t={}",
+        svc.critical_ready, svc.line_fill_complete
+    );
     println!();
 
     // (b) baseline CodePack: cold index.
-    let mut base = CodePackFetch::new(Arc::clone(&image), timing, DecompressorConfig { request_overhead: 0, ..DecompressorConfig::baseline() }, 0);
+    let mut base = CodePackFetch::new(
+        Arc::clone(&image),
+        timing,
+        DecompressorConfig {
+            request_overhead: 0,
+            ..DecompressorConfig::baseline()
+        },
+        0,
+    );
     let svc = base.service_miss(4 * 4, 32);
     println!("(b) CodePack baseline, miss on 5th instruction of block 0:");
-    println!("    index fetch from main memory: t=0..{}", timing.burst_read_cycles(4));
+    println!(
+        "    index fetch from main memory: t=0..{}",
+        timing.burst_read_cycles(4)
+    );
     println!("    codes burst + 1 insn/cycle decode overlap");
-    println!("    critical instruction ready t={}  (paper: t=25)", svc.critical_ready);
+    println!(
+        "    critical instruction ready t={}  (paper: t=25)",
+        svc.critical_ready
+    );
     println!();
 
     // (c) optimized: warm index cache, 2 decoders.
-    let mut opt = CodePackFetch::new(image, timing, DecompressorConfig { request_overhead: 0, ..DecompressorConfig::optimized() }, 0);
+    let mut opt = CodePackFetch::new(
+        image,
+        timing,
+        DecompressorConfig {
+            request_overhead: 0,
+            ..DecompressorConfig::optimized()
+        },
+        0,
+    );
     opt.service_miss(0, 32); // warm the index cache with the same group
     let svc = opt.service_miss((16 + 4) * 4, 32);
     println!("(c) CodePack optimized (index cache hit, 2 decompressors/cycle):");
     println!("    index ready t=0 (probed in parallel with L1)");
-    println!("    critical instruction ready t={}  (paper: t=14)", svc.critical_ready);
+    println!(
+        "    critical instruction ready t={}  (paper: t=14)",
+        svc.critical_ready
+    );
 }

@@ -19,7 +19,9 @@ fn main() {
 
     // Ratio comparison.
     let mut ratios = Table::new(
-        ["Bench", "CodePack", "HuffPack", "gain"].map(String::from).to_vec(),
+        ["Bench", "CodePack", "HuffPack", "gain"]
+            .map(String::from)
+            .to_vec(),
     )
     .with_title("HuffPack: denser codewords (ratio, smaller is better)");
     for w in &workloads {
@@ -45,9 +47,15 @@ fn main() {
     // speed? (go-like: the miss-heavy case.)
     let w = &workloads[1]; // go
     let mut perf = Table::new(
-        ["Memory", "Native IPC", "CodePack opt", "HuffPack", "HuffPack wins?"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Memory",
+            "Native IPC",
+            "CodePack opt",
+            "HuffPack",
+            "HuffPack wins?",
+        ]
+        .map(String::from)
+        .to_vec(),
     )
     .with_title("go: optimized CodePack vs HuffPack by memory latency (4-issue)");
     for scale in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
@@ -62,7 +70,11 @@ fn main() {
             format!("{:.3}", native.ipc()),
             format!("{:.3}", cp.ipc()),
             format!("{:.3}", hp_pipe.ipc()),
-            if hp_pipe.ipc() > cp.ipc() { "yes".into() } else { "no".into() },
+            if hp_pipe.ipc() > cp.ipc() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     perf.print();
@@ -70,9 +82,15 @@ fn main() {
 
     // Bus width is where density matters most: every saved byte is a beat.
     let mut bus = Table::new(
-        ["Bus", "Native IPC", "CodePack opt", "HuffPack", "HuffPack wins?"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Bus",
+            "Native IPC",
+            "CodePack opt",
+            "HuffPack",
+            "HuffPack wins?",
+        ]
+        .map(String::from)
+        .to_vec(),
     )
     .with_title("go: optimized CodePack vs HuffPack by bus width (4-issue)");
     for bits in [8u32, 16, 32, 64] {
@@ -87,7 +105,11 @@ fn main() {
             format!("{:.3}", native.ipc()),
             format!("{:.3}", cp.ipc()),
             format!("{:.3}", hp_pipe.ipc()),
-            if hp_pipe.ipc() > cp.ipc() { "yes".into() } else { "no".into() },
+            if hp_pipe.ipc() > cp.ipc() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     bus.print();

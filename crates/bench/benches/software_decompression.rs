@@ -15,9 +15,16 @@ fn main() {
     let arch = ArchConfig::four_issue();
 
     let mut table = Table::new(
-        ["Bench", "Native IPC", "HW CodePack", "SW CodePack", "SW vs native", "SW penalty/miss"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Bench",
+            "Native IPC",
+            "HW CodePack",
+            "SW CodePack",
+            "SW vs native",
+            "SW penalty/miss",
+        ]
+        .map(String::from)
+        .to_vec(),
     )
     .with_title("Software-managed decompression (4-issue, CodePack images)");
 

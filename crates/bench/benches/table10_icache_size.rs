@@ -12,8 +12,8 @@ fn main() {
         headers.push(format!("{kb}KB CP"));
         headers.push(format!("{kb}KB Opt"));
     }
-    let mut table = Table::new(headers)
-        .with_title("Table 10: speedup over native by I-cache size (4-issue)");
+    let mut table =
+        Table::new(headers).with_title("Table 10: speedup over native by I-cache size (4-issue)");
 
     for w in Workload::suite() {
         let mut row = vec![w.profile.name.to_string()];

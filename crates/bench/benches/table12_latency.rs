@@ -12,8 +12,8 @@ fn main() {
         headers.push(format!("{s}x CP"));
         headers.push(format!("{s}x Opt"));
     }
-    let mut table = Table::new(headers)
-        .with_title("Table 12: speedup over native by memory latency (4-issue)");
+    let mut table =
+        Table::new(headers).with_title("Table 12: speedup over native by memory latency (4-issue)");
 
     for w in Workload::suite() {
         let mut row = vec![w.profile.name.to_string()];

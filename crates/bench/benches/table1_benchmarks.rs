@@ -25,6 +25,9 @@ fn main() {
         ]);
     }
     table.print();
-    println!("(paper column: miss rates reported in Table 1 for >1e9-instruction runs; \
-              ours use {} instructions)", max_insns());
+    println!(
+        "(paper column: miss rates reported in Table 1 for >1e9-instruction runs; \
+              ours use {} instructions)",
+        max_insns()
+    );
 }

@@ -5,9 +5,15 @@
 use codepack_sim::{ArchConfig, Table};
 
 fn main() {
-    let archs = [ArchConfig::one_issue(), ArchConfig::four_issue(), ArchConfig::eight_issue()];
+    let archs = [
+        ArchConfig::one_issue(),
+        ArchConfig::four_issue(),
+        ArchConfig::eight_issue(),
+    ];
     let mut t = Table::new(
-        ["Parameter", "1-issue", "4-issue", "8-issue"].map(String::from).to_vec(),
+        ["Parameter", "1-issue", "4-issue", "8-issue"]
+            .map(String::from)
+            .to_vec(),
     )
     .with_title("Table 2: simulated architectures");
 
@@ -15,18 +21,30 @@ fn main() {
         vec![label.to_string(), f(&archs[0]), f(&archs[1]), f(&archs[2])]
     };
 
-    t.row(row("fetch queue size", &|a| a.pipeline.fetch_queue.to_string()));
-    t.row(row("decode width", &|a| a.pipeline.decode_width.to_string()));
+    t.row(row("fetch queue size", &|a| {
+        a.pipeline.fetch_queue.to_string()
+    }));
+    t.row(row("decode width", &|a| {
+        a.pipeline.decode_width.to_string()
+    }));
     t.row(row("issue width", &|a| {
         format!(
             "{} {}",
             a.pipeline.issue_width,
-            if a.pipeline.in_order { "in-order" } else { "out-of-order" }
+            if a.pipeline.in_order {
+                "in-order"
+            } else {
+                "out-of-order"
+            }
         )
     }));
-    t.row(row("commit width", &|a| a.pipeline.commit_width.to_string()));
+    t.row(row("commit width", &|a| {
+        a.pipeline.commit_width.to_string()
+    }));
     t.row(row("RUU entries", &|a| a.pipeline.ruu_size.to_string()));
-    t.row(row("load/store queue", &|a| a.pipeline.lsq_size.to_string()));
+    t.row(row("load/store queue", &|a| {
+        a.pipeline.lsq_size.to_string()
+    }));
     t.row(row("function units", &|a| {
         format!(
             "alu:{} mult:{} mem:{} fpalu:{} fpmult:{}",
@@ -37,7 +55,9 @@ fn main() {
             a.pipeline.fu.fp_mult
         )
     }));
-    t.row(row("branch predictor", &|a| format!("{:?}", a.pipeline.predictor)));
+    t.row(row("branch predictor", &|a| {
+        format!("{:?}", a.pipeline.predictor)
+    }));
     t.row(row("L1 I-cache", &|a| {
         format!(
             "{}KB, {}B lines, {}-assoc",
@@ -55,9 +75,17 @@ fn main() {
         )
     }));
     t.row(row("memory latency", &|a| {
-        format!("{} cyc, {} cyc rate", a.memory.first_access_cycles(), a.memory.next_access_cycles())
+        format!(
+            "{} cyc, {} cyc rate",
+            a.memory.first_access_cycles(),
+            a.memory.next_access_cycles()
+        )
     }));
-    t.row(row("memory width", &|a| format!("{} bits", a.memory.bus_bits())));
+    t.row(row("memory width", &|a| {
+        format!("{} bits", a.memory.bus_bits())
+    }));
     t.print();
-    println!("(RUU/LSQ depths are our choices where the published table is illegible — see DESIGN.md)");
+    println!(
+        "(RUU/LSQ depths are our choices where the published table is illegible — see DESIGN.md)"
+    );
 }

@@ -5,9 +5,15 @@ use codepack_sim::Table;
 
 fn main() {
     let mut table = Table::new(
-        ["Bench", "Original (bytes)", "Compressed (bytes)", "Ratio", "paper"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Bench",
+            "Original (bytes)",
+            "Compressed (bytes)",
+            "Ratio",
+            "paper",
+        ]
+        .map(String::from)
+        .to_vec(),
     )
     .with_title("Table 3: Compression ratio of .text section (smaller is better)");
 

@@ -6,9 +6,11 @@ use codepack_bench::{paper, Workload};
 use codepack_sim::Table;
 
 fn main() {
-    let headers = ["Bench", "Index", "Dict", "Tags", "Indices", "RawTag", "RawBits", "Pad", "Total B"]
-        .map(String::from)
-        .to_vec();
+    let headers = [
+        "Bench", "Index", "Dict", "Tags", "Indices", "RawTag", "RawBits", "Pad", "Total B",
+    ]
+    .map(String::from)
+    .to_vec();
     let mut measured = Table::new(headers.clone())
         .with_title("Table 4: Composition of compressed region (measured)");
     for w in Workload::suite() {

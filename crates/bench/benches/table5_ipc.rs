@@ -7,11 +7,17 @@ use codepack_sim::{ArchConfig, CodeModel, Table};
 
 fn main() {
     let workloads = Workload::suite();
-    let archs = [ArchConfig::one_issue(), ArchConfig::four_issue(), ArchConfig::eight_issue()];
+    let archs = [
+        ArchConfig::one_issue(),
+        ArchConfig::four_issue(),
+        ArchConfig::eight_issue(),
+    ];
 
     for arch in archs {
         let mut table = Table::new(
-            ["Bench", "Native", "CodePack", "Optimized"].map(String::from).to_vec(),
+            ["Bench", "Native", "CodePack", "Optimized"]
+                .map(String::from)
+                .to_vec(),
         )
         .with_title(format!("Table 5 ({}): instructions per cycle", arch.name));
         for w in &workloads {

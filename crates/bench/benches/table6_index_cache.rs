@@ -23,7 +23,10 @@ fn main() {
         let mut row = vec![format!("{l}")];
         for &e in &entries {
             let cfg = DecompressorConfig {
-                index_cache: IndexCacheModel::Cached { lines: l, entries_per_line: e },
+                index_cache: IndexCacheModel::Cached {
+                    lines: l,
+                    entries_per_line: e,
+                },
                 ..DecompressorConfig::baseline()
             };
             let r = w.run(ArchConfig::four_issue(), CodeModel::codepack_with(cfg));

@@ -8,7 +8,9 @@ use codepack_sim::{ArchConfig, CodeModel, Table};
 
 fn main() {
     let mut table = Table::new(
-        ["Bench", "CodePack", "Index Cache", "Perfect"].map(String::from).to_vec(),
+        ["Bench", "CodePack", "Index Cache", "Perfect"]
+            .map(String::from)
+            .to_vec(),
     )
     .with_title("Table 7: speedup over native due to index cache (4-issue)");
 
@@ -16,7 +18,8 @@ fn main() {
     for w in Workload::suite() {
         let native = w.run(arch, CodeModel::Native);
         let speedup = |cfg: DecompressorConfig| {
-            w.run(arch, CodeModel::codepack_with(cfg)).speedup_over(&native)
+            w.run(arch, CodeModel::codepack_with(cfg))
+                .speedup_over(&native)
         };
         table.row(vec![
             w.profile.name.to_string(),

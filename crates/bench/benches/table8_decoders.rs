@@ -9,7 +9,9 @@ use codepack_sim::{ArchConfig, CodeModel, Table};
 
 fn main() {
     let mut table = Table::new(
-        ["Bench", "CodePack", "2 decoders", "16 decoders"].map(String::from).to_vec(),
+        ["Bench", "CodePack", "2 decoders", "16 decoders"]
+            .map(String::from)
+            .to_vec(),
     )
     .with_title("Table 8: speedup over native due to decompression rate (4-issue)");
 
@@ -17,8 +19,11 @@ fn main() {
     for w in Workload::suite() {
         let native = w.run(arch, CodeModel::Native);
         let speedup = |rate: u32| {
-            w.run(arch, CodeModel::codepack_with(DecompressorConfig::decoders(rate)))
-                .speedup_over(&native)
+            w.run(
+                arch,
+                CodeModel::codepack_with(DecompressorConfig::decoders(rate)),
+            )
+            .speedup_over(&native)
         };
         table.row(vec![
             w.profile.name.to_string(),

@@ -9,9 +9,12 @@ use codepack_sim::{ArchConfig, CodeModel, Table};
 fn main() {
     let start = std::time::Instant::now();
     let mut table = Table::new(
-        ["bench", "text KB", "paperKB", "ratio", "paper", "raw%", "imiss%", "paper", "IPCn", "IPCc", "IPCo"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "bench", "text KB", "paperKB", "ratio", "paper", "raw%", "imiss%", "paper", "IPCn",
+            "IPCc", "IPCo",
+        ]
+        .map(String::from)
+        .to_vec(),
     )
     .with_title(format!("calibration ({} insns/run)", max_insns()));
 

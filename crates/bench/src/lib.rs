@@ -47,12 +47,19 @@ impl Workload {
             program.text_words(),
             &CompressionConfig::default(),
         ));
-        Workload { profile, program, image }
+        Workload {
+            profile,
+            program,
+            image,
+        }
     }
 
     /// Generates the paper's six benchmarks.
     pub fn suite() -> Vec<Workload> {
-        BenchmarkProfile::suite().into_iter().map(Workload::new).collect()
+        BenchmarkProfile::suite()
+            .into_iter()
+            .map(Workload::new)
+            .collect()
     }
 
     /// Runs this workload on `arch` under `model`, reusing the cached image
@@ -120,13 +127,8 @@ pub fn run_with_engine(
     arch: ArchConfig,
     engine: Box<dyn codepack_core::FetchEngine>,
 ) -> (codepack_cpu::PipelineStats, codepack_core::FetchStats) {
-    let mut pipeline = codepack_cpu::Pipeline::new(
-        arch.pipeline,
-        arch.icache,
-        arch.dcache,
-        arch.memory,
-        engine,
-    );
+    let mut pipeline =
+        codepack_cpu::Pipeline::new(arch.pipeline, arch.icache, arch.dcache, arch.memory, engine);
     let mut machine = codepack_cpu::Machine::load(program);
     let stats = pipeline
         .run(&mut machine, max_insns())

@@ -3,7 +3,7 @@
 use codepack_baselines::{estimate_thumb, CcrpImage, HuffPackImage, InsnDictImage};
 use codepack_core::{CodePackImage, CompressionConfig};
 use codepack_isa::{decode, Program, TEXT_BASE};
-use codepack_sim::{ArchConfig, CodeModel, Simulation, Table};
+use codepack_sim::{run_matrix, ArchConfig, CodeModel, MatrixSpec, Simulation, Table};
 use codepack_synth::{generate, BenchmarkProfile};
 
 /// Help text.
@@ -18,6 +18,8 @@ USAGE:
     cpack sim      <profile> [INSNS]    simulate native vs CodePack (default 500000)
     cpack sweep    <bus|latency|cache|l2> <profile> [INSNS]
     cpack compare  <profile>            compression ratio across schemes
+    cpack matrix   [INSNS] [--workers N] [--json]
+                                        full profile x machine x model sweep
 ";
 
 const SEED: u64 = 42;
@@ -45,10 +47,16 @@ fn program_for(name: &str) -> Result<Program, String> {
 /// `cpack list`
 pub fn list() -> Result<(), String> {
     let mut t = Table::new(
-        ["Profile", "Functions", "Text (approx)", "Character"].map(String::from).to_vec(),
+        ["Profile", "Functions", "Text (approx)", "Character"]
+            .map(String::from)
+            .to_vec(),
     );
     for p in BenchmarkProfile::suite() {
-        let character = if p.loop_iters > 20 { "loop-dominated" } else { "branchy, miss-heavy" };
+        let character = if p.loop_iters > 20 {
+            "loop-dominated"
+        } else {
+            "branchy, miss-heavy"
+        };
         t.row(vec![
             p.name.to_string(),
             format!("{}", p.functions),
@@ -87,9 +95,17 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("inspect: missing rom file")?;
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     let image = CodePackImage::from_rom_bytes(&bytes).map_err(|e| e.to_string())?;
-    println!("{path}: {} instructions, {} blocks, {} groups", image.len_insns(), image.num_blocks(), image.num_groups());
+    println!(
+        "{path}: {} instructions, {} blocks, {} groups",
+        image.len_insns(),
+        image.num_blocks(),
+        image.num_groups()
+    );
     println!("{}", image.stats());
-    println!("high dictionary: {} entries; head:", image.high_dict().len());
+    println!(
+        "high dictionary: {} entries; head:",
+        image.high_dict().len()
+    );
     for (rank, value) in image.high_dict().iter().take(6) {
         println!("  {rank:3} -> {value:#06x}");
     }
@@ -103,7 +119,9 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
 /// `cpack disasm <profile> [N]`
 pub fn disasm(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("disasm: missing profile name")?;
-    let count: usize = args.get(1).map_or(Ok(32), |s| s.parse().map_err(|_| "disasm: bad count"))?;
+    let count: usize = args
+        .get(1)
+        .map_or(Ok(32), |s| s.parse().map_err(|_| "disasm: bad count"))?;
     let program = program_for(name)?;
     for (i, &w) in program.text_words().iter().take(count).enumerate() {
         let addr = TEXT_BASE + 4 * i as u32;
@@ -116,8 +134,10 @@ pub fn disasm(args: &[String]) -> Result<(), String> {
 }
 
 fn parse_insns(args: &[String], idx: usize, default: u64) -> Result<u64, String> {
-    args.get(idx)
-        .map_or(Ok(default), |s| s.parse().map_err(|_| format!("bad instruction count `{s}`")))
+    args.get(idx).map_or(Ok(default), |s| {
+        s.parse()
+            .map_err(|_| format!("bad instruction count `{s}`"))
+    })
 }
 
 /// `cpack sim <profile> [INSNS]`
@@ -131,9 +151,13 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     let opt = Simulation::new(arch, CodeModel::codepack_optimized()).run(&program, insns);
 
     let mut t = Table::new(
-        ["Model", "Cycles", "IPC", "Speedup", "I-miss/insn"].map(String::from).to_vec(),
+        ["Model", "Cycles", "IPC", "Speedup", "I-miss/insn"]
+            .map(String::from)
+            .to_vec(),
     )
-    .with_title(format!("{name} on the 4-issue machine ({insns} instructions)"));
+    .with_title(format!(
+        "{name} on the 4-issue machine ({insns} instructions)"
+    ));
     for (label, r) in [
         ("Native", &native),
         ("CodePack baseline", &packed),
@@ -154,9 +178,48 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `cpack matrix [INSNS] [--workers N] [--json]`
+///
+/// Runs the whole experiment cube — every profile on every Table 2
+/// machine under every code model — on a worker pool, and prints one
+/// table (or JSON). The report is identical for any worker count.
+pub fn matrix(args: &[String]) -> Result<(), String> {
+    let mut insns = 200_000u64;
+    let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--workers" => {
+                let v = it.next().ok_or("matrix: --workers needs a count")?;
+                workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+                if workers == 0 {
+                    return Err("matrix: --workers must be at least 1".into());
+                }
+            }
+            n => {
+                insns = n
+                    .parse()
+                    .map_err(|_| format!("matrix: unexpected argument `{n}`"))?
+            }
+        }
+    }
+    let spec = MatrixSpec::new(SEED, insns);
+    let report = run_matrix(&spec, workers);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(())
+}
+
 /// `cpack sweep <bus|latency|cache> <profile> [INSNS]`
 pub fn sweep(args: &[String]) -> Result<(), String> {
-    let kind = args.first().ok_or("sweep: missing kind (bus|latency|cache)")?;
+    let kind = args
+        .first()
+        .ok_or("sweep: missing kind (bus|latency|cache)")?;
     let name = args.get(1).ok_or("sweep: missing profile name")?;
     let insns = parse_insns(args, 2, 300_000)?;
     let program = program_for(name)?;
@@ -164,15 +227,30 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     let points: Vec<(String, ArchConfig)> = match kind.as_str() {
         "bus" => [16u32, 32, 64, 128]
             .iter()
-            .map(|&b| (format!("{b}-bit"), ArchConfig::four_issue().with_bus_bits(b)))
+            .map(|&b| {
+                (
+                    format!("{b}-bit"),
+                    ArchConfig::four_issue().with_bus_bits(b),
+                )
+            })
             .collect(),
         "latency" => [0.5f64, 1.0, 2.0, 4.0, 8.0]
             .iter()
-            .map(|&s| (format!("{s}x"), ArchConfig::four_issue().with_memory_scale(s)))
+            .map(|&s| {
+                (
+                    format!("{s}x"),
+                    ArchConfig::four_issue().with_memory_scale(s),
+                )
+            })
             .collect(),
         "cache" => [1u32, 4, 16, 64]
             .iter()
-            .map(|&k| (format!("{k} KB"), ArchConfig::four_issue().with_icache_kb(k)))
+            .map(|&k| {
+                (
+                    format!("{k} KB"),
+                    ArchConfig::four_issue().with_icache_kb(k),
+                )
+            })
             .collect(),
         "l2" => [0u32, 64, 128, 256, 512]
             .iter()
@@ -184,13 +262,23 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
                 }
             })
             .collect(),
-        other => return Err(format!("sweep: unknown kind `{other}` (bus|latency|cache|l2)")),
+        other => {
+            return Err(format!(
+                "sweep: unknown kind `{other}` (bus|latency|cache|l2)"
+            ))
+        }
     };
 
     let mut t = Table::new(
-        ["Point", "Native IPC", "CodePack", "Optimized", "Opt speedup"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Point",
+            "Native IPC",
+            "CodePack",
+            "Optimized",
+            "Opt speedup",
+        ]
+        .map(String::from)
+        .to_vec(),
     )
     .with_title(format!("{name}: {kind} sweep (4-issue)"));
     for (label, arch) in points {
@@ -224,7 +312,11 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     t.row(vec![
         "CodePack".into(),
         format!("{:.1}%", cp.stats().compression_ratio() * 100.0),
-        format!("2 dicts, {} + {} entries", cp.high_dict().len(), cp.low_dict().len()),
+        format!(
+            "2 dicts, {} + {} entries",
+            cp.high_dict().len(),
+            cp.low_dict().len()
+        ),
     ]);
     t.row(vec![
         "CCRP (Huffman lines)".into(),

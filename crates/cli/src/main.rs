@@ -8,6 +8,7 @@
 //! cpack sim      <profile> [INSNS]    native vs CodePack on the 4-issue machine
 //! cpack sweep    <bus|latency|cache> <profile> [INSNS]
 //! cpack compare  <profile>            compression ratio across schemes
+//! cpack matrix   [INSNS] [--workers N] [--json]
 //! ```
 
 use std::process::ExitCode;
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
         Some("sim") => commands::sim(&args[1..]),
         Some("sweep") => commands::sweep(&args[1..]),
         Some("compare") => commands::compare(&args[1..]),
+        Some("matrix") => commands::matrix(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -43,7 +43,11 @@ fn compress_then_inspect_round_trip() {
         .arg(&rom)
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(rom.exists());
 
     let out = cpack().arg("inspect").arg(&rom).output().expect("spawn");
@@ -77,8 +81,15 @@ fn disasm_prints_instructions() {
 
 #[test]
 fn sim_reports_all_three_models() {
-    let out = cpack().args(["sim", "pegwit", "50000"]).output().expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cpack()
+        .args(["sim", "pegwit", "50000"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Native"));
     assert!(text.contains("CodePack baseline"));
@@ -88,7 +99,10 @@ fn sim_reports_all_three_models() {
 
 #[test]
 fn sweep_rejects_unknown_kind() {
-    let out = cpack().args(["sweep", "voltage", "go"]).output().expect("spawn");
+    let out = cpack()
+        .args(["sweep", "voltage", "go"])
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown kind"));
 }

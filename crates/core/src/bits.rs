@@ -116,7 +116,9 @@ impl<'a> BitReader<'a> {
     pub fn read(&mut self, count: u32) -> Result<u32, DecompressError> {
         assert!(count <= 32, "cannot read more than 32 bits at once");
         if self.remaining() < u64::from(count) {
-            return Err(DecompressError::Truncated { at_bit: self.bit_pos });
+            return Err(DecompressError::Truncated {
+                at_bit: self.bit_pos,
+            });
         }
         let mut value = 0u32;
         for _ in 0..count {

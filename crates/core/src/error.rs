@@ -38,13 +38,20 @@ impl fmt::Display for DecompressError {
             DecompressError::Truncated { at_bit } => {
                 write!(f, "compressed stream truncated at bit {at_bit}")
             }
-            DecompressError::BadDictIndex { high, rank, dict_len } => write!(
+            DecompressError::BadDictIndex {
+                high,
+                rank,
+                dict_len,
+            } => write!(
                 f,
                 "codeword indexes entry {rank} of the {} dictionary, which has {dict_len} entries",
                 if high { "high" } else { "low" }
             ),
             DecompressError::BadBlock { block, blocks } => {
-                write!(f, "block {block} requested from an image of {blocks} blocks")
+                write!(
+                    f,
+                    "block {block} requested from an image of {blocks} blocks"
+                )
             }
         }
     }
@@ -58,7 +65,11 @@ mod tests {
 
     #[test]
     fn messages_are_lowercase_and_specific() {
-        let e = DecompressError::BadDictIndex { high: true, rank: 500, dict_len: 12 };
+        let e = DecompressError::BadDictIndex {
+            high: true,
+            rank: 500,
+            dict_len: 12,
+        };
         let s = e.to_string();
         assert!(s.contains("high dictionary") && s.contains("500"));
         assert!(s.chars().next().unwrap().is_lowercase());

@@ -76,7 +76,10 @@ impl DecompressorConfig {
     /// instruction per cycle, output buffer and forwarding on (§3.2).
     pub fn baseline() -> DecompressorConfig {
         DecompressorConfig {
-            index_cache: IndexCacheModel::Cached { lines: 1, entries_per_line: 1 },
+            index_cache: IndexCacheModel::Cached {
+                lines: 1,
+                entries_per_line: 1,
+            },
             decode_rate: 1,
             output_buffer: true,
             forwarding: true,
@@ -88,7 +91,10 @@ impl DecompressorConfig {
     /// associative index cache and two decompressors per cycle.
     pub fn optimized() -> DecompressorConfig {
         DecompressorConfig {
-            index_cache: IndexCacheModel::Cached { lines: 64, entries_per_line: 4 },
+            index_cache: IndexCacheModel::Cached {
+                lines: 64,
+                entries_per_line: 4,
+            },
             decode_rate: 2,
             ..DecompressorConfig::baseline()
         }
@@ -97,19 +103,28 @@ impl DecompressorConfig {
     /// Baseline with only the index-cache optimization (Table 9 "Index").
     pub fn index_cache_only() -> DecompressorConfig {
         DecompressorConfig {
-            index_cache: IndexCacheModel::Cached { lines: 64, entries_per_line: 4 },
+            index_cache: IndexCacheModel::Cached {
+                lines: 64,
+                entries_per_line: 4,
+            },
             ..DecompressorConfig::baseline()
         }
     }
 
     /// Baseline with only the wider decoder (Table 9 "Decompress").
     pub fn decoders(rate: u32) -> DecompressorConfig {
-        DecompressorConfig { decode_rate: rate, ..DecompressorConfig::baseline() }
+        DecompressorConfig {
+            decode_rate: rate,
+            ..DecompressorConfig::baseline()
+        }
     }
 
     /// Optimized model with a perfect index cache (Table 7 "Perfect").
     pub fn perfect_index() -> DecompressorConfig {
-        DecompressorConfig { index_cache: IndexCacheModel::Perfect, ..DecompressorConfig::baseline() }
+        DecompressorConfig {
+            index_cache: IndexCacheModel::Perfect,
+            ..DecompressorConfig::baseline()
+        }
     }
 }
 
@@ -199,13 +214,18 @@ pub struct NativeFetch {
 impl NativeFetch {
     /// Creates a native fetch path over the given memory.
     pub fn new(timing: MemoryTiming) -> NativeFetch {
-        NativeFetch { timing, stats: FetchStats::default() }
+        NativeFetch {
+            timing,
+            stats: FetchStats::default(),
+        }
     }
 }
 
 impl FetchEngine for NativeFetch {
     fn service_miss(&mut self, critical_addr: u32, line_bytes: u32) -> MissService {
-        let fill = self.timing.line_fill(line_bytes, critical_addr % line_bytes);
+        let fill = self
+            .timing
+            .line_fill(line_bytes, critical_addr % line_bytes);
         self.stats.misses += 1;
         self.stats.memory_beats += u64::from(self.timing.beats_for(line_bytes));
         self.stats.total_critical_cycles += fill.critical_word_ready;
@@ -251,9 +271,10 @@ impl CodePackFetch {
         text_base: u32,
     ) -> CodePackFetch {
         let index_cache = match config.index_cache {
-            IndexCacheModel::Cached { lines, entries_per_line } => {
-                Some(FullyAssociativeCache::new(lines, entries_per_line))
-            }
+            IndexCacheModel::Cached {
+                lines,
+                entries_per_line,
+            } => Some(FullyAssociativeCache::new(lines, entries_per_line)),
             _ => None,
         };
         CodePackFetch {
@@ -294,7 +315,11 @@ impl CodePackFetch {
             let bytes_needed = u32::from(info.cum_bits[j + 1]).div_ceil(8);
             let beat = bytes_needed.div_ceil(bus).max(1) - 1; // 0-based beat index
             let arrival = t_start + first + u64::from(beat) * rate;
-            let capacity_bound = if j >= decode_rate { ready[j - decode_rate] + 1 } else { 0 };
+            let capacity_bound = if j >= decode_rate {
+                ready[j - decode_rate] + 1
+            } else {
+                0
+            };
             ready[j] = (arrival + 1).max(capacity_bound);
         }
         ready
@@ -335,7 +360,10 @@ impl FetchEngine for CodePackFetch {
             IndexCacheModel::Perfect => (0, Some(true)),
             IndexCacheModel::None => {
                 self.stats.memory_beats += u64::from(self.timing.beats_for(INDEX_ENTRY_BYTES));
-                (self.timing.burst_read_cycles(INDEX_ENTRY_BYTES), Some(false))
+                (
+                    self.timing.burst_read_cycles(INDEX_ENTRY_BYTES),
+                    Some(false),
+                )
             }
             IndexCacheModel::Cached { .. } => {
                 let cache = self.index_cache.as_mut().expect("cache built in new()");
@@ -345,7 +373,10 @@ impl FetchEngine for CodePackFetch {
                 } else {
                     self.stats.index_misses += 1;
                     self.stats.memory_beats += u64::from(self.timing.beats_for(INDEX_ENTRY_BYTES));
-                    (self.timing.burst_read_cycles(INDEX_ENTRY_BYTES), Some(false))
+                    (
+                        self.timing.burst_read_cycles(INDEX_ENTRY_BYTES),
+                        Some(false),
+                    )
                 }
             }
         };
@@ -426,7 +457,10 @@ mod tests {
     /// Figure 2 idealizes away the hardware request/response overhead, so
     /// the exact-cycle regression tests use a zero-overhead config.
     fn ideal(cfg: DecompressorConfig) -> DecompressorConfig {
-        DecompressorConfig { request_overhead: 0, ..cfg }
+        DecompressorConfig {
+            request_overhead: 0,
+            ..cfg
+        }
     }
 
     #[test]
@@ -465,7 +499,10 @@ mod tests {
         opt.service_miss(0x40_0000, 32);
         let svc = opt.service_miss(0x40_0000 + (16 + 4) * 4, 32);
         assert_eq!(svc.index_hit, Some(true));
-        assert_eq!(svc.critical_ready, 14, "paper Figure 2-c: critical instruction at t=14");
+        assert_eq!(
+            svc.critical_ready, 14,
+            "paper Figure 2-c: critical instruction at t=14"
+        );
     }
 
     #[test]
@@ -498,7 +535,10 @@ mod tests {
     #[test]
     fn disabling_output_buffer_always_decompresses() {
         let image = figure2_image();
-        let cfg = DecompressorConfig { output_buffer: false, ..DecompressorConfig::baseline() };
+        let cfg = DecompressorConfig {
+            output_buffer: false,
+            ..DecompressorConfig::baseline()
+        };
         let mut f = CodePackFetch::new(image, MemoryTiming::default(), cfg, 0);
         f.service_miss(0, 32);
         let second = f.service_miss(32, 32);
@@ -523,7 +563,10 @@ mod tests {
     #[test]
     fn without_forwarding_critical_waits_for_line() {
         let image = figure2_image();
-        let cfg = DecompressorConfig { forwarding: false, ..DecompressorConfig::perfect_index() };
+        let cfg = DecompressorConfig {
+            forwarding: false,
+            ..DecompressorConfig::perfect_index()
+        };
         let mut f = CodePackFetch::new(image, MemoryTiming::default(), cfg, 0);
         let svc = f.service_miss(0, 32);
         assert_eq!(
@@ -539,7 +582,10 @@ mod tests {
         let mut r16 = CodePackFetch::new(
             Arc::clone(&image),
             MemoryTiming::default(),
-            ideal(DecompressorConfig { decode_rate: 16, ..DecompressorConfig::perfect_index() }),
+            ideal(DecompressorConfig {
+                decode_rate: 16,
+                ..DecompressorConfig::perfect_index()
+            }),
             0,
         );
         let mut r1 = CodePackFetch::new(

@@ -125,8 +125,7 @@ impl CodePackImage {
         let mut blocks = Vec::with_capacity(padded_len / BLOCK_INSNS as usize);
         for chunk in padded.chunks_exact(BLOCK_INSNS as usize) {
             let byte_offset = bytes.len() as u32;
-            let (block_bytes, cum_bits, delta) =
-                encode_block(chunk, &high_dict, &low_dict, config);
+            let (block_bytes, cum_bits, delta) = encode_block(chunk, &high_dict, &low_dict, config);
             stats.compressed_tag_bits += delta.compressed_tag_bits;
             stats.dict_index_bits += delta.dict_index_bits;
             stats.raw_tag_bits += delta.raw_tag_bits;
@@ -141,7 +140,11 @@ impl CodePackImage {
                 "block of {byte_len} bytes exceeds the index second-offset field"
             );
             bytes.extend_from_slice(&block_bytes);
-            blocks.push(BlockInfo { byte_offset, byte_len, cum_bits });
+            blocks.push(BlockInfo {
+                byte_offset,
+                byte_len,
+                cum_bits,
+            });
         }
 
         // Build the index table: one 32-bit entry per group of two blocks.
@@ -157,7 +160,15 @@ impl CodePackImage {
         }
         stats.index_table_bytes = index.len() as u64 * u64::from(INDEX_ENTRY_BYTES);
 
-        CodePackImage { high_dict, low_dict, index, bytes, blocks, n_insns, stats }
+        CodePackImage {
+            high_dict,
+            low_dict,
+            index,
+            bytes,
+            blocks,
+            n_insns,
+            stats,
+        }
     }
 
     /// Number of instructions in the original (unpadded) text.
@@ -224,10 +235,10 @@ impl CodePackImage {
     /// second block's short relative offset (paper §3.1).
     pub fn block_offset_via_index(&self, block: u32) -> Result<u32, DecompressError> {
         let group = (block / BLOCKS_PER_GROUP) as usize;
-        let entry = *self
-            .index
-            .get(group)
-            .ok_or(DecompressError::BadBlock { block, blocks: self.num_blocks() })?;
+        let entry = *self.index.get(group).ok_or(DecompressError::BadBlock {
+            block,
+            blocks: self.num_blocks(),
+        })?;
         let first = entry >> SECOND_OFFSET_BITS;
         Ok(if block.is_multiple_of(BLOCKS_PER_GROUP) {
             first
@@ -243,7 +254,10 @@ impl CodePackImage {
     ///
     /// Returns a [`DecompressError`] if `block` is out of range or the
     /// stream is corrupt.
-    pub fn decompress_block(&self, block: u32) -> Result<[u32; BLOCK_INSNS as usize], DecompressError> {
+    pub fn decompress_block(
+        &self,
+        block: u32,
+    ) -> Result<[u32; BLOCK_INSNS as usize], DecompressError> {
         let offset = self.block_offset_via_index(block)? as usize;
         let mut reader = BitReader::new(&self.bytes[offset..]);
         decode_block(&mut reader, &self.high_dict, &self.low_dict)
@@ -274,7 +288,15 @@ impl CodePackImage {
         n_insns: u32,
         stats: CompositionStats,
     ) -> CodePackImage {
-        CodePackImage { high_dict, low_dict, index, bytes, blocks, n_insns, stats }
+        CodePackImage {
+            high_dict,
+            low_dict,
+            index,
+            bytes,
+            blocks,
+            n_insns,
+            stats,
+        }
     }
 
     /// Test-only: constructs an image with corrupted stream bytes, keeping
@@ -336,7 +358,10 @@ fn encode_halfword(
     classes: &[CodewordClass; 5],
     delta: &mut BlockDelta,
 ) {
-    match dict.rank_of(value).and_then(|r| class_for_rank(classes, r).map(|c| (r, c))) {
+    match dict
+        .rank_of(value)
+        .and_then(|r| class_for_rank(classes, r).map(|c| (r, c)))
+    {
         Some((rank, class)) => {
             w.write(u32::from(class.tag), u32::from(class.tag_bits));
             w.write(u32::from(rank - class.base), u32::from(class.index_bits));
@@ -369,7 +394,13 @@ fn encode_block(
     w.write(0, 1);
     delta.compressed_tag_bits += 1;
     for (j, &word) in words.iter().enumerate() {
-        encode_halfword(&mut w, (word >> 16) as u16, high_dict, &HIGH_CLASSES, &mut delta);
+        encode_halfword(
+            &mut w,
+            (word >> 16) as u16,
+            high_dict,
+            &HIGH_CLASSES,
+            &mut delta,
+        );
         encode_halfword(&mut w, word as u16, low_dict, &LOW_CLASSES, &mut delta);
         cum[j + 1] = w.bit_len() as u16;
     }
@@ -377,7 +408,11 @@ fn encode_block(
     let expands = w.bit_len() > u64::from(BLOCK_INSNS) * 32;
     if config.raw_block_fallback && expands {
         // Store the block non-compressed: flag 1, then 16 raw words.
-        let mut delta = BlockDelta { raw_tag_bits: 1, raw_blocks: 1, ..BlockDelta::default() };
+        let mut delta = BlockDelta {
+            raw_tag_bits: 1,
+            raw_blocks: 1,
+            ..BlockDelta::default()
+        };
         let mut w = BitWriter::new();
         w.write(1, 1);
         let mut cum = [0u16; BLOCK_INSNS as usize + 1];
@@ -504,9 +539,14 @@ mod tests {
     #[test]
     fn random_code_falls_back_to_raw_blocks() {
         // Words that never repeat: nothing earns a dictionary slot.
-        let text: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(2654435761).rotate_left(7)).collect();
+        let text: Vec<u32> = (0..256u32)
+            .map(|i| i.wrapping_mul(2654435761).rotate_left(7))
+            .collect();
         let img = CodePackImage::compress(&text, &CompressionConfig::default());
-        assert!(img.stats().raw_blocks > 0, "incompressible blocks must fall back");
+        assert!(
+            img.stats().raw_blocks > 0,
+            "incompressible blocks must fall back"
+        );
         assert_eq!(img.decompress_all().unwrap(), text);
         // With fallback, expansion is bounded: flag bit + pad per block + tables.
         assert!(img.stats().compression_ratio() < 1.15);
@@ -514,11 +554,19 @@ mod tests {
 
     #[test]
     fn disabling_fallback_expands_random_code() {
-        let text: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(2654435761).rotate_left(7)).collect();
-        let cfg = CompressionConfig { raw_block_fallback: false, ..CompressionConfig::default() };
+        let text: Vec<u32> = (0..256u32)
+            .map(|i| i.wrapping_mul(2654435761).rotate_left(7))
+            .collect();
+        let cfg = CompressionConfig {
+            raw_block_fallback: false,
+            ..CompressionConfig::default()
+        };
         let img = CodePackImage::compress(&text, &cfg);
         assert_eq!(img.stats().raw_blocks, 0);
-        assert!(img.stats().compression_ratio() > 1.0, "raw escapes cost 19 bits per half-word");
+        assert!(
+            img.stats().compression_ratio() > 1.0,
+            "raw escapes cost 19 bits per half-word"
+        );
         assert_eq!(img.decompress_all().unwrap(), text);
     }
 

@@ -50,22 +50,72 @@ pub const RAW_LEN_BITS: u8 = RAW_TAG_BITS + 16;
 /// only dictionary rank 0, which the dictionary builder pins to the value
 /// `0x0000` — the paper's "value 0 … encoded using only a 2 bit tag".
 pub const LOW_CLASSES: [CodewordClass; 5] = [
-    CodewordClass { tag: 0b00, tag_bits: 2, index_bits: 0, base: 0 },
-    CodewordClass { tag: 0b01, tag_bits: 2, index_bits: 3, base: 1 },
-    CodewordClass { tag: 0b100, tag_bits: 3, index_bits: 6, base: 9 },
-    CodewordClass { tag: 0b101, tag_bits: 3, index_bits: 7, base: 73 },
-    CodewordClass { tag: 0b110, tag_bits: 3, index_bits: 8, base: 201 },
+    CodewordClass {
+        tag: 0b00,
+        tag_bits: 2,
+        index_bits: 0,
+        base: 0,
+    },
+    CodewordClass {
+        tag: 0b01,
+        tag_bits: 2,
+        index_bits: 3,
+        base: 1,
+    },
+    CodewordClass {
+        tag: 0b100,
+        tag_bits: 3,
+        index_bits: 6,
+        base: 9,
+    },
+    CodewordClass {
+        tag: 0b101,
+        tag_bits: 3,
+        index_bits: 7,
+        base: 73,
+    },
+    CodewordClass {
+        tag: 0b110,
+        tag_bits: 3,
+        index_bits: 8,
+        base: 201,
+    },
 ];
 
 /// Classes for **high** half-words. No single value dominates, so tag `00`
 /// carries a 2-bit index (the four most frequent high half-words get 4-bit
 /// codewords).
 pub const HIGH_CLASSES: [CodewordClass; 5] = [
-    CodewordClass { tag: 0b00, tag_bits: 2, index_bits: 2, base: 0 },
-    CodewordClass { tag: 0b01, tag_bits: 2, index_bits: 3, base: 4 },
-    CodewordClass { tag: 0b100, tag_bits: 3, index_bits: 6, base: 12 },
-    CodewordClass { tag: 0b101, tag_bits: 3, index_bits: 7, base: 76 },
-    CodewordClass { tag: 0b110, tag_bits: 3, index_bits: 8, base: 204 },
+    CodewordClass {
+        tag: 0b00,
+        tag_bits: 2,
+        index_bits: 2,
+        base: 0,
+    },
+    CodewordClass {
+        tag: 0b01,
+        tag_bits: 2,
+        index_bits: 3,
+        base: 4,
+    },
+    CodewordClass {
+        tag: 0b100,
+        tag_bits: 3,
+        index_bits: 6,
+        base: 12,
+    },
+    CodewordClass {
+        tag: 0b101,
+        tag_bits: 3,
+        index_bits: 7,
+        base: 76,
+    },
+    CodewordClass {
+        tag: 0b110,
+        tag_bits: 3,
+        index_bits: 8,
+        base: 204,
+    },
 ];
 
 /// Total dictionary capacity implied by a class list.
@@ -123,8 +173,16 @@ mod tests {
     fn codeword_lengths_span_2_to_11_bits() {
         let all = LOW_CLASSES.iter().chain(HIGH_CLASSES.iter());
         let lens: Vec<u8> = all.map(CodewordClass::len_bits).collect();
-        assert_eq!(*lens.iter().min().unwrap(), 2, "low zero codeword is 2 bits");
-        assert_eq!(*lens.iter().max().unwrap(), 11, "longest dictionary codeword is 11 bits");
+        assert_eq!(
+            *lens.iter().min().unwrap(),
+            2,
+            "low zero codeword is 2 bits"
+        );
+        assert_eq!(
+            *lens.iter().max().unwrap(),
+            11,
+            "longest dictionary codeword is 11 bits"
+        );
         assert_eq!(RAW_LEN_BITS, 19);
     }
 

@@ -86,7 +86,11 @@ mod tests {
 
     #[test]
     fn non_commutative_ops_untouched() {
-        let sub = encode(Instruction::Subu { rd: Reg::V0, rs: Reg::A1, rt: Reg::A0 });
+        let sub = encode(Instruction::Subu {
+            rd: Reg::V0,
+            rs: Reg::A1,
+            rt: Reg::A0,
+        });
         let (text, stats) = canonicalize_commutative(&[sub]);
         assert_eq!(text[0], sub, "subtraction is not commutative");
         assert_eq!(stats.rewritten, 0);
@@ -94,12 +98,20 @@ mod tests {
 
     #[test]
     fn already_canonical_is_a_fixpoint() {
-        let ok = encode(Instruction::Or { rd: Reg::T0, rs: Reg::A0, rt: Reg::A1 });
+        let ok = encode(Instruction::Or {
+            rd: Reg::T0,
+            rs: Reg::A0,
+            rt: Reg::A1,
+        });
         let (text, stats) = canonicalize_commutative(&[ok]);
         assert_eq!(text[0], ok);
         assert_eq!(stats.rewritten, 0);
         // Idempotence on a rewritten stream.
-        let messy = encode(Instruction::Or { rd: Reg::T0, rs: Reg::A1, rt: Reg::A0 });
+        let messy = encode(Instruction::Or {
+            rd: Reg::T0,
+            rs: Reg::A1,
+            rt: Reg::A0,
+        });
         let (once, _) = canonicalize_commutative(&[messy]);
         let (twice, stats) = canonicalize_commutative(&once);
         assert_eq!(once, twice);
@@ -120,7 +132,11 @@ mod tests {
             .map(|i| {
                 let a = Reg::new(8 + (i % 6) as u8);
                 let b = Reg::new(8 + ((i / 7) % 6) as u8);
-                encode(Instruction::Addu { rd: Reg::new(2 + (i % 4) as u8), rs: a, rt: b })
+                encode(Instruction::Addu {
+                    rd: Reg::new(2 + (i % 4) as u8),
+                    rs: a,
+                    rt: b,
+                })
             })
             .collect();
         let before = CodePackImage::compress(&text, &CompressionConfig::default())
@@ -131,6 +147,9 @@ mod tests {
             .stats()
             .total_bytes();
         assert!(stats.rewritten > 0);
-        assert!(after <= before, "canonical text must compress at least as well: {after} vs {before}");
+        assert!(
+            after <= before,
+            "canonical text must compress at least as well: {after} vs {before}"
+        );
     }
 }

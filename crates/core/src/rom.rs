@@ -79,7 +79,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], RomError> {
-        let end = self.pos.checked_add(n).ok_or(RomError::Truncated { at: self.pos })?;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(RomError::Truncated { at: self.pos })?;
         if end > self.bytes.len() {
             return Err(RomError::Truncated { at: self.pos });
         }
@@ -89,15 +92,21 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, RomError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, RomError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, RomError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -169,8 +178,7 @@ impl CodePackImage {
         }
         let high_len = c.u16()?;
         let low_len = c.u16()?;
-        let high_values: Vec<u16> =
-            (0..high_len).map(|_| c.u16()).collect::<Result<_, _>>()?;
+        let high_values: Vec<u16> = (0..high_len).map(|_| c.u16()).collect::<Result<_, _>>()?;
         let low_values: Vec<u16> = (0..low_len).map(|_| c.u16()).collect::<Result<_, _>>()?;
         let high_dict = Dictionary::from_ranked_values(high_values);
         let low_dict = Dictionary::from_ranked_values(low_values);
@@ -178,7 +186,9 @@ impl CodePackImage {
         let n_groups = c.u32()?;
         let expected_groups = n_insns.div_ceil(BLOCK_INSNS * BLOCKS_PER_GROUP);
         if n_groups != expected_groups {
-            return Err(RomError::Inconsistent("group count does not match instruction count"));
+            return Err(RomError::Inconsistent(
+                "group count does not match instruction count",
+            ));
         }
         let index: Vec<u32> = (0..n_groups).map(|_| c.u32()).collect::<Result<_, _>>()?;
 
@@ -211,7 +221,11 @@ impl CodePackImage {
             let group = (b / BLOCKS_PER_GROUP) as usize;
             let entry = index[group];
             let first = entry >> 7;
-            let offset = if b % BLOCKS_PER_GROUP == 0 { first } else { first + (entry & 0x7f) };
+            let offset = if b % BLOCKS_PER_GROUP == 0 {
+                first
+            } else {
+                first + (entry & 0x7f)
+            };
             let offset = offset as usize;
             if offset > stream.len() {
                 return Err(RomError::Inconsistent("index entry points past the stream"));
@@ -220,10 +234,16 @@ impl CodePackImage {
             let (_, cum_bits) = decode_block_tracking(&mut reader, &high_dict, &low_dict)?;
             let byte_len = u16::try_from(u32::from(cum_bits[BLOCK_INSNS as usize]).div_ceil(8))
                 .expect("block length fits u16");
-            blocks.push(BlockInfo { byte_offset: offset as u32, byte_len, cum_bits });
+            blocks.push(BlockInfo {
+                byte_offset: offset as u32,
+                byte_len,
+                cum_bits,
+            });
         }
 
-        Ok(CodePackImage::from_parts(high_dict, low_dict, index, stream, blocks, n_insns, stats))
+        Ok(CodePackImage::from_parts(
+            high_dict, low_dict, index, stream, blocks, n_insns, stats,
+        ))
     }
 }
 
@@ -247,11 +267,17 @@ mod tests {
         let original = image();
         let rom = original.to_rom_bytes();
         let loaded = CodePackImage::from_rom_bytes(&rom).unwrap();
-        assert_eq!(loaded.decompress_all().unwrap(), original.decompress_all().unwrap());
+        assert_eq!(
+            loaded.decompress_all().unwrap(),
+            original.decompress_all().unwrap()
+        );
         assert_eq!(loaded.stats(), original.stats());
         assert_eq!(loaded.index_table(), original.index_table());
         for b in 0..original.num_blocks() {
-            assert_eq!(loaded.block_info(b).cum_bits, original.block_info(b).cum_bits);
+            assert_eq!(
+                loaded.block_info(b).cum_bits,
+                original.block_info(b).cum_bits
+            );
         }
     }
 
@@ -259,7 +285,10 @@ mod tests {
     fn bad_magic_rejected() {
         let mut rom = image().to_rom_bytes();
         rom[0] = b'X';
-        assert!(matches!(CodePackImage::from_rom_bytes(&rom), Err(RomError::BadMagic)));
+        assert!(matches!(
+            CodePackImage::from_rom_bytes(&rom),
+            Err(RomError::BadMagic)
+        ));
     }
 
     #[test]

@@ -143,7 +143,10 @@ mod tests {
     fn fractions_sum_to_one() {
         let s = sample();
         let sum: f64 = s.table4_fractions().iter().sum();
-        assert!((sum - 1.0).abs() < 1e-9, "components partition the image, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "components partition the image, got {sum}"
+        );
     }
 
     #[test]

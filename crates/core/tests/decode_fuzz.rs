@@ -5,32 +5,41 @@
 use codepack_core::{
     decode_block_bytes, CodePackImage, CompressionConfig, Dictionary, BLOCK_INSNS,
 };
-use proptest::collection::vec;
-use proptest::prelude::*;
+use codepack_testkit::forall;
+use codepack_testkit::prop::gen;
 
 fn small_dict(values: &[u16]) -> Dictionary {
     Dictionary::from_ranked_values(values.to_vec())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Arbitrary bytes through the block decoder: no panics, ever.
+#[test]
+fn arbitrary_bytes_never_panic() {
+    forall!(
+        cases = 256,
+        (
+            gen::vec_of(gen::any_int::<u8>(), 0..200),
+            gen::ints(0u16..457)
+        ),
+        |bytes, dict_len| {
+            let values: Vec<u16> = (0..dict_len).map(|i| i.wrapping_mul(257)).collect();
+            let dict = small_dict(&values);
+            let _ = decode_block_bytes(&bytes, &dict, &dict);
+        }
+    );
+}
 
-    /// Arbitrary bytes through the block decoder: no panics, ever.
-    #[test]
-    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..200), dict_len in 0u16..457) {
-        let values: Vec<u16> = (0..dict_len).map(|i| i.wrapping_mul(257)).collect();
-        let dict = small_dict(&values);
-        let _ = decode_block_bytes(&bytes, &dict, &dict);
-    }
-
-    /// A stream decoded with a *shorter* dictionary than it was encoded
-    /// with either errors (BadDictIndex) or produces different words — it
-    /// must not silently reproduce the original.
-    #[test]
-    fn dictionary_mismatch_is_detected(seed in any::<u64>()) {
+/// A stream decoded with a *shorter* dictionary than it was encoded
+/// with either errors (BadDictIndex) or produces different words — it
+/// must not silently reproduce the original.
+#[test]
+fn dictionary_mismatch_is_detected() {
+    forall!(cases = 256, (gen::any_int::<u64>()), |seed| {
         let text: Vec<u32> = (0..BLOCK_INSNS)
             .map(|i| {
-                let x = seed.wrapping_add(u64::from(i)).wrapping_mul(0x9e3779b97f4a7c15);
+                let x = seed
+                    .wrapping_add(u64::from(i))
+                    .wrapping_mul(0x9e3779b97f4a7c15);
                 ((x >> 16) as u32) & 0x0fff_0fff | 0x2000_0000
             })
             .collect();
@@ -39,29 +48,35 @@ proptest! {
         doubled.extend_from_slice(&text);
         let image = CodePackImage::compress(&doubled, &CompressionConfig::default());
         if image.stats().dict_index_bits == 0 {
-            return Ok(()); // nothing went through a dictionary; nothing to test
+            return; // nothing went through a dictionary; nothing to test
         }
         let empty = Dictionary::from_ranked_values(vec![]);
         let result = decode_block_bytes(image.compressed_bytes(), &empty, &empty);
         match result {
             Err(_) => {}
-            Ok(words) => prop_assert_ne!(&words[..], &doubled[..16]),
+            Ok(words) => assert_ne!(&words[..], &doubled[..16]),
         }
-    }
+    });
+}
 
-    /// decode_block_bytes on a valid block start always reproduces the
-    /// block, regardless of what follows it in the buffer.
-    #[test]
-    fn trailing_garbage_is_ignored(tail in vec(any::<u8>(), 0..64)) {
-        let text: Vec<u32> = (0..32).map(|i| 0x2402_0000 | (i % 5)).collect();
-        let image = CodePackImage::compress(&text, &CompressionConfig::default());
-        let mut buf = image.compressed_bytes().to_vec();
-        buf.truncate(image.block_info(0).byte_len as usize);
-        buf.extend_from_slice(&tail);
-        let words =
-            decode_block_bytes(&buf, image.high_dict(), image.low_dict()).expect("valid prefix");
-        prop_assert_eq!(&words[..], &text[..16]);
-    }
+/// decode_block_bytes on a valid block start always reproduces the
+/// block, regardless of what follows it in the buffer.
+#[test]
+fn trailing_garbage_is_ignored() {
+    forall!(
+        cases = 256,
+        (gen::vec_of(gen::any_int::<u8>(), 0..64)),
+        |tail| {
+            let text: Vec<u32> = (0..32).map(|i| 0x2402_0000 | (i % 5)).collect();
+            let image = CodePackImage::compress(&text, &CompressionConfig::default());
+            let mut buf = image.compressed_bytes().to_vec();
+            buf.truncate(image.block_info(0).byte_len as usize);
+            buf.extend_from_slice(&tail);
+            let words = decode_block_bytes(&buf, image.high_dict(), image.low_dict())
+                .expect("valid prefix");
+            assert_eq!(&words[..], &text[..16]);
+        }
+    );
 }
 
 #[test]

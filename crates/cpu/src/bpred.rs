@@ -64,16 +64,29 @@ impl PredictorConfig {
 
     /// The paper's 8-issue predictor: hybrid with a 1024-entry meta table.
     pub fn paper_8issue() -> PredictorConfig {
-        PredictorConfig::Hybrid { meta_entries: 1024, bimodal_entries: 2048, history_bits: 14 }
+        PredictorConfig::Hybrid {
+            meta_entries: 1024,
+            bimodal_entries: 2048,
+            history_bits: 14,
+        }
     }
 
     /// Builds the predictor.
     pub fn build(&self) -> DirectionPredictor {
         match *self {
-            PredictorConfig::Static => DirectionPredictor { inner: Inner::Static },
+            PredictorConfig::Static => DirectionPredictor {
+                inner: Inner::Static,
+            },
             PredictorConfig::Bimodal { entries } => {
-                assert!(entries.is_power_of_two(), "bimodal table must be a power of two");
-                DirectionPredictor { inner: Inner::Bimodal { table: vec![Counter2::WEAK_TAKEN; entries] } }
+                assert!(
+                    entries.is_power_of_two(),
+                    "bimodal table must be a power of two"
+                );
+                DirectionPredictor {
+                    inner: Inner::Bimodal {
+                        table: vec![Counter2::WEAK_TAKEN; entries],
+                    },
+                }
             }
             PredictorConfig::Gshare { history_bits } => {
                 assert!(history_bits <= 20, "history beyond 20 bits is unrealistic");
@@ -85,7 +98,11 @@ impl PredictorConfig {
                     },
                 }
             }
-            PredictorConfig::Hybrid { meta_entries, bimodal_entries, history_bits } => {
+            PredictorConfig::Hybrid {
+                meta_entries,
+                bimodal_entries,
+                history_bits,
+            } => {
                 assert!(meta_entries.is_power_of_two());
                 DirectionPredictor {
                     inner: Inner::Hybrid {
@@ -143,14 +160,24 @@ impl DirectionPredictor {
                 table[idx].train(taken);
                 predicted
             }
-            Inner::Gshare { table, history, mask } => {
+            Inner::Gshare {
+                table,
+                history,
+                mask,
+            } => {
                 let idx = (((pc >> 2) ^ *history) & *mask) as usize;
                 let predicted = table[idx].predict();
                 table[idx].train(taken);
                 *history = ((*history << 1) | u32::from(taken)) & *mask;
                 predicted
             }
-            Inner::Hybrid { meta, bimodal, gshare, history, mask } => {
+            Inner::Hybrid {
+                meta,
+                bimodal,
+                gshare,
+                history,
+                mask,
+            } => {
                 let b_idx = ((pc >> 2) as usize) & (bimodal.len() - 1);
                 let g_idx = (((pc >> 2) ^ *history) & *mask) as usize;
                 let m_idx = ((pc >> 2) as usize) & (meta.len() - 1);
@@ -187,7 +214,10 @@ impl Default for ReturnAddressStack {
 impl ReturnAddressStack {
     /// Creates a RAS of the given depth.
     pub fn new(capacity: usize) -> ReturnAddressStack {
-        ReturnAddressStack { stack: Vec::with_capacity(capacity), capacity }
+        ReturnAddressStack {
+            stack: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Records a call's return address (oldest entry drops when full).
@@ -228,7 +258,10 @@ mod tests {
             }
         }
         // After warmup, history disambiguates the alternation perfectly.
-        assert!(correct > 150, "gshare should learn T/NT alternation, got {correct}/200");
+        assert!(
+            correct > 150,
+            "gshare should learn T/NT alternation, got {correct}/200"
+        );
     }
 
     #[test]
@@ -254,7 +287,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct > 250, "hybrid should defer to gshare here, got {correct}/400");
+        assert!(
+            correct > 250,
+            "hybrid should defer to gshare here, got {correct}/400"
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@
 use std::error::Error;
 use std::fmt;
 
-use codepack_isa::{decode, DecodeInstructionError, Instruction, Program, Reg, STACK_BASE, TEXT_BASE};
+use codepack_isa::{
+    decode, DecodeInstructionError, Instruction, Program, Reg, STACK_BASE, TEXT_BASE,
+};
 use codepack_mem::SparseMemory;
 
 /// Why execution stopped.
@@ -203,7 +205,8 @@ impl Machine {
             .map(|o| (o / 4) as usize)
             .filter(|&i| i < self.decoded.len() && pc.is_multiple_of(4))
             .ok_or(ExecError::PcOutOfText { pc })?;
-        let insn = self.decoded[index].map_err(|cause| ExecError::IllegalInstruction { pc, cause })?;
+        let insn =
+            self.decoded[index].map_err(|cause| ExecError::IllegalInstruction { pc, cause })?;
 
         let mut next_pc = pc.wrapping_add(4);
         let mut mem_access = None;
@@ -212,7 +215,9 @@ impl Machine {
         macro_rules! branch {
             ($cond:expr, $offset:expr) => {
                 if $cond {
-                    next_pc = pc.wrapping_add(4).wrapping_add(($offset as i32 as u32) << 2);
+                    next_pc = pc
+                        .wrapping_add(4)
+                        .wrapping_add(($offset as i32 as u32) << 2);
                     taken = true;
                 }
             };
@@ -289,15 +294,11 @@ impl Machine {
             Bgtz { rs, offset } => branch!(self.reg(rs) as i32 > 0, offset),
             Bltz { rs, offset } => branch!((self.reg(rs) as i32) < 0, offset),
             Bgez { rs, offset } => branch!(self.reg(rs) as i32 >= 0, offset),
-            Addiu { rt, rs, imm } => {
-                self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32))
-            }
+            Addiu { rt, rs, imm } => self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32)),
             Slti { rt, rs, imm } => {
                 self.set_reg(rt, ((self.reg(rs) as i32) < i32::from(imm)) as u32)
             }
-            Sltiu { rt, rs, imm } => {
-                self.set_reg(rt, (self.reg(rs) < imm as i32 as u32) as u32)
-            }
+            Sltiu { rt, rs, imm } => self.set_reg(rt, (self.reg(rs) < imm as i32 as u32) as u32),
             Andi { rt, rs, imm } => self.set_reg(rt, self.reg(rs) & u32::from(imm)),
             Ori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) | u32::from(imm)),
             Xori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) ^ u32::from(imm)),
@@ -384,7 +385,13 @@ impl Machine {
         if !self.halted {
             self.retired += 1;
         }
-        Ok(StepInfo { pc, insn, next_pc, mem: mem_access, taken })
+        Ok(StepInfo {
+            pc,
+            insn,
+            next_pc,
+            mem: mem_access,
+            taken,
+        })
     }
 
     #[inline]
@@ -466,8 +473,16 @@ mod tests {
         a.li(Reg::T0, 100);
         a.li(Reg::T1, 0);
         a.bind(top);
-        a.push(Instruction::Addu { rd: Reg::T1, rs: Reg::T1, rt: Reg::T0 });
-        a.push(Instruction::Addiu { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+        a.push(Instruction::Addu {
+            rd: Reg::T1,
+            rs: Reg::T1,
+            rt: Reg::T0,
+        });
+        a.push(Instruction::Addiu {
+            rt: Reg::T0,
+            rs: Reg::T0,
+            imm: -1,
+        });
         a.bgtz(Reg::T0, top);
         a.halt();
         let m = run_to_halt(&a.finish("sum").unwrap());
@@ -479,12 +494,36 @@ mod tests {
         let mut a = Assembler::new();
         a.li(Reg::T0, codepack_isa::DATA_BASE as i32);
         a.li(Reg::T1, -2); // 0xfffffffe
-        a.push(Instruction::Sb { rt: Reg::T1, base: Reg::T0, offset: 0 });
-        a.push(Instruction::Lb { rt: Reg::T2, base: Reg::T0, offset: 0 });
-        a.push(Instruction::Lbu { rt: Reg::T3, base: Reg::T0, offset: 0 });
-        a.push(Instruction::Sh { rt: Reg::T1, base: Reg::T0, offset: 4 });
-        a.push(Instruction::Lh { rt: Reg::T4, base: Reg::T0, offset: 4 });
-        a.push(Instruction::Lhu { rt: Reg::T5, base: Reg::T0, offset: 4 });
+        a.push(Instruction::Sb {
+            rt: Reg::T1,
+            base: Reg::T0,
+            offset: 0,
+        });
+        a.push(Instruction::Lb {
+            rt: Reg::T2,
+            base: Reg::T0,
+            offset: 0,
+        });
+        a.push(Instruction::Lbu {
+            rt: Reg::T3,
+            base: Reg::T0,
+            offset: 0,
+        });
+        a.push(Instruction::Sh {
+            rt: Reg::T1,
+            base: Reg::T0,
+            offset: 4,
+        });
+        a.push(Instruction::Lh {
+            rt: Reg::T4,
+            base: Reg::T0,
+            offset: 4,
+        });
+        a.push(Instruction::Lhu {
+            rt: Reg::T5,
+            base: Reg::T0,
+            offset: 4,
+        });
         a.halt();
         let m = run_to_halt(&a.finish("mem").unwrap());
         assert_eq!(m.reg(Reg::T2), 0xffff_fffe);
@@ -514,12 +553,18 @@ mod tests {
         let mut a = Assembler::new();
         a.li(Reg::T0, 100_000);
         a.li(Reg::T1, 100_000);
-        a.push(Instruction::Mult { rs: Reg::T0, rt: Reg::T1 });
+        a.push(Instruction::Mult {
+            rs: Reg::T0,
+            rt: Reg::T1,
+        });
         a.push(Instruction::Mfhi { rd: Reg::T2 });
         a.push(Instruction::Mflo { rd: Reg::T3 });
         a.li(Reg::T4, 17);
         a.li(Reg::T5, 5);
-        a.push(Instruction::Div { rs: Reg::T4, rt: Reg::T5 });
+        a.push(Instruction::Div {
+            rs: Reg::T4,
+            rt: Reg::T5,
+        });
         a.push(Instruction::Mflo { rd: Reg::T6 });
         a.push(Instruction::Mfhi { rd: Reg::T7 });
         a.halt();
@@ -535,11 +580,28 @@ mod tests {
     fn fp_kernel_computes() {
         let mut a = Assembler::new();
         a.li(Reg::T0, 3);
-        a.push(Instruction::Mtc1 { rt: Reg::T0, fs: FReg::new(0) });
-        a.push(Instruction::CvtSW { fd: FReg::new(1), fs: FReg::new(0) }); // f1 = 3.0
-        a.push(Instruction::MulS { fd: FReg::new(2), fs: FReg::new(1), ft: FReg::new(1) }); // 9.0
-        a.push(Instruction::AddS { fd: FReg::new(2), fs: FReg::new(2), ft: FReg::new(1) }); // 12.0
-        a.push(Instruction::CLtS { fs: FReg::new(1), ft: FReg::new(2) }); // 3 < 12
+        a.push(Instruction::Mtc1 {
+            rt: Reg::T0,
+            fs: FReg::new(0),
+        });
+        a.push(Instruction::CvtSW {
+            fd: FReg::new(1),
+            fs: FReg::new(0),
+        }); // f1 = 3.0
+        a.push(Instruction::MulS {
+            fd: FReg::new(2),
+            fs: FReg::new(1),
+            ft: FReg::new(1),
+        }); // 9.0
+        a.push(Instruction::AddS {
+            fd: FReg::new(2),
+            fs: FReg::new(2),
+            ft: FReg::new(1),
+        }); // 12.0
+        a.push(Instruction::CLtS {
+            fs: FReg::new(1),
+            ft: FReg::new(2),
+        }); // 3 < 12
         let set = a.new_label();
         a.bc1t(set);
         a.li(Reg::V1, 0);
@@ -556,10 +618,18 @@ mod tests {
     fn step_info_reports_branch_outcomes() {
         let mut a = Assembler::new();
         let skip = a.new_label();
-        a.push(Instruction::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: 1 }); // taken
+        a.push(Instruction::Beq {
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            offset: 1,
+        }); // taken
         a.push(Instruction::NOP); // skipped
         a.bind(skip);
-        a.push(Instruction::Bne { rs: Reg::ZERO, rt: Reg::ZERO, offset: 1 }); // not taken
+        a.push(Instruction::Bne {
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            offset: 1,
+        }); // not taken
         a.halt();
         let p = a.finish("branches").unwrap();
         let mut m = Machine::load(&p);
@@ -608,7 +678,11 @@ mod tests {
     #[test]
     fn zero_register_ignores_writes() {
         let mut a = Assembler::new();
-        a.push(Instruction::Addiu { rt: Reg::ZERO, rs: Reg::ZERO, imm: 42 });
+        a.push(Instruction::Addiu {
+            rt: Reg::ZERO,
+            rs: Reg::ZERO,
+            imm: 42,
+        });
         a.halt();
         let m = run_to_halt(&a.finish("z").unwrap());
         assert_eq!(m.reg(Reg::ZERO), 0);

@@ -97,7 +97,13 @@ impl PipelineConfig {
             in_order: true,
             ruu_size: 8,
             lsq_size: 4,
-            fu: FuCounts { int_alu: 1, int_mult: 1, mem_port: 1, fp_alu: 1, fp_mult: 1 },
+            fu: FuCounts {
+                int_alu: 1,
+                int_mult: 1,
+                mem_port: 1,
+                fp_alu: 1,
+                fp_mult: 1,
+            },
             predictor: PredictorConfig::paper_1issue(),
         }
     }
@@ -113,7 +119,13 @@ impl PipelineConfig {
             in_order: false,
             ruu_size: 64,
             lsq_size: 32,
-            fu: FuCounts { int_alu: 4, int_mult: 1, mem_port: 2, fp_alu: 4, fp_mult: 1 },
+            fu: FuCounts {
+                int_alu: 4,
+                int_mult: 1,
+                mem_port: 2,
+                fp_alu: 4,
+                fp_mult: 1,
+            },
             predictor: PredictorConfig::paper_4issue(),
         }
     }
@@ -129,7 +141,13 @@ impl PipelineConfig {
             in_order: false,
             ruu_size: 128,
             lsq_size: 64,
-            fu: FuCounts { int_alu: 8, int_mult: 1, mem_port: 2, fp_alu: 8, fp_mult: 1 },
+            fu: FuCounts {
+                int_alu: 8,
+                int_mult: 1,
+                mem_port: 2,
+                fp_alu: 8,
+                fp_mult: 1,
+            },
             predictor: PredictorConfig::paper_8issue(),
         }
     }
@@ -151,7 +169,10 @@ pub struct L2Config {
 impl L2Config {
     /// A conventional embedded L2: unified, 8-way, 12-cycle hit.
     pub fn unified_kb(kb: u32) -> L2Config {
-        L2Config { cache: CacheConfig::new(kb * 1024, 32, 8), hit_cycles: 12 }
+        L2Config {
+            cache: CacheConfig::new(kb * 1024, 32, 8),
+            hit_cycles: 12,
+        }
     }
 }
 
@@ -307,8 +328,14 @@ fn latency(insn: &Instruction) -> (FuClass, u64, u64) {
         Mult { .. } | Multu { .. } => (FuClass::IntMult, 3, 1),
         Div { .. } | Divu { .. } => (FuClass::IntMult, 20, 19),
         Mfhi { .. } | Mflo { .. } => (FuClass::IntAlu, 1, 1),
-        AddS { .. } | SubS { .. } | CEqS { .. } | CLtS { .. } | CLeS { .. } | MovS { .. }
-        | CvtSW { .. } | CvtWS { .. } => (FuClass::FpAlu, 2, 1),
+        AddS { .. }
+        | SubS { .. }
+        | CEqS { .. }
+        | CLtS { .. }
+        | CLeS { .. }
+        | MovS { .. }
+        | CvtSW { .. }
+        | CvtWS { .. } => (FuClass::FpAlu, 2, 1),
         MulS { .. } => (FuClass::FpMult, 4, 1),
         DivS { .. } => (FuClass::FpMult, 12, 12),
         i if i.is_load() || i.is_store() => (FuClass::MemPort, 1, 1),
@@ -324,23 +351,35 @@ fn sources(insn: &Instruction) -> [Option<(bool, usize)>; 3] {
     let fp = |r: codepack_isa::FReg| Some((true, r.index() as usize));
     match *insn {
         Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => [int(rt), None, None],
-        Sllv { rt, rs, .. } | Srlv { rt, rs, .. } | Srav { rt, rs, .. } => {
-            [int(rt), int(rs), None]
-        }
+        Sllv { rt, rs, .. } | Srlv { rt, rs, .. } | Srav { rt, rs, .. } => [int(rt), int(rs), None],
         Jr { rs } | Jalr { rs, .. } => [int(rs), None, None],
         Mfhi { .. } | Mflo { .. } => [Some((false, HI_LO)), None, None],
         Mult { rs, rt } | Multu { rs, rt } | Div { rs, rt } | Divu { rs, rt } => {
             [int(rs), int(rt), None]
         }
-        Addu { rs, rt, .. } | Subu { rs, rt, .. } | And { rs, rt, .. } | Or { rs, rt, .. }
-        | Xor { rs, rt, .. } | Nor { rs, rt, .. } | Slt { rs, rt, .. } | Sltu { rs, rt, .. }
-        | Beq { rs, rt, .. } | Bne { rs, rt, .. } => [int(rs), int(rt), None],
+        Addu { rs, rt, .. }
+        | Subu { rs, rt, .. }
+        | And { rs, rt, .. }
+        | Or { rs, rt, .. }
+        | Xor { rs, rt, .. }
+        | Nor { rs, rt, .. }
+        | Slt { rs, rt, .. }
+        | Sltu { rs, rt, .. }
+        | Beq { rs, rt, .. }
+        | Bne { rs, rt, .. } => [int(rs), int(rt), None],
         Blez { rs, .. } | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } => {
             [int(rs), None, None]
         }
-        Addiu { rs, .. } | Slti { rs, .. } | Sltiu { rs, .. } | Andi { rs, .. }
-        | Ori { rs, .. } | Xori { rs, .. } => [int(rs), None, None],
-        Lb { base, .. } | Lh { base, .. } | Lw { base, .. } | Lbu { base, .. }
+        Addiu { rs, .. }
+        | Slti { rs, .. }
+        | Sltiu { rs, .. }
+        | Andi { rs, .. }
+        | Ori { rs, .. }
+        | Xori { rs, .. } => [int(rs), None, None],
+        Lb { base, .. }
+        | Lh { base, .. }
+        | Lw { base, .. }
+        | Lbu { base, .. }
         | Lhu { base, .. } => [int(base), None, None],
         Sb { rt, base, .. } | Sh { rt, base, .. } | Sw { rt, base, .. } => {
             [int(rt), int(base), None]
@@ -365,17 +404,45 @@ fn destination(insn: &Instruction) -> Option<(bool, usize)> {
     let int = |r: Reg| Some((false, r.index() as usize));
     let fp = |r: codepack_isa::FReg| Some((true, r.index() as usize));
     match *insn {
-        Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. } | Sllv { rd, .. } | Srlv { rd, .. }
-        | Srav { rd, .. } | Mfhi { rd } | Mflo { rd } | Addu { rd, .. } | Subu { rd, .. }
-        | And { rd, .. } | Or { rd, .. } | Xor { rd, .. } | Nor { rd, .. } | Slt { rd, .. }
-        | Sltu { rd, .. } | Jalr { rd, .. } => int(rd),
+        Sll { rd, .. }
+        | Srl { rd, .. }
+        | Sra { rd, .. }
+        | Sllv { rd, .. }
+        | Srlv { rd, .. }
+        | Srav { rd, .. }
+        | Mfhi { rd }
+        | Mflo { rd }
+        | Addu { rd, .. }
+        | Subu { rd, .. }
+        | And { rd, .. }
+        | Or { rd, .. }
+        | Xor { rd, .. }
+        | Nor { rd, .. }
+        | Slt { rd, .. }
+        | Sltu { rd, .. }
+        | Jalr { rd, .. } => int(rd),
         Mult { .. } | Multu { .. } | Div { .. } | Divu { .. } => Some((false, HI_LO)),
-        Addiu { rt, .. } | Slti { rt, .. } | Sltiu { rt, .. } | Andi { rt, .. }
-        | Ori { rt, .. } | Xori { rt, .. } | Lui { rt, .. } | Lb { rt, .. } | Lh { rt, .. }
-        | Lw { rt, .. } | Lbu { rt, .. } | Lhu { rt, .. } | Mfc1 { rt, .. } => int(rt),
+        Addiu { rt, .. }
+        | Slti { rt, .. }
+        | Sltiu { rt, .. }
+        | Andi { rt, .. }
+        | Ori { rt, .. }
+        | Xori { rt, .. }
+        | Lui { rt, .. }
+        | Lb { rt, .. }
+        | Lh { rt, .. }
+        | Lw { rt, .. }
+        | Lbu { rt, .. }
+        | Lhu { rt, .. }
+        | Mfc1 { rt, .. } => int(rt),
         Jal { .. } => int(Reg::RA),
-        AddS { fd, .. } | SubS { fd, .. } | MulS { fd, .. } | DivS { fd, .. }
-        | MovS { fd, .. } | CvtSW { fd, .. } | CvtWS { fd, .. } => fp(fd),
+        AddS { fd, .. }
+        | SubS { fd, .. }
+        | MulS { fd, .. }
+        | DivS { fd, .. }
+        | MovS { fd, .. }
+        | CvtSW { fd, .. }
+        | CvtWS { fd, .. } => fp(fd),
         CEqS { .. } | CLtS { .. } | CLeS { .. } => Some((true, FCC)),
         Mtc1 { fs, .. } => fp(fs),
         Lwc1 { ft, .. } => fp(ft),
@@ -451,7 +518,11 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates functional-execution errors ([`ExecError`]).
-    pub fn run(&mut self, machine: &mut Machine, max_insns: u64) -> Result<PipelineStats, ExecError> {
+    pub fn run(
+        &mut self,
+        machine: &mut Machine,
+        max_insns: u64,
+    ) -> Result<PipelineStats, ExecError> {
         while !machine.halted() && self.stats.instructions < max_insns {
             let info = machine.step()?;
             if machine.halted() {
@@ -513,8 +584,8 @@ impl Pipeline {
                 let words = line_bytes / 4;
                 let word = (info.pc % line_bytes) / 4;
                 let dist = u64::from((word + words - ms.critical_word) % words);
-                let bound =
-                    ms.critical_at + dist * (ms.fill_at - ms.critical_at) / u64::from(words - 1).max(1);
+                let bound = ms.critical_at
+                    + dist * (ms.fill_at - ms.critical_at) / u64::from(words - 1).max(1);
                 if bound > self.fetch_cycle {
                     self.fetch_cycle = bound;
                     self.fetched_this_cycle = 0;
@@ -560,7 +631,11 @@ impl Pipeline {
         let mut ready_t = disp_t + 1;
         for src in sources(&info.insn).into_iter().flatten() {
             let (is_fp, slot) = src;
-            let t = if is_fp { self.fp_ready[slot] } else { self.int_ready[slot] };
+            let t = if is_fp {
+                self.fp_ready[slot]
+            } else {
+                self.int_ready[slot]
+            };
             ready_t = ready_t.max(t);
         }
         // Loads wait for the latest store to the same word (forwarding).
@@ -587,9 +662,10 @@ impl Pipeline {
                 // memory beats but does not stall the pipeline.
                 self.store_wb.insert(mem.addr >> 2, issue_t + lat);
             } else if !hit {
-                let fill = self
-                    .dmem
-                    .line_fill(self.dcache.config().line_bytes(), mem.addr % self.dcache.config().line_bytes());
+                let fill = self.dmem.line_fill(
+                    self.dcache.config().line_bytes(),
+                    mem.addr % self.dcache.config().line_bytes(),
+                );
                 lat += fill.critical_word_ready;
             }
         }
@@ -717,10 +793,7 @@ mod tests {
     use codepack_core::NativeFetch;
     use codepack_isa::Assembler;
 
-    fn run_program(
-        build: impl FnOnce(&mut Assembler),
-        config: PipelineConfig,
-    ) -> PipelineStats {
+    fn run_program(build: impl FnOnce(&mut Assembler), config: PipelineConfig) -> PipelineStats {
         let mut a = Assembler::new();
         build(&mut a);
         a.halt();
@@ -740,7 +813,11 @@ mod tests {
         // Independent instructions: alternate destination registers.
         for i in 0..n {
             let rd = Reg::new(8 + (i % 8) as u8);
-            a.push(Instruction::Addiu { rt: rd, rs: Reg::ZERO, imm: i as i16 });
+            a.push(Instruction::Addiu {
+                rt: rd,
+                rs: Reg::ZERO,
+                imm: i as i16,
+            });
         }
     }
 
@@ -752,9 +829,17 @@ mod tests {
         a.bind(top);
         for i in 0..8 {
             let rd = Reg::new(8 + i as u8);
-            a.push(Instruction::Addiu { rt: rd, rs: Reg::ZERO, imm: i });
+            a.push(Instruction::Addiu {
+                rt: rd,
+                rs: Reg::ZERO,
+                imm: i,
+            });
         }
-        a.push(Instruction::Addiu { rt: Reg::S0, rs: Reg::S0, imm: -1 });
+        a.push(Instruction::Addiu {
+            rt: Reg::S0,
+            rs: Reg::S0,
+            imm: -1,
+        });
         a.bgtz(Reg::S0, top);
     }
 
@@ -762,7 +847,11 @@ mod tests {
     fn wider_machine_is_faster_on_ilp() {
         let one = run_program(|a| ilp_loop(a, 2000), PipelineConfig::one_issue());
         let four = run_program(|a| ilp_loop(a, 2000), PipelineConfig::four_issue());
-        assert!(one.ipc() <= 1.05, "1-issue cannot exceed IPC 1, got {}", one.ipc());
+        assert!(
+            one.ipc() <= 1.05,
+            "1-issue cannot exceed IPC 1, got {}",
+            one.ipc()
+        );
         assert!(
             four.ipc() > 1.5 * one.ipc(),
             "4-issue should exploit ILP: {} vs {}",
@@ -776,11 +865,19 @@ mod tests {
         let chain = |a: &mut Assembler| {
             a.li(Reg::T0, 0);
             for _ in 0..512 {
-                a.push(Instruction::Addiu { rt: Reg::T0, rs: Reg::T0, imm: 1 });
+                a.push(Instruction::Addiu {
+                    rt: Reg::T0,
+                    rs: Reg::T0,
+                    imm: 1,
+                });
             }
         };
         let four = run_program(chain, PipelineConfig::four_issue());
-        assert!(four.ipc() < 1.3, "a serial chain cannot go wide, got {}", four.ipc());
+        assert!(
+            four.ipc() < 1.3,
+            "a serial chain cannot go wide, got {}",
+            four.ipc()
+        );
     }
 
     #[test]
@@ -792,18 +889,34 @@ mod tests {
             let top = a.new_label();
             a.bind(top);
             // alternate taken/not-taken on t0 parity
-            a.push(Instruction::Andi { rt: Reg::T1, rs: Reg::T0, imm: 1 });
+            a.push(Instruction::Andi {
+                rt: Reg::T1,
+                rs: Reg::T0,
+                imm: 1,
+            });
             let skip = a.new_label();
             a.beq(Reg::T1, Reg::ZERO, skip);
-            a.push(Instruction::Addiu { rt: Reg::T2, rs: Reg::T2, imm: 1 });
+            a.push(Instruction::Addiu {
+                rt: Reg::T2,
+                rs: Reg::T2,
+                imm: 1,
+            });
             a.bind(skip);
-            a.push(Instruction::Addiu { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+            a.push(Instruction::Addiu {
+                rt: Reg::T0,
+                rs: Reg::T0,
+                imm: -1,
+            });
             a.bgtz(Reg::T0, top);
         };
         let stats = run_program(branchy, PipelineConfig::four_issue());
         assert!(stats.branches > 4000);
         // gshare learns the alternation: accuracy should be high.
-        assert!(stats.branch_accuracy() > 0.9, "accuracy {}", stats.branch_accuracy());
+        assert!(
+            stats.branch_accuracy() > 0.9,
+            "accuracy {}",
+            stats.branch_accuracy()
+        );
     }
 
     #[test]
@@ -814,10 +927,22 @@ mod tests {
                 a.li(Reg::T1, 2048);
                 let top = a.new_label();
                 a.bind(top);
-                a.push(Instruction::Lw { rt: Reg::T2, base: Reg::T0, offset: 0 });
+                a.push(Instruction::Lw {
+                    rt: Reg::T2,
+                    base: Reg::T0,
+                    offset: 0,
+                });
                 a.li(Reg::T3, stride);
-                a.push(Instruction::Addu { rd: Reg::T0, rs: Reg::T0, rt: Reg::T3 });
-                a.push(Instruction::Addiu { rt: Reg::T1, rs: Reg::T1, imm: -1 });
+                a.push(Instruction::Addu {
+                    rd: Reg::T0,
+                    rs: Reg::T0,
+                    rt: Reg::T3,
+                });
+                a.push(Instruction::Addiu {
+                    rt: Reg::T1,
+                    rs: Reg::T1,
+                    imm: -1,
+                });
                 a.bgtz(Reg::T1, top);
             }
         };
@@ -844,7 +969,10 @@ mod tests {
             a.li(Reg::T0, 1000);
             a.li(Reg::T1, 7);
             for _ in 0..64 {
-                a.push(Instruction::Div { rs: Reg::T0, rt: Reg::T1 });
+                a.push(Instruction::Div {
+                    rs: Reg::T0,
+                    rt: Reg::T1,
+                });
                 a.push(Instruction::Mflo { rd: Reg::T2 });
             }
         };

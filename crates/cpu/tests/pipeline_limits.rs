@@ -26,11 +26,23 @@ fn ilp_program(iters: i32) -> Program {
     let top = a.new_label();
     a.bind(top);
     for i in 0..6 {
-        a.push(Instruction::Addiu { rt: Reg::new(8 + i), rs: Reg::ZERO, imm: i as i16 });
+        a.push(Instruction::Addiu {
+            rt: Reg::new(8 + i),
+            rs: Reg::ZERO,
+            imm: i as i16,
+        });
     }
     a.li(Reg::T6, codepack_isa::DATA_BASE as i32);
-    a.push(Instruction::Lw { rt: Reg::T8, base: Reg::T6, offset: 0 });
-    a.push(Instruction::Addiu { rt: Reg::S0, rs: Reg::S0, imm: -1 });
+    a.push(Instruction::Lw {
+        rt: Reg::T8,
+        base: Reg::T6,
+        offset: 0,
+    });
+    a.push(Instruction::Addiu {
+        rt: Reg::S0,
+        rs: Reg::S0,
+        imm: -1,
+    });
     a.bgtz(Reg::S0, top);
     a.halt();
     a.finish("ilp").expect("assembles")
@@ -45,14 +57,41 @@ fn memory_program(iters: i32) -> Program {
     let top = a.new_label();
     a.bind(top);
     for k in 0..4 {
-        a.push(Instruction::Lw { rt: Reg::new(8 + k), base: Reg::T0, offset: (k as i16) * 4 });
-        a.push(Instruction::Sw { rt: Reg::new(8 + k), base: Reg::T0, offset: 64 + (k as i16) * 4 });
+        a.push(Instruction::Lw {
+            rt: Reg::new(8 + k),
+            base: Reg::T0,
+            offset: (k as i16) * 4,
+        });
+        a.push(Instruction::Sw {
+            rt: Reg::new(8 + k),
+            base: Reg::T0,
+            offset: 64 + (k as i16) * 4,
+        });
     }
-    a.push(Instruction::Addiu { rt: Reg::T0, rs: Reg::T0, imm: 128 });
-    a.push(Instruction::Andi { rt: Reg::T0, rs: Reg::T0, imm: 0x3fff });
-    a.push(Instruction::Lui { rt: Reg::AT, imm: (codepack_isa::DATA_BASE >> 16) as u16 });
-    a.push(Instruction::Or { rd: Reg::T0, rs: Reg::T0, rt: Reg::AT });
-    a.push(Instruction::Addiu { rt: Reg::S0, rs: Reg::S0, imm: -1 });
+    a.push(Instruction::Addiu {
+        rt: Reg::T0,
+        rs: Reg::T0,
+        imm: 128,
+    });
+    a.push(Instruction::Andi {
+        rt: Reg::T0,
+        rs: Reg::T0,
+        imm: 0x3fff,
+    });
+    a.push(Instruction::Lui {
+        rt: Reg::AT,
+        imm: (codepack_isa::DATA_BASE >> 16) as u16,
+    });
+    a.push(Instruction::Or {
+        rd: Reg::T0,
+        rs: Reg::T0,
+        rt: Reg::AT,
+    });
+    a.push(Instruction::Addiu {
+        rt: Reg::S0,
+        rs: Reg::S0,
+        imm: -1,
+    });
     a.bgtz(Reg::S0, top);
     a.halt();
     a.finish("mem").expect("assembles")
@@ -62,7 +101,10 @@ fn memory_program(iters: i32) -> Program {
 fn tiny_fetch_queue_throttles_the_front_end() {
     let program = ilp_program(2000);
     let wide = PipelineConfig::four_issue();
-    let starved = PipelineConfig { fetch_queue: 1, ..wide };
+    let starved = PipelineConfig {
+        fetch_queue: 1,
+        ..wide
+    };
     let a = run(wide, &program);
     let b = run(starved, &program);
     assert!(b.cycles >= a.cycles, "shrinking a resource cannot help");
@@ -72,7 +114,10 @@ fn tiny_fetch_queue_throttles_the_front_end() {
 fn tiny_ruu_throttles_runahead() {
     let program = ilp_program(2000);
     let wide = PipelineConfig::four_issue();
-    let starved = PipelineConfig { ruu_size: 4, ..wide };
+    let starved = PipelineConfig {
+        ruu_size: 4,
+        ..wide
+    };
     let a = run(wide, &program);
     let b = run(starved, &program);
     assert!(
@@ -87,7 +132,10 @@ fn tiny_ruu_throttles_runahead() {
 fn tiny_lsq_throttles_memory_code() {
     let program = memory_program(1500);
     let wide = PipelineConfig::four_issue();
-    let starved = PipelineConfig { lsq_size: 1, ..wide };
+    let starved = PipelineConfig {
+        lsq_size: 1,
+        ..wide
+    };
     let a = run(wide, &program);
     let b = run(starved, &program);
     assert!(
@@ -102,10 +150,17 @@ fn tiny_lsq_throttles_memory_code() {
 fn narrow_commit_caps_ipc() {
     let program = ilp_program(2000);
     let wide = PipelineConfig::four_issue();
-    let narrow = PipelineConfig { commit_width: 1, ..wide };
+    let narrow = PipelineConfig {
+        commit_width: 1,
+        ..wide
+    };
     let a = run(wide, &program);
     let b = run(narrow, &program);
-    assert!(b.ipc() <= 1.01, "commit width 1 bounds IPC at 1, got {}", b.ipc());
+    assert!(
+        b.ipc() <= 1.01,
+        "commit width 1 bounds IPC at 1, got {}",
+        b.ipc()
+    );
     assert!(a.ipc() > b.ipc());
 }
 
@@ -129,7 +184,10 @@ fn single_memport_halves_memory_throughput() {
 fn issue_width_binds_on_wide_ilp() {
     let program = ilp_program(2000);
     let four = PipelineConfig::four_issue();
-    let two = PipelineConfig { issue_width: 2, ..four };
+    let two = PipelineConfig {
+        issue_width: 2,
+        ..four
+    };
     let a = run(four, &program);
     let b = run(two, &program);
     assert!(b.cycles > a.cycles);

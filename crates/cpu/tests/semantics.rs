@@ -5,7 +5,8 @@
 
 use codepack_cpu::Machine;
 use codepack_isa::{Assembler, Instruction, Reg};
-use proptest::prelude::*;
+use codepack_testkit::forall;
+use codepack_testkit::prop::gen;
 
 /// Runs a one-instruction program with `$t0 = a`, `$t1 = b` and returns
 /// `$t2` (or whatever the instruction wrote).
@@ -22,94 +23,309 @@ fn run_binop(build: impl FnOnce(&mut Assembler), a: u32, b: u32, result: Reg) ->
     m.reg(result)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn addu_wraps(a in any::<u32>(), b in any::<u32>()) {
-        let got = run_binop(|m| { m.push(Instruction::Addu { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 }); }, a, b, Reg::T2);
-        prop_assert_eq!(got, a.wrapping_add(b));
-    }
-
-    #[test]
-    fn subu_wraps(a in any::<u32>(), b in any::<u32>()) {
-        let got = run_binop(|m| { m.push(Instruction::Subu { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 }); }, a, b, Reg::T2);
-        prop_assert_eq!(got, a.wrapping_sub(b));
-    }
-
-    #[test]
-    fn logic_ops(a in any::<u32>(), b in any::<u32>()) {
-        for (mk, expect) in [
-            (Instruction::And { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 }, a & b),
-            (Instruction::Or { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 }, a | b),
-            (Instruction::Xor { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 }, a ^ b),
-            (Instruction::Nor { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 }, !(a | b)),
-        ] {
-            let got = run_binop(|m| { m.push(mk); }, a, b, Reg::T2);
-            prop_assert_eq!(got, expect);
+#[test]
+fn addu_wraps() {
+    forall!(
+        cases = 128,
+        (gen::any_int::<u32>(), gen::any_int::<u32>()),
+        |a, b| {
+            let got = run_binop(
+                |m| {
+                    m.push(Instruction::Addu {
+                        rd: Reg::T2,
+                        rs: Reg::T0,
+                        rt: Reg::T1,
+                    });
+                },
+                a,
+                b,
+                Reg::T2,
+            );
+            assert_eq!(got, a.wrapping_add(b));
         }
-    }
+    );
+}
 
-    #[test]
-    fn set_less_than_signed_and_unsigned(a in any::<u32>(), b in any::<u32>()) {
-        let slt = run_binop(|m| { m.push(Instruction::Slt { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 }); }, a, b, Reg::T2);
-        prop_assert_eq!(slt, u32::from((a as i32) < (b as i32)));
-        let sltu = run_binop(|m| { m.push(Instruction::Sltu { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 }); }, a, b, Reg::T2);
-        prop_assert_eq!(sltu, u32::from(a < b));
-    }
+#[test]
+fn subu_wraps() {
+    forall!(
+        cases = 128,
+        (gen::any_int::<u32>(), gen::any_int::<u32>()),
+        |a, b| {
+            let got = run_binop(
+                |m| {
+                    m.push(Instruction::Subu {
+                        rd: Reg::T2,
+                        rs: Reg::T0,
+                        rt: Reg::T1,
+                    });
+                },
+                a,
+                b,
+                Reg::T2,
+            );
+            assert_eq!(got, a.wrapping_sub(b));
+        }
+    );
+}
 
-    #[test]
-    fn variable_shifts_mask_the_amount(a in any::<u32>(), b in any::<u32>()) {
-        let sh = b & 31;
-        let sllv = run_binop(|m| { m.push(Instruction::Sllv { rd: Reg::T2, rt: Reg::T0, rs: Reg::T1 }); }, a, b, Reg::T2);
-        prop_assert_eq!(sllv, a << sh);
-        let srav = run_binop(|m| { m.push(Instruction::Srav { rd: Reg::T2, rt: Reg::T0, rs: Reg::T1 }); }, a, b, Reg::T2);
-        prop_assert_eq!(srav, ((a as i32) >> sh) as u32);
-    }
+#[test]
+fn logic_ops() {
+    forall!(
+        cases = 128,
+        (gen::any_int::<u32>(), gen::any_int::<u32>()),
+        |a, b| {
+            for (mk, expect) in [
+                (
+                    Instruction::And {
+                        rd: Reg::T2,
+                        rs: Reg::T0,
+                        rt: Reg::T1,
+                    },
+                    a & b,
+                ),
+                (
+                    Instruction::Or {
+                        rd: Reg::T2,
+                        rs: Reg::T0,
+                        rt: Reg::T1,
+                    },
+                    a | b,
+                ),
+                (
+                    Instruction::Xor {
+                        rd: Reg::T2,
+                        rs: Reg::T0,
+                        rt: Reg::T1,
+                    },
+                    a ^ b,
+                ),
+                (
+                    Instruction::Nor {
+                        rd: Reg::T2,
+                        rs: Reg::T0,
+                        rt: Reg::T1,
+                    },
+                    !(a | b),
+                ),
+            ] {
+                let got = run_binop(
+                    |m| {
+                        m.push(mk);
+                    },
+                    a,
+                    b,
+                    Reg::T2,
+                );
+                assert_eq!(got, expect);
+            }
+        }
+    );
+}
 
-    #[test]
-    fn immediate_ops(a in any::<u32>(), imm in any::<i16>()) {
-        let ui = imm as u16;
-        let got = run_binop(|m| { m.push(Instruction::Addiu { rt: Reg::T2, rs: Reg::T0, imm }); }, a, 0, Reg::T2);
-        prop_assert_eq!(got, a.wrapping_add(imm as i32 as u32));
-        let got = run_binop(|m| { m.push(Instruction::Andi { rt: Reg::T2, rs: Reg::T0, imm: ui }); }, a, 0, Reg::T2);
-        prop_assert_eq!(got, a & u32::from(ui));
-        let got = run_binop(|m| { m.push(Instruction::Sltiu { rt: Reg::T2, rs: Reg::T0, imm }); }, a, 0, Reg::T2);
-        prop_assert_eq!(got, u32::from(a < (imm as i32 as u32)));
-    }
+#[test]
+fn set_less_than_signed_and_unsigned() {
+    forall!(
+        cases = 128,
+        (gen::any_int::<u32>(), gen::any_int::<u32>()),
+        |a, b| {
+            let slt = run_binop(
+                |m| {
+                    m.push(Instruction::Slt {
+                        rd: Reg::T2,
+                        rs: Reg::T0,
+                        rt: Reg::T1,
+                    });
+                },
+                a,
+                b,
+                Reg::T2,
+            );
+            assert_eq!(slt, u32::from((a as i32) < (b as i32)));
+            let sltu = run_binop(
+                |m| {
+                    m.push(Instruction::Sltu {
+                        rd: Reg::T2,
+                        rs: Reg::T0,
+                        rt: Reg::T1,
+                    });
+                },
+                a,
+                b,
+                Reg::T2,
+            );
+            assert_eq!(sltu, u32::from(a < b));
+        }
+    );
+}
 
-    #[test]
-    fn mult_divu_hi_lo(a in any::<u32>(), b in 1..=u32::MAX) {
-        let lo = run_binop(|m| {
-            m.push(Instruction::Multu { rs: Reg::T0, rt: Reg::T1 });
-            m.push(Instruction::Mflo { rd: Reg::T2 });
-            m.push(Instruction::Mfhi { rd: Reg::T3 });
-        }, a, b, Reg::T2);
-        let hi = run_binop(|m| {
-            m.push(Instruction::Multu { rs: Reg::T0, rt: Reg::T1 });
-            m.push(Instruction::Mfhi { rd: Reg::T3 });
-        }, a, b, Reg::T3);
-        let prod = u64::from(a) * u64::from(b);
-        prop_assert_eq!(lo, prod as u32);
-        prop_assert_eq!(hi, (prod >> 32) as u32);
+#[test]
+fn variable_shifts_mask_the_amount() {
+    forall!(
+        cases = 128,
+        (gen::any_int::<u32>(), gen::any_int::<u32>()),
+        |a, b| {
+            let sh = b & 31;
+            let sllv = run_binop(
+                |m| {
+                    m.push(Instruction::Sllv {
+                        rd: Reg::T2,
+                        rt: Reg::T0,
+                        rs: Reg::T1,
+                    });
+                },
+                a,
+                b,
+                Reg::T2,
+            );
+            assert_eq!(sllv, a << sh);
+            let srav = run_binop(
+                |m| {
+                    m.push(Instruction::Srav {
+                        rd: Reg::T2,
+                        rt: Reg::T0,
+                        rs: Reg::T1,
+                    });
+                },
+                a,
+                b,
+                Reg::T2,
+            );
+            assert_eq!(srav, ((a as i32) >> sh) as u32);
+        }
+    );
+}
 
-        let q = run_binop(|m| {
-            m.push(Instruction::Divu { rs: Reg::T0, rt: Reg::T1 });
-            m.push(Instruction::Mflo { rd: Reg::T2 });
-        }, a, b, Reg::T2);
-        prop_assert_eq!(q, a / b);
-    }
+#[test]
+fn immediate_ops() {
+    forall!(
+        cases = 128,
+        (gen::any_int::<u32>(), gen::any_int::<i16>()),
+        |a, imm| {
+            let ui = imm as u16;
+            let got = run_binop(
+                |m| {
+                    m.push(Instruction::Addiu {
+                        rt: Reg::T2,
+                        rs: Reg::T0,
+                        imm,
+                    });
+                },
+                a,
+                0,
+                Reg::T2,
+            );
+            assert_eq!(got, a.wrapping_add(imm as i32 as u32));
+            let got = run_binop(
+                |m| {
+                    m.push(Instruction::Andi {
+                        rt: Reg::T2,
+                        rs: Reg::T0,
+                        imm: ui,
+                    });
+                },
+                a,
+                0,
+                Reg::T2,
+            );
+            assert_eq!(got, a & u32::from(ui));
+            let got = run_binop(
+                |m| {
+                    m.push(Instruction::Sltiu {
+                        rt: Reg::T2,
+                        rs: Reg::T0,
+                        imm,
+                    });
+                },
+                a,
+                0,
+                Reg::T2,
+            );
+            assert_eq!(got, u32::from(a < (imm as i32 as u32)));
+        }
+    );
+}
 
-    #[test]
-    fn memory_word_roundtrip(v in any::<u32>(), offset in 0u32..1024) {
-        let addr = codepack_isa::DATA_BASE + offset * 4;
-        let got = run_binop(|m| {
-            m.li(Reg::T3, addr as i32);
-            m.push(Instruction::Sw { rt: Reg::T0, base: Reg::T3, offset: 0 });
-            m.push(Instruction::Lw { rt: Reg::T2, base: Reg::T3, offset: 0 });
-        }, v, 0, Reg::T2);
-        prop_assert_eq!(got, v);
-    }
+#[test]
+fn mult_divu_hi_lo() {
+    forall!(
+        cases = 128,
+        (gen::any_int::<u32>(), gen::ints(1..=u32::MAX)),
+        |a, b| {
+            let lo = run_binop(
+                |m| {
+                    m.push(Instruction::Multu {
+                        rs: Reg::T0,
+                        rt: Reg::T1,
+                    });
+                    m.push(Instruction::Mflo { rd: Reg::T2 });
+                    m.push(Instruction::Mfhi { rd: Reg::T3 });
+                },
+                a,
+                b,
+                Reg::T2,
+            );
+            let hi = run_binop(
+                |m| {
+                    m.push(Instruction::Multu {
+                        rs: Reg::T0,
+                        rt: Reg::T1,
+                    });
+                    m.push(Instruction::Mfhi { rd: Reg::T3 });
+                },
+                a,
+                b,
+                Reg::T3,
+            );
+            let prod = u64::from(a) * u64::from(b);
+            assert_eq!(lo, prod as u32);
+            assert_eq!(hi, (prod >> 32) as u32);
+
+            let q = run_binop(
+                |m| {
+                    m.push(Instruction::Divu {
+                        rs: Reg::T0,
+                        rt: Reg::T1,
+                    });
+                    m.push(Instruction::Mflo { rd: Reg::T2 });
+                },
+                a,
+                b,
+                Reg::T2,
+            );
+            assert_eq!(q, a / b);
+        }
+    );
+}
+
+#[test]
+fn memory_word_roundtrip() {
+    forall!(
+        cases = 128,
+        (gen::any_int::<u32>(), gen::ints(0u32..1024)),
+        |v, offset| {
+            let addr = codepack_isa::DATA_BASE + offset * 4;
+            let got = run_binop(
+                |m| {
+                    m.li(Reg::T3, addr as i32);
+                    m.push(Instruction::Sw {
+                        rt: Reg::T0,
+                        base: Reg::T3,
+                        offset: 0,
+                    });
+                    m.push(Instruction::Lw {
+                        rt: Reg::T2,
+                        base: Reg::T3,
+                        offset: 0,
+                    });
+                },
+                v,
+                0,
+                Reg::T2,
+            );
+            assert_eq!(got, v);
+        }
+    );
 }
 
 /// Signed division edge cases that wrap or are left undefined by MIPS.
@@ -119,7 +335,10 @@ fn signed_division_edges() {
     // undefined; we use wrapping semantics).
     let q = run_binop(
         |m| {
-            m.push(Instruction::Div { rs: Reg::T0, rt: Reg::T1 });
+            m.push(Instruction::Div {
+                rs: Reg::T0,
+                rt: Reg::T1,
+            });
             m.push(Instruction::Mflo { rd: Reg::T2 });
         },
         i32::MIN as u32,
@@ -131,7 +350,10 @@ fn signed_division_edges() {
     // Division by zero leaves HI/LO unchanged, not a trap.
     let q = run_binop(
         |m| {
-            m.push(Instruction::Div { rs: Reg::T0, rt: Reg::T1 });
+            m.push(Instruction::Div {
+                rs: Reg::T0,
+                rt: Reg::T1,
+            });
             m.push(Instruction::Mflo { rd: Reg::T2 });
         },
         123,
@@ -145,7 +367,10 @@ fn signed_division_edges() {
 fn lui_shifts_into_high_half() {
     let got = run_binop(
         |m| {
-            m.push(Instruction::Lui { rt: Reg::T2, imm: 0xbeef });
+            m.push(Instruction::Lui {
+                rt: Reg::T2,
+                imm: 0xbeef,
+            });
         },
         0,
         0,

@@ -146,13 +146,28 @@ impl Assembler {
     pub fn li(&mut self, rt: Reg, value: i32) -> &mut Assembler {
         let v = value as u32;
         if (-32768..=32767).contains(&value) {
-            self.push(Instruction::Addiu { rt, rs: Reg::ZERO, imm: value as i16 })
+            self.push(Instruction::Addiu {
+                rt,
+                rs: Reg::ZERO,
+                imm: value as i16,
+            })
         } else if v & 0xffff_0000 == 0 {
-            self.push(Instruction::Ori { rt, rs: Reg::ZERO, imm: v as u16 })
+            self.push(Instruction::Ori {
+                rt,
+                rs: Reg::ZERO,
+                imm: v as u16,
+            })
         } else {
-            self.push(Instruction::Lui { rt, imm: (v >> 16) as u16 });
+            self.push(Instruction::Lui {
+                rt,
+                imm: (v >> 16) as u16,
+            });
             if v & 0xffff != 0 {
-                self.push(Instruction::Ori { rt, rs: rt, imm: v as u16 });
+                self.push(Instruction::Ori {
+                    rt,
+                    rs: rt,
+                    imm: v as u16,
+                });
             }
             self
         }
@@ -160,7 +175,11 @@ impl Assembler {
 
     /// Register move (`addu rd, rs, $zero`).
     pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Assembler {
-        self.push(Instruction::Addu { rd, rs, rt: Reg::ZERO })
+        self.push(Instruction::Addu {
+            rd,
+            rs,
+            rt: Reg::ZERO,
+        })
     }
 
     /// Emits the SR32 halt sequence (`li $v0, 10; syscall`).
@@ -221,18 +240,27 @@ impl Assembler {
 
     /// `j label`.
     pub fn j(&mut self, label: Label) -> &mut Assembler {
-        self.fixups.push(Fixup::Jump { site: self.text.len(), label });
+        self.fixups.push(Fixup::Jump {
+            site: self.text.len(),
+            label,
+        });
         self.push(Instruction::J { target: 0 })
     }
 
     /// `jal label` (function call).
     pub fn jal(&mut self, label: Label) -> &mut Assembler {
-        self.fixups.push(Fixup::Jump { site: self.text.len(), label });
+        self.fixups.push(Fixup::Jump {
+            site: self.text.len(),
+            label,
+        });
         self.push(Instruction::Jal { target: 0 })
     }
 
     fn branch_fixup(&mut self, label: Label) {
-        self.fixups.push(Fixup::Branch { site: self.text.len(), label });
+        self.fixups.push(Fixup::Branch {
+            site: self.text.len(),
+            label,
+        });
     }
 
     /// Resolves all fixups and produces the final [`Program`].
@@ -245,17 +273,17 @@ impl Assembler {
         for fixup in &self.fixups {
             match *fixup {
                 Fixup::Branch { site, label } => {
-                    let target =
-                        self.labels[label.0].ok_or(AssembleError::UnboundLabel(label))?;
+                    let target = self.labels[label.0].ok_or(AssembleError::UnboundLabel(label))?;
                     let disp = target as i64 - (site as i64 + 1);
-                    let disp16 = i16::try_from(disp)
-                        .map_err(|_| AssembleError::BranchOutOfRange { site, displacement: disp })?;
-                    self.text[site] =
-                        (self.text[site] & 0xffff_0000) | (disp16 as u16 as u32);
+                    let disp16 =
+                        i16::try_from(disp).map_err(|_| AssembleError::BranchOutOfRange {
+                            site,
+                            displacement: disp,
+                        })?;
+                    self.text[site] = (self.text[site] & 0xffff_0000) | (disp16 as u16 as u32);
                 }
                 Fixup::Jump { site, label } => {
-                    let target =
-                        self.labels[label.0].ok_or(AssembleError::UnboundLabel(label))?;
+                    let target = self.labels[label.0].ok_or(AssembleError::UnboundLabel(label))?;
                     let index = (TEXT_BASE / 4) + target as u32;
                     self.text[site] = (self.text[site] & 0xfc00_0000) | (index & 0x03ff_ffff);
                 }

@@ -90,9 +90,21 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                         return err;
                     }
                     match funct {
-                        FN_SLL => Sll { rd: rd(w), rt: rt(w), shamt: shamt(w) },
-                        FN_SRL => Srl { rd: rd(w), rt: rt(w), shamt: shamt(w) },
-                        _ => Sra { rd: rd(w), rt: rt(w), shamt: shamt(w) },
+                        FN_SLL => Sll {
+                            rd: rd(w),
+                            rt: rt(w),
+                            shamt: shamt(w),
+                        },
+                        FN_SRL => Srl {
+                            rd: rd(w),
+                            rt: rt(w),
+                            shamt: shamt(w),
+                        },
+                        _ => Sra {
+                            rd: rd(w),
+                            rt: rt(w),
+                            shamt: shamt(w),
+                        },
                     }
                 }
                 FN_SLLV | FN_SRLV | FN_SRAV => {
@@ -100,9 +112,21 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                         return err;
                     }
                     match funct {
-                        FN_SLLV => Sllv { rd: rd(w), rt: rt(w), rs: rs(w) },
-                        FN_SRLV => Srlv { rd: rd(w), rt: rt(w), rs: rs(w) },
-                        _ => Srav { rd: rd(w), rt: rt(w), rs: rs(w) },
+                        FN_SLLV => Sllv {
+                            rd: rd(w),
+                            rt: rt(w),
+                            rs: rs(w),
+                        },
+                        FN_SRLV => Srlv {
+                            rd: rd(w),
+                            rt: rt(w),
+                            rs: rs(w),
+                        },
+                        _ => Srav {
+                            rd: rd(w),
+                            rt: rt(w),
+                            rs: rs(w),
+                        },
                     }
                 }
                 FN_JR => {
@@ -115,7 +139,10 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                     if (w >> 16) & 31 != 0 || shamt(w) != 0 {
                         return err;
                     }
-                    Jalr { rd: rd(w), rs: rs(w) }
+                    Jalr {
+                        rd: rd(w),
+                        rs: rs(w),
+                    }
                 }
                 FN_SYSCALL => {
                     if w >> 6 != 0 {
@@ -144,10 +171,22 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                         return err;
                     }
                     match funct {
-                        FN_MULT => Mult { rs: rs(w), rt: rt(w) },
-                        FN_MULTU => Multu { rs: rs(w), rt: rt(w) },
-                        FN_DIV => Div { rs: rs(w), rt: rt(w) },
-                        _ => Divu { rs: rs(w), rt: rt(w) },
+                        FN_MULT => Mult {
+                            rs: rs(w),
+                            rt: rt(w),
+                        },
+                        FN_MULTU => Multu {
+                            rs: rs(w),
+                            rt: rt(w),
+                        },
+                        FN_DIV => Div {
+                            rs: rs(w),
+                            rt: rt(w),
+                        },
+                        _ => Divu {
+                            rs: rs(w),
+                            rt: rt(w),
+                        },
                     }
                 }
                 FN_ADDU | FN_SUBU | FN_AND | FN_OR | FN_XOR | FN_NOR | FN_SLT | FN_SLTU => {
@@ -170,35 +209,86 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
             }
         }
         OP_REGIMM => match (w >> 16) & 31 {
-            RT_BLTZ => Bltz { rs: rs(w), offset: simm(w) },
-            RT_BGEZ => Bgez { rs: rs(w), offset: simm(w) },
+            RT_BLTZ => Bltz {
+                rs: rs(w),
+                offset: simm(w),
+            },
+            RT_BGEZ => Bgez {
+                rs: rs(w),
+                offset: simm(w),
+            },
             _ => return err,
         },
-        OP_J => J { target: w & 0x03ff_ffff },
-        OP_JAL => Jal { target: w & 0x03ff_ffff },
-        OP_BEQ => Beq { rs: rs(w), rt: rt(w), offset: simm(w) },
-        OP_BNE => Bne { rs: rs(w), rt: rt(w), offset: simm(w) },
+        OP_J => J {
+            target: w & 0x03ff_ffff,
+        },
+        OP_JAL => Jal {
+            target: w & 0x03ff_ffff,
+        },
+        OP_BEQ => Beq {
+            rs: rs(w),
+            rt: rt(w),
+            offset: simm(w),
+        },
+        OP_BNE => Bne {
+            rs: rs(w),
+            rt: rt(w),
+            offset: simm(w),
+        },
         OP_BLEZ | OP_BGTZ => {
             if (w >> 16) & 31 != 0 {
                 return err;
             }
             if op == OP_BLEZ {
-                Blez { rs: rs(w), offset: simm(w) }
+                Blez {
+                    rs: rs(w),
+                    offset: simm(w),
+                }
             } else {
-                Bgtz { rs: rs(w), offset: simm(w) }
+                Bgtz {
+                    rs: rs(w),
+                    offset: simm(w),
+                }
             }
         }
-        OP_ADDIU => Addiu { rt: rt(w), rs: rs(w), imm: simm(w) },
-        OP_SLTI => Slti { rt: rt(w), rs: rs(w), imm: simm(w) },
-        OP_SLTIU => Sltiu { rt: rt(w), rs: rs(w), imm: simm(w) },
-        OP_ANDI => Andi { rt: rt(w), rs: rs(w), imm: uimm(w) },
-        OP_ORI => Ori { rt: rt(w), rs: rs(w), imm: uimm(w) },
-        OP_XORI => Xori { rt: rt(w), rs: rs(w), imm: uimm(w) },
+        OP_ADDIU => Addiu {
+            rt: rt(w),
+            rs: rs(w),
+            imm: simm(w),
+        },
+        OP_SLTI => Slti {
+            rt: rt(w),
+            rs: rs(w),
+            imm: simm(w),
+        },
+        OP_SLTIU => Sltiu {
+            rt: rt(w),
+            rs: rs(w),
+            imm: simm(w),
+        },
+        OP_ANDI => Andi {
+            rt: rt(w),
+            rs: rs(w),
+            imm: uimm(w),
+        },
+        OP_ORI => Ori {
+            rt: rt(w),
+            rs: rs(w),
+            imm: uimm(w),
+        },
+        OP_XORI => Xori {
+            rt: rt(w),
+            rs: rs(w),
+            imm: uimm(w),
+        },
         OP_LUI => {
             if (w >> 21) & 31 != 0 {
                 return err;
             }
-            Lui { rt: rt(w), imm: uimm(w) }
+            Lui {
+                rt: rt(w),
+                imm: uimm(w),
+            }
         }
         OP_COP1 => {
             let fmt = (w >> 21) & 31;
@@ -208,9 +298,15 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                         return err;
                     }
                     if fmt == FMT_MTC1 {
-                        Mtc1 { rt: rt(w), fs: fs(w) }
+                        Mtc1 {
+                            rt: rt(w),
+                            fs: fs(w),
+                        }
                     } else {
-                        Mfc1 { rt: rt(w), fs: fs(w) }
+                        Mfc1 {
+                            rt: rt(w),
+                            fs: fs(w),
+                        }
                     }
                 }
                 FMT_BC => match (w >> 16) & 31 {
@@ -219,30 +315,61 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                     _ => return err,
                 },
                 FMT_S => match w & 0x3f {
-                    FN_ADD_S => AddS { fd: fd(w), fs: fs(w), ft: ft(w) },
-                    FN_SUB_S => SubS { fd: fd(w), fs: fs(w), ft: ft(w) },
-                    FN_MUL_S => MulS { fd: fd(w), fs: fs(w), ft: ft(w) },
-                    FN_DIV_S => DivS { fd: fd(w), fs: fs(w), ft: ft(w) },
+                    FN_ADD_S => AddS {
+                        fd: fd(w),
+                        fs: fs(w),
+                        ft: ft(w),
+                    },
+                    FN_SUB_S => SubS {
+                        fd: fd(w),
+                        fs: fs(w),
+                        ft: ft(w),
+                    },
+                    FN_MUL_S => MulS {
+                        fd: fd(w),
+                        fs: fs(w),
+                        ft: ft(w),
+                    },
+                    FN_DIV_S => DivS {
+                        fd: fd(w),
+                        fs: fs(w),
+                        ft: ft(w),
+                    },
                     FN_MOV_S => {
                         if (w >> 16) & 31 != 0 {
                             return err;
                         }
-                        MovS { fd: fd(w), fs: fs(w) }
+                        MovS {
+                            fd: fd(w),
+                            fs: fs(w),
+                        }
                     }
                     FN_CVT_W => {
                         if (w >> 16) & 31 != 0 {
                             return err;
                         }
-                        CvtWS { fd: fd(w), fs: fs(w) }
+                        CvtWS {
+                            fd: fd(w),
+                            fs: fs(w),
+                        }
                     }
                     FN_C_EQ | FN_C_LT | FN_C_LE => {
                         if (w >> 6) & 31 != 0 {
                             return err;
                         }
                         match w & 0x3f {
-                            FN_C_EQ => CEqS { fs: fs(w), ft: ft(w) },
-                            FN_C_LT => CLtS { fs: fs(w), ft: ft(w) },
-                            _ => CLeS { fs: fs(w), ft: ft(w) },
+                            FN_C_EQ => CEqS {
+                                fs: fs(w),
+                                ft: ft(w),
+                            },
+                            FN_C_LT => CLtS {
+                                fs: fs(w),
+                                ft: ft(w),
+                            },
+                            _ => CLeS {
+                                fs: fs(w),
+                                ft: ft(w),
+                            },
                         }
                     }
                     _ => return err,
@@ -252,23 +379,66 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                         if (w >> 16) & 31 != 0 {
                             return err;
                         }
-                        CvtSW { fd: fd(w), fs: fs(w) }
+                        CvtSW {
+                            fd: fd(w),
+                            fs: fs(w),
+                        }
                     }
                     _ => return err,
                 },
                 _ => return err,
             }
         }
-        OP_LB => Lb { rt: rt(w), base: rs(w), offset: simm(w) },
-        OP_LH => Lh { rt: rt(w), base: rs(w), offset: simm(w) },
-        OP_LW => Lw { rt: rt(w), base: rs(w), offset: simm(w) },
-        OP_LBU => Lbu { rt: rt(w), base: rs(w), offset: simm(w) },
-        OP_LHU => Lhu { rt: rt(w), base: rs(w), offset: simm(w) },
-        OP_SB => Sb { rt: rt(w), base: rs(w), offset: simm(w) },
-        OP_SH => Sh { rt: rt(w), base: rs(w), offset: simm(w) },
-        OP_SW => Sw { rt: rt(w), base: rs(w), offset: simm(w) },
-        OP_LWC1 => Lwc1 { ft: ft(w), base: rs(w), offset: simm(w) },
-        OP_SWC1 => Swc1 { ft: ft(w), base: rs(w), offset: simm(w) },
+        OP_LB => Lb {
+            rt: rt(w),
+            base: rs(w),
+            offset: simm(w),
+        },
+        OP_LH => Lh {
+            rt: rt(w),
+            base: rs(w),
+            offset: simm(w),
+        },
+        OP_LW => Lw {
+            rt: rt(w),
+            base: rs(w),
+            offset: simm(w),
+        },
+        OP_LBU => Lbu {
+            rt: rt(w),
+            base: rs(w),
+            offset: simm(w),
+        },
+        OP_LHU => Lhu {
+            rt: rt(w),
+            base: rs(w),
+            offset: simm(w),
+        },
+        OP_SB => Sb {
+            rt: rt(w),
+            base: rs(w),
+            offset: simm(w),
+        },
+        OP_SH => Sh {
+            rt: rt(w),
+            base: rs(w),
+            offset: simm(w),
+        },
+        OP_SW => Sw {
+            rt: rt(w),
+            base: rs(w),
+            offset: simm(w),
+        },
+        OP_LWC1 => Lwc1 {
+            ft: ft(w),
+            base: rs(w),
+            offset: simm(w),
+        },
+        OP_SWC1 => Swc1 {
+            ft: ft(w),
+            base: rs(w),
+            offset: simm(w),
+        },
         _ => return err,
     };
     Ok(insn)

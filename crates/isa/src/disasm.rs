@@ -11,7 +11,9 @@ impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use Instruction::*;
         match *self {
-            Sll { rd, rt, shamt } if rd == crate::Reg::ZERO && shamt == 0 && rt == crate::Reg::ZERO => {
+            Sll { rd, rt, shamt }
+                if rd == crate::Reg::ZERO && shamt == 0 && rt == crate::Reg::ZERO =>
+            {
                 write!(f, "nop")
             }
             Sll { rd, rt, shamt } => write!(f, "sll {rd}, {rt}, {shamt}"),

@@ -218,7 +218,9 @@ mod tests {
 
     #[test]
     fn jump_target_masked_to_26_bits() {
-        let w = encode(Instruction::J { target: 0xffff_ffff });
+        let w = encode(Instruction::J {
+            target: 0xffff_ffff,
+        });
         assert_eq!(w, (OP_J << 26) | 0x03ff_ffff);
     }
 

@@ -71,7 +71,10 @@ impl Program {
                 && entry.is_multiple_of(INSN_BYTES),
             "entry {entry:#x} outside text section"
         );
-        Program { entry: entry.to_owned(), ..p }
+        Program {
+            entry: entry.to_owned(),
+            ..p
+        }
     }
 
     /// The program's name (used in experiment tables).
@@ -106,7 +109,9 @@ impl Program {
         if addr < TEXT_BASE || !addr.is_multiple_of(INSN_BYTES) {
             return None;
         }
-        self.text.get(((addr - TEXT_BASE) / INSN_BYTES) as usize).copied()
+        self.text
+            .get(((addr - TEXT_BASE) / INSN_BYTES) as usize)
+            .copied()
     }
 
     /// Does `addr` lie inside the text section?
@@ -122,7 +127,11 @@ mod tests {
     use crate::{encode, Instruction};
 
     fn tiny() -> Program {
-        Program::new("t", vec![encode(Instruction::NOP), encode(Instruction::Syscall)], vec![])
+        Program::new(
+            "t",
+            vec![encode(Instruction::NOP), encode(Instruction::Syscall)],
+            vec![],
+        )
     }
 
     #[test]

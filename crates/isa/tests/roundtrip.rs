@@ -1,112 +1,319 @@
 //! Property tests: encode/decode round-trips and decode strictness.
 
 use codepack_isa::{decode, encode, FReg, Instruction, Reg};
-use proptest::prelude::*;
+use codepack_testkit::forall;
+use codepack_testkit::prop::{gen, Gen};
+use codepack_testkit::Rng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+fn arb_reg() -> Gen<Reg> {
+    gen::ints(0u8..32).map(Reg::new)
 }
 
-fn arb_freg() -> impl Strategy<Value = FReg> {
-    (0u8..32).prop_map(FReg::new)
+fn arb_freg() -> Gen<FReg> {
+    gen::ints(0u8..32).map(FReg::new)
 }
 
 /// Every constructible instruction, with arbitrary operand values.
-fn arb_insn() -> impl Strategy<Value = Instruction> {
+fn arb_insn() -> Gen<Instruction> {
     use Instruction::*;
-    let r = arb_reg;
-    let f = arb_freg;
-    let sh = || 0u8..32;
-    let off = any::<i16>;
-    let u = any::<u16>;
-    let tgt = || 0u32..(1 << 26);
-    prop_oneof![
-        (r(), r(), sh()).prop_map(|(rd, rt, shamt)| Sll { rd, rt, shamt }),
-        (r(), r(), sh()).prop_map(|(rd, rt, shamt)| Srl { rd, rt, shamt }),
-        (r(), r(), sh()).prop_map(|(rd, rt, shamt)| Sra { rd, rt, shamt }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Sllv { rd, rt, rs }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Srlv { rd, rt, rs }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Srav { rd, rt, rs }),
-        r().prop_map(|rs| Jr { rs }),
-        (r(), r()).prop_map(|(rd, rs)| Jalr { rd, rs }),
-        r().prop_map(|rd| Mfhi { rd }),
-        r().prop_map(|rd| Mflo { rd }),
-        (r(), r()).prop_map(|(rs, rt)| Mult { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Multu { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Div { rs, rt }),
-        (r(), r()).prop_map(|(rs, rt)| Divu { rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Addu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Subu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| And { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Or { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Xor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Nor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Slt { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Sltu { rd, rs, rt }),
-        Just(Syscall),
-        Just(Break),
-        (r(), r(), off()).prop_map(|(rs, rt, offset)| Beq { rs, rt, offset }),
-        (r(), r(), off()).prop_map(|(rs, rt, offset)| Bne { rs, rt, offset }),
-        (r(), off()).prop_map(|(rs, offset)| Blez { rs, offset }),
-        (r(), off()).prop_map(|(rs, offset)| Bgtz { rs, offset }),
-        (r(), off()).prop_map(|(rs, offset)| Bltz { rs, offset }),
-        (r(), off()).prop_map(|(rs, offset)| Bgez { rs, offset }),
-        (r(), r(), off()).prop_map(|(rt, rs, imm)| Addiu { rt, rs, imm }),
-        (r(), r(), off()).prop_map(|(rt, rs, imm)| Slti { rt, rs, imm }),
-        (r(), r(), off()).prop_map(|(rt, rs, imm)| Sltiu { rt, rs, imm }),
-        (r(), r(), u()).prop_map(|(rt, rs, imm)| Andi { rt, rs, imm }),
-        (r(), r(), u()).prop_map(|(rt, rs, imm)| Ori { rt, rs, imm }),
-        (r(), r(), u()).prop_map(|(rt, rs, imm)| Xori { rt, rs, imm }),
-        (r(), u()).prop_map(|(rt, imm)| Lui { rt, imm }),
-        (r(), r(), off()).prop_map(|(rt, base, offset)| Lb { rt, base, offset }),
-        (r(), r(), off()).prop_map(|(rt, base, offset)| Lh { rt, base, offset }),
-        (r(), r(), off()).prop_map(|(rt, base, offset)| Lw { rt, base, offset }),
-        (r(), r(), off()).prop_map(|(rt, base, offset)| Lbu { rt, base, offset }),
-        (r(), r(), off()).prop_map(|(rt, base, offset)| Lhu { rt, base, offset }),
-        (r(), r(), off()).prop_map(|(rt, base, offset)| Sb { rt, base, offset }),
-        (r(), r(), off()).prop_map(|(rt, base, offset)| Sh { rt, base, offset }),
-        (r(), r(), off()).prop_map(|(rt, base, offset)| Sw { rt, base, offset }),
-        tgt().prop_map(|target| J { target }),
-        tgt().prop_map(|target| Jal { target }),
-        (f(), f(), f()).prop_map(|(fd, fs, ft)| AddS { fd, fs, ft }),
-        (f(), f(), f()).prop_map(|(fd, fs, ft)| SubS { fd, fs, ft }),
-        (f(), f(), f()).prop_map(|(fd, fs, ft)| MulS { fd, fs, ft }),
-        (f(), f(), f()).prop_map(|(fd, fs, ft)| DivS { fd, fs, ft }),
-        (f(), f()).prop_map(|(fd, fs)| MovS { fd, fs }),
-        (f(), f()).prop_map(|(fs, ft)| CEqS { fs, ft }),
-        (f(), f()).prop_map(|(fs, ft)| CLtS { fs, ft }),
-        (f(), f()).prop_map(|(fs, ft)| CLeS { fs, ft }),
-        off().prop_map(|offset| Bc1t { offset }),
-        off().prop_map(|offset| Bc1f { offset }),
-        (r(), f()).prop_map(|(rt, fs)| Mtc1 { rt, fs }),
-        (r(), f()).prop_map(|(rt, fs)| Mfc1 { rt, fs }),
-        (f(), f()).prop_map(|(fd, fs)| CvtSW { fd, fs }),
-        (f(), f()).prop_map(|(fd, fs)| CvtWS { fd, fs }),
-        (f(), r(), off()).prop_map(|(ft, base, offset)| Lwc1 { ft, base, offset }),
-        (f(), r(), off()).prop_map(|(ft, base, offset)| Swc1 { ft, base, offset }),
-    ]
+    // One draw function instead of ~60 boxed arms: pick a constructor
+    // index, then fill its operands from the same stream.
+    Gen::new(|rng: &mut Rng| {
+        let r = |rng: &mut Rng| Reg::new(rng.gen_range(0u8..32));
+        let f = |rng: &mut Rng| FReg::new(rng.gen_range(0u8..32));
+        let sh = |rng: &mut Rng| rng.gen_range(0u8..32);
+        let off = |rng: &mut Rng| rng.gen_range(i16::MIN..=i16::MAX);
+        let u = |rng: &mut Rng| rng.gen_range(u16::MIN..=u16::MAX);
+        let tgt = |rng: &mut Rng| rng.gen_range(0u32..(1 << 26));
+        match rng.gen_range(0..60) {
+            0 => Sll {
+                rd: r(rng),
+                rt: r(rng),
+                shamt: sh(rng),
+            },
+            1 => Srl {
+                rd: r(rng),
+                rt: r(rng),
+                shamt: sh(rng),
+            },
+            2 => Sra {
+                rd: r(rng),
+                rt: r(rng),
+                shamt: sh(rng),
+            },
+            3 => Sllv {
+                rd: r(rng),
+                rt: r(rng),
+                rs: r(rng),
+            },
+            4 => Srlv {
+                rd: r(rng),
+                rt: r(rng),
+                rs: r(rng),
+            },
+            5 => Srav {
+                rd: r(rng),
+                rt: r(rng),
+                rs: r(rng),
+            },
+            6 => Jr { rs: r(rng) },
+            7 => Jalr {
+                rd: r(rng),
+                rs: r(rng),
+            },
+            8 => Mfhi { rd: r(rng) },
+            9 => Mflo { rd: r(rng) },
+            10 => Mult {
+                rs: r(rng),
+                rt: r(rng),
+            },
+            11 => Multu {
+                rs: r(rng),
+                rt: r(rng),
+            },
+            12 => Div {
+                rs: r(rng),
+                rt: r(rng),
+            },
+            13 => Divu {
+                rs: r(rng),
+                rt: r(rng),
+            },
+            14 => Addu {
+                rd: r(rng),
+                rs: r(rng),
+                rt: r(rng),
+            },
+            15 => Subu {
+                rd: r(rng),
+                rs: r(rng),
+                rt: r(rng),
+            },
+            16 => And {
+                rd: r(rng),
+                rs: r(rng),
+                rt: r(rng),
+            },
+            17 => Or {
+                rd: r(rng),
+                rs: r(rng),
+                rt: r(rng),
+            },
+            18 => Xor {
+                rd: r(rng),
+                rs: r(rng),
+                rt: r(rng),
+            },
+            19 => Nor {
+                rd: r(rng),
+                rs: r(rng),
+                rt: r(rng),
+            },
+            20 => Slt {
+                rd: r(rng),
+                rs: r(rng),
+                rt: r(rng),
+            },
+            21 => Sltu {
+                rd: r(rng),
+                rs: r(rng),
+                rt: r(rng),
+            },
+            22 => Syscall,
+            23 => Break,
+            24 => Beq {
+                rs: r(rng),
+                rt: r(rng),
+                offset: off(rng),
+            },
+            25 => Bne {
+                rs: r(rng),
+                rt: r(rng),
+                offset: off(rng),
+            },
+            26 => Blez {
+                rs: r(rng),
+                offset: off(rng),
+            },
+            27 => Bgtz {
+                rs: r(rng),
+                offset: off(rng),
+            },
+            28 => Bltz {
+                rs: r(rng),
+                offset: off(rng),
+            },
+            29 => Bgez {
+                rs: r(rng),
+                offset: off(rng),
+            },
+            30 => Addiu {
+                rt: r(rng),
+                rs: r(rng),
+                imm: off(rng),
+            },
+            31 => Slti {
+                rt: r(rng),
+                rs: r(rng),
+                imm: off(rng),
+            },
+            32 => Sltiu {
+                rt: r(rng),
+                rs: r(rng),
+                imm: off(rng),
+            },
+            33 => Andi {
+                rt: r(rng),
+                rs: r(rng),
+                imm: u(rng),
+            },
+            34 => Ori {
+                rt: r(rng),
+                rs: r(rng),
+                imm: u(rng),
+            },
+            35 => Xori {
+                rt: r(rng),
+                rs: r(rng),
+                imm: u(rng),
+            },
+            36 => Lui {
+                rt: r(rng),
+                imm: u(rng),
+            },
+            37 => Lb {
+                rt: r(rng),
+                base: r(rng),
+                offset: off(rng),
+            },
+            38 => Lh {
+                rt: r(rng),
+                base: r(rng),
+                offset: off(rng),
+            },
+            39 => Lw {
+                rt: r(rng),
+                base: r(rng),
+                offset: off(rng),
+            },
+            40 => Lbu {
+                rt: r(rng),
+                base: r(rng),
+                offset: off(rng),
+            },
+            41 => Lhu {
+                rt: r(rng),
+                base: r(rng),
+                offset: off(rng),
+            },
+            42 => Sb {
+                rt: r(rng),
+                base: r(rng),
+                offset: off(rng),
+            },
+            43 => Sh {
+                rt: r(rng),
+                base: r(rng),
+                offset: off(rng),
+            },
+            44 => Sw {
+                rt: r(rng),
+                base: r(rng),
+                offset: off(rng),
+            },
+            45 => J { target: tgt(rng) },
+            46 => Jal { target: tgt(rng) },
+            47 => AddS {
+                fd: f(rng),
+                fs: f(rng),
+                ft: f(rng),
+            },
+            48 => SubS {
+                fd: f(rng),
+                fs: f(rng),
+                ft: f(rng),
+            },
+            49 => MulS {
+                fd: f(rng),
+                fs: f(rng),
+                ft: f(rng),
+            },
+            50 => DivS {
+                fd: f(rng),
+                fs: f(rng),
+                ft: f(rng),
+            },
+            51 => MovS {
+                fd: f(rng),
+                fs: f(rng),
+            },
+            52 => CEqS {
+                fs: f(rng),
+                ft: f(rng),
+            },
+            53 => CLtS {
+                fs: f(rng),
+                ft: f(rng),
+            },
+            54 => CLeS {
+                fs: f(rng),
+                ft: f(rng),
+            },
+            55 => Bc1t { offset: off(rng) },
+            56 => Bc1f { offset: off(rng) },
+            57 => Mtc1 {
+                rt: r(rng),
+                fs: f(rng),
+            },
+            58 => Mfc1 {
+                rt: r(rng),
+                fs: f(rng),
+            },
+            59 => CvtSW {
+                fd: f(rng),
+                fs: f(rng),
+            },
+            _ => CvtWS {
+                fd: f(rng),
+                fs: f(rng),
+            },
+        }
+    })
 }
 
-proptest! {
-    /// decode(encode(i)) == i for every instruction.
-    #[test]
-    fn encode_decode_roundtrip(insn in arb_insn()) {
+/// decode(encode(i)) == i for every instruction.
+#[test]
+fn encode_decode_roundtrip() {
+    forall!(cases = 2048, (arb_insn()), |insn| {
         let word = encode(insn);
-        prop_assert_eq!(decode(word), Ok(insn));
-    }
+        assert_eq!(decode(word), Ok(insn));
+    });
+}
 
-    /// Any word that decodes successfully re-encodes to the identical word
-    /// (decode is injective on its accepted domain).
-    #[test]
-    fn decode_encode_is_identity_on_valid_words(word in any::<u32>()) {
+/// Any word that decodes successfully re-encodes to the identical word
+/// (decode is injective on its accepted domain).
+#[test]
+fn decode_encode_is_identity_on_valid_words() {
+    forall!(cases = 4096, (gen::any_int::<u32>()), |word| {
         if let Ok(insn) = decode(word) {
-            prop_assert_eq!(encode(insn), word);
+            assert_eq!(encode(insn), word);
         }
-    }
+    });
+}
 
-    /// Disassembly never panics and is never empty.
-    #[test]
-    fn disassembly_is_total(insn in arb_insn()) {
-        prop_assert!(!insn.to_string().is_empty());
-    }
+/// Disassembly never panics and is never empty.
+#[test]
+fn disassembly_is_total() {
+    forall!(cases = 1024, (arb_insn()), |insn| {
+        assert!(!insn.to_string().is_empty());
+    });
+}
+
+/// The register-based generators used above stay in encoding range.
+#[test]
+fn register_generators_cover_the_file() {
+    forall!(cases = 256, (arb_reg(), arb_freg()), |r, f| {
+        assert!(r.index() < 32);
+        assert!(f.index() < 32);
+    });
 }

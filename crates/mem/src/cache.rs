@@ -27,14 +27,24 @@ impl CacheConfig {
     /// Panics unless `size_bytes`, `line_bytes` are powers of two,
     /// `assoc >= 1`, and the geometry divides evenly into at least one set.
     pub fn new(size_bytes: u32, line_bytes: u32, assoc: u32) -> CacheConfig {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc >= 1, "associativity must be at least 1");
         assert!(
             size_bytes.is_multiple_of(line_bytes * assoc) && size_bytes >= line_bytes * assoc,
             "cache geometry does not divide into sets"
         );
-        let cfg = CacheConfig { size_bytes, line_bytes, assoc };
+        let cfg = CacheConfig {
+            size_bytes,
+            line_bytes,
+            assoc,
+        };
         assert!(
             cfg.sets().is_power_of_two(),
             "set count must be a power of two for address slicing"
@@ -165,7 +175,14 @@ impl Cache {
         let total_lines = (config.sets() * config.assoc()) as usize;
         Cache {
             config,
-            lines: vec![Line { tag: 0, lru: 0, valid: false }; total_lines],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    lru: 0,
+                    valid: false
+                };
+                total_lines
+            ],
             stats: CacheStats::default(),
             tick: 0,
             line_shift: config.line_bytes().trailing_zeros(),

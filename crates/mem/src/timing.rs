@@ -47,13 +47,20 @@ impl MemoryTiming {
     ///
     /// Panics if any parameter is zero or `bus_bytes` is not a power of two.
     pub fn new(first_access_cycles: u32, next_access_cycles: u32, bus_bytes: u32) -> MemoryTiming {
-        assert!(first_access_cycles > 0, "first access latency must be positive");
+        assert!(
+            first_access_cycles > 0,
+            "first access latency must be positive"
+        );
         assert!(next_access_cycles > 0, "access rate must be positive");
         assert!(
             bus_bytes.is_power_of_two() && bus_bytes >= 1,
             "bus width must be a power of two bytes"
         );
-        MemoryTiming { first_access_cycles, next_access_cycles, bus_bytes }
+        MemoryTiming {
+            first_access_cycles,
+            next_access_cycles,
+            bus_bytes,
+        }
     }
 
     /// Cycles until the first beat of a read returns.
@@ -104,7 +111,8 @@ impl MemoryTiming {
     /// beat — the request must round-trip to memory).
     pub fn burst_read_cycles(&self, bytes: u32) -> u64 {
         let beats = self.beats_for(bytes);
-        u64::from(self.first_access_cycles) + u64::from(beats - 1) * u64::from(self.next_access_cycles)
+        u64::from(self.first_access_cycles)
+            + u64::from(beats - 1) * u64::from(self.next_access_cycles)
     }
 
     /// Completion cycle of each beat of a burst read of `bytes`, relative to
@@ -145,7 +153,11 @@ mod tests {
         let m = MemoryTiming::default();
         assert_eq!(m.burst_read_cycles(8), 10);
         assert_eq!(m.burst_read_cycles(1), 10);
-        assert_eq!(m.burst_read_cycles(0), 10, "a zero-length read still round-trips");
+        assert_eq!(
+            m.burst_read_cycles(0),
+            10,
+            "a zero-length read still round-trips"
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! access of a random trace.
 
 use codepack_mem::{Cache, CacheConfig, FullyAssociativeCache};
-use proptest::collection::vec;
-use proptest::prelude::*;
+use codepack_testkit::forall;
+use codepack_testkit::prop::{gen, Gen};
 
 /// Obviously-correct set-associative LRU: each set is a Vec in MRU order.
 struct ReferenceCache {
@@ -45,48 +45,47 @@ impl ReferenceCache {
     }
 }
 
-fn arb_config() -> impl Strategy<Value = CacheConfig> {
-    (0u32..4, 0u32..3).prop_map(|(size_sel, assoc_sel)| {
-        let assoc = 1 << assoc_sel; // 1, 2, 4
-        let size = (1u32 << (9 + size_sel)) * assoc.max(1); // keeps ≥1 set, pow2 sets
-        CacheConfig::new(size, 32, assoc)
-    })
+fn arb_config() -> Gen<CacheConfig> {
+    gen::ints(0u32..4)
+        .zip(gen::ints(0u32..3))
+        .map(|(size_sel, assoc_sel)| {
+            let assoc = 1 << assoc_sel; // 1, 2, 4
+            let size = (1u32 << (9 + size_sel)) * assoc.max(1); // keeps ≥1 set, pow2 sets
+            CacheConfig::new(size, 32, assoc)
+        })
 }
 
 /// Traces with locality: mostly small addresses, occasional far jumps.
-fn arb_trace() -> impl Strategy<Value = Vec<u32>> {
-    vec(
-        prop_oneof![
-            4 => 0u32..4096,
-            1 => any::<u32>(),
-        ],
+fn arb_trace() -> Gen<Vec<u32>> {
+    gen::vec_of(
+        gen::weighted(vec![(4, gen::ints(0u32..4096)), (1, gen::any_int::<u32>())]),
         1..600,
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cache_matches_reference_model(cfg in arb_config(), trace in arb_trace()) {
+#[test]
+fn cache_matches_reference_model() {
+    forall!(cases = 64, (arb_config(), arb_trace()), |cfg, trace| {
         let mut cache = Cache::new(cfg);
         let mut reference = ReferenceCache::new(cfg);
         for (i, &addr) in trace.iter().enumerate() {
             let got = cache.access(addr);
             let want = reference.access(addr);
-            prop_assert_eq!(got, want, "access {} to {:#x} diverged", i, addr);
+            assert_eq!(got, want, "access {} to {:#x} diverged", i, addr);
         }
-        prop_assert_eq!(cache.stats().accesses, trace.len() as u64);
-    }
+        assert_eq!(cache.stats().accesses, trace.len() as u64);
+    });
+}
 
-    #[test]
-    fn probe_agrees_with_access_history(trace in arb_trace()) {
+#[test]
+fn probe_agrees_with_access_history() {
+    forall!(cases = 64, (arb_trace()), |trace| {
         let cfg = CacheConfig::new(2048, 32, 2);
         let mut cache = Cache::new(cfg);
         let mut reference = ReferenceCache::new(cfg);
         for &addr in &trace {
             // Probe must predict exactly what a (non-mutating) hit would be.
-            prop_assert_eq!(cache.probe(addr), {
+            assert_eq!(cache.probe(addr), {
                 let block = addr >> 5;
                 let set = (block & (cfg.sets() - 1)) as usize;
                 let tag = block >> cfg.sets().trailing_zeros();
@@ -95,18 +94,24 @@ proptest! {
             cache.access(addr);
             reference.access(addr);
         }
-    }
+    });
+}
 
-    #[test]
-    fn fully_associative_is_order_invariant_for_hits(keys in vec(0u32..64, 1..200)) {
-        // A fully-associative cache big enough for the key universe never
-        // misses twice on the same key.
-        let mut c = FullyAssociativeCache::new(64, 1);
-        let mut seen = std::collections::HashSet::new();
-        for &k in &keys {
-            let hit = c.access(k);
-            prop_assert_eq!(hit, seen.contains(&k));
-            seen.insert(k);
+#[test]
+fn fully_associative_is_order_invariant_for_hits() {
+    forall!(
+        cases = 64,
+        (gen::vec_of(gen::ints(0u32..64), 1..200)),
+        |keys| {
+            // A fully-associative cache big enough for the key universe never
+            // misses twice on the same key.
+            let mut c = FullyAssociativeCache::new(64, 1);
+            let mut seen = std::collections::HashSet::new();
+            for &k in &keys {
+                let hit = c.access(k);
+                assert_eq!(hit, seen.contains(&k));
+                seen.insert(k);
+            }
         }
-    }
+    );
 }

@@ -131,7 +131,10 @@ impl CodeModel {
 
     /// CodePack with a custom decompressor and default compression.
     pub fn codepack_with(decompressor: DecompressorConfig) -> CodeModel {
-        CodeModel::CodePack { decompressor, compression: CompressionConfig::default() }
+        CodeModel::CodePack {
+            decompressor,
+            compression: CompressionConfig::default(),
+        }
     }
 
     /// Short label for experiment tables.

@@ -17,9 +17,11 @@
 //! ```
 
 mod arch;
+mod matrix;
 mod report;
 mod run;
 
 pub use arch::{ArchConfig, CodeModel};
+pub use matrix::{run_matrix, MatrixCell, MatrixSpec, SimReport};
 pub use report::{fmt_percent, fmt_speedup, Table};
 pub use run::{SimResult, Simulation};

@@ -1,0 +1,404 @@
+//! Parallel experiment fan-out: benchmark × architecture × code model.
+//!
+//! Every paper table is a slice of the same cube — profiles on one axis,
+//! machines on another, decompressor configurations on the third.
+//! [`run_matrix`] enumerates the full cross product once, runs the cells
+//! on a fixed pool of worker threads, and returns a [`SimReport`] whose
+//! cell order, rendered table, and JSON serialization are independent of
+//! the worker count: cell `i` of the report is always job `i` of the
+//! profile-major enumeration, no matter which thread ran it or when it
+//! finished.
+//!
+//! ```no_run
+//! use codepack_sim::{ArchConfig, CodeModel, MatrixSpec};
+//!
+//! let spec = MatrixSpec::new(42, 200_000)
+//!     .with_archs(vec![ArchConfig::four_issue()])
+//!     .with_models(vec![
+//!         ("native", CodeModel::Native),
+//!         ("cp-opt", CodeModel::codepack_optimized()),
+//!     ]);
+//! let report = codepack_sim::run_matrix(&spec, 4);
+//! println!("{}", report.render());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use codepack_core::{CodePackImage, CompressionConfig};
+use codepack_isa::Program;
+use codepack_synth::{generate, BenchmarkProfile};
+
+use crate::{ArchConfig, CodeModel, SimResult, Simulation, Table};
+
+/// The experiment cube: which profiles, machines, and code models to
+/// cross, plus the common run parameters.
+#[derive(Clone, Debug)]
+pub struct MatrixSpec {
+    /// Benchmark profiles (defaults to the paper's six-program suite).
+    pub profiles: Vec<BenchmarkProfile>,
+    /// Machines (defaults to the three Table 2 architectures).
+    pub archs: Vec<ArchConfig>,
+    /// Labeled code models (defaults to native/baseline/optimized).
+    pub models: Vec<(&'static str, CodeModel)>,
+    /// Program-generation seed.
+    pub seed: u64,
+    /// Instruction budget per cell.
+    pub max_insns: u64,
+}
+
+impl MatrixSpec {
+    /// The full default cube: six profiles × three machines × three code
+    /// models.
+    pub fn new(seed: u64, max_insns: u64) -> MatrixSpec {
+        MatrixSpec {
+            profiles: BenchmarkProfile::suite(),
+            archs: vec![
+                ArchConfig::one_issue(),
+                ArchConfig::four_issue(),
+                ArchConfig::eight_issue(),
+            ],
+            models: vec![
+                ("native", CodeModel::Native),
+                ("cp-base", CodeModel::codepack_baseline()),
+                ("cp-opt", CodeModel::codepack_optimized()),
+            ],
+            seed,
+            max_insns,
+        }
+    }
+
+    /// Replaces the profile axis.
+    pub fn with_profiles(mut self, profiles: Vec<BenchmarkProfile>) -> MatrixSpec {
+        self.profiles = profiles;
+        self
+    }
+
+    /// Replaces the architecture axis.
+    pub fn with_archs(mut self, archs: Vec<ArchConfig>) -> MatrixSpec {
+        self.archs = archs;
+        self
+    }
+
+    /// Replaces the code-model axis.
+    pub fn with_models(mut self, models: Vec<(&'static str, CodeModel)>) -> MatrixSpec {
+        self.models = models;
+        self
+    }
+
+    /// Number of cells in the cube.
+    pub fn len(&self) -> usize {
+        self.profiles.len() * self.archs.len() * self.models.len()
+    }
+
+    /// True when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One cell of the experiment cube.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// Benchmark profile name.
+    pub profile: &'static str,
+    /// Architecture name.
+    pub arch: &'static str,
+    /// Code-model label from the spec.
+    pub model: &'static str,
+    /// The simulation result.
+    pub result: SimResult,
+}
+
+/// The completed cube, in profile-major (profile, arch, model) order.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Seed the programs were generated from.
+    pub seed: u64,
+    /// Instruction budget per cell.
+    pub max_insns: u64,
+    /// One cell per (profile, arch, model), profile-major.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl SimReport {
+    /// The cell for an exact (profile, arch, model) coordinate.
+    pub fn cell(&self, profile: &str, arch: &str, model: &str) -> Option<&MatrixCell> {
+        self.cells
+            .iter()
+            .find(|c| c.profile == profile && c.arch == arch && c.model == model)
+    }
+
+    /// Speedup of `model` over `baseline` at the same (profile, arch),
+    /// when both cells exist.
+    pub fn speedup(&self, profile: &str, arch: &str, model: &str, baseline: &str) -> Option<f64> {
+        let m = self.cell(profile, arch, model)?;
+        let b = self.cell(profile, arch, baseline)?;
+        Some(m.result.speedup_over(&b.result))
+    }
+
+    /// Renders the cube as one table: a row per cell with cycles, IPC,
+    /// miss rate, and compression ratio. Deterministic for a given cube.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            [
+                "Profile",
+                "Arch",
+                "Model",
+                "Cycles",
+                "IPC",
+                "I-miss/insn",
+                "Ratio",
+            ]
+            .map(String::from)
+            .to_vec(),
+        )
+        .with_title(format!(
+            "matrix: seed {}, {} insns/cell, {} cells",
+            self.seed,
+            self.max_insns,
+            self.cells.len()
+        ));
+        for c in &self.cells {
+            let ratio = match &c.result.compression {
+                Some(s) => format!("{:.1}%", s.compression_ratio() * 100.0),
+                None => "-".to_string(),
+            };
+            t.row(vec![
+                c.profile.to_string(),
+                c.arch.to_string(),
+                c.model.to_string(),
+                c.result.cycles().to_string(),
+                format!("{:.3}", c.result.ipc()),
+                format!("{:.5}", c.result.imiss_per_insn()),
+                ratio,
+            ]);
+        }
+        t.render()
+    }
+
+    /// Serializes the cube as JSON. Every numeric field is an integer
+    /// counter or a fixed-precision decimal, so two runs of the same cube
+    /// produce byte-identical output regardless of worker count.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"max_insns\": {},", self.max_insns);
+        let _ = writeln!(out, "  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let r = &c.result;
+            let _ = write!(
+                out,
+                "    {{\"profile\": \"{}\", \"arch\": \"{}\", \"model\": \"{}\", \
+                 \"cycles\": {}, \"instructions\": {}, \
+                 \"icache_accesses\": {}, \"icache_misses\": {}, \
+                 \"dcache_accesses\": {}, \"dcache_misses\": {}, \
+                 \"branches\": {}, \"mispredicts\": {}, \
+                 \"fetch_misses\": {}, \"fetch_buffer_hits\": {}, \
+                 \"index_hits\": {}, \"index_misses\": {}, \
+                 \"memory_beats\": {}, \"state_hash\": {}",
+                c.profile,
+                c.arch,
+                c.model,
+                r.cycles(),
+                r.pipeline.instructions,
+                r.pipeline.icache.accesses,
+                r.pipeline.icache.misses(),
+                r.pipeline.dcache.accesses,
+                r.pipeline.dcache.misses(),
+                r.pipeline.branches,
+                r.pipeline.mispredicts,
+                r.fetch.misses,
+                r.fetch.buffer_hits,
+                r.fetch.index_hits,
+                r.fetch.index_misses,
+                r.fetch.memory_beats,
+                r.state_hash,
+            );
+            if let Some(s) = &r.compression {
+                let _ = write!(
+                    out,
+                    ", \"original_bytes\": {}, \"compressed_bytes\": {}, \"ratio\": {:.6}",
+                    s.original_bytes,
+                    s.total_bytes(),
+                    s.compression_ratio()
+                );
+            }
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            let _ = writeln!(out, "}}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
+    }
+}
+
+/// Runs the full cube on `workers` threads and returns the report.
+///
+/// Programs are generated and compressed once per profile (all CodePack
+/// cells of a profile share the image when their compression options
+/// agree), then the cells run independently: a shared atomic counter
+/// hands out job indices, each worker writes its result into the slot
+/// for that index, and the report keeps enumeration order. One worker or
+/// sixteen, the report is identical.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero, the spec has an empty axis, or any cell
+/// traps during functional execution.
+pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> SimReport {
+    assert!(workers > 0, "run_matrix needs at least one worker");
+    assert!(!spec.is_empty(), "run_matrix needs a non-empty cube");
+
+    // Per-profile setup, done once: the generated program and one
+    // compressed image per distinct compression configuration.
+    struct Prepared {
+        program: Arc<Program>,
+        images: Vec<(CompressionConfig, Arc<CodePackImage>)>,
+    }
+    let prepared: Vec<Prepared> = spec
+        .profiles
+        .iter()
+        .map(|profile| {
+            let program = Arc::new(generate(profile, spec.seed));
+            let mut images: Vec<(CompressionConfig, Arc<CodePackImage>)> = Vec::new();
+            for (_, model) in &spec.models {
+                if let CodeModel::CodePack { compression, .. } = model {
+                    if !images.iter().any(|(c, _)| c == compression) {
+                        images.push((
+                            *compression,
+                            Arc::new(CodePackImage::compress(program.text_words(), compression)),
+                        ));
+                    }
+                }
+            }
+            Prepared { program, images }
+        })
+        .collect();
+
+    // Profile-major job list; index into it IS the report order.
+    struct Job {
+        profile: &'static str,
+        arch: ArchConfig,
+        model_label: &'static str,
+        model: CodeModel,
+        prepared: usize,
+    }
+    let mut jobs: Vec<Job> = Vec::with_capacity(spec.len());
+    for (pi, profile) in spec.profiles.iter().enumerate() {
+        for arch in &spec.archs {
+            for (label, model) in &spec.models {
+                jobs.push(Job {
+                    profile: profile.name,
+                    arch: *arch,
+                    model_label: label,
+                    model: *model,
+                    prepared: pi,
+                });
+            }
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SimResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(jobs.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let prep = &prepared[job.prepared];
+                let image = match &job.model {
+                    CodeModel::Native => None,
+                    CodeModel::CodePack { compression, .. } => Some(Arc::clone(
+                        &prep
+                            .images
+                            .iter()
+                            .find(|(c, _)| c == compression)
+                            .expect("image prepared for every compression config")
+                            .1,
+                    )),
+                };
+                let result = Simulation::new(job.arch, job.model).run_with_image(
+                    &prep.program,
+                    spec.max_insns,
+                    image,
+                );
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    let cells = jobs
+        .iter()
+        .zip(slots)
+        .map(|(job, slot)| MatrixCell {
+            profile: job.profile,
+            arch: job.arch.name,
+            model: job.model_label,
+            result: slot.into_inner().unwrap().expect("every job ran"),
+        })
+        .collect();
+
+    SimReport {
+        seed: spec.seed,
+        max_insns: spec.max_insns,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> MatrixSpec {
+        MatrixSpec::new(7, 20_000)
+            .with_profiles(vec![BenchmarkProfile::pegwit_like()])
+            .with_archs(vec![ArchConfig::one_issue()])
+    }
+
+    #[test]
+    fn report_keeps_enumeration_order() {
+        let spec = tiny_spec();
+        let report = run_matrix(&spec, 2);
+        assert_eq!(report.cells.len(), 3);
+        let labels: Vec<&str> = report.cells.iter().map(|c| c.model).collect();
+        assert_eq!(labels, ["native", "cp-base", "cp-opt"]);
+        assert!(report.cell("pegwit", "1-issue", "native").is_some());
+        assert!(report.cell("pegwit", "1-issue", "nope").is_none());
+    }
+
+    #[test]
+    fn speedup_lookup_matches_direct_computation() {
+        let report = run_matrix(&tiny_spec(), 1);
+        let s = report
+            .speedup("pegwit", "1-issue", "cp-opt", "native")
+            .unwrap();
+        let direct = report
+            .cell("pegwit", "1-issue", "cp-opt")
+            .unwrap()
+            .result
+            .speedup_over(&report.cell("pegwit", "1-issue", "native").unwrap().result);
+        assert_eq!(s, direct);
+    }
+
+    #[test]
+    fn render_and_json_mention_every_cell() {
+        let report = run_matrix(&tiny_spec(), 1);
+        let txt = report.render();
+        let json = report.to_json();
+        for c in &report.cells {
+            assert!(txt.contains(c.model));
+            assert!(json.contains(&format!("\"model\": \"{}\"", c.model)));
+        }
+        assert!(json.contains("\"ratio\""), "codepack cells carry the ratio");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        run_matrix(&tiny_spec(), 0);
+    }
+}

@@ -24,7 +24,11 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Table {
-        Table { headers, rows: Vec::new(), title: None }
+        Table {
+            headers,
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Sets a title line printed above the table.

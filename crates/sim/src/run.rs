@@ -2,9 +2,7 @@
 
 use std::sync::Arc;
 
-use codepack_core::{
-    CodePackFetch, CodePackImage, CompositionStats, FetchStats, NativeFetch,
-};
+use codepack_core::{CodePackFetch, CodePackImage, CompositionStats, FetchStats, NativeFetch};
 use codepack_cpu::{ExecError, Machine, Pipeline, PipelineStats};
 use codepack_isa::{Program, TEXT_BASE};
 
@@ -134,7 +132,10 @@ impl Simulation {
         let mut compression = None;
         let engine: Box<dyn codepack_core::FetchEngine> = match &self.model {
             CodeModel::Native => Box::new(NativeFetch::new(self.arch.memory)),
-            CodeModel::CodePack { decompressor, compression: ccfg } => {
+            CodeModel::CodePack {
+                decompressor,
+                compression: ccfg,
+            } => {
                 let image = match image {
                     Some(img) => {
                         assert_eq!(
@@ -147,7 +148,12 @@ impl Simulation {
                     None => Arc::new(CodePackImage::compress(program.text_words(), ccfg)),
                 };
                 compression = Some(*image.stats());
-                Box::new(CodePackFetch::new(image, self.arch.memory, *decompressor, TEXT_BASE))
+                Box::new(CodePackFetch::new(
+                    image,
+                    self.arch.memory,
+                    *decompressor,
+                    TEXT_BASE,
+                ))
             }
         };
 

@@ -14,9 +14,7 @@
 //! Generation is fully deterministic for a given `(profile, seed)`.
 
 use codepack_isa::{Assembler, Instruction, Label, Program, Reg, DATA_BASE};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use codepack_testkit::Rng;
 
 use crate::BenchmarkProfile;
 
@@ -44,7 +42,7 @@ const LOOP_COUNT: Reg = Reg::T7;
 /// assert_eq!(a.text_words(), b.text_words());
 /// ```
 pub fn generate(profile: &BenchmarkProfile, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed ^ profile.seed_salt);
+    let mut rng = Rng::seed_from_u64(seed ^ profile.seed_salt);
     let mut a = Assembler::new();
     let data_bytes = profile.data_kb * 1024;
     a.data_zeroed(data_bytes as usize);
@@ -69,28 +67,58 @@ fn emit_dispatcher(a: &mut Assembler, profile: &BenchmarkProfile, fn_labels: &[L
     a.li(MAIN_COUNT, i32::MAX);
     a.li(DISPATCH_COUNT, 0);
     a.bind(loop_top);
-    a.push(Instruction::Addiu { rt: DISPATCH_COUNT, rs: DISPATCH_COUNT, imm: 1 });
+    a.push(Instruction::Addiu {
+        rt: DISPATCH_COUNT,
+        rs: DISPATCH_COUNT,
+        imm: 1,
+    });
 
     // s0 = s0 * 1664525 + 1013904223
     a.li(Reg::T0, 1_664_525);
-    a.push(Instruction::Multu { rs: LCG_STATE, rt: Reg::T0 });
+    a.push(Instruction::Multu {
+        rs: LCG_STATE,
+        rt: Reg::T0,
+    });
     a.push(Instruction::Mflo { rd: LCG_STATE });
     a.li(Reg::T0, 1_013_904_223);
-    a.push(Instruction::Addu { rd: LCG_STATE, rs: LCG_STATE, rt: Reg::T0 });
+    a.push(Instruction::Addu {
+        rd: LCG_STATE,
+        rs: LCG_STATE,
+        rt: Reg::T0,
+    });
 
     // t1 = (s0 >> 24) & 0xff   — hot/cold coin
-    a.push(Instruction::Srl { rd: Reg::T1, rt: LCG_STATE, shamt: 24 });
+    a.push(Instruction::Srl {
+        rd: Reg::T1,
+        rt: LCG_STATE,
+        shamt: 24,
+    });
     // t2 = (s0 >> 8) & 0x7fff  — candidate index
-    a.push(Instruction::Srl { rd: Reg::T2, rt: LCG_STATE, shamt: 8 });
-    a.push(Instruction::Andi { rt: Reg::T2, rs: Reg::T2, imm: 0x7fff });
+    a.push(Instruction::Srl {
+        rd: Reg::T2,
+        rt: LCG_STATE,
+        shamt: 8,
+    });
+    a.push(Instruction::Andi {
+        rt: Reg::T2,
+        rs: Reg::T2,
+        imm: 0x7fff,
+    });
 
     let hot_thresh = ((profile.hot_fraction * 256.0) as i32).clamp(0, 256);
     a.li(Reg::T3, hot_thresh);
-    a.push(Instruction::Sltu { rd: Reg::T4, rs: Reg::T1, rt: Reg::T3 });
+    a.push(Instruction::Sltu {
+        rd: Reg::T4,
+        rs: Reg::T1,
+        rt: Reg::T3,
+    });
     a.beq(Reg::T4, Reg::ZERO, cold);
     // hot: s1 = t2 % hot_functions
     a.li(Reg::T5, profile.hot_functions.max(1) as i32);
-    a.push(Instruction::Divu { rs: Reg::T2, rt: Reg::T5 });
+    a.push(Instruction::Divu {
+        rs: Reg::T2,
+        rt: Reg::T5,
+    });
     a.push(Instruction::Mfhi { rd: FN_INDEX });
     a.j(dispatch);
     a.bind(cold);
@@ -99,24 +127,41 @@ fn emit_dispatcher(a: &mut Assembler, profile: &BenchmarkProfile, fn_labels: &[L
     // is what produces the paper's high I-miss rates with a compact,
     // recurring group set (Table 6):
     //   idx = (dispatches % span + dispatches >> drift) % functions
-    a.li(Reg::T5, profile.phase_span.clamp(1, profile.functions) as i32);
-    a.push(Instruction::Divu { rs: DISPATCH_COUNT, rt: Reg::T5 });
+    a.li(
+        Reg::T5,
+        profile.phase_span.clamp(1, profile.functions) as i32,
+    );
+    a.push(Instruction::Divu {
+        rs: DISPATCH_COUNT,
+        rt: Reg::T5,
+    });
     a.push(Instruction::Mfhi { rd: Reg::T2 });
     a.push(Instruction::Srl {
         rd: Reg::T6,
         rt: DISPATCH_COUNT,
         shamt: profile.phase_drift_shift.min(31) as u8,
     });
-    a.push(Instruction::Addu { rd: Reg::T2, rs: Reg::T2, rt: Reg::T6 });
+    a.push(Instruction::Addu {
+        rd: Reg::T2,
+        rs: Reg::T2,
+        rt: Reg::T6,
+    });
     a.li(Reg::T5, profile.functions as i32);
-    a.push(Instruction::Divu { rs: Reg::T2, rt: Reg::T5 });
+    a.push(Instruction::Divu {
+        rs: Reg::T2,
+        rt: Reg::T5,
+    });
     a.push(Instruction::Mfhi { rd: FN_INDEX });
     a.bind(dispatch);
 
     emit_tree(a, 0, fn_labels.len(), fn_labels, after_call);
 
     a.bind(after_call);
-    a.push(Instruction::Addiu { rt: MAIN_COUNT, rs: MAIN_COUNT, imm: -1 });
+    a.push(Instruction::Addiu {
+        rt: MAIN_COUNT,
+        rs: MAIN_COUNT,
+        imm: -1,
+    });
     a.bgtz(MAIN_COUNT, loop_top);
     a.bind(done);
     a.halt();
@@ -131,7 +176,11 @@ fn emit_tree(a: &mut Assembler, lo: usize, hi: usize, fn_labels: &[Label], after
     }
     let mid = lo + (hi - lo) / 2;
     let right = a.new_label();
-    a.push(Instruction::Slti { rt: Reg::AT, rs: FN_INDEX, imm: mid as i16 });
+    a.push(Instruction::Slti {
+        rt: Reg::AT,
+        rs: FN_INDEX,
+        imm: mid as i16,
+    });
     a.beq(Reg::AT, Reg::ZERO, right);
     emit_tree(a, lo, mid, fn_labels, after);
     a.bind(right);
@@ -141,14 +190,22 @@ fn emit_tree(a: &mut Assembler, lo: usize, hi: usize, fn_labels: &[Label], after
 fn emit_function(
     a: &mut Assembler,
     profile: &BenchmarkProfile,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     k: u32,
     fn_labels: &[Label],
     data_bytes: u32,
 ) {
     a.bind(fn_labels[k as usize]);
-    a.push(Instruction::Addiu { rt: Reg::SP, rs: Reg::SP, imm: -8 });
-    a.push(Instruction::Sw { rt: Reg::RA, base: Reg::SP, offset: 4 });
+    a.push(Instruction::Addiu {
+        rt: Reg::SP,
+        rs: Reg::SP,
+        imm: -8,
+    });
+    a.push(Instruction::Sw {
+        rt: Reg::RA,
+        base: Reg::SP,
+        offset: 4,
+    });
 
     // Optional helper call: a strictly lower index keeps the call graph
     // acyclic; a *nearby* index gives it the spatial clustering of real
@@ -176,7 +233,7 @@ fn emit_function(
     let epilogue = a.new_label();
     let mut layout: Vec<usize> = (0..n).collect();
     if rng.gen_bool(profile.layout_shuffle) {
-        layout.shuffle(rng);
+        rng.shuffle(&mut layout);
     }
     if layout[0] != 0 {
         a.j(block_labels[0]);
@@ -186,7 +243,11 @@ fn emit_function(
         emit_block(a, profile, rng, k, b as u32, data_bytes);
         if b + 1 == n {
             // Execution-final block carries the loop latch.
-            a.push(Instruction::Addiu { rt: LOOP_COUNT, rs: LOOP_COUNT, imm: -1 });
+            a.push(Instruction::Addiu {
+                rt: LOOP_COUNT,
+                rs: LOOP_COUNT,
+                imm: -1,
+            });
             a.bgtz(LOOP_COUNT, loop_top);
             a.j(epilogue);
         } else if layout.get(pos + 1) != Some(&(b + 1)) {
@@ -195,8 +256,16 @@ fn emit_function(
     }
 
     a.bind(epilogue);
-    a.push(Instruction::Lw { rt: Reg::RA, base: Reg::SP, offset: 4 });
-    a.push(Instruction::Addiu { rt: Reg::SP, rs: Reg::SP, imm: 8 });
+    a.push(Instruction::Lw {
+        rt: Reg::RA,
+        base: Reg::SP,
+        offset: 4,
+    });
+    a.push(Instruction::Addiu {
+        rt: Reg::SP,
+        rs: Reg::SP,
+        imm: 8,
+    });
     a.push(Instruction::Jr { rs: Reg::RA });
 }
 
@@ -221,21 +290,28 @@ const SCRATCH: [Reg; 12] = [
 fn emit_block(
     a: &mut Assembler,
     profile: &BenchmarkProfile,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     k: u32,
     b: u32,
     data_bytes: u32,
 ) {
-    let pick = |rng: &mut StdRng| SCRATCH[rng.gen_range(0..SCRATCH.len())];
+    let pick = |rng: &mut Rng| SCRATCH[rng.gen_range(0..SCRATCH.len())];
 
     // ALU cluster.
     let alu_ops = rng.gen_range(3..=6);
     for _ in 0..alu_ops {
         if rng.gen_range(0..1000) < profile.rare_imm_permille {
             // A unique 32-bit constant: lui+ori, both half-words rare.
-            let value = rng.gen::<u32>() | 0x1_0000; // ensure lui imm non-zero
-            a.push(Instruction::Lui { rt: Reg::T6, imm: (value >> 16) as u16 });
-            a.push(Instruction::Ori { rt: Reg::T6, rs: Reg::T6, imm: value as u16 });
+            let value = rng.gen_u32() | 0x1_0000; // ensure lui imm non-zero
+            a.push(Instruction::Lui {
+                rt: Reg::T6,
+                imm: (value >> 16) as u16,
+            });
+            a.push(Instruction::Ori {
+                rt: Reg::T6,
+                rs: Reg::T6,
+                imm: value as u16,
+            });
             continue;
         }
         let (rd, rs, rt) = (pick(rng), pick(rng), pick(rng));
@@ -246,26 +322,55 @@ fn emit_block(
             3 => a.push(Instruction::Or { rd, rs, rt }),
             4 => a.push(Instruction::And { rd, rs, rt }),
             5 => a.push(Instruction::Slt { rd, rs, rt }),
-            6 => a.push(Instruction::Sll { rd, rt, shamt: rng.gen_range(1..31) }),
-            7 => a.push(Instruction::Srl { rd, rt, shamt: rng.gen_range(1..31) }),
+            6 => a.push(Instruction::Sll {
+                rd,
+                rt,
+                shamt: rng.gen_range(1..31),
+            }),
+            7 => a.push(Instruction::Srl {
+                rd,
+                rt,
+                shamt: rng.gen_range(1..31),
+            }),
             // Wide immediates: stack offsets, struct offsets, masks — the
             // low half-words real compilers emit.
-            8 | 9 => a.push(Instruction::Addiu { rt: rd, rs, imm: rng.gen_range(-2048..2048) }),
-            10 => a.push(Instruction::Andi { rt: rd, rs, imm: rng.gen_range(0..4096) }),
-            _ => a.push(Instruction::Ori { rt: rd, rs, imm: rng.gen_range(0..4096) }),
+            8 | 9 => a.push(Instruction::Addiu {
+                rt: rd,
+                rs,
+                imm: rng.gen_range(-2048..2048),
+            }),
+            10 => a.push(Instruction::Andi {
+                rt: rd,
+                rs,
+                imm: rng.gen_range(0..4096),
+            }),
+            _ => a.push(Instruction::Ori {
+                rt: rd,
+                rs,
+                imm: rng.gen_range(0..4096),
+            }),
         };
     }
 
     // One data-memory touch per block, with per-function spatial locality.
     let region = (k.wrapping_mul(997).wrapping_mul(profile.data_stride)) % data_bytes;
-    let addr = DATA_BASE + (region + b * profile.data_stride) % data_bytes.saturating_sub(16).max(4);
+    let addr =
+        DATA_BASE + (region + b * profile.data_stride) % data_bytes.saturating_sub(16).max(4);
     let addr = addr & !3;
     let offset = rng.gen_range(0..32) * 4;
     a.li(Reg::T9, addr as i32);
     if b % 3 == 2 {
-        a.push(Instruction::Sw { rt: pick(rng), base: Reg::T9, offset });
+        a.push(Instruction::Sw {
+            rt: pick(rng),
+            base: Reg::T9,
+            offset,
+        });
     } else {
-        a.push(Instruction::Lw { rt: Reg::T0, base: Reg::T9, offset });
+        a.push(Instruction::Lw {
+            rt: Reg::T0,
+            base: Reg::T9,
+            offset,
+        });
     }
 
     // FP kernel for media-style codes.
@@ -273,19 +378,51 @@ fn emit_block(
         use codepack_isa::FReg;
         let mut f = |i: u8| FReg::new(rng.gen_range(0..8) * 2 + i);
         let (f0, f1, f2, f3) = (f(0), f(1), f(0), f(1));
-        a.push(Instruction::Lwc1 { ft: f0, base: Reg::T9, offset: 0 });
-        a.push(Instruction::Lwc1 { ft: f1, base: Reg::T9, offset: 4 });
-        a.push(Instruction::AddS { fd: f2, fs: f0, ft: f1 });
-        a.push(Instruction::MulS { fd: f3, fs: f2, ft: f1 });
-        a.push(Instruction::Swc1 { ft: f3, base: Reg::T9, offset: 8 });
+        a.push(Instruction::Lwc1 {
+            ft: f0,
+            base: Reg::T9,
+            offset: 0,
+        });
+        a.push(Instruction::Lwc1 {
+            ft: f1,
+            base: Reg::T9,
+            offset: 4,
+        });
+        a.push(Instruction::AddS {
+            fd: f2,
+            fs: f0,
+            ft: f1,
+        });
+        a.push(Instruction::MulS {
+            fd: f3,
+            fs: f2,
+            ft: f1,
+        });
+        a.push(Instruction::Swc1 {
+            ft: f3,
+            base: Reg::T9,
+            offset: 8,
+        });
     }
 
     // Data-dependent forward skip: the branchiness of control code.
     let skip = a.new_label();
-    a.push(Instruction::Andi { rt: Reg::AT, rs: Reg::T0, imm: if b.is_multiple_of(2) { 1 } else { 3 } });
+    a.push(Instruction::Andi {
+        rt: Reg::AT,
+        rs: Reg::T0,
+        imm: if b.is_multiple_of(2) { 1 } else { 3 },
+    });
     a.beq(Reg::AT, Reg::ZERO, skip);
-    a.push(Instruction::Addiu { rt: Reg::T1, rs: Reg::T1, imm: 1 });
-    a.push(Instruction::Xor { rd: Reg::T2, rs: Reg::T2, rt: Reg::T1 });
+    a.push(Instruction::Addiu {
+        rt: Reg::T1,
+        rs: Reg::T1,
+        imm: 1,
+    });
+    a.push(Instruction::Xor {
+        rd: Reg::T2,
+        rs: Reg::T2,
+        rt: Reg::T1,
+    });
     a.bind(skip);
 }
 

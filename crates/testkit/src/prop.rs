@@ -1,0 +1,608 @@
+//! A minimal property-testing harness: N generated cases from a
+//! deterministic seed, counterexample shrinking, and failing-seed
+//! persistence — the subset of `proptest` this workspace needs, with no
+//! external dependencies.
+//!
+//! The entry point is the [`forall!`](crate::forall) macro:
+//!
+//! ```
+//! use codepack_testkit::forall;
+//! use codepack_testkit::prop::gen;
+//!
+//! forall!(cases = 64, (gen::ints(0u32..1000), gen::vec_of(gen::ints(0u8..10), 0..8)), |x, v| {
+//!     assert!(x < 1000 && v.len() < 8);
+//! });
+//! ```
+//!
+//! On failure the harness shrinks the counterexample (integers toward the
+//! range minimum, vectors toward shorter lengths), appends the failing
+//! case seed to `target/testkit-regressions/<test>.seeds`, and re-runs
+//! persisted seeds first on every subsequent run so regressions stay
+//! fixed. Set `TESTKIT_SEED` to change the base seed and `TESTKIT_CASES`
+//! to cap the case count.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::Once;
+
+use crate::rng::{mix_seed, Rng};
+
+/// A generator: draws a value from an [`Rng`] and knows how to propose
+/// smaller variants of a failing value.
+pub struct Gen<T> {
+    generate: Rc<dyn Fn(&mut Rng) -> T>,
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Gen<T> {
+        Gen {
+            generate: Rc::clone(&self.generate),
+            shrink: Rc::clone(&self.shrink),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// A generator from a draw function, with no shrinking.
+    pub fn new(f: impl Fn(&mut Rng) -> T + 'static) -> Gen<T> {
+        Gen {
+            generate: Rc::new(f),
+            shrink: Rc::new(|_| Vec::new()),
+        }
+    }
+
+    /// Attaches a shrinker proposing candidate smaller values.
+    pub fn with_shrink(mut self, f: impl Fn(&T) -> Vec<T> + 'static) -> Gen<T> {
+        self.shrink = Rc::new(f);
+        self
+    }
+
+    /// Draws one value.
+    pub fn draw(&self, rng: &mut Rng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Candidate shrinks of `value`, smallest first.
+    pub fn shrinks(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// Transforms generated values. Shrinking does not survive a map
+    /// (the transformation is not invertible in general).
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |rng| f(self.draw(rng)))
+    }
+
+    /// Pairs two generators; each side shrinks independently.
+    pub fn zip<U: 'static>(self, other: Gen<U>) -> Gen<(T, U)>
+    where
+        T: Clone,
+        U: Clone,
+    {
+        let (ga, gb) = (self.clone(), other.clone());
+        Gen::new(move |rng| (ga.draw(rng), gb.draw(rng))).with_shrink(move |(a, b)| {
+            let mut out: Vec<(T, U)> = self
+                .shrinks(a)
+                .into_iter()
+                .map(|sa| (sa, b.clone()))
+                .collect();
+            out.extend(other.shrinks(b).into_iter().map(|sb| (a.clone(), sb)));
+            out
+        })
+    }
+}
+
+/// The built-in generators.
+pub mod gen {
+    use super::Gen;
+    use crate::rng::{Rng, UniformInt};
+    use std::ops::RangeBounds;
+
+    /// Uniform integer in `range`, shrinking toward the range minimum.
+    pub fn ints<T, R>(range: R) -> Gen<T>
+    where
+        T: UniformInt + PartialOrd + 'static,
+        R: RangeBounds<T> + Clone + 'static,
+    {
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&v) => v.to_i128(),
+            std::ops::Bound::Excluded(&v) => v.to_i128() + 1,
+            std::ops::Bound::Unbounded => T::MIN_I128,
+        };
+        Gen::new(move |rng: &mut Rng| rng.gen_range(range.clone())).with_shrink(move |&v| {
+            let v128 = v.to_i128();
+            let mut out = Vec::new();
+            if v128 != lo {
+                out.push(T::from_i128(lo));
+                let mid = lo + (v128 - lo) / 2;
+                if mid != lo && mid != v128 {
+                    out.push(T::from_i128(mid));
+                }
+                out.push(T::from_i128(v128 - 1));
+            }
+            out
+        })
+    }
+
+    /// The full domain of an integer type.
+    pub fn any_int<T: UniformInt + PartialOrd + 'static>() -> Gen<T> {
+        ints(..)
+    }
+
+    /// Uniform `f64` in `[0, 1)`, shrinking toward 0.
+    pub fn unit_f64() -> Gen<f64> {
+        Gen::new(|rng: &mut Rng| rng.gen_f64()).with_shrink(|&v| {
+            if v == 0.0 {
+                Vec::new()
+            } else {
+                vec![0.0, v / 2.0]
+            }
+        })
+    }
+
+    /// Fair coin, shrinking toward `false`.
+    pub fn bools() -> Gen<bool> {
+        Gen::new(|rng: &mut Rng| rng.gen_bool(0.5)).with_shrink(|&v| {
+            if v {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        })
+    }
+
+    /// Always `value`.
+    pub fn just<T: Clone + 'static>(value: T) -> Gen<T> {
+        Gen::new(move |_| value.clone())
+    }
+
+    /// A uniformly chosen arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn one_of<T: 'static>(arms: Vec<Gen<T>>) -> Gen<T> {
+        assert!(!arms.is_empty(), "one_of needs at least one arm");
+        Gen::new(move |rng: &mut Rng| {
+            let i = rng.gen_range(0..arms.len());
+            arms[i].draw(rng)
+        })
+    }
+
+    /// An arm chosen with probability proportional to its weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn weighted<T: 'static>(arms: Vec<(u64, Gen<T>)>) -> Gen<T> {
+        assert!(!arms.is_empty(), "weighted needs at least one arm");
+        let weights: Vec<u64> = arms.iter().map(|(w, _)| *w).collect();
+        Gen::new(move |rng: &mut Rng| {
+            let i = rng.weighted_choice(&weights);
+            arms[i].1.draw(rng)
+        })
+    }
+
+    /// A vector of `elem` draws with length uniform in `len`, shrinking by
+    /// halving, dropping elements, and shrinking individual elements.
+    pub fn vec_of<T, R>(elem: Gen<T>, len: R) -> Gen<Vec<T>>
+    where
+        T: Clone + 'static,
+        R: RangeBounds<usize> + Clone + 'static,
+    {
+        let min_len = match len.start_bound() {
+            std::ops::Bound::Included(&v) => v,
+            std::ops::Bound::Excluded(&v) => v + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let elem2 = elem.clone();
+        Gen::new(move |rng: &mut Rng| {
+            let n = rng.gen_range(len.clone());
+            (0..n).map(|_| elem.draw(rng)).collect()
+        })
+        .with_shrink(move |v: &Vec<T>| {
+            let mut out: Vec<Vec<T>> = Vec::new();
+            let n = v.len();
+            if n > min_len {
+                // Structurally smaller first: halves, then single removals.
+                if n / 2 >= min_len {
+                    out.push(v[..n / 2].to_vec());
+                    out.push(v[n - n / 2..].to_vec());
+                }
+                out.push(v[..n - 1].to_vec());
+                out.push(v[1..].to_vec());
+            }
+            // Then element-wise shrinks at every position (elements already
+            // minimal propose no candidates, so this stays cheap).
+            for i in 0..n {
+                for smaller in elem2.shrinks(&v[i]).into_iter().take(2) {
+                    let mut w = v.clone();
+                    w[i] = smaller;
+                    out.push(w);
+                }
+            }
+            out
+        })
+    }
+}
+
+thread_local! {
+    /// True while the harness probes shrink candidates: expected panics
+    /// are swallowed by the hook installed in [`quiet_hook`].
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent while the
+/// current thread is probing shrink candidates and defers to the previous
+/// hook otherwise.
+fn quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `prop` on a clone of `value`, returning the panic message on
+/// failure.
+fn run_case<T: Clone, F: Fn(T)>(prop: &F, value: &T) -> Result<(), String> {
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(value.clone())));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    outcome.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        }
+    })
+}
+
+/// Where failing case seeds are persisted: `target/testkit-regressions`
+/// under the workspace root (located via `Cargo.lock`, since tests run
+/// with the member crate as working directory).
+fn regression_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("testkit-regressions");
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("testkit-regressions");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target").join("testkit-regressions");
+        }
+    }
+}
+
+fn regression_file(test_name: &str) -> PathBuf {
+    let safe: String = test_name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    regression_dir().join(format!("{safe}.seeds"))
+}
+
+fn load_regression_seeds(test_name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regression_file(test_name)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| l.split('#').next())
+        .filter_map(|l| u64::from_str_radix(l.trim().trim_start_matches("0x"), 16).ok())
+        .collect()
+}
+
+fn persist_regression_seed(test_name: &str, seed: u64) {
+    let path = regression_file(test_name);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let mut seeds = load_regression_seeds(test_name);
+    if !seeds.contains(&seed) {
+        seeds.push(seed);
+        let body: String = seeds
+            .iter()
+            .map(|s| format!("{s:#018x}  # failing case seed\n"))
+            .collect();
+        let _ = std::fs::write(&path, body);
+    }
+}
+
+/// Base seed for a test: `TESTKIT_SEED` if set, else a fixed constant,
+/// mixed with an FNV-1a hash of the test name so each test draws an
+/// independent stream.
+fn base_seed(test_name: &str) -> u64 {
+    let env_seed = std::env::var("TESTKIT_SEED")
+        .ok()
+        .and_then(|v| v.trim().trim_start_matches("0x").parse::<u64>().ok())
+        .unwrap_or(0xC0DE_9ACC_5EED_0001);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix_seed(env_seed, h)
+}
+
+/// Case count: the smaller of what the test asked for and `TESTKIT_CASES`
+/// (if set).
+fn effective_cases(requested: u32) -> u32 {
+    std::env::var("TESTKIT_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map_or(requested, |cap| requested.min(cap.max(1)))
+}
+
+/// Maximum accepted shrink steps before reporting the counterexample.
+const MAX_SHRINK_STEPS: usize = 512;
+
+/// Runs `cases` random cases of `prop` over values from `generator`.
+/// Prefer the [`forall!`](crate::forall) macro, which names the test
+/// site automatically.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) with the minimal shrunk
+/// counterexample if any case fails.
+pub fn forall_impl<T, F>(test_name: &str, cases: u32, generator: Gen<T>, prop: F)
+where
+    T: Clone + std::fmt::Debug + 'static,
+    F: Fn(T),
+{
+    quiet_hook();
+
+    // Previously failing seeds run first: a fixed regression suite.
+    for seed in load_regression_seeds(test_name) {
+        let value = generator.draw(&mut Rng::seed_from_u64(seed));
+        if let Err(msg) = run_case(&prop, &value) {
+            report_failure(test_name, seed, &generator, value, msg, &prop, true);
+        }
+    }
+
+    let base = base_seed(test_name);
+    for case in 0..effective_cases(cases) {
+        let case_seed = mix_seed(base, u64::from(case));
+        let value = generator.draw(&mut Rng::seed_from_u64(case_seed));
+        if let Err(msg) = run_case(&prop, &value) {
+            persist_regression_seed(test_name, case_seed);
+            report_failure(test_name, case_seed, &generator, value, msg, &prop, false);
+        }
+    }
+}
+
+fn report_failure<T, F>(
+    test_name: &str,
+    case_seed: u64,
+    generator: &Gen<T>,
+    original: T,
+    original_msg: String,
+    prop: &F,
+    from_regression_file: bool,
+) -> !
+where
+    T: Clone + std::fmt::Debug + 'static,
+    F: Fn(T),
+{
+    // Greedy shrink: take the first failing candidate, repeat.
+    let mut minimal = original;
+    let mut message = original_msg;
+    let mut steps = 0;
+    'shrinking: while steps < MAX_SHRINK_STEPS {
+        for candidate in generator.shrinks(&minimal) {
+            if let Err(msg) = run_case(prop, &candidate) {
+                minimal = candidate;
+                message = msg;
+                steps += 1;
+                continue 'shrinking;
+            }
+        }
+        break;
+    }
+    let origin = if from_regression_file {
+        format!(
+            "persisted seed from {}",
+            regression_file(test_name).display()
+        )
+    } else {
+        format!(
+            "fresh case (seed appended to {})",
+            regression_file(test_name).display()
+        )
+    };
+    panic!(
+        "[testkit] property `{test_name}` failed\n\
+         case seed : {case_seed:#018x} ({origin})\n\
+         assertion : {message}\n\
+         shrunk    : {steps} step(s)\n\
+         minimal counterexample: {minimal:?}",
+    );
+}
+
+/// Runs `cases` generated inputs against a property; shrinks and persists
+/// failures. Forms (one to four generators, `cases = N` optional):
+///
+/// ```ignore
+/// forall!((gen_a), |x| { ... });
+/// forall!(cases = 64, (gen_a, gen_b), |x, y| { ... });
+/// ```
+///
+/// The body receives each drawn value **by value** (cloned per case, so
+/// the shrinker can replay inputs) and signals failure by panicking
+/// (`assert!`/`assert_eq!` work as-is).
+#[macro_export]
+macro_rules! forall {
+    (($($g:expr),+ $(,)?), |$($a:pat_param),+ $(,)?| $body:block) => {
+        $crate::forall!(cases = 256, ($($g),+), |$($a),+| $body)
+    };
+    (cases = $n:expr, ($ga:expr $(,)?), |$a:pat_param $(,)?| $body:block) => {
+        $crate::prop::forall_impl(
+            concat!(module_path!(), "-L", line!()),
+            $n,
+            $ga,
+            |$a| $body,
+        )
+    };
+    (cases = $n:expr, ($ga:expr, $gb:expr $(,)?), |$a:pat_param, $b:pat_param $(,)?| $body:block) => {
+        $crate::prop::forall_impl(
+            concat!(module_path!(), "-L", line!()),
+            $n,
+            ($ga).zip($gb),
+            |($a, $b)| $body,
+        )
+    };
+    (cases = $n:expr, ($ga:expr, $gb:expr, $gc:expr $(,)?), |$a:pat_param, $b:pat_param, $c:pat_param $(,)?| $body:block) => {
+        $crate::prop::forall_impl(
+            concat!(module_path!(), "-L", line!()),
+            $n,
+            ($ga).zip($gb).zip($gc),
+            |(($a, $b), $c)| $body,
+        )
+    };
+    (cases = $n:expr, ($ga:expr, $gb:expr, $gc:expr, $gd:expr $(,)?), |$a:pat_param, $b:pat_param, $c:pat_param, $d:pat_param $(,)?| $body:block) => {
+        $crate::prop::forall_impl(
+            concat!(module_path!(), "-L", line!()),
+            $n,
+            ($ga).zip($gb).zip($gc).zip($gd),
+            |((($a, $b), $c), $d)| $body,
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gen;
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        forall_impl("testkit-selftest-pass", 40, gen::ints(0u32..100), |v| {
+            assert!(v < 100);
+            counter.set(counter.get() + 1);
+        });
+        count += counter.get();
+        assert!(count >= 40, "all cases executed (got {count})");
+    }
+
+    #[test]
+    fn failing_property_shrinks_ints_to_the_boundary() {
+        let err = std::panic::catch_unwind(|| {
+            forall_impl(
+                "testkit-selftest-shrink-int",
+                200,
+                gen::ints(0u32..10_000),
+                |v| {
+                    assert!(v < 500, "too big: {v}");
+                },
+            );
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(
+            msg.contains("minimal counterexample: 500"),
+            "shrinks to exactly the failing boundary, got:\n{msg}"
+        );
+        let _ = std::fs::remove_file(regression_file("testkit-selftest-shrink-int"));
+    }
+
+    #[test]
+    fn failing_property_shrinks_vectors() {
+        let name = "testkit-selftest-shrink-vec";
+        let err = std::panic::catch_unwind(|| {
+            forall_impl(
+                name,
+                300,
+                gen::vec_of(gen::ints(0u32..100), 0..40),
+                |v: Vec<u32>| assert!(v.len() < 10, "long vec"),
+            );
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        // Minimal failing vector has exactly 10 elements, each shrunk to 0.
+        assert!(
+            msg.contains("minimal counterexample: [0, 0, 0, 0, 0, 0, 0, 0, 0, 0]"),
+            "{msg}"
+        );
+        let _ = std::fs::remove_file(regression_file(name));
+    }
+
+    #[test]
+    fn failing_seed_is_persisted_and_replayed() {
+        let name = "testkit-selftest-persist";
+        let _ = std::fs::remove_file(regression_file(name));
+        let _ = std::panic::catch_unwind(|| {
+            forall_impl(name, 50, gen::ints(0u32..100), |v| {
+                assert!(v < 1, "nonzero")
+            });
+        });
+        let seeds = load_regression_seeds(name);
+        assert_eq!(seeds.len(), 1, "exactly the first failing seed is recorded");
+        // The persisted seed regenerates a failing value immediately.
+        let err = std::panic::catch_unwind(|| {
+            forall_impl(name, 0, gen::ints(0u32..100), |v| assert!(v < 1, "nonzero"));
+        })
+        .expect_err("persisted seed replays the failure even with 0 fresh cases");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("persisted seed"), "{msg}");
+        let _ = std::fs::remove_file(regression_file(name));
+    }
+
+    #[test]
+    fn macro_arities_and_composite_generators() {
+        forall!(cases = 30, (gen::any_int::<u16>()), |x| {
+            let _ = x;
+        });
+        forall!(
+            cases = 30,
+            (gen::ints(1u32..10), gen::bools(), gen::unit_f64()),
+            |a, b, c| {
+                assert!(a >= 1 && a < 10);
+                assert!((0.0..1.0).contains(&c));
+                let _ = b;
+            }
+        );
+        let word = gen::weighted(vec![
+            (4, gen::one_of(vec![gen::just(7u32), gen::just(9)])),
+            (1, gen::any_int::<u32>()),
+        ]);
+        forall!(
+            cases = 50,
+            (
+                word,
+                gen::ints(0i16..5).zip(gen::ints(0u8..=3)),
+                gen::vec_of(gen::any_int::<u8>(), 0..9)
+            ),
+            |w, pair, tail| {
+                let _ = (w, pair, tail);
+            }
+        );
+    }
+
+    #[test]
+    fn mapped_generators_draw_through() {
+        let cfg = gen::bools()
+            .zip(gen::ints(1u32..4))
+            .map(|(b, n)| (b, n * 10));
+        forall!(cases = 30, (cfg), |c| {
+            assert!(c.1 % 10 == 0 && c.1 <= 30);
+        });
+    }
+}

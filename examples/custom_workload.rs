@@ -26,17 +26,53 @@ fn main() {
     a.li(Reg::T2, 0);
     a.li(Reg::T3, 0);
     a.bind(top);
-    a.push(Instruction::Lbu { rt: Reg::T4, base: Reg::T0, offset: 0 });
-    a.push(Instruction::Addu { rd: Reg::T2, rs: Reg::T2, rt: Reg::T4 });
-    a.push(Instruction::Addu { rd: Reg::T3, rs: Reg::T3, rt: Reg::T2 });
-    a.push(Instruction::Andi { rt: Reg::T2, rs: Reg::T2, imm: 0xff });
-    a.push(Instruction::Andi { rt: Reg::T3, rs: Reg::T3, imm: 0xff });
-    a.push(Instruction::Addiu { rt: Reg::T0, rs: Reg::T0, imm: 1 });
-    a.push(Instruction::Addiu { rt: Reg::T1, rs: Reg::T1, imm: -1 });
+    a.push(Instruction::Lbu {
+        rt: Reg::T4,
+        base: Reg::T0,
+        offset: 0,
+    });
+    a.push(Instruction::Addu {
+        rd: Reg::T2,
+        rs: Reg::T2,
+        rt: Reg::T4,
+    });
+    a.push(Instruction::Addu {
+        rd: Reg::T3,
+        rs: Reg::T3,
+        rt: Reg::T2,
+    });
+    a.push(Instruction::Andi {
+        rt: Reg::T2,
+        rs: Reg::T2,
+        imm: 0xff,
+    });
+    a.push(Instruction::Andi {
+        rt: Reg::T3,
+        rs: Reg::T3,
+        imm: 0xff,
+    });
+    a.push(Instruction::Addiu {
+        rt: Reg::T0,
+        rs: Reg::T0,
+        imm: 1,
+    });
+    a.push(Instruction::Addiu {
+        rt: Reg::T1,
+        rs: Reg::T1,
+        imm: -1,
+    });
     a.bgtz(Reg::T1, top);
     // result = (t3 << 8) | t2 in $v1
-    a.push(Instruction::Sll { rd: Reg::V1, rt: Reg::T3, shamt: 8 });
-    a.push(Instruction::Or { rd: Reg::V1, rs: Reg::V1, rt: Reg::T2 });
+    a.push(Instruction::Sll {
+        rd: Reg::V1,
+        rt: Reg::T3,
+        shamt: 8,
+    });
+    a.push(Instruction::Or {
+        rd: Reg::V1,
+        rs: Reg::V1,
+        rt: Reg::T2,
+    });
     a.halt();
 
     let program = a.finish("checksum").expect("all labels bound");

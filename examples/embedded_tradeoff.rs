@@ -14,7 +14,9 @@ use codepack::synth::{generate, BenchmarkProfile};
 
 fn main() {
     // An embedded controller: 1-issue core, 16-bit flash bus, slow memory.
-    let base = ArchConfig::one_issue().with_bus_bits(16).with_memory_scale(2.0);
+    let base = ArchConfig::one_issue()
+        .with_bus_bits(16)
+        .with_memory_scale(2.0);
     let program = generate(&BenchmarkProfile::go_like(), 42);
     let insns = 400_000;
 

@@ -55,7 +55,10 @@ fn main() {
         .expect("most blocks compress");
     let info = image.block_info(block);
     let words = image.decompress_block(block).expect("block decodes");
-    println!("block {block} ({} compressed bytes for 64 native bytes):", info.byte_len);
+    println!(
+        "block {block} ({} compressed bytes for 64 native bytes):",
+        info.byte_len
+    );
     for (j, &word) in words.iter().enumerate() {
         let bits = info.cum_bits[j + 1] - info.cum_bits[j];
         let text = decode(word).map_or_else(|_| format!(".word {word:#010x}"), |i| i.to_string());

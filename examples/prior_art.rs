@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example prior_art`
 
-use codepack::baselines::{
-    estimate_thumb, CcrpConfig, CcrpFetch, CcrpImage, InsnDictImage,
-};
+use codepack::baselines::{estimate_thumb, CcrpConfig, CcrpFetch, CcrpImage, InsnDictImage};
 use codepack::core::{CodePackFetch, DecompressorConfig, FetchEngine};
 use codepack::mem::MemoryTiming;
 use codepack::sim::Table;
@@ -71,8 +69,14 @@ fn main() {
     let cp_svc = cp_fetch.service_miss(addr, 32);
     let ccrp_svc = ccrp_fetch.service_miss(addr, 32);
     println!("one L1 miss on the 5th instruction of a line:");
-    println!("  CodePack: critical ready at t={} (2 half-word lookups/insn)", cp_svc.critical_ready);
-    println!("  CCRP:     critical ready at t={} (4 Huffman symbols/insn)", ccrp_svc.critical_ready);
+    println!(
+        "  CodePack: critical ready at t={} (2 half-word lookups/insn)",
+        cp_svc.critical_ready
+    );
+    println!(
+        "  CCRP:     critical ready at t={} (4 Huffman symbols/insn)",
+        ccrp_svc.critical_ready
+    );
     println!();
     println!(
         "CodePack's coarser symbols serve this miss {:.1}x faster — the \

@@ -26,7 +26,9 @@ fn main() {
     // Compression must never change what the program computes.
     assert_eq!(native.state_hash, packed.state_hash);
 
-    let stats = packed.compression.expect("CodePack runs report composition");
+    let stats = packed
+        .compression
+        .expect("CodePack runs report composition");
     println!(
         "compression ratio: {:.1}% ({} -> {} bytes)",
         stats.compression_ratio() * 100.0,

@@ -27,15 +27,24 @@ fn all_code_models_execute_identically() {
     // must be bit-identical for every model and machine.
     for profile in [BenchmarkProfile::pegwit_like(), BenchmarkProfile::go_like()] {
         let program = generate(&profile, 11);
-        for arch in [ArchConfig::one_issue(), ArchConfig::four_issue(), ArchConfig::eight_issue()]
-        {
+        for arch in [
+            ArchConfig::one_issue(),
+            ArchConfig::four_issue(),
+            ArchConfig::eight_issue(),
+        ] {
             let native = Simulation::new(arch, CodeModel::Native).run(&program, RUN);
-            let packed =
-                Simulation::new(arch, CodeModel::codepack_baseline()).run(&program, RUN);
-            let opt =
-                Simulation::new(arch, CodeModel::codepack_optimized()).run(&program, RUN);
-            assert_eq!(native.state_hash, packed.state_hash, "{} {}", profile.name, arch.name);
-            assert_eq!(native.state_hash, opt.state_hash, "{} {}", profile.name, arch.name);
+            let packed = Simulation::new(arch, CodeModel::codepack_baseline()).run(&program, RUN);
+            let opt = Simulation::new(arch, CodeModel::codepack_optimized()).run(&program, RUN);
+            assert_eq!(
+                native.state_hash, packed.state_hash,
+                "{} {}",
+                profile.name, arch.name
+            );
+            assert_eq!(
+                native.state_hash, opt.state_hash,
+                "{} {}",
+                profile.name, arch.name
+            );
             assert_eq!(native.retired_instructions, packed.retired_instructions);
             assert_eq!(
                 native.pipeline.dcache.accesses, packed.pipeline.dcache.accesses,
@@ -72,8 +81,17 @@ fn every_profile_simulates_on_the_baseline_machine() {
         let r = Simulation::new(ArchConfig::four_issue(), CodeModel::codepack_baseline())
             .run(&program, 30_000);
         assert!(r.cycles() > 0);
-        assert!(r.ipc() > 0.05 && r.ipc() < 8.0, "{}: IPC {}", profile.name, r.ipc());
-        assert!(r.pipeline.branches > 0, "{} must execute branches", profile.name);
+        assert!(
+            r.ipc() > 0.05 && r.ipc() < 8.0,
+            "{}: IPC {}",
+            profile.name,
+            r.ipc()
+        );
+        assert!(
+            r.pipeline.branches > 0,
+            "{} must execute branches",
+            profile.name
+        );
     }
 }
 

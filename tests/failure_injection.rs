@@ -8,7 +8,9 @@ use codepack::sim::{ArchConfig, CodeModel, Simulation};
 use codepack::synth::{generate, BenchmarkProfile};
 
 fn compressible_text() -> Vec<u32> {
-    generate(&BenchmarkProfile::pegwit_like(), 9).text_words().to_vec()
+    generate(&BenchmarkProfile::pegwit_like(), 9)
+        .text_words()
+        .to_vec()
 }
 
 #[test]
@@ -45,7 +47,9 @@ fn illegal_instruction_surfaces_through_simulation() {
     let err = Simulation::new(ArchConfig::four_issue(), CodeModel::Native)
         .try_run(&program, 1_000)
         .unwrap_err();
-    assert!(matches!(err, ExecError::IllegalInstruction { pc, .. } if pc == codepack::isa::TEXT_BASE + 4));
+    assert!(
+        matches!(err, ExecError::IllegalInstruction { pc, .. } if pc == codepack::isa::TEXT_BASE + 4)
+    );
 }
 
 #[test]

@@ -1,0 +1,98 @@
+//! The hermetic-build guard: no manifest in the workspace may name an
+//! external registry dependency. Everything must resolve from the
+//! workspace itself so `cargo build --offline` works from a cold cache.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir;
+        }
+        assert!(dir.pop(), "no Cargo.lock above the test cwd");
+    }
+}
+
+fn manifests(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("Cargo.toml")];
+    for entry in fs::read_dir(root.join("crates")).unwrap() {
+        let m = entry.unwrap().path().join("Cargo.toml");
+        if m.exists() {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Lines inside `[dependencies]`-like sections of a manifest.
+fn dependency_lines(toml: &str) -> Vec<String> {
+    let mut in_deps = false;
+    let mut out = Vec::new();
+    for line in toml.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            in_deps = section.ends_with("dependencies");
+            continue;
+        }
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            out.push(line.to_string());
+        }
+    }
+    out
+}
+
+#[test]
+fn every_dependency_is_a_workspace_member() {
+    let root = workspace_root();
+    let mut checked = 0;
+    for manifest in manifests(&root) {
+        let toml = fs::read_to_string(&manifest).unwrap();
+        for line in dependency_lines(&toml) {
+            checked += 1;
+            assert!(
+                line.contains("workspace = true") || line.contains("path ="),
+                "{}: external-looking dependency `{}` — the workspace must \
+                 build with --offline from a cold cache",
+                manifest.display(),
+                line
+            );
+        }
+    }
+    assert!(
+        checked >= 10,
+        "the guard must actually see the dependency graph, saw {checked}"
+    );
+}
+
+#[test]
+fn banned_crates_never_reappear() {
+    // The crates this PR removed. `rand` gets word-boundary care so
+    // codepack crate names don't false-positive.
+    let root = workspace_root();
+    for manifest in manifests(&root) {
+        let toml = fs::read_to_string(&manifest).unwrap();
+        for line in dependency_lines(&toml) {
+            let name = line.split(['=', '.']).next().unwrap_or("").trim();
+            for banned in ["rand", "proptest", "criterion", "rand_chacha", "serde"] {
+                assert_ne!(
+                    name,
+                    banned,
+                    "{}: `{banned}` is banned; use codepack-testkit",
+                    manifest.display()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_has_no_registry_entries_in_the_lockfile() {
+    let root = workspace_root();
+    let lock = fs::read_to_string(root.join("Cargo.lock")).unwrap();
+    assert!(
+        !lock.contains("registry+"),
+        "Cargo.lock references a registry source; the build is no longer hermetic"
+    );
+}

@@ -1,0 +1,52 @@
+//! The parallel experiment runner must be a pure function of its spec:
+//! the worker count may change wall-clock time, never the report.
+
+use codepack::sim::{run_matrix, ArchConfig, MatrixSpec};
+use codepack::synth::BenchmarkProfile;
+
+fn spec() -> MatrixSpec {
+    MatrixSpec::new(42, 30_000)
+        .with_profiles(vec![
+            BenchmarkProfile::pegwit_like(),
+            BenchmarkProfile::go_like(),
+        ])
+        .with_archs(vec![ArchConfig::one_issue(), ArchConfig::four_issue()])
+}
+
+#[test]
+fn worker_count_does_not_change_the_report() {
+    let serial = run_matrix(&spec(), 1);
+    let parallel = run_matrix(&spec(), 3);
+
+    assert_eq!(serial.cells.len(), parallel.cells.len());
+    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!((a.profile, a.arch, a.model), (b.profile, b.arch, b.model));
+        assert_eq!(a.result.cycles(), b.result.cycles());
+        assert_eq!(a.result.state_hash, b.result.state_hash);
+    }
+    // The strongest form: rendered table and JSON are byte-identical.
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.to_json(), parallel.to_json());
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let a = run_matrix(&spec(), 2);
+    let b = run_matrix(&spec(), 2);
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn native_and_codepack_cells_agree_on_architectural_state() {
+    // The cube re-runs every profile under every model; compression must
+    // never change what the program computes.
+    let report = run_matrix(&spec(), 2);
+    for cell in &report.cells {
+        let native = report.cell(cell.profile, cell.arch, "native").unwrap();
+        assert_eq!(
+            cell.result.state_hash, native.result.state_hash,
+            "{}/{}/{} diverged from native execution",
+            cell.profile, cell.arch, cell.model
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests over the CodePack codec at the whole-image level.
+
+use codepack::core::{CodePackImage, CompressionConfig};
+use codepack_testkit::forall;
+use codepack_testkit::prop::{gen, Gen};
+
+/// Instruction-word generator with a realistic mixture: many repeats of a
+/// few values, plus arbitrary noise words.
+fn arb_text() -> Gen<Vec<u32>> {
+    let common = gen::one_of(vec![
+        gen::just(0x2402_0001u32),
+        gen::just(0x8c62_0004u32),
+        gen::just(0xafbf_0014u32),
+        gen::just(0x0000_0000u32),
+        gen::just(0x03e0_0008u32),
+    ]);
+    let word = gen::weighted(vec![(4, common), (1, gen::any_int::<u32>())]);
+    gen::vec_of(word, 1..400)
+}
+
+fn arb_config() -> Gen<CompressionConfig> {
+    gen::bools()
+        .zip(gen::bools())
+        .zip(gen::ints(1u32..4))
+        .map(|((raw, pin), min)| CompressionConfig {
+            raw_block_fallback: raw,
+            pin_low_zero: pin,
+            dict_min_count: min,
+        })
+}
+
+/// Lossless: decompress(compress(text)) == text for any text and any
+/// codec configuration.
+#[test]
+fn roundtrip_any_text_any_config() {
+    forall!(cases = 64, (arb_text(), arb_config()), |text, config| {
+        let image = CodePackImage::compress(&text, &config);
+        assert_eq!(image.decompress_all().unwrap(), text);
+    });
+}
+
+/// The composition accounting always partitions the image exactly.
+#[test]
+fn composition_partitions_image() {
+    forall!(cases = 64, (arb_text()), |text| {
+        let image = CodePackImage::compress(&text, &CompressionConfig::default());
+        let s = image.stats();
+        let sum: f64 = s.table4_fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(
+            s.total_bytes(),
+            s.index_table_bytes + s.dictionary_bytes + image.compressed_bytes().len() as u64
+        );
+    });
+}
+
+/// With the raw-block fallback on, expansion is bounded: a block never
+/// exceeds its native 64 bytes by more than the flag byte, so the whole
+/// stream stays within ~2% of native plus table overheads.
+#[test]
+fn fallback_bounds_expansion() {
+    forall!(
+        cases = 64,
+        (gen::vec_of(gen::any_int::<u32>(), 1..400)),
+        |text| {
+            let image = CodePackImage::compress(&text, &CompressionConfig::default());
+            let padded_blocks = (text.len() as u64).div_ceil(32) * 2;
+            let stream_limit = padded_blocks * 65; // 64B + flag byte, aligned
+            assert!(image.compressed_bytes().len() as u64 <= stream_limit);
+        }
+    );
+}
+
+/// Index-table resolution agrees with the layout for every block.
+#[test]
+fn index_table_consistent() {
+    forall!(cases = 64, (arb_text()), |text| {
+        let image = CodePackImage::compress(&text, &CompressionConfig::default());
+        for b in 0..image.num_blocks() {
+            assert_eq!(
+                image.block_offset_via_index(b).unwrap(),
+                image.block_info(b).byte_offset
+            );
+        }
+    });
+}
+
+/// Block metadata invariants: monotone cumulative bits, byte length
+/// covers them, blocks tile the stream.
+#[test]
+fn block_metadata_invariants() {
+    forall!(cases = 64, (arb_text()), |text| {
+        let image = CodePackImage::compress(&text, &CompressionConfig::default());
+        let mut expected_offset = 0u32;
+        for b in 0..image.num_blocks() {
+            let info = image.block_info(b);
+            assert_eq!(
+                info.byte_offset, expected_offset,
+                "blocks tile contiguously"
+            );
+            expected_offset += u32::from(info.byte_len);
+            for j in 0..16 {
+                assert!(info.cum_bits[j] < info.cum_bits[j + 1]);
+            }
+            assert!(u32::from(info.cum_bits[16]).div_ceil(8) <= u32::from(info.byte_len));
+        }
+        assert_eq!(expected_offset as usize, image.compressed_bytes().len());
+    });
+}
+
+/// ROM serialization round-trips for arbitrary texts; the loaded image
+/// behaves identically (same decode output, same per-block metadata).
+#[test]
+fn rom_round_trip() {
+    forall!(cases = 32, (arb_text()), |text| {
+        let image = CodePackImage::compress(&text, &CompressionConfig::default());
+        let loaded = CodePackImage::from_rom_bytes(&image.to_rom_bytes()).unwrap();
+        assert_eq!(loaded.decompress_all().unwrap(), text);
+        for b in 0..image.num_blocks() {
+            assert_eq!(
+                &loaded.block_info(b).cum_bits,
+                &image.block_info(b).cum_bits
+            );
+        }
+    });
+}
+
+/// Truncating a ROM anywhere yields an error, never a panic.
+#[test]
+fn rom_truncation_always_errors() {
+    forall!(
+        cases = 32,
+        (arb_text(), gen::unit_f64()),
+        |text, cut_frac| {
+            let rom = CodePackImage::compress(&text, &CompressionConfig::default()).to_rom_bytes();
+            let cut = ((rom.len() as f64) * cut_frac) as usize;
+            assert!(CodePackImage::from_rom_bytes(&rom[..cut.min(rom.len() - 1)]).is_err());
+        }
+    );
+}

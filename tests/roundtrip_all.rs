@@ -1,0 +1,80 @@
+//! Differential round-trip: decompress(compress(text)) == text for every
+//! benchmark profile's full text section and for the degenerate shapes
+//! the block codec has to handle.
+
+use codepack::core::{CodePackImage, CompressionConfig};
+use codepack::synth::{generate, BenchmarkProfile};
+
+fn roundtrip(text: &[u32]) {
+    let image = CodePackImage::compress(text, &CompressionConfig::default());
+    assert_eq!(
+        image.decompress_all().unwrap(),
+        text,
+        "whole-image mismatch"
+    );
+    // And block-by-block, as the hardware decompressor would fetch it.
+    let mut words = Vec::with_capacity(text.len());
+    for b in 0..image.num_blocks() {
+        words.extend_from_slice(&image.decompress_block(b).unwrap());
+    }
+    words.truncate(text.len()); // final block is zero-padded to 16 words
+    assert_eq!(words, text, "block-wise mismatch");
+}
+
+#[test]
+fn every_profile_roundtrips_losslessly() {
+    for profile in BenchmarkProfile::suite() {
+        let program = generate(&profile, 42);
+        roundtrip(program.text_words());
+    }
+}
+
+#[test]
+#[should_panic(expected = "empty text section")]
+fn empty_text_is_rejected_loudly() {
+    // The codec's contract: an empty text section is a caller bug, not a
+    // silent zero-block image.
+    let _ = CodePackImage::compress(&[], &CompressionConfig::default());
+}
+
+#[test]
+fn single_instruction_roundtrips() {
+    roundtrip(&[0x2402_0001]);
+    roundtrip(&[0x0000_0000]);
+    roundtrip(&[0xffff_ffff]);
+}
+
+#[test]
+fn all_escape_text_roundtrips() {
+    // Every half-word distinct: nothing earns a dictionary slot, so every
+    // symbol takes the raw-escape path (or whole blocks fall back to raw).
+    let text: Vec<u32> = (0..1024u32)
+        .map(|i| {
+            let h = i * 2 + 1;
+            let l = i * 2 + 2;
+            (u32::from(h as u16) << 16) | u32::from(l as u16)
+        })
+        .collect();
+    roundtrip(&text);
+
+    // Same shape but with the fallback disabled: forces per-symbol escapes.
+    let cfg = CompressionConfig {
+        raw_block_fallback: false,
+        ..CompressionConfig::default()
+    };
+    let image = CodePackImage::compress(&text, &cfg);
+    assert_eq!(image.decompress_all().unwrap(), text);
+    assert!(
+        image.stats().raw_halfwords > 0,
+        "escape path must actually be exercised"
+    );
+}
+
+#[test]
+fn partial_final_block_roundtrips() {
+    // Lengths around the 16-instruction block boundary.
+    for len in [1usize, 15, 16, 17, 31, 32, 33] {
+        let text: Vec<u32> = (0..len as u32).map(|i| 0x2402_0000 | i).collect();
+        roundtrip(&text);
+    }
+}

@@ -27,10 +27,8 @@ fn optimization_ordering_holds_across_seeds() {
         let program = generate(&BenchmarkProfile::vortex_like(), seed);
         let arch = ArchConfig::four_issue();
         let native = Simulation::new(arch, CodeModel::Native).run(&program, RUN);
-        let base =
-            Simulation::new(arch, CodeModel::codepack_baseline()).run(&program, RUN);
-        let opt =
-            Simulation::new(arch, CodeModel::codepack_optimized()).run(&program, RUN);
+        let base = Simulation::new(arch, CodeModel::codepack_baseline()).run(&program, RUN);
+        let opt = Simulation::new(arch, CodeModel::codepack_optimized()).run(&program, RUN);
         assert!(
             base.cycles() > opt.cycles(),
             "seed {seed}: optimizations must help"
