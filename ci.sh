@@ -14,4 +14,42 @@ cargo build --release --offline --workspace
 echo "== test (offline) =="
 cargo test -q --offline --workspace
 
+echo "== tier-2: observability smoke =="
+# One small observed run end to end: the trace must be valid JSONL, the
+# metrics document valid JSON, and the CPI attribution must close (the
+# components sum to measured CPI). trace-export must emit loadable
+# Chrome trace JSON. Exercised via the release cpack binary built above.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+CPACK=target/release/cpack
+"$CPACK" run pegwit 30000 \
+    --trace "$OBS_TMP/run.jsonl" --metrics "$OBS_TMP/run.metrics.json" > /dev/null
+"$CPACK" trace-export "$OBS_TMP/run.jsonl" --chrome -o "$OBS_TMP/run.chrome.json" > /dev/null
+python3 - "$OBS_TMP" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+
+# Every trace line parses and carries a cycle stamp and a kind tag.
+with open(f"{tmp}/run.jsonl") as f:
+    lines = [json.loads(l) for l in f if l.strip()]
+assert lines, "trace is empty"
+assert all("c" in e and "k" in e for e in lines), "malformed trace event"
+
+# The metrics document parses and its CPI attribution closes.
+with open(f"{tmp}/run.metrics.json") as f:
+    m = json.load(f)
+b = m["cpi_breakdown"]
+parts = ["compute", "icache_miss", "decompress", "index_lookup", "memory", "branch"]
+total, s = b["total"], sum(b[p] for p in parts)
+assert abs(s - total) < 1e-5, f"CPI breakdown does not close: {s} vs {total}"
+assert m["counters"]["pipeline.cycles"] > 0
+
+# The Chrome export is valid trace-event JSON.
+with open(f"{tmp}/run.chrome.json") as f:
+    c = json.load(f)
+assert isinstance(c["traceEvents"], list) and len(c["traceEvents"]) > 4
+assert all("ph" in e and "ts" in e for e in c["traceEvents"])
+print(f"tier-2 obs smoke: {len(lines)} events, CPI {total:.4f} closes")
+PYEOF
+
 echo "ci: all green"

@@ -404,6 +404,7 @@ impl FetchEngine for CcrpFetch {
             line_fill_complete,
             source: MissSource::Decompressor,
             index_hit: Some(t_lat == 0),
+            index_cycles: t_lat,
         }
     }
 

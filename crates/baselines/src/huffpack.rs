@@ -371,6 +371,7 @@ impl FetchEngine for HuffPackFetch {
                 line_fill_complete: 1,
                 source: MissSource::OutputBuffer,
                 index_hit: None,
+                index_cycles: 0,
             };
         }
 
@@ -426,6 +427,7 @@ impl FetchEngine for HuffPackFetch {
             line_fill_complete,
             source: MissSource::Decompressor,
             index_hit: Some(t_index == 0),
+            index_cycles: t_index,
         }
     }
 

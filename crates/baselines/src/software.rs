@@ -92,6 +92,7 @@ impl FetchEngine for SoftwareDecompFetch {
                 line_fill_complete: self.config.scratchpad_hit_cycles,
                 source: MissSource::OutputBuffer,
                 index_hit: None,
+                index_cycles: 0,
             };
         }
 
@@ -116,6 +117,7 @@ impl FetchEngine for SoftwareDecompFetch {
             line_fill_complete: total,
             source: MissSource::Decompressor,
             index_hit: Some(false),
+            index_cycles: self.config.index_lookup_cycles + self.timing.burst_read_cycles(4),
         }
     }
 

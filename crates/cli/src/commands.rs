@@ -3,7 +3,10 @@
 use codepack_baselines::{estimate_thumb, CcrpImage, HuffPackImage, InsnDictImage};
 use codepack_core::{CodePackImage, CompressionConfig};
 use codepack_isa::{decode, Program, TEXT_BASE};
-use codepack_sim::{run_matrix, ArchConfig, CodeModel, MatrixSpec, Simulation, Table};
+use codepack_obs::{chrome_trace_json, parse_jsonl, JsonlSink, Obs};
+use codepack_sim::{
+    run_matrix, run_matrix_observed, ArchConfig, CodeModel, MatrixSpec, Simulation, Table,
+};
 use codepack_synth::{generate, BenchmarkProfile};
 
 /// Help text.
@@ -16,13 +19,31 @@ USAGE:
     cpack inspect  <FILE>               print stats + dictionaries of a ROM image
     cpack disasm   <profile> [N]        disassemble the first N instructions (default 32)
     cpack sim      <profile> [INSNS]    simulate native vs CodePack (default 500000)
+    cpack run      <profile> [INSNS] [--arch 1|4|8] [--model native|cp-base|cp-opt]
+                   [--trace FILE.jsonl] [--metrics FILE.json]
+                                        one observed run: event trace, metrics
+                                        registry, CPI attribution
+    cpack trace-export <FILE.jsonl> --chrome [-o FILE.json]
+                                        convert a JSONL trace to Chrome
+                                        trace-event format (chrome://tracing)
     cpack sweep    <bus|latency|cache|l2> <profile> [INSNS]
     cpack compare  <profile>            compression ratio across schemes
-    cpack matrix   [INSNS] [--workers N] [--json]
+    cpack matrix   [INSNS] [--workers N] [--json] [--metrics-dir DIR]
                                         full profile x machine x model sweep
 ";
 
 const SEED: u64 = 42;
+
+/// Rejects any argument past what a subcommand consumed, so typos and
+/// unsupported flags fail loudly instead of being silently ignored.
+fn no_more(cmd: &str, rest: &[String]) -> Result<(), String> {
+    match rest.first() {
+        Some(a) => Err(format!(
+            "{cmd}: unexpected argument `{a}` (see `cpack help` for usage)"
+        )),
+        None => Ok(()),
+    }
+}
 
 fn profile_by_name(name: &str) -> Result<BenchmarkProfile, String> {
     BenchmarkProfile::suite()
@@ -45,7 +66,8 @@ fn program_for(name: &str) -> Result<Program, String> {
 }
 
 /// `cpack list`
-pub fn list() -> Result<(), String> {
+pub fn list(args: &[String]) -> Result<(), String> {
+    no_more("list", args)?;
     let mut t = Table::new(
         ["Profile", "Functions", "Text (approx)", "Character"]
             .map(String::from)
@@ -93,6 +115,7 @@ pub fn compress(args: &[String]) -> Result<(), String> {
 /// `cpack inspect <FILE>`
 pub fn inspect(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("inspect: missing rom file")?;
+    no_more("inspect", &args[1..])?;
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     let image = CodePackImage::from_rom_bytes(&bytes).map_err(|e| e.to_string())?;
     println!(
@@ -122,6 +145,7 @@ pub fn disasm(args: &[String]) -> Result<(), String> {
     let count: usize = args
         .get(1)
         .map_or(Ok(32), |s| s.parse().map_err(|_| "disasm: bad count"))?;
+    no_more("disasm", args.get(2..).unwrap_or(&[]))?;
     let program = program_for(name)?;
     for (i, &w) in program.text_words().iter().take(count).enumerate() {
         let addr = TEXT_BASE + 4 * i as u32;
@@ -144,6 +168,7 @@ fn parse_insns(args: &[String], idx: usize, default: u64) -> Result<u64, String>
 pub fn sim(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("sim: missing profile name")?;
     let insns = parse_insns(args, 1, 500_000)?;
+    no_more("sim", args.get(2..).unwrap_or(&[]))?;
     let program = program_for(name)?;
     let arch = ArchConfig::four_issue();
     let native = Simulation::new(arch, CodeModel::Native).run(&program, insns);
@@ -178,6 +203,154 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `cpack run <profile> [INSNS] [--arch 1|4|8] [--model native|cp-base|cp-opt]
+/// [--trace FILE] [--metrics FILE]`
+///
+/// One fully observed simulation: the pipeline runs with a live [`Obs`]
+/// handle, streaming typed events to a JSONL trace (`--trace`) and
+/// closing the books into a metrics + CPI-attribution report
+/// (`--metrics`). The printed attribution always sums to measured CPI.
+pub fn run(args: &[String]) -> Result<(), String> {
+    const RUN_USAGE: &str = "usage: cpack run <profile> [INSNS] \
+         [--arch 1|4|8] [--model native|cp-base|cp-opt] \
+         [--trace FILE.jsonl] [--metrics FILE.json]";
+    let mut profile: Option<String> = None;
+    let mut insns: Option<u64> = None;
+    let mut arch = ArchConfig::four_issue();
+    let mut model = ("cp-opt", CodeModel::codepack_optimized());
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--arch" => {
+                let v = it.next().ok_or("run: --arch needs a machine (1|4|8)")?;
+                arch = match v.as_str() {
+                    "1" | "1-issue" => ArchConfig::one_issue(),
+                    "4" | "4-issue" => ArchConfig::four_issue(),
+                    "8" | "8-issue" => ArchConfig::eight_issue(),
+                    other => return Err(format!("run: unknown arch `{other}` (1|4|8)")),
+                };
+            }
+            "--model" => {
+                let v = it.next().ok_or("run: --model needs a code model")?;
+                model = match v.as_str() {
+                    "native" => ("native", CodeModel::Native),
+                    "cp-base" => ("cp-base", CodeModel::codepack_baseline()),
+                    "cp-opt" => ("cp-opt", CodeModel::codepack_optimized()),
+                    other => {
+                        return Err(format!(
+                            "run: unknown model `{other}` (native|cp-base|cp-opt)"
+                        ))
+                    }
+                };
+            }
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("run: --trace needs a file name")?.clone());
+            }
+            "--metrics" => {
+                metrics_path = Some(it.next().ok_or("run: --metrics needs a file name")?.clone());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("run: unknown flag `{flag}`\n{RUN_USAGE}"));
+            }
+            v if profile.is_none() => profile = Some(v.to_string()),
+            v if insns.is_none() => {
+                insns = Some(
+                    v.parse()
+                        .map_err(|_| format!("run: bad instruction count `{v}`"))?,
+                );
+            }
+            other => return Err(format!("run: unexpected argument `{other}`\n{RUN_USAGE}")),
+        }
+    }
+    let name = profile.ok_or(format!("run: missing profile name\n{RUN_USAGE}"))?;
+    let program = program_for(&name)?;
+    let insns = insns.unwrap_or(500_000);
+
+    let obs = match &trace_path {
+        Some(p) => {
+            let file = std::fs::File::create(p).map_err(|e| format!("creating {p}: {e}"))?;
+            Obs::with_sink(Box::new(JsonlSink::new(Box::new(std::io::BufWriter::new(
+                file,
+            )))))
+        }
+        None => Obs::with_null_sink(),
+    };
+    let (result, report) = Simulation::new(arch, model.1)
+        .try_run_observed(&program, insns, None, obs)
+        .map_err(|e| format!("run: program trapped: {e}"))?;
+    let report = report.expect("run always enables the observer");
+
+    println!(
+        "{name} / {} / {}: {} cycles, {} instructions, IPC {:.3}",
+        arch.name,
+        model.0,
+        result.cycles(),
+        result.retired_instructions,
+        result.ipc()
+    );
+    if let Some(c) = &result.compression {
+        println!("compression ratio: {:.1}%", c.compression_ratio() * 100.0);
+    }
+    println!("events recorded: {}", report.events_recorded);
+    print!("{}", report.breakdown.render());
+    if let Some(p) = &trace_path {
+        println!("trace -> {p}");
+    }
+    if let Some(p) = &metrics_path {
+        std::fs::write(p, report.to_json()).map_err(|e| format!("writing {p}: {e}"))?;
+        println!("metrics -> {p}");
+    }
+    Ok(())
+}
+
+/// `cpack trace-export <FILE.jsonl> --chrome [-o FILE.json]`
+///
+/// Converts a `--trace` JSONL document into Chrome trace-event JSON
+/// loadable in `chrome://tracing` or Perfetto.
+pub fn trace_export(args: &[String]) -> Result<(), String> {
+    const TE_USAGE: &str = "usage: cpack trace-export <FILE.jsonl> --chrome [-o FILE.json]";
+    let mut input: Option<String> = None;
+    let mut chrome = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chrome" => chrome = true,
+            "-o" | "--out" => {
+                out = Some(
+                    it.next()
+                        .ok_or("trace-export: -o needs a file name")?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("trace-export: unknown flag `{flag}`\n{TE_USAGE}"));
+            }
+            v if input.is_none() => input = Some(v.to_string()),
+            other => {
+                return Err(format!(
+                    "trace-export: unexpected argument `{other}`\n{TE_USAGE}"
+                ))
+            }
+        }
+    }
+    let input = input.ok_or(format!("trace-export: missing trace file\n{TE_USAGE}"))?;
+    if !chrome {
+        return Err(format!(
+            "trace-export: no output format selected (--chrome)\n{TE_USAGE}"
+        ));
+    }
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("reading {input}: {e}"))?;
+    let events = parse_jsonl(&text).map_err(|e| format!("trace-export: {input}: {e}"))?;
+    let doc = chrome_trace_json(&events);
+    let out = out.unwrap_or_else(|| format!("{}.chrome.json", input.trim_end_matches(".jsonl")));
+    std::fs::write(&out, doc).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("{input}: {} events -> {out}", events.len());
+    Ok(())
+}
+
 /// `cpack matrix [INSNS] [--workers N] [--json]`
 ///
 /// Runs the whole experiment cube — every profile on every Table 2
@@ -187,6 +360,7 @@ pub fn matrix(args: &[String]) -> Result<(), String> {
     let mut insns = 200_000u64;
     let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = false;
+    let mut metrics_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -198,6 +372,18 @@ pub fn matrix(args: &[String]) -> Result<(), String> {
                     return Err("matrix: --workers must be at least 1".into());
                 }
             }
+            "--metrics-dir" => {
+                metrics_dir = Some(
+                    it.next()
+                        .ok_or("matrix: --metrics-dir needs a directory")?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!(
+                    "matrix: unknown flag `{flag}` (see `cpack help` for usage)"
+                ));
+            }
             n => {
                 insns = n
                     .parse()
@@ -206,7 +392,23 @@ pub fn matrix(args: &[String]) -> Result<(), String> {
         }
     }
     let spec = MatrixSpec::new(SEED, insns);
-    let report = run_matrix(&spec, workers);
+    let report = if metrics_dir.is_some() {
+        run_matrix_observed(&spec, workers)
+    } else {
+        run_matrix(&spec, workers)
+    };
+    if let Some(dir) = &metrics_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        for cell in &report.cells {
+            let snapshot = cell
+                .metrics
+                .as_ref()
+                .expect("observed cube carries per-cell metrics");
+            let path = format!("{dir}/{}.metrics.json", cell.file_stem());
+            std::fs::write(&path, snapshot).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        println!("wrote {} metrics snapshots to {dir}/", report.cells.len());
+    }
     if json {
         println!("{}", report.to_json());
     } else {
@@ -222,6 +424,7 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
         .ok_or("sweep: missing kind (bus|latency|cache)")?;
     let name = args.get(1).ok_or("sweep: missing profile name")?;
     let insns = parse_insns(args, 2, 300_000)?;
+    no_more("sweep", args.get(3..).unwrap_or(&[]))?;
     let program = program_for(name)?;
 
     let points: Vec<(String, ArchConfig)> = match kind.as_str() {
@@ -300,6 +503,7 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
 /// `cpack compare <profile>`
 pub fn compare(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("compare: missing profile name")?;
+    no_more("compare", &args[1..])?;
     let program = program_for(name)?;
     let text = program.text_words();
     let cp = CodePackImage::compress(text, &CompressionConfig::default());

@@ -6,9 +6,11 @@
 //! cpack inspect  <FILE>               stats + dictionaries of a ROM image
 //! cpack disasm   <profile> [N]        disassemble the first N instructions
 //! cpack sim      <profile> [INSNS]    native vs CodePack on the 4-issue machine
+//! cpack run      <profile> [INSNS] [--arch A] [--model M] [--trace F] [--metrics F]
+//! cpack trace-export <FILE> --chrome [-o FILE]
 //! cpack sweep    <bus|latency|cache> <profile> [INSNS]
 //! cpack compare  <profile>            compression ratio across schemes
-//! cpack matrix   [INSNS] [--workers N] [--json]
+//! cpack matrix   [INSNS] [--workers N] [--json] [--metrics-dir DIR]
 //! ```
 
 use std::process::ExitCode;
@@ -18,11 +20,13 @@ mod commands;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("list") => commands::list(),
+        Some("list") => commands::list(&args[1..]),
         Some("compress") => commands::compress(&args[1..]),
         Some("inspect") => commands::inspect(&args[1..]),
         Some("disasm") => commands::disasm(&args[1..]),
         Some("sim") => commands::sim(&args[1..]),
+        Some("run") => commands::run(&args[1..]),
+        Some("trace-export") => commands::trace_export(&args[1..]),
         Some("sweep") => commands::sweep(&args[1..]),
         Some("compare") => commands::compare(&args[1..]),
         Some("matrix") => commands::matrix(&args[1..]),

@@ -1,0 +1,185 @@
+//! End-to-end tests of the `cpack` binary: flag hygiene and the
+//! observability artifacts (`run --trace/--metrics`, `trace-export`).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use codepack_obs::json;
+
+fn cpack(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cpack"))
+        .args(args)
+        .output()
+        .expect("cpack runs")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpack-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn unknown_flags_fail_with_usage_hint() {
+    for args in [
+        vec!["run", "pegwit", "--bogus"],
+        vec!["run", "--frobnicate"],
+        vec!["trace-export", "in.jsonl", "--perfetto"],
+        vec!["matrix", "--turbo"],
+        vec!["list", "--verbose"],
+        vec!["sim", "pegwit", "9000", "extra"],
+        vec!["compare", "pegwit", "extra"],
+    ] {
+        let out = cpack(&args);
+        assert!(
+            !out.status.success(),
+            "`cpack {}` should fail",
+            args.join(" ")
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr).to_lowercase();
+        assert!(
+            stderr.contains("usage") || stderr.contains("cpack help"),
+            "`cpack {}` stderr lacks a usage hint: {stderr}",
+            args.join(" ")
+        );
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = cpack(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn run_writes_parseable_trace_and_metrics() {
+    let trace = scratch("run.jsonl");
+    let metrics = scratch("run.metrics.json");
+    let out = cpack(&[
+        "run",
+        "pegwit",
+        "20000",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("CPI breakdown"),
+        "summary prints attribution"
+    );
+
+    // The trace is valid JSONL of typed events.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let events = codepack_obs::parse_jsonl(&text).expect("trace parses");
+    assert!(!events.is_empty(), "a codepack run emits events");
+
+    // The metrics document parses, and the CPI attribution closes:
+    // components sum to the measured total within float rounding.
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    let v = json::parse(&doc).expect("metrics JSON parses");
+    let b = v.get("cpi_breakdown").expect("breakdown present");
+    let total = b.get("total").and_then(json::Value::as_f64).unwrap();
+    let sum: f64 = [
+        "compute",
+        "icache_miss",
+        "decompress",
+        "index_lookup",
+        "memory",
+        "branch",
+    ]
+    .iter()
+    .map(|k| b.get(k).and_then(json::Value::as_f64).unwrap())
+    .sum();
+    // Each JSON field carries six decimals, so allow their rounding.
+    assert!(
+        (sum - total).abs() < 1e-5,
+        "CPI components ({sum}) must sum to total ({total})"
+    );
+    assert!(
+        v.get("counters")
+            .and_then(|c| c.get("pipeline.cycles"))
+            .is_some(),
+        "metrics carry pipeline counters"
+    );
+}
+
+#[test]
+fn trace_export_produces_valid_chrome_trace() {
+    let trace = scratch("export.jsonl");
+    let chrome = scratch("export.chrome.json");
+    assert!(cpack(&[
+        "run",
+        "pegwit",
+        "20000",
+        "--model",
+        "cp-base",
+        "--trace",
+        trace.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = cpack(&[
+        "trace-export",
+        trace.to_str().unwrap(),
+        "--chrome",
+        "-o",
+        chrome.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "trace-export failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&chrome).unwrap();
+    let v = json::parse(&doc).expect("chrome trace parses as JSON");
+    let list = v
+        .get("traceEvents")
+        .and_then(json::Value::as_array)
+        .expect("traceEvents array");
+    assert!(list.len() > 4, "more than the thread-name metadata");
+    for e in list {
+        assert!(e.get("ph").is_some() && e.get("ts").is_some());
+    }
+}
+
+#[test]
+fn trace_export_requires_a_format() {
+    let out = cpack(&["trace-export", "whatever.jsonl"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--chrome"));
+}
+
+#[test]
+fn matrix_metrics_dir_writes_one_snapshot_per_cell() {
+    let dir = scratch("matrix-metrics");
+    let out = cpack(&[
+        "matrix",
+        "5000",
+        "--workers",
+        "2",
+        "--metrics-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "matrix failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let snapshots: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    // Full default cube: 6 profiles x 3 archs x 3 models.
+    assert_eq!(snapshots.len(), 54, "one snapshot per cell");
+    let doc = std::fs::read_to_string(&snapshots[0]).unwrap();
+    assert!(json::parse(&doc).is_ok(), "snapshots are valid JSON");
+}

@@ -18,6 +18,7 @@
 use std::sync::Arc;
 
 use codepack_mem::{FullyAssociativeCache, MemoryTiming};
+use codepack_obs::{EventKind, Obs};
 
 use crate::layout::{BLOCK_INSNS, INDEX_ENTRY_BYTES};
 use crate::CodePackImage;
@@ -151,6 +152,10 @@ pub struct MissService {
     /// Did the index-cache probe hit? `None` for native fetches and
     /// buffer hits (no index access happens).
     pub index_hit: Option<bool>,
+    /// Cycles of `critical_ready` spent fetching the index-table entry
+    /// (zero on index-cache hits, native fetches, and buffer hits). The
+    /// cycle-attribution profiler splits decompression latency on this.
+    pub index_cycles: u64,
 }
 
 /// Counters accumulated by a fetch engine.
@@ -197,6 +202,23 @@ pub trait FetchEngine {
     /// `critical_addr`, filling the `line_bytes`-sized line containing it.
     fn service_miss(&mut self, critical_addr: u32, line_bytes: u32) -> MissService;
 
+    /// Like [`Self::service_miss`], additionally emitting trace events to
+    /// `obs` stamped relative to the absolute cycle `now` at which the miss
+    /// was detected. The default implementation services the miss with no
+    /// events, so engines without internal structure worth tracing need not
+    /// override it; the caller still sees the miss itself (the pipeline
+    /// emits `IcacheMiss`/`MissServed` around this call).
+    fn service_miss_traced(
+        &mut self,
+        critical_addr: u32,
+        line_bytes: u32,
+        now: u64,
+        obs: &mut Obs,
+    ) -> MissService {
+        let _ = (now, obs);
+        self.service_miss(critical_addr, line_bytes)
+    }
+
     /// Accumulated statistics.
     fn stats(&self) -> FetchStats;
 
@@ -234,7 +256,24 @@ impl FetchEngine for NativeFetch {
             line_fill_complete: fill.fill_complete,
             source: MissSource::Memory,
             index_hit: None,
+            index_cycles: 0,
         }
+    }
+
+    fn service_miss_traced(
+        &mut self,
+        critical_addr: u32,
+        line_bytes: u32,
+        now: u64,
+        obs: &mut Obs,
+    ) -> MissService {
+        let svc = self.service_miss(critical_addr, line_bytes);
+        if obs.enabled() {
+            for (beat, bytes, done) in self.timing.burst_schedule(line_bytes) {
+                obs.emit(now + done, EventKind::BurstBeat { beat, bytes });
+            }
+        }
+        svc
     }
 
     fn stats(&self) -> FetchStats {
@@ -351,6 +390,7 @@ impl FetchEngine for CodePackFetch {
                 line_fill_complete: BUFFER_HIT_CYCLES,
                 source: MissSource::OutputBuffer,
                 index_hit: None,
+                index_cycles: 0,
             };
         }
 
@@ -402,7 +442,58 @@ impl FetchEngine for CodePackFetch {
             line_fill_complete,
             source: MissSource::Decompressor,
             index_hit,
+            index_cycles: t_index,
         }
+    }
+
+    fn service_miss_traced(
+        &mut self,
+        critical_addr: u32,
+        line_bytes: u32,
+        now: u64,
+        obs: &mut Obs,
+    ) -> MissService {
+        let svc = self.service_miss(critical_addr, line_bytes);
+        if !obs.enabled() {
+            return svc;
+        }
+        // Reconstruct the decompressor's internal timeline from the service
+        // result and the image metadata — the emit path never perturbs the
+        // timing model itself.
+        let insn = (critical_addr - self.text_base) / 4;
+        let block = self.image.block_of_insn(insn);
+        if svc.source == MissSource::OutputBuffer {
+            obs.emit(now + svc.critical_ready, EventKind::BufferHit { block });
+            return svc;
+        }
+        if let Some(hit) = svc.index_hit {
+            obs.emit(
+                now + svc.index_cycles,
+                EventKind::IndexLookup {
+                    group: self.image.group_of_insn(insn),
+                    hit,
+                    cycles: svc.index_cycles,
+                },
+            );
+        }
+        let t_start = svc.index_cycles + u64::from(self.config.request_overhead);
+        let info = self.image.block_info(block);
+        let byte_len = u32::from(info.byte_len);
+        let raw_mask = info.raw_mask;
+        for (beat, bytes, done) in self.timing.burst_schedule(byte_len) {
+            obs.emit(now + t_start + done, EventKind::BurstBeat { beat, bytes });
+        }
+        let ready = self.decode_schedule(block, t_start);
+        for (j, &t) in ready.iter().enumerate() {
+            let insn = block * BLOCK_INSNS + j as u32;
+            let kind = if raw_mask & (1 << j) != 0 {
+                EventKind::RawInsn { insn }
+            } else {
+                EventKind::DictInsn { insn }
+            };
+            obs.emit(now + t, kind);
+        }
+        svc
     }
 
     fn stats(&self) -> FetchStats {
@@ -600,6 +691,66 @@ mod tests {
         // Even infinitely wide decode cannot beat the bus: insn 7 needs
         // cum_bits[8] = 175 bits -> 22 bytes -> beat 2 -> t=14, +1 = 15.
         assert_eq!(wide.critical_ready, 15);
+    }
+
+    #[test]
+    fn traced_service_matches_untraced_timing() {
+        use codepack_obs::RingSink;
+
+        let image = figure2_image();
+        let cfg = DecompressorConfig::baseline();
+        let mut plain = CodePackFetch::new(Arc::clone(&image), MemoryTiming::default(), cfg, 0);
+        let mut traced = CodePackFetch::new(Arc::clone(&image), MemoryTiming::default(), cfg, 0);
+        let mut obs = Obs::with_sink(Box::new(RingSink::new(4096)));
+        let mut disabled = Obs::disabled();
+
+        for addr in [0u32, 32, 16, 64, 0] {
+            let a = plain.service_miss(addr, 32);
+            let b = traced.service_miss_traced(addr, 32, 1000, &mut obs);
+            assert_eq!(a, b, "tracing must not perturb the timing model");
+            let c = plain.service_miss_traced(addr, 32, 1000, &mut disabled);
+            let d = traced.service_miss(addr, 32);
+            assert_eq!(c, d);
+        }
+        assert_eq!(plain.stats(), traced.stats());
+
+        let report = obs.into_report(10_000, 100).unwrap();
+        let events = report.sink.events().to_vec();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::BufferHit { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::IndexLookup { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::BurstBeat { .. })));
+        // figure2_image raw-escapes every high half-word, so every decoded
+        // instruction classifies as a raw escape.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RawInsn { .. })));
+        assert!(events.iter().all(|e| e.cycle >= 1000));
+    }
+
+    #[test]
+    fn native_traced_emits_one_beat_per_bus_transfer() {
+        use codepack_obs::RingSink;
+
+        let mut native = NativeFetch::new(MemoryTiming::default());
+        let mut obs = Obs::with_sink(Box::new(RingSink::new(64)));
+        let svc = native.service_miss_traced(0x40_001c, 32, 50, &mut obs);
+        assert_eq!(svc.critical_ready, 10);
+        let report = obs.into_report(100, 10).unwrap();
+        let beats: Vec<_> = report
+            .sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::BurstBeat { .. }))
+            .collect();
+        assert_eq!(beats.len(), 4, "32 bytes over a 64-bit bus is 4 beats");
+        assert_eq!(beats[0].cycle, 60);
+        assert_eq!(beats[3].cycle, 66);
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct BlockInfo {
     /// The decompressor timing model uses this to overlap burst reads with
     /// decoding.
     pub cum_bits: [u16; BLOCK_INSNS as usize + 1],
+    /// Bit `j` set ⇔ instruction `j` needed at least one raw-escaped
+    /// half-word; `0xFFFF` for a whole raw (non-compressed) block. Trace
+    /// instrumentation uses this to classify per-instruction decode events
+    /// without re-walking the bitstream.
+    pub raw_mask: u16,
 }
 
 /// A CodePack-compressed program image: two dictionaries, a byte-aligned
@@ -125,7 +130,8 @@ impl CodePackImage {
         let mut blocks = Vec::with_capacity(padded_len / BLOCK_INSNS as usize);
         for chunk in padded.chunks_exact(BLOCK_INSNS as usize) {
             let byte_offset = bytes.len() as u32;
-            let (block_bytes, cum_bits, delta) = encode_block(chunk, &high_dict, &low_dict, config);
+            let (block_bytes, cum_bits, raw_mask, delta) =
+                encode_block(chunk, &high_dict, &low_dict, config);
             stats.compressed_tag_bits += delta.compressed_tag_bits;
             stats.dict_index_bits += delta.dict_index_bits;
             stats.raw_tag_bits += delta.raw_tag_bits;
@@ -144,6 +150,7 @@ impl CodePackImage {
                 byte_offset,
                 byte_len,
                 cum_bits,
+                raw_mask,
             });
         }
 
@@ -378,22 +385,25 @@ fn encode_halfword(
     }
 }
 
-/// Encodes one block; returns (bytes, cumulative decode bits, stats delta).
+/// Encodes one block; returns (bytes, cumulative decode bits, raw-escape
+/// mask, stats delta).
 fn encode_block(
     words: &[u32],
     high_dict: &Dictionary,
     low_dict: &Dictionary,
     config: &CompressionConfig,
-) -> (Vec<u8>, [u16; BLOCK_INSNS as usize + 1], BlockDelta) {
+) -> (Vec<u8>, [u16; BLOCK_INSNS as usize + 1], u16, BlockDelta) {
     debug_assert_eq!(words.len(), BLOCK_INSNS as usize);
 
     let mut delta = BlockDelta::default();
     let mut w = BitWriter::new();
     let mut cum = [0u16; BLOCK_INSNS as usize + 1];
+    let mut raw_mask = 0u16;
     // Mode flag: 0 = compressed block.
     w.write(0, 1);
     delta.compressed_tag_bits += 1;
     for (j, &word) in words.iter().enumerate() {
+        let raw_before = delta.raw_halfwords;
         encode_halfword(
             &mut w,
             (word >> 16) as u16,
@@ -402,6 +412,9 @@ fn encode_block(
             &mut delta,
         );
         encode_halfword(&mut w, word as u16, low_dict, &LOW_CLASSES, &mut delta);
+        if delta.raw_halfwords > raw_before {
+            raw_mask |= 1 << j;
+        }
         cum[j + 1] = w.bit_len() as u16;
     }
 
@@ -422,19 +435,21 @@ fn encode_block(
             delta.raw_literal_bits += 32;
         }
         delta.pad_bits += u64::from(w.align_to_byte());
-        return (w.into_bytes(), cum, delta);
+        return (w.into_bytes(), cum, u16::MAX, delta);
     }
 
     delta.pad_bits += u64::from(w.align_to_byte());
-    (w.into_bytes(), cum, delta)
+    (w.into_bytes(), cum, raw_mask, delta)
 }
 
+/// Decodes one half-word codeword; the `bool` is `true` when it was a raw
+/// escape rather than a dictionary hit.
 fn decode_halfword(
     reader: &mut BitReader<'_>,
     dict: &Dictionary,
     classes: &[CodewordClass; 5],
     high: bool,
-) -> Result<u16, DecompressError> {
+) -> Result<(u16, bool), DecompressError> {
     let first_two = reader.read(2)? as u8;
     let (tag, tag_bits) = if first_two <= 0b01 {
         (first_two, 2u8)
@@ -442,18 +457,20 @@ fn decode_halfword(
         ((first_two << 1) | reader.read(1)? as u8, 3u8)
     };
     if tag == RAW_TAG {
-        return Ok(reader.read(16)? as u16);
+        return Ok((reader.read(16)? as u16, true));
     }
     let class = classes
         .iter()
         .find(|c| c.tag == tag && c.tag_bits == tag_bits)
         .expect("every non-raw tag pattern maps to a class");
     let rank = class.base + reader.read(u32::from(class.index_bits))? as u16;
-    dict.value(rank).ok_or(DecompressError::BadDictIndex {
-        high,
-        rank,
-        dict_len: dict.len(),
-    })
+    dict.value(rank)
+        .map(|v| (v, false))
+        .ok_or(DecompressError::BadDictIndex {
+            high,
+            rank,
+            dict_len: dict.len(),
+        })
 }
 
 fn decode_block(
@@ -461,32 +478,44 @@ fn decode_block(
     high_dict: &Dictionary,
     low_dict: &Dictionary,
 ) -> Result<[u32; BLOCK_INSNS as usize], DecompressError> {
-    decode_block_tracking(reader, high_dict, low_dict).map(|(words, _)| words)
+    decode_block_tracking(reader, high_dict, low_dict).map(|(words, _, _)| words)
 }
 
 /// Decodes a block while recording the cumulative bit position after each
-/// instruction — used by the ROM loader to rebuild decode-timing metadata
-/// from the stream alone.
+/// instruction and which instructions raw-escaped — used by the ROM loader
+/// to rebuild decode-timing metadata from the stream alone.
+#[allow(clippy::type_complexity)]
 pub(crate) fn decode_block_tracking(
     reader: &mut BitReader<'_>,
     high_dict: &Dictionary,
     low_dict: &Dictionary,
-) -> Result<([u32; BLOCK_INSNS as usize], [u16; BLOCK_INSNS as usize + 1]), DecompressError> {
+) -> Result<
+    (
+        [u32; BLOCK_INSNS as usize],
+        [u16; BLOCK_INSNS as usize + 1],
+        u16,
+    ),
+    DecompressError,
+> {
     let start = reader.bit_pos();
     let mut out = [0u32; BLOCK_INSNS as usize];
     let mut cum = [0u16; BLOCK_INSNS as usize + 1];
     let raw = reader.read(1)? == 1;
+    let mut raw_mask = if raw { u16::MAX } else { 0 };
     for (j, slot) in out.iter_mut().enumerate() {
         if raw {
             *slot = reader.read(32)?;
         } else {
-            let high = decode_halfword(reader, high_dict, &HIGH_CLASSES, true)?;
-            let low = decode_halfword(reader, low_dict, &LOW_CLASSES, false)?;
+            let (high, high_raw) = decode_halfword(reader, high_dict, &HIGH_CLASSES, true)?;
+            let (low, low_raw) = decode_halfword(reader, low_dict, &LOW_CLASSES, false)?;
+            if high_raw || low_raw {
+                raw_mask |= 1 << j;
+            }
             *slot = (u32::from(high) << 16) | u32::from(low);
         }
         cum[j + 1] = (reader.bit_pos() - start) as u16;
     }
-    Ok((out, cum))
+    Ok((out, cum, raw_mask))
 }
 
 #[cfg(test)]
@@ -604,6 +633,39 @@ mod tests {
             let padded = info.byte_len * 8;
             assert!(info.cum_bits[16] <= padded && padded < info.cum_bits[16] + 8);
         }
+    }
+
+    #[test]
+    fn raw_mask_marks_escaped_instructions() {
+        let text = repetitive_text(64);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        for b in 0..img.num_blocks() {
+            let info = img.block_info(b);
+            let offset = img.block_offset_via_index(b).unwrap() as usize;
+            let mut reader = BitReader::new(&img.compressed_bytes()[offset..]);
+            let (_, _, decoded_mask) =
+                decode_block_tracking(&mut reader, img.high_dict(), img.low_dict()).unwrap();
+            assert_eq!(
+                info.raw_mask, decoded_mask,
+                "compressor and decoder disagree on raw escapes in block {b}"
+            );
+        }
+        // The rare-constant slot (insn 15 of each block) raw-escapes its
+        // unique low half-word; the common immediates never do.
+        assert_ne!(img.block_info(0).raw_mask & (1 << 15), 0);
+        assert_eq!(img.block_info(0).raw_mask & 1, 0);
+    }
+
+    #[test]
+    fn raw_blocks_set_every_mask_bit() {
+        let text: Vec<u32> = (0..64u32)
+            .map(|i| i.wrapping_mul(2654435761).rotate_left(7))
+            .collect();
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        let raw_block = (0..img.num_blocks())
+            .find(|&b| img.block_info(b).raw_mask == u16::MAX)
+            .expect("incompressible text produces at least one raw block");
+        let _ = raw_block;
     }
 
     #[test]

@@ -231,13 +231,15 @@ impl CodePackImage {
                 return Err(RomError::Inconsistent("index entry points past the stream"));
             }
             let mut reader = BitReader::new(&stream[offset..]);
-            let (_, cum_bits) = decode_block_tracking(&mut reader, &high_dict, &low_dict)?;
+            let (_, cum_bits, raw_mask) =
+                decode_block_tracking(&mut reader, &high_dict, &low_dict)?;
             let byte_len = u16::try_from(u32::from(cum_bits[BLOCK_INSNS as usize]).div_ceil(8))
                 .expect("block length fits u16");
             blocks.push(BlockInfo {
                 byte_offset: offset as u32,
                 byte_len,
                 cum_bits,
+                raw_mask,
             });
         }
 
@@ -277,6 +279,11 @@ mod tests {
             assert_eq!(
                 loaded.block_info(b).cum_bits,
                 original.block_info(b).cum_bits
+            );
+            assert_eq!(
+                loaded.block_info(b).raw_mask,
+                original.block_info(b).raw_mask,
+                "ROM loader must rebuild the raw-escape mask for block {b}"
             );
         }
     }

@@ -70,6 +70,65 @@ impl CompositionStats {
         bits as f64 / total_bits as f64
     }
 
+    /// Checks the internal accounting identities every compressed image
+    /// must satisfy, returning the first violated invariant.
+    ///
+    /// The identities pin the codec's bookkeeping to the layout constants:
+    /// blocks are byte-aligned, every raw-escaped half-word costs exactly
+    /// `RAW_TAG_BITS + 16` bits, every raw block costs a 1-bit flag plus
+    /// 512 literal bits, padding never reaches a full byte per block, and
+    /// the Table 4 fractions partition the compressed image.
+    pub fn verify(&self) -> Result<(), String> {
+        use crate::layout::{BLOCK_INSNS, RAW_TAG_BITS};
+
+        if !self.stream_bits().is_multiple_of(8) {
+            return Err(format!(
+                "stream is not byte-aligned: {} bits",
+                self.stream_bits()
+            ));
+        }
+        if self.raw_blocks > self.blocks {
+            return Err(format!(
+                "{} raw blocks out of {} total",
+                self.raw_blocks, self.blocks
+            ));
+        }
+        if self.pad_bits >= 8 * self.blocks.max(1) {
+            return Err(format!(
+                "{} pad bits for {} blocks (padding must stay under a byte per block)",
+                self.pad_bits, self.blocks
+            ));
+        }
+        let want_literals = 16 * self.raw_halfwords + u64::from(BLOCK_INSNS) * 32 * self.raw_blocks;
+        if self.raw_literal_bits != want_literals {
+            return Err(format!(
+                "raw literal bits {} != 16*{} halfwords + 512*{} blocks",
+                self.raw_literal_bits, self.raw_halfwords, self.raw_blocks
+            ));
+        }
+        let want_raw_tags = u64::from(RAW_TAG_BITS) * self.raw_halfwords + self.raw_blocks;
+        if self.raw_tag_bits != want_raw_tags {
+            return Err(format!(
+                "raw tag bits {} != {}*{} halfwords + {} raw-block flags",
+                self.raw_tag_bits, RAW_TAG_BITS, self.raw_halfwords, self.raw_blocks
+            ));
+        }
+        if self.compressed_tag_bits < self.blocks - self.raw_blocks {
+            return Err(format!(
+                "compressed tag bits {} cannot cover {} compressed-block mode flags",
+                self.compressed_tag_bits,
+                self.blocks - self.raw_blocks
+            ));
+        }
+        if self.total_bytes() > 0 {
+            let sum: f64 = self.table4_fractions().iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(format!("Table 4 fractions sum to {sum}, expected 1"));
+            }
+        }
+        Ok(())
+    }
+
     /// The Table 4 row for this image:
     /// `(index, dictionary, compressed tags, dict indices, raw tags, raw bits, pad)`
     /// as fractions of the total compressed size.
@@ -147,6 +206,28 @@ mod tests {
             (sum - 1.0).abs() < 1e-9,
             "components partition the image, got {sum}"
         );
+    }
+
+    #[test]
+    fn verify_accepts_consistent_and_rejects_broken_accounting() {
+        let s = sample();
+        s.verify().expect("sample is internally consistent");
+
+        let mut misaligned = s;
+        misaligned.pad_bits += 1;
+        assert!(misaligned.verify().unwrap_err().contains("byte-aligned"));
+
+        let mut bad_raw = s;
+        bad_raw.raw_halfwords += 1;
+        assert!(bad_raw.verify().unwrap_err().contains("raw literal bits"));
+
+        let mut bad_blocks = s;
+        bad_blocks.raw_blocks = bad_blocks.blocks + 1;
+        assert!(bad_blocks.verify().unwrap_err().contains("raw blocks"));
+
+        CompositionStats::default()
+            .verify()
+            .expect("the empty image is consistent");
     }
 
     #[test]

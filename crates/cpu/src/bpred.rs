@@ -73,29 +73,23 @@ impl PredictorConfig {
 
     /// Builds the predictor.
     pub fn build(&self) -> DirectionPredictor {
-        match *self {
-            PredictorConfig::Static => DirectionPredictor {
-                inner: Inner::Static,
-            },
+        let inner = match *self {
+            PredictorConfig::Static => Inner::Static,
             PredictorConfig::Bimodal { entries } => {
                 assert!(
                     entries.is_power_of_two(),
                     "bimodal table must be a power of two"
                 );
-                DirectionPredictor {
-                    inner: Inner::Bimodal {
-                        table: vec![Counter2::WEAK_TAKEN; entries],
-                    },
+                Inner::Bimodal {
+                    table: vec![Counter2::WEAK_TAKEN; entries],
                 }
             }
             PredictorConfig::Gshare { history_bits } => {
                 assert!(history_bits <= 20, "history beyond 20 bits is unrealistic");
-                DirectionPredictor {
-                    inner: Inner::Gshare {
-                        table: vec![Counter2::WEAK_TAKEN; 1 << history_bits],
-                        history: 0,
-                        mask: (1u32 << history_bits) - 1,
-                    },
+                Inner::Gshare {
+                    table: vec![Counter2::WEAK_TAKEN; 1 << history_bits],
+                    history: 0,
+                    mask: (1u32 << history_bits) - 1,
                 }
             }
             PredictorConfig::Hybrid {
@@ -104,16 +98,38 @@ impl PredictorConfig {
                 history_bits,
             } => {
                 assert!(meta_entries.is_power_of_two());
-                DirectionPredictor {
-                    inner: Inner::Hybrid {
-                        meta: vec![Counter2::WEAK_TAKEN; meta_entries],
-                        bimodal: vec![Counter2::WEAK_TAKEN; bimodal_entries],
-                        gshare: vec![Counter2::WEAK_TAKEN; 1 << history_bits],
-                        history: 0,
-                        mask: (1u32 << history_bits) - 1,
-                    },
+                Inner::Hybrid {
+                    meta: vec![Counter2::WEAK_TAKEN; meta_entries],
+                    bimodal: vec![Counter2::WEAK_TAKEN; bimodal_entries],
+                    gshare: vec![Counter2::WEAK_TAKEN; 1 << history_bits],
+                    history: 0,
+                    mask: (1u32 << history_bits) - 1,
                 }
             }
+        };
+        DirectionPredictor {
+            inner,
+            stats: PredictorStats::default(),
+        }
+    }
+}
+
+/// Lookup/outcome counters of a direction predictor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Predictions made.
+    pub lookups: u64,
+    /// Predictions that matched the actual direction.
+    pub correct: u64,
+}
+
+impl PredictorStats {
+    /// Prediction accuracy in [0, 1]; 1 when no lookups occurred.
+    pub fn accuracy(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.lookups as f64
         }
     }
 }
@@ -126,6 +142,7 @@ impl PredictorConfig {
 #[derive(Clone, Debug)]
 pub struct DirectionPredictor {
     inner: Inner,
+    stats: PredictorStats,
 }
 
 #[derive(Clone, Debug)]
@@ -149,9 +166,21 @@ enum Inner {
 }
 
 impl DirectionPredictor {
+    /// Accumulated lookup/outcome counters.
+    pub fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+
     /// Returns the direction that was predicted for the branch at `pc`,
     /// then trains on the actual outcome `taken`.
     pub fn predict_and_train(&mut self, pc: u32, taken: bool) -> bool {
+        let predicted = self.lookup_and_train(pc, taken);
+        self.stats.lookups += 1;
+        self.stats.correct += u64::from(predicted == taken);
+        predicted
+    }
+
+    fn lookup_and_train(&mut self, pc: u32, taken: bool) -> bool {
         match &mut self.inner {
             Inner::Static => true,
             Inner::Bimodal { table } => {
@@ -291,6 +320,22 @@ mod tests {
             correct > 250,
             "hybrid should defer to gshare here, got {correct}/400"
         );
+    }
+
+    #[test]
+    fn predictor_stats_track_lookups_and_accuracy() {
+        let mut p = PredictorConfig::Static.build();
+        assert_eq!(p.stats(), PredictorStats::default());
+        assert!(
+            (p.stats().accuracy() - 1.0).abs() < 1e-12,
+            "vacuously perfect"
+        );
+        p.predict_and_train(0x40, true); // static predicts taken: correct
+        p.predict_and_train(0x40, false); // incorrect
+        let s = p.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.correct, 1);
+        assert!((s.accuracy() - 0.5).abs() < 1e-12);
     }
 
     #[test]

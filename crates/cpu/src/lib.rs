@@ -39,6 +39,6 @@ mod bpred;
 mod exec;
 mod pipeline;
 
-pub use bpred::{DirectionPredictor, PredictorConfig, ReturnAddressStack};
+pub use bpred::{DirectionPredictor, PredictorConfig, PredictorStats, ReturnAddressStack};
 pub use exec::{ExecError, Machine, MemAccess, StepInfo};
 pub use pipeline::{FuClass, FuCounts, L2Config, Pipeline, PipelineConfig, PipelineStats};

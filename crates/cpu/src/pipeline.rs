@@ -18,9 +18,10 @@
 //!   a mispredict restarts fetch after the branch resolves,
 //! * in-order commit, commit-width per cycle.
 
-use codepack_core::FetchEngine;
+use codepack_core::{FetchEngine, MissSource};
 use codepack_isa::{Instruction, Reg};
 use codepack_mem::{Cache, CacheConfig, CacheStats, MemoryTiming};
+use codepack_obs::{EventKind, MissOrigin, Obs};
 
 use crate::bpred::{DirectionPredictor, PredictorConfig, ReturnAddressStack};
 use crate::exec::{ExecError, Machine, StepInfo};
@@ -267,6 +268,9 @@ pub struct Pipeline {
     seq: u64,
     mem_seq: u64,
     stats: PipelineStats,
+    /// Observability handle; [`Obs::disabled`] (the default) costs one
+    /// predictable branch per instrumentation site.
+    obs: Obs,
 }
 
 #[derive(Clone, Copy)]
@@ -491,8 +495,22 @@ impl Pipeline {
             seq: 0,
             mem_seq: 0,
             stats: PipelineStats::default(),
+            obs: Obs::disabled(),
             config,
         }
+    }
+
+    /// Installs an observability handle. Events on the miss/mispredict path
+    /// and end-of-run metrics flow to it; pass [`Obs::disabled`] (the
+    /// construction default) to turn instrumentation back off.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Takes the observability handle back (leaving a disabled one), so the
+    /// caller can close it into a report after [`Self::run`].
+    pub fn take_obs(&mut self) -> Obs {
+        self.obs.take()
     }
 
     /// The configuration this pipeline was built with.
@@ -534,7 +552,44 @@ impl Pipeline {
         self.stats.dcache = self.dcache.stats();
         self.stats.l2 = self.l2.as_ref().map(|(c, _)| c.stats());
         self.stats.cycles = self.commit_cycle.max(1);
+        self.finalize_obs();
         Ok(self.stats)
+    }
+
+    /// Folds end-of-run counters into the observability registry (no-op
+    /// when the handle is disabled).
+    fn finalize_obs(&mut self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let s = self.stats;
+        self.obs.incr("pipeline.instructions", s.instructions);
+        self.obs.incr("pipeline.cycles", s.cycles);
+        self.obs.set_gauge("pipeline.ipc", s.ipc());
+        for (name, c) in [("icache", s.icache), ("dcache", s.dcache)]
+            .into_iter()
+            .chain(s.l2.map(|c| ("l2", c)))
+        {
+            self.obs.incr(&format!("{name}.accesses"), c.accesses);
+            self.obs.incr(&format!("{name}.hits"), c.hits);
+            self.obs.incr(&format!("{name}.evictions"), c.evictions);
+        }
+        let f = self.fetch_engine.stats();
+        self.obs.incr("fetch.misses", f.misses);
+        self.obs.incr("fetch.buffer_hits", f.buffer_hits);
+        self.obs.incr("fetch.index_hits", f.index_hits);
+        self.obs.incr("fetch.index_misses", f.index_misses);
+        self.obs.incr("fetch.memory_beats", f.memory_beats);
+        self.obs
+            .set_gauge("fetch.avg_miss_penalty", f.avg_miss_penalty());
+        self.obs.incr("branch.conditional", s.branches);
+        self.obs.incr("branch.mispredicts", s.mispredicts);
+        self.obs
+            .incr("branch.indirect_mispredicts", s.indirect_mispredicts);
+        let p = self.predictor.stats();
+        self.obs.incr("bpred.lookups", p.lookups);
+        self.obs.incr("bpred.correct", p.correct);
+        self.obs.set_gauge("bpred.accuracy", p.accuracy());
     }
 
     /// Accounts one retired instruction. Exposed for fine-grained tests.
@@ -554,20 +609,50 @@ impl Pipeline {
             if self.icache.access(info.pc) {
                 self.miss_stream = None;
             } else {
+                self.obs
+                    .emit(self.fetch_cycle, EventKind::IcacheMiss { pc: info.pc });
                 // L2 (if present) intercepts the miss; the engine only
                 // services L2 misses and fills the L2 line.
                 let l2_hit = match &mut self.l2 {
                     Some((l2, _)) => l2.access(info.pc),
                     None => false,
                 };
-                let (crit, fill) = if l2_hit {
+                let (crit, fill, origin, index_cycles) = if l2_hit {
                     let lat = u64::from(self.l2.as_ref().expect("l2 present").1);
-                    (lat, lat + 2)
+                    (lat, lat + 2, MissOrigin::Memory, 0)
                 } else {
-                    let svc = self.fetch_engine.service_miss(info.pc, line_bytes);
-                    (svc.critical_ready, svc.line_fill_complete)
+                    let svc = self.fetch_engine.service_miss_traced(
+                        info.pc,
+                        line_bytes,
+                        self.fetch_cycle,
+                        &mut self.obs,
+                    );
+                    let origin = match svc.source {
+                        MissSource::Memory => MissOrigin::Memory,
+                        MissSource::Decompressor => MissOrigin::Decompressor,
+                        MissSource::OutputBuffer => MissOrigin::OutputBuffer,
+                    };
+                    (
+                        svc.critical_ready,
+                        svc.line_fill_complete,
+                        origin,
+                        svc.index_cycles,
+                    )
                 };
                 let critical_at = self.fetch_cycle + crit;
+                if self.obs.enabled() {
+                    self.obs.emit(
+                        critical_at,
+                        EventKind::MissServed {
+                            pc: info.pc,
+                            origin,
+                            critical: crit,
+                            fill,
+                            index_cycles,
+                        },
+                    );
+                    self.obs.observe("fetch.critical_cycles", crit);
+                }
                 self.miss_stream = Some(MissStream {
                     line,
                     critical_word: (info.pc % line_bytes) / 4,
@@ -667,6 +752,13 @@ impl Pipeline {
                     mem.addr % self.dcache.config().line_bytes(),
                 );
                 lat += fill.critical_word_ready;
+                self.obs.emit(
+                    issue_t,
+                    EventKind::DcacheMiss {
+                        addr: mem.addr,
+                        cycles: fill.critical_word_ready,
+                    },
+                );
             }
         }
 
@@ -712,15 +804,16 @@ impl Pipeline {
             return;
         }
 
-        let mispredicted = match *insn {
-            J { .. } => false, // direction + target known at decode
+        // (mispredicted, was an indirect-target mispredict)
+        let (mispredicted, indirect) = match *insn {
+            J { .. } => (false, false), // direction + target known at decode
             Jal { .. } => {
                 self.ras.push(info.pc.wrapping_add(4));
-                false
+                (false, false)
             }
             Jalr { .. } => {
                 self.ras.push(info.pc.wrapping_add(4));
-                true // indirect call target: no BTB modeled
+                (true, true) // indirect call target: no BTB modeled
             }
             Jr { rs } => {
                 let predicted = self.ras.pop();
@@ -728,7 +821,7 @@ impl Pipeline {
                 if !correct {
                     self.stats.indirect_mispredicts += 1;
                 }
-                !correct
+                (!correct, !correct)
             }
             _ => {
                 // Conditional branch.
@@ -738,12 +831,29 @@ impl Pipeline {
                 if wrong {
                     self.stats.mispredicts += 1;
                 }
-                wrong
+                (wrong, false)
             }
         };
 
         if mispredicted {
             // Fetch restarts once the branch resolves.
+            if self.obs.enabled() {
+                self.obs.emit(
+                    resolve_t,
+                    EventKind::BranchMispredict {
+                        pc: info.pc,
+                        indirect,
+                    },
+                );
+                // Cycles of fetch lost to the flush: the wrongly-fetched
+                // path occupied fetch from just after the branch until
+                // resolution.
+                let flushed = (resolve_t + 1).saturating_sub(fetch_t + 1);
+                if flushed > 0 {
+                    self.obs
+                        .emit(resolve_t, EventKind::PipelineFlush { cycles: flushed });
+                }
+            }
             self.cur_fetch_line = None;
             self.fetch_cycle = self.fetch_cycle.max(resolve_t + 1);
             self.fetched_this_cycle = 0;
@@ -979,6 +1089,118 @@ mod tests {
         let stats = run_program(divs, PipelineConfig::four_issue());
         // 64 dependent 20-cycle divides on one unit: IPC must be far below width.
         assert!(stats.ipc() < 0.5, "got {}", stats.ipc());
+    }
+
+    #[test]
+    fn observability_does_not_perturb_timing() {
+        use codepack_obs::RingSink;
+
+        let build = |obs: Obs| {
+            let mut a = Assembler::new();
+            ilp_loop(&mut a, 500);
+            a.halt();
+            let program = a.finish("t").unwrap();
+            let mut machine = Machine::load(&program);
+            let mut pipe = Pipeline::new(
+                PipelineConfig::four_issue(),
+                CacheConfig::icache_4issue(),
+                CacheConfig::dcache_4issue(),
+                MemoryTiming::default(),
+                Box::new(NativeFetch::new(MemoryTiming::default())),
+            );
+            pipe.set_obs(obs);
+            let stats = pipe.run(&mut machine, u64::MAX).unwrap();
+            (stats, pipe.take_obs())
+        };
+
+        let (plain, off) = build(Obs::disabled());
+        assert!(!off.enabled());
+        let (traced, obs) = build(Obs::with_sink(Box::new(RingSink::new(1 << 14))));
+        assert_eq!(plain, traced, "observation must not change the model");
+
+        let report = obs
+            .into_report(traced.cycles, traced.instructions)
+            .expect("enabled handle yields a report");
+        assert_eq!(
+            report.metrics.counter_value("pipeline.cycles"),
+            Some(traced.cycles)
+        );
+        assert_eq!(
+            report.metrics.counter_value("icache.accesses"),
+            Some(traced.icache.accesses)
+        );
+        assert!(report.events_recorded > 0, "cold misses must emit events");
+        assert!(
+            (report.breakdown.component_sum() - report.breakdown.total).abs() < 1e-9,
+            "attribution must close against measured CPI"
+        );
+        assert!(report.breakdown.icache_miss > 0.0);
+    }
+
+    #[test]
+    fn mispredict_events_carry_flush_costs() {
+        use codepack_obs::{RingSink, TraceSink};
+
+        let mut a = Assembler::new();
+        // Data-dependent alternating branch: gshare needs warmup, so the
+        // early iterations mispredict.
+        a.li(Reg::T0, 64);
+        let top = a.new_label();
+        a.bind(top);
+        a.push(Instruction::Andi {
+            rt: Reg::T1,
+            rs: Reg::T0,
+            imm: 1,
+        });
+        let skip = a.new_label();
+        a.beq(Reg::T1, Reg::ZERO, skip);
+        a.push(Instruction::Addiu {
+            rt: Reg::T2,
+            rs: Reg::T2,
+            imm: 1,
+        });
+        a.bind(skip);
+        a.push(Instruction::Addiu {
+            rt: Reg::T0,
+            rs: Reg::T0,
+            imm: -1,
+        });
+        a.bgtz(Reg::T0, top);
+        a.halt();
+        let program = a.finish("t").unwrap();
+        let mut machine = Machine::load(&program);
+        let mut pipe = Pipeline::new(
+            PipelineConfig::four_issue(),
+            CacheConfig::icache_4issue(),
+            CacheConfig::dcache_4issue(),
+            MemoryTiming::default(),
+            Box::new(NativeFetch::new(MemoryTiming::default())),
+        );
+        pipe.set_obs(Obs::with_sink(Box::new(RingSink::new(1 << 14))));
+        let stats = pipe.run(&mut machine, u64::MAX).unwrap();
+        assert!(stats.mispredicts > 0);
+
+        let report = pipe
+            .take_obs()
+            .into_report(stats.cycles, stats.instructions)
+            .unwrap();
+        let events = report.sink.events();
+        let mispredicts = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::BranchMispredict { .. }))
+            .count() as u64;
+        assert_eq!(
+            mispredicts,
+            stats.mispredicts + stats.indirect_mispredicts,
+            "every counted mispredict must be traced"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::PipelineFlush { cycles } if cycles > 0)));
+        assert_eq!(
+            report.metrics.counter_value("bpred.lookups"),
+            Some(stats.branches)
+        );
     }
 
     #[test]

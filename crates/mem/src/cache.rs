@@ -116,6 +116,9 @@ pub struct CacheStats {
     pub accesses: u64,
     /// Accesses that hit.
     pub hits: u64,
+    /// Misses that displaced a valid resident line (capacity/conflict
+    /// misses, as opposed to cold fills of an invalid way).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -131,6 +134,13 @@ impl CacheStats {
         } else {
             self.misses() as f64 / self.accesses as f64
         }
+    }
+
+    /// Adds `other`'s counters to `self` (aggregating across runs).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.evictions += other.evictions;
     }
 }
 
@@ -236,6 +246,9 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
             .expect("set has at least one way");
+        if victim.valid {
+            self.stats.evictions += 1;
+        }
         victim.tag = tag;
         victim.lru = self.tick;
         victim.valid = true;
@@ -283,6 +296,20 @@ mod tests {
         assert!(!c.access(32));
         assert_eq!(c.stats().misses(), 2);
         assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn evictions_count_only_valid_victims() {
+        let mut c = Cache::new(CacheConfig::new(64, 32, 2));
+        c.access(0); // cold fill
+        c.access(32); // cold fill
+        assert_eq!(c.stats().evictions, 0, "cold fills displace nothing");
+        c.access(64); // evicts the LRU of a full set
+        assert_eq!(c.stats().evictions, 1);
+        let mut merged = c.stats();
+        merged.merge(&c.stats());
+        assert_eq!(merged.accesses, 6);
+        assert_eq!(merged.evictions, 2);
     }
 
     #[test]

@@ -124,6 +124,20 @@ impl MemoryTiming {
         })
     }
 
+    /// Per-beat schedule of a burst read of `bytes`:
+    /// `(beat index, bytes carried, completion cycle)` — the shape trace
+    /// instrumentation wants for burst-beat events. A zero-byte read still
+    /// schedules one (empty) beat, matching [`Self::burst_read_cycles`].
+    pub fn burst_schedule(&self, bytes: u32) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        let beats = self.beats_for(bytes);
+        (0..beats).map(move |i| {
+            let carried = bytes.saturating_sub(i * self.bus_bytes).min(self.bus_bytes);
+            let done = u64::from(self.first_access_cycles)
+                + u64::from(i) * u64::from(self.next_access_cycles);
+            (i, carried, done)
+        })
+    }
+
     /// Timing of a native cache-line fill using critical-word-first: the
     /// beat containing `critical_offset` is fetched first, so the missed
     /// word is ready after the first access (paper §4, Figure 2-a).

@@ -1,0 +1,269 @@
+//! Chrome trace-event export: converts a [`TraceEvent`] stream into the
+//! JSON Array Format understood by `chrome://tracing` and Perfetto.
+//!
+//! Duration-shaped events (miss service, index lookups with latency,
+//! flushes, D-miss stalls) become complete events (`"ph":"X"`) with
+//! `ts`/`dur` in simulated cycles (reported as microseconds, 1 cycle =
+//! 1 µs, since the viewer requires a time unit); point-shaped events
+//! (beats, decodes, buffer hits) become instant events (`"ph":"i"`).
+//! Each event lands on a thread row per subsystem so the miss path reads
+//! as parallel tracks: fetch, decompressor, memory, pipeline.
+
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Thread-row ids used in the exported trace.
+mod tid {
+    pub const FETCH: u32 = 0;
+    pub const DECOMPRESSOR: u32 = 1;
+    pub const MEMORY: u32 = 2;
+    pub const PIPELINE: u32 = 3;
+}
+
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: char,
+    ts: u64,
+    dur: Option<u64>,
+    tid: u32,
+    args: &[(&str, String)],
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "    {{\"name\": \"{name}\", \"ph\": \"{ph}\", \"ts\": {ts}"
+    );
+    if let Some(d) = dur {
+        let _ = write!(out, ", \"dur\": {d}");
+    }
+    let _ = write!(out, ", \"pid\": 0, \"tid\": {tid}");
+    if ph == 'i' {
+        out.push_str(", \"s\": \"t\"");
+    }
+    out.push_str(", \"args\": {");
+    for (n, (k, v)) in args.iter().enumerate() {
+        if n > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{k}\": {v}");
+    }
+    out.push_str("}}");
+}
+
+/// Renders `events` as a complete Chrome trace-event JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let mut first = true;
+    for (label, t) in [
+        ("fetch", tid::FETCH),
+        ("decompressor", tid::DECOMPRESSOR),
+        ("memory", tid::MEMORY),
+        ("pipeline", tid::PIPELINE),
+    ] {
+        push_event(
+            &mut out,
+            &mut first,
+            "thread_name",
+            'M',
+            0,
+            None,
+            t,
+            &[("name", format!("\"{label}\""))],
+        );
+    }
+    for ev in events {
+        let c = ev.cycle;
+        match ev.kind {
+            EventKind::IcacheMiss { pc } => push_event(
+                &mut out,
+                &mut first,
+                "icache-miss",
+                'i',
+                c,
+                None,
+                tid::FETCH,
+                &[("pc", format!("{pc}"))],
+            ),
+            EventKind::IndexLookup { group, hit, cycles } => push_event(
+                &mut out,
+                &mut first,
+                if hit { "index-hit" } else { "index-miss" },
+                'X',
+                c,
+                Some(cycles.max(1)),
+                tid::DECOMPRESSOR,
+                &[("group", format!("{group}")), ("hit", format!("{hit}"))],
+            ),
+            EventKind::BurstBeat { beat, bytes } => push_event(
+                &mut out,
+                &mut first,
+                "burst-beat",
+                'i',
+                c,
+                None,
+                tid::MEMORY,
+                &[("beat", format!("{beat}")), ("bytes", format!("{bytes}"))],
+            ),
+            EventKind::DictInsn { insn } => push_event(
+                &mut out,
+                &mut first,
+                "dict-decode",
+                'i',
+                c,
+                None,
+                tid::DECOMPRESSOR,
+                &[("insn", format!("{insn}"))],
+            ),
+            EventKind::RawInsn { insn } => push_event(
+                &mut out,
+                &mut first,
+                "raw-escape",
+                'i',
+                c,
+                None,
+                tid::DECOMPRESSOR,
+                &[("insn", format!("{insn}"))],
+            ),
+            EventKind::BufferHit { block } => push_event(
+                &mut out,
+                &mut first,
+                "buffer-hit",
+                'i',
+                c,
+                None,
+                tid::DECOMPRESSOR,
+                &[("block", format!("{block}"))],
+            ),
+            EventKind::MissServed {
+                pc,
+                origin,
+                critical,
+                fill,
+                index_cycles,
+            } => push_event(
+                &mut out,
+                &mut first,
+                &format!("miss-served-{}", origin.as_str()),
+                'X',
+                c.saturating_sub(critical),
+                Some(critical.max(1)),
+                tid::FETCH,
+                &[
+                    ("pc", format!("{pc}")),
+                    ("fill", format!("{fill}")),
+                    ("index_cycles", format!("{index_cycles}")),
+                ],
+            ),
+            EventKind::DcacheMiss { addr, cycles } => push_event(
+                &mut out,
+                &mut first,
+                "dcache-miss",
+                'X',
+                c,
+                Some(cycles.max(1)),
+                tid::MEMORY,
+                &[("addr", format!("{addr}"))],
+            ),
+            EventKind::BranchMispredict { pc, indirect } => push_event(
+                &mut out,
+                &mut first,
+                "branch-mispredict",
+                'i',
+                c,
+                None,
+                tid::PIPELINE,
+                &[("pc", format!("{pc}")), ("indirect", format!("{indirect}"))],
+            ),
+            EventKind::PipelineFlush { cycles } => push_event(
+                &mut out,
+                &mut first,
+                "pipeline-flush",
+                'X',
+                c,
+                Some(cycles.max(1)),
+                tid::PIPELINE,
+                &[],
+            ),
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MissOrigin;
+    use crate::json;
+
+    #[test]
+    fn export_is_valid_chrome_trace_json() {
+        let events = vec![
+            TraceEvent {
+                cycle: 5,
+                kind: EventKind::IcacheMiss { pc: 0x100 },
+            },
+            TraceEvent {
+                cycle: 6,
+                kind: EventKind::IndexLookup {
+                    group: 2,
+                    hit: false,
+                    cycles: 12,
+                },
+            },
+            TraceEvent {
+                cycle: 30,
+                kind: EventKind::MissServed {
+                    pc: 0x100,
+                    origin: MissOrigin::Decompressor,
+                    critical: 25,
+                    fill: 31,
+                    index_cycles: 12,
+                },
+            },
+        ];
+        let doc = chrome_trace_json(&events);
+        let v = json::parse(&doc).expect("chrome trace parses as JSON");
+        let list = v
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .expect("traceEvents array");
+        // 4 thread-name metadata records + 3 events.
+        assert_eq!(list.len(), 7);
+        for e in list {
+            assert!(e.get("name").is_some());
+            assert!(e.get("ph").is_some());
+            assert!(e.get("ts").and_then(json::Value::as_u64).is_some());
+            assert!(e.get("pid").is_some());
+            assert!(e.get("tid").is_some());
+        }
+        // The served event is a complete ('X') span starting at miss time.
+        let served = list
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(json::Value::as_str) == Some("miss-served-decompressor")
+            })
+            .unwrap();
+        assert_eq!(served.get("ph").and_then(json::Value::as_str), Some("X"));
+        assert_eq!(served.get("ts").and_then(json::Value::as_u64), Some(5));
+        assert_eq!(served.get("dur").and_then(json::Value::as_u64), Some(25));
+    }
+
+    #[test]
+    fn empty_trace_still_valid() {
+        let doc = chrome_trace_json(&[]);
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("traceEvents")
+                .and_then(json::Value::as_array)
+                .map(<[_]>::len),
+            Some(4)
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! A registry of named counters, gauges, and log2-bucketed histograms.
+//!
+//! Metric names are dotted paths (`fetch.index_hits`); the registry keeps
+//! them in `BTreeMap`s so every rendering — text or JSON — is byte-stable
+//! for a given set of recordings, regardless of insertion order. That
+//! determinism is load-bearing: the matrix runner compares per-cell metric
+//! snapshots across worker counts byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of histogram buckets: one for zero plus one per power of two of
+/// the `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples with power-of-two bucket boundaries.
+///
+/// Bucket 0 holds exactly the value 0; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. Percentile queries return the upper bound of the
+/// bucket containing the requested rank, clamped to the observed min/max —
+/// a deterministic over-approximation that never inverts ordering.
+///
+/// ```
+/// use codepack_obs::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1u64, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(50.0) >= 2 && h.percentile(50.0) <= 3);
+/// assert_eq!(h.percentile(100.0), 100);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// The bucket index holding `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else {
+        (1u64 << (i - 1), (1u64 << (i - 1)) - 1 + (1u64 << (i - 1)))
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Per-bucket counts (index → count), nonzero buckets only.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// The `p`-th percentile (0–100) as the upper bound of the bucket
+    /// containing that rank, clamped to `[min, max]`. Returns 0 when empty.
+    ///
+    /// Monotone in `p`: `p1 <= p2` implies
+    /// `percentile(p1) <= percentile(p2)`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // 1-based rank of the requested sample.
+        let rank = ((p / 100.0 * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges `other` into `self`. Exact (integer) and associative: merging
+    /// in any grouping yields the same histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// JSON object: count/sum/min/max, key percentiles, nonzero buckets.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+            self.count(),
+            self.sum(),
+            self.min(),
+            self.max(),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+        );
+        for (n, (i, c)) in self.nonzero_buckets().enumerate() {
+            let (lo, _) = bucket_bounds(i);
+            if n > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{lo}, {c}]");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Named counters, gauges, and histograms with deterministic rendering.
+///
+/// ```
+/// use codepack_obs::MetricsRegistry;
+/// let mut m = MetricsRegistry::new();
+/// m.incr("fetch.misses", 3);
+/// m.observe("fetch.critical_cycles", 25);
+/// m.set_gauge("icache.miss_ratio", 0.125);
+/// assert_eq!(m.counter_value("fetch.misses"), Some(3));
+/// assert!(m.to_json().contains("fetch.critical_cycles"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to counter `name`, creating it at zero first.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += by,
+            None => {
+                self.counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = v,
+            None => {
+                self.gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Records `v` into histogram `name`, creating it empty first.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(v),
+            None => {
+                let mut h = Histogram::new();
+                h.record(v);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Current value of counter `name`.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry: counters add, gauges take `other`'s value,
+    /// histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            self.incr(k, v);
+        }
+        for (k, &v) in &other.gauges {
+            self.set_gauge(k, v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// The registry as a JSON document with name-sorted, stable field
+    /// order. Gauges print with fixed six-decimal precision so output is
+    /// byte-reproducible.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (n, (k, v)) in self.counters.iter().enumerate() {
+            let comma = if n > 0 { "," } else { "" };
+            let _ = write!(out, "{comma}\n    \"{k}\": {v}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (n, (k, v)) in self.gauges.iter().enumerate() {
+            let comma = if n > 0 { "," } else { "" };
+            let _ = write!(out, "{comma}\n    \"{k}\": {v:.6}");
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (n, (k, h)) in self.histograms.iter().enumerate() {
+            let comma = if n > 0 { "," } else { "" };
+            let _ = write!(out, "{comma}\n    \"{k}\": {}", h.to_json());
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_clamp_to_observed_range() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(5);
+        // Bucket [4,7] would report 7; clamping pins it to the real max.
+        assert_eq!(h.percentile(0.0), 5);
+        assert_eq!(h.percentile(100.0), 5);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0u64, 1, 7, 900] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 3, 1 << 40] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn registry_round_trips_values() {
+        let mut m = MetricsRegistry::new();
+        m.incr("a.x", 2);
+        m.incr("a.x", 3);
+        m.set_gauge("g", 1.5);
+        m.observe("h", 9);
+        assert_eq!(m.counter_value("a.x"), Some(5));
+        assert_eq!(m.gauge_value("g"), Some(1.5));
+        assert_eq!(m.histogram("h").unwrap().count(), 1);
+        assert_eq!(m.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn registry_json_is_sorted_and_stable() {
+        let mut a = MetricsRegistry::new();
+        a.incr("z.last", 1);
+        a.incr("a.first", 1);
+        let mut b = MetricsRegistry::new();
+        b.incr("a.first", 1);
+        b.incr("z.last", 1);
+        assert_eq!(a.to_json(), b.to_json());
+        let json = a.to_json();
+        assert!(json.find("a.first").unwrap() < json.find("z.last").unwrap());
+    }
+
+    #[test]
+    fn registry_merge_adds_counters() {
+        let mut a = MetricsRegistry::new();
+        a.incr("c", 1);
+        a.observe("h", 4);
+        let mut b = MetricsRegistry::new();
+        b.incr("c", 2);
+        b.incr("only_b", 7);
+        b.observe("h", 8);
+        a.merge(&b);
+        assert_eq!(a.counter_value("c"), Some(3));
+        assert_eq!(a.counter_value("only_b"), Some(7));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! Trace sinks: where emitted [`TraceEvent`]s go.
+//!
+//! Three implementations cover the use cases:
+//!
+//! * [`NullSink`] — discards everything; the disabled-instrumentation
+//!   path, which must cost next to nothing.
+//! * [`RingSink`] — keeps the last N events in memory; flight-recorder
+//!   debugging without unbounded growth.
+//! * [`JsonlSink`] — streams one JSON object per line to any writer;
+//!   the `--trace out.jsonl` path.
+
+use std::io::Write;
+
+use crate::event::TraceEvent;
+
+/// A destination for trace events.
+pub trait TraceSink {
+    /// Records one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Flushes buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Events retained in memory, oldest first. Streaming sinks return
+    /// an empty slice.
+    fn events(&self) -> &[TraceEvent] {
+        &[]
+    }
+
+    /// Total events recorded, including any no longer retained.
+    fn recorded(&self) -> u64;
+}
+
+/// Discards every event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink {
+    recorded: u64,
+}
+
+impl NullSink {
+    /// A new null sink.
+    pub fn new() -> NullSink {
+        NullSink::default()
+    }
+}
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn record(&mut self, _event: TraceEvent) {
+        self.recorded += 1;
+    }
+
+    fn recorded(&self) -> u64 {
+        self.recorded
+    }
+}
+
+/// Keeps the most recent `capacity` events.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next write position once the buffer has wrapped.
+    head: usize,
+    recorded: u64,
+    /// Linearized view rebuilt lazily by `events()`.
+    linear: Vec<TraceEvent>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RingSink {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            recorded: 0,
+            linear: Vec::new(),
+        }
+    }
+
+    fn linearize(&mut self) {
+        self.linear.clear();
+        if self.buf.len() < self.capacity {
+            self.linear.extend_from_slice(&self.buf);
+        } else {
+            self.linear.extend_from_slice(&self.buf[self.head..]);
+            self.linear.extend_from_slice(&self.buf[..self.head]);
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn snapshot(&mut self) -> &[TraceEvent] {
+        self.linearize();
+        &self.linear
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.recorded += 1;
+        self.linear.clear();
+    }
+
+    fn events(&self) -> &[TraceEvent] {
+        // `record` invalidates `linear`; callers that mutated since the
+        // last snapshot should prefer `snapshot()`. For the common
+        // read-after-run case the cached view is correct.
+        if self.linear.is_empty() && !self.buf.is_empty() {
+            // Cheap fallback for the un-wrapped case.
+            if self.buf.len() < self.capacity {
+                return &self.buf;
+            }
+        }
+        &self.linear
+    }
+
+    fn recorded(&self) -> u64 {
+        self.recorded
+    }
+}
+
+/// Streams events as JSONL to a writer.
+pub struct JsonlSink {
+    out: Box<dyn Write + Send>,
+    recorded: u64,
+}
+
+impl JsonlSink {
+    /// A sink writing one JSON object per line to `out`.
+    pub fn new(out: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink { out, recorded: 0 }
+    }
+
+    /// A sink buffering into a `Vec<u8>` shared with the caller — handy
+    /// for tests; use [`JsonlSink::new`] with a `BufWriter<File>` for
+    /// real traces.
+    pub fn to_vec() -> (JsonlSink, std::sync::Arc<std::sync::Mutex<Vec<u8>>>) {
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let writer = SharedVecWriter {
+            inner: std::sync::Arc::clone(&shared),
+        };
+        (JsonlSink::new(Box::new(writer)), shared)
+    }
+}
+
+struct SharedVecWriter {
+    inner: std::sync::Arc<std::sync::Mutex<Vec<u8>>>,
+}
+
+impl Write for SharedVecWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inner.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: TraceEvent) {
+        let _ = writeln!(self.out, "{}", event.to_jsonl());
+        self.recorded += 1;
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+
+    fn recorded(&self) -> u64 {
+        self.recorded
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("recorded", &self.recorded)
+            .finish()
+    }
+}
+
+/// Parses a JSONL trace document back into events. Blank lines are
+/// skipped; any malformed line is an error.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(TraceEvent::from_jsonl)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            kind: EventKind::PipelineFlush { cycles: cycle },
+        }
+    }
+
+    #[test]
+    fn null_sink_counts_but_keeps_nothing() {
+        let mut s = NullSink::new();
+        s.record(ev(1));
+        s.record(ev(2));
+        assert_eq!(s.recorded(), 2);
+        assert!(s.events().is_empty());
+    }
+
+    #[test]
+    fn ring_sink_keeps_last_n_in_order() {
+        let mut s = RingSink::new(3);
+        for c in 0..5 {
+            s.record(ev(c));
+        }
+        assert_eq!(s.recorded(), 5);
+        let cycles: Vec<u64> = s.snapshot().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_sink_before_wrap_returns_all() {
+        let mut s = RingSink::new(10);
+        s.record(ev(1));
+        s.record(ev(2));
+        assert_eq!(s.snapshot().len(), 2);
+        assert_eq!(s.events().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_streams_parseable_lines() {
+        let (mut sink, shared) = JsonlSink::to_vec();
+        sink.record(ev(7));
+        sink.record(TraceEvent {
+            cycle: 9,
+            kind: EventKind::IcacheMiss { pc: 64 },
+        });
+        sink.flush().unwrap();
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let events = parse_jsonl(&text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].cycle, 7);
+        assert_eq!(events[1].kind, EventKind::IcacheMiss { pc: 64 });
+    }
+
+    #[test]
+    fn parse_jsonl_skips_blanks_rejects_garbage() {
+        assert_eq!(parse_jsonl("\n\n").unwrap().len(), 0);
+        assert!(parse_jsonl("{\"c\":1,\"k\":\"flush\",\"cycles\":2}\nbad").is_err());
+    }
+}

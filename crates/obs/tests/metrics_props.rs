@@ -1,0 +1,177 @@
+//! Property tests for the histogram/percentile math, via the testkit
+//! `forall!` harness: monotone percentiles, bucket-boundary correctness,
+//! and merge associativity.
+
+use codepack_obs::{bucket_bounds, bucket_index, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+use codepack_testkit::forall;
+use codepack_testkit::prop::gen;
+
+/// Samples spanning many buckets: small values, mid values, and values
+/// spread over the full u64 range via a shift.
+fn samples() -> codepack_testkit::prop::Gen<Vec<u64>> {
+    let value = gen::ints(0u64..64)
+        .zip(gen::ints(0u64..1 << 20))
+        .map(|(shift, v)| v.wrapping_shl(shift as u32 / 2));
+    gen::vec_of(value, 0..64)
+}
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn percentiles_are_monotone_in_p() {
+    forall!(
+        cases = 200,
+        (samples(), gen::ints(0u64..=100), gen::ints(0u64..=100)),
+        |values, p1, p2| {
+            let h = build(&values);
+            let (lo, hi) = (p1.min(p2), p1.max(p2));
+            assert!(
+                h.percentile(lo as f64) <= h.percentile(hi as f64),
+                "p{lo} > p{hi} on {values:?}"
+            );
+        }
+    );
+}
+
+#[test]
+fn percentiles_stay_within_observed_range() {
+    forall!(
+        cases = 200,
+        (samples(), gen::ints(0u64..=100)),
+        |values, p| {
+            let h = build(&values);
+            let got = h.percentile(p as f64);
+            if values.is_empty() {
+                assert_eq!(got, 0);
+            } else {
+                let min = *values.iter().min().unwrap();
+                let max = *values.iter().max().unwrap();
+                assert!(
+                    (min..=max).contains(&got),
+                    "p{p} = {got} outside [{min}, {max}]"
+                );
+            }
+        }
+    );
+}
+
+#[test]
+fn every_value_lands_in_its_bucket() {
+    forall!(cases = 300, (gen::any_int::<u64>()), |v| {
+        let i = bucket_index(v);
+        assert!(i < HISTOGRAM_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        assert!(
+            (lo..=hi).contains(&v),
+            "value {v} outside bucket {i} = [{lo}, {hi}]"
+        );
+    });
+}
+
+#[test]
+fn bucket_boundaries_are_adjacent_and_exhaustive() {
+    // Deterministic sweep, not property-based: the structure is fixed.
+    let mut expected_lo = 0u64;
+    for i in 0..HISTOGRAM_BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(
+            lo,
+            expected_lo,
+            "bucket {i} starts where {} ended",
+            i.max(1) - 1
+        );
+        assert!(hi >= lo);
+        if i + 1 < HISTOGRAM_BUCKETS {
+            expected_lo = hi + 1;
+        } else {
+            assert_eq!(hi, u64::MAX, "last bucket reaches u64::MAX");
+        }
+    }
+}
+
+#[test]
+fn merge_is_associative_and_matches_concatenation() {
+    forall!(cases = 150, (samples(), samples(), samples()), |a, b, c| {
+        // (A ∪ B) ∪ C == A ∪ (B ∪ C) == build(A ++ B ++ C)
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+
+        let mut all: Vec<u64> = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        let direct = build(&all);
+
+        assert_eq!(left, right, "merge associativity");
+        assert_eq!(left, direct, "merge equals concatenation");
+    });
+}
+
+#[test]
+fn merge_is_commutative() {
+    forall!(cases = 150, (samples(), samples()), |a, b| {
+        let (ha, hb) = (build(&a), build(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        assert_eq!(ab, ba);
+    });
+}
+
+#[test]
+fn registry_merge_preserves_counter_sums() {
+    forall!(
+        cases = 100,
+        (
+            gen::vec_of(gen::ints(0u64..100), 0..20),
+            gen::vec_of(gen::ints(0u64..100), 0..20)
+        ),
+        |xs, ys| {
+            let mut a = MetricsRegistry::new();
+            for &x in &xs {
+                a.incr("n", x);
+                a.observe("h", x);
+            }
+            let mut b = MetricsRegistry::new();
+            for &y in &ys {
+                b.incr("n", y);
+                b.observe("h", y);
+            }
+            let expect: u64 = xs.iter().sum::<u64>() + ys.iter().sum::<u64>();
+            a.merge(&b);
+            if expect > 0 || !xs.is_empty() || !ys.is_empty() {
+                assert_eq!(a.counter_value("n").unwrap_or(0), expect);
+            }
+            let total = (xs.len() + ys.len()) as u64;
+            assert_eq!(a.histogram("h").map_or(0, Histogram::count), total);
+        }
+    );
+}
+
+#[test]
+fn histogram_count_and_sum_track_recordings() {
+    forall!(cases = 200, (samples()), |values| {
+        let h = build(&values);
+        assert_eq!(h.count(), values.len() as u64);
+        let expect: u64 = values.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        assert_eq!(h.sum(), expect);
+        if !values.is_empty() {
+            assert_eq!(h.min(), *values.iter().min().unwrap());
+            assert_eq!(h.max(), *values.iter().max().unwrap());
+        }
+    });
+}

@@ -1,0 +1,116 @@
+//! JSONL trace round-trip (emit → parse → same events) and Chrome trace
+//! validity, property-tested over randomly generated event streams.
+
+use codepack_obs::{
+    chrome_trace_json, json, parse_jsonl, EventKind, JsonlSink, MissOrigin, TraceEvent, TraceSink,
+};
+use codepack_testkit::forall;
+use codepack_testkit::prop::{gen, Gen};
+
+/// A generator over the full event taxonomy.
+fn events() -> Gen<Vec<TraceEvent>> {
+    let kind = gen::one_of(vec![
+        gen::ints(0u32..1 << 24).map(|pc| EventKind::IcacheMiss { pc }),
+        gen::ints(0u32..4096)
+            .zip(gen::bools())
+            .zip(gen::ints(0u64..64))
+            .map(|((group, hit), cycles)| EventKind::IndexLookup {
+                group,
+                hit,
+                cycles: if hit { 0 } else { cycles },
+            }),
+        gen::ints(0u32..16)
+            .zip(gen::ints(1u32..=8))
+            .map(|(beat, bytes)| EventKind::BurstBeat { beat, bytes }),
+        gen::ints(0u32..16).map(|insn| EventKind::DictInsn { insn }),
+        gen::ints(0u32..16).map(|insn| EventKind::RawInsn { insn }),
+        gen::ints(0u32..1 << 16).map(|block| EventKind::BufferHit { block }),
+        gen::ints(0u32..1 << 24)
+            .zip(gen::ints(0u64..3))
+            .zip(gen::ints(1u64..64))
+            .zip(gen::ints(0u64..16))
+            .map(
+                |(((pc, origin), critical), index_cycles)| EventKind::MissServed {
+                    pc,
+                    origin: match origin {
+                        0 => MissOrigin::Memory,
+                        1 => MissOrigin::Decompressor,
+                        _ => MissOrigin::OutputBuffer,
+                    },
+                    critical,
+                    fill: critical + 6,
+                    index_cycles: index_cycles.min(critical),
+                },
+            ),
+        gen::ints(0u32..1 << 24)
+            .zip(gen::ints(1u64..64))
+            .map(|(addr, cycles)| EventKind::DcacheMiss { addr, cycles }),
+        gen::ints(0u32..1 << 24)
+            .zip(gen::bools())
+            .map(|(pc, indirect)| EventKind::BranchMispredict { pc, indirect }),
+        gen::ints(1u64..16).map(|cycles| EventKind::PipelineFlush { cycles }),
+    ]);
+    let event = gen::ints(0u64..1 << 40)
+        .zip(kind)
+        .map(|(cycle, kind)| TraceEvent { cycle, kind });
+    gen::vec_of(event, 0..48)
+}
+
+#[test]
+fn jsonl_round_trip_preserves_events() {
+    forall!(cases = 100, (events()), |stream| {
+        let (mut sink, shared) = JsonlSink::to_vec();
+        for ev in &stream {
+            sink.record(*ev);
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.recorded(), stream.len() as u64);
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        let back = parse_jsonl(&text).expect("every emitted line parses");
+        assert_eq!(back, stream, "emit → parse is the identity");
+    });
+}
+
+#[test]
+fn every_jsonl_line_is_standalone_json() {
+    forall!(cases = 60, (events()), |stream| {
+        for ev in &stream {
+            let line = ev.to_jsonl();
+            let v = json::parse(&line).expect("line parses as JSON");
+            assert_eq!(
+                v.get("c").and_then(json::Value::as_u64),
+                Some(ev.cycle),
+                "cycle field survives"
+            );
+            assert_eq!(
+                v.get("k").and_then(json::Value::as_str),
+                Some(ev.kind_name()),
+                "kind field survives"
+            );
+        }
+    });
+}
+
+#[test]
+fn chrome_export_is_always_valid_json_with_required_fields() {
+    forall!(cases = 60, (events()), |stream| {
+        let doc = chrome_trace_json(&stream);
+        let v = json::parse(&doc).expect("chrome trace parses");
+        let list = v
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .expect("traceEvents array present");
+        // 4 metadata records always lead the array.
+        assert_eq!(list.len(), stream.len() + 4);
+        for e in list {
+            let ph = e.get("ph").and_then(json::Value::as_str).expect("ph");
+            assert!(["X", "i", "M"].contains(&ph), "known phase {ph}");
+            assert!(e.get("ts").and_then(json::Value::as_u64).is_some());
+            if ph == "X" {
+                let dur = e.get("dur").and_then(json::Value::as_u64).expect("dur");
+                assert!(dur >= 1, "complete events have positive duration");
+            }
+            assert!(e.get("pid").is_some() && e.get("tid").is_some());
+        }
+    });
+}

@@ -22,6 +22,6 @@ mod report;
 mod run;
 
 pub use arch::{ArchConfig, CodeModel};
-pub use matrix::{run_matrix, MatrixCell, MatrixSpec, SimReport};
+pub use matrix::{run_matrix, run_matrix_observed, MatrixCell, MatrixSpec, SimReport};
 pub use report::{fmt_percent, fmt_speedup, Table};
 pub use run::{SimResult, Simulation};

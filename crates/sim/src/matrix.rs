@@ -27,6 +27,7 @@ use std::sync::{Arc, Mutex};
 
 use codepack_core::{CodePackImage, CompressionConfig};
 use codepack_isa::Program;
+use codepack_obs::Obs;
 use codepack_synth::{generate, BenchmarkProfile};
 
 use crate::{ArchConfig, CodeModel, SimResult, Simulation, Table};
@@ -108,6 +109,17 @@ pub struct MatrixCell {
     pub model: &'static str,
     /// The simulation result.
     pub result: SimResult,
+    /// Per-cell metrics snapshot (an [`codepack_obs::ObsReport`] JSON
+    /// document), when the cube ran under [`run_matrix_observed`].
+    /// Deterministic for a given cell regardless of worker count.
+    pub metrics: Option<String>,
+}
+
+impl MatrixCell {
+    /// A filesystem-safe stem naming this cell: `profile-arch-model`.
+    pub fn file_stem(&self) -> String {
+        format!("{}-{}-{}", self.profile, self.arch, self.model)
+    }
 }
 
 /// The completed cube, in profile-major (profile, arch, model) order.
@@ -249,6 +261,23 @@ impl SimReport {
 /// Panics if `workers` is zero, the spec has an empty axis, or any cell
 /// traps during functional execution.
 pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> SimReport {
+    run_matrix_inner(spec, workers, false)
+}
+
+/// Like [`run_matrix`], but every cell runs with a metrics-only observer
+/// and carries its [`codepack_obs::ObsReport`] JSON in
+/// [`MatrixCell::metrics`]. Observation never perturbs timing, and the
+/// snapshot for cell `i` is byte-identical whether one worker ran the
+/// cube or sixteen did.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_matrix`].
+pub fn run_matrix_observed(spec: &MatrixSpec, workers: usize) -> SimReport {
+    run_matrix_inner(spec, workers, true)
+}
+
+fn run_matrix_inner(spec: &MatrixSpec, workers: usize, observed: bool) -> SimReport {
     assert!(workers > 0, "run_matrix needs at least one worker");
     assert!(!spec.is_empty(), "run_matrix needs a non-empty cube");
 
@@ -302,7 +331,8 @@ pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> SimReport {
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SimResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    type Slot = Mutex<Option<(SimResult, Option<String>)>>;
+    let slots: Vec<Slot> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|s| {
         for _ in 0..workers.min(jobs.len()) {
@@ -321,12 +351,16 @@ pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> SimReport {
                             .1,
                     )),
                 };
-                let result = Simulation::new(job.arch, job.model).run_with_image(
-                    &prep.program,
-                    spec.max_insns,
-                    image,
-                );
-                *slots[i].lock().unwrap() = Some(result);
+                let obs = if observed {
+                    Obs::with_null_sink()
+                } else {
+                    Obs::disabled()
+                };
+                let (result, report) = Simulation::new(job.arch, job.model)
+                    .try_run_observed(&prep.program, spec.max_insns, image, obs)
+                    .unwrap_or_else(|e| panic!("cell {i} trapped: {e}"));
+                let metrics = report.map(|r| r.to_json());
+                *slots[i].lock().unwrap() = Some((result, metrics));
             });
         }
     });
@@ -334,11 +368,15 @@ pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> SimReport {
     let cells = jobs
         .iter()
         .zip(slots)
-        .map(|(job, slot)| MatrixCell {
-            profile: job.profile,
-            arch: job.arch.name,
-            model: job.model_label,
-            result: slot.into_inner().unwrap().expect("every job ran"),
+        .map(|(job, slot)| {
+            let (result, metrics) = slot.into_inner().unwrap().expect("every job ran");
+            MatrixCell {
+                profile: job.profile,
+                arch: job.arch.name,
+                model: job.model_label,
+                result,
+                metrics,
+            }
         })
         .collect();
 

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use codepack_core::{CodePackFetch, CodePackImage, CompositionStats, FetchStats, NativeFetch};
 use codepack_cpu::{ExecError, Machine, Pipeline, PipelineStats};
 use codepack_isa::{Program, TEXT_BASE};
+use codepack_obs::{Obs, ObsReport};
 
 use crate::{ArchConfig, CodeModel};
 
@@ -129,6 +130,31 @@ impl Simulation {
         max_insns: u64,
         image: Option<Arc<CodePackImage>>,
     ) -> Result<SimResult, ExecError> {
+        self.try_run_observed(program, max_insns, image, Obs::disabled())
+            .map(|(result, _)| result)
+    }
+
+    /// Like [`Self::try_run_with_image`], but threads an [`Obs`] handle
+    /// through the pipeline and returns the closed-out [`ObsReport`]
+    /// alongside the result. A disabled handle yields `None` for the
+    /// report; an enabled one must not change any timing statistic (the
+    /// traced fetch engines reconstruct their timeline from results, they
+    /// never participate in it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the program traps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` was compressed from a different text section.
+    pub fn try_run_observed(
+        &self,
+        program: &Program,
+        max_insns: u64,
+        image: Option<Arc<CodePackImage>>,
+        obs: Obs,
+    ) -> Result<(SimResult, Option<ObsReport>), ExecError> {
         let mut compression = None;
         let engine: Box<dyn codepack_core::FetchEngine> = match &self.model {
             CodeModel::Native => Box::new(NativeFetch::new(self.arch.memory)),
@@ -167,19 +193,29 @@ impl Simulation {
         if let Some(l2) = self.arch.l2 {
             pipeline.set_l2(l2);
         }
+        pipeline.set_obs(obs);
         let mut machine = Machine::load(program);
         let stats = pipeline.run(&mut machine, max_insns)?;
 
-        Ok(SimResult {
-            benchmark: program.name().to_string(),
-            arch: self.arch.name,
-            model: self.model.label(),
-            pipeline: stats,
-            fetch: pipeline.fetch_engine().stats(),
-            compression,
-            retired_instructions: stats.instructions,
-            state_hash: machine.state_hash(),
-        })
+        let mut obs = pipeline.take_obs();
+        if let Some(c) = &compression {
+            obs.set_gauge("compression.ratio", c.compression_ratio());
+        }
+        let report = obs.into_report(stats.cycles, stats.instructions);
+
+        Ok((
+            SimResult {
+                benchmark: program.name().to_string(),
+                arch: self.arch.name,
+                model: self.model.label(),
+                pipeline: stats,
+                fetch: pipeline.fetch_engine().stats(),
+                compression,
+                retired_instructions: stats.instructions,
+                state_hash: machine.state_hash(),
+            },
+            report,
+        ))
     }
 
     /// Runs `program`, panicking on functional-execution errors.
@@ -272,6 +308,38 @@ mod tests {
         ));
         let reused = sim.run_with_image(&p, 30_000, Some(image));
         assert_eq!(fresh.cycles(), reused.cycles());
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_reports() {
+        let p = small_program();
+        let sim = Simulation::new(ArchConfig::four_issue(), CodeModel::codepack_optimized());
+        let plain = sim.run(&p, 30_000);
+        let (observed, report) = sim
+            .try_run_observed(&p, 30_000, None, Obs::with_null_sink())
+            .unwrap();
+        assert_eq!(
+            plain.cycles(),
+            observed.cycles(),
+            "obs must not perturb timing"
+        );
+        assert_eq!(plain.state_hash, observed.state_hash);
+        let report = report.expect("enabled handle yields a report");
+        assert_eq!(
+            report.metrics.counter_value("pipeline.cycles"),
+            Some(observed.cycles())
+        );
+        let ratio = observed.compression.unwrap().compression_ratio();
+        assert_eq!(report.metrics.gauge_value("compression.ratio"), Some(ratio));
+        let b = &report.breakdown;
+        assert!((b.component_sum() - b.total).abs() < 1e-9, "CPI closes");
+
+        // A disabled handle reports nothing and changes nothing.
+        let (unobserved, none) = sim
+            .try_run_observed(&p, 30_000, None, Obs::disabled())
+            .unwrap();
+        assert!(none.is_none());
+        assert_eq!(unobserved.cycles(), plain.cycles());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! * [`isa`] — the SR32 32-bit RISC instruction set (encode/decode/builder),
 //! * [`synth`] — deterministic synthetic benchmark generation,
 //! * [`mem`] — caches and main-memory timing models,
+//! * [`obs`] — metrics, event tracing, and cycle-attribution profiling,
 //! * [`core`] — the CodePack codec and decompressor timing model,
 //! * [`cpu`] — functional executor and in-order / out-of-order pipelines,
 //! * [`sim`] — whole-system simulations and experiment harness helpers,
@@ -38,5 +39,6 @@ pub use codepack_core as core;
 pub use codepack_cpu as cpu;
 pub use codepack_isa as isa;
 pub use codepack_mem as mem;
+pub use codepack_obs as obs;
 pub use codepack_sim as sim;
 pub use codepack_synth as synth;

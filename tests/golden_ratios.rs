@@ -30,9 +30,15 @@ const PAPER: [(&str, f64); 6] = [
 
 fn ratio(profile: &BenchmarkProfile) -> f64 {
     let program = generate(profile, 42);
-    CodePackImage::compress(program.text_words(), &CompressionConfig::default())
+    let image = CodePackImage::compress(program.text_words(), &CompressionConfig::default());
+    // A ratio is only worth pinning if the accounting behind it is
+    // internally consistent; silent drift in the composition stats must
+    // fail here, not ride along under a still-plausible total.
+    image
         .stats()
-        .compression_ratio()
+        .verify()
+        .unwrap_or_else(|e| panic!("{}: inconsistent composition stats: {e}", profile.name));
+    image.stats().compression_ratio()
 }
 
 #[test]

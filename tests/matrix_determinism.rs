@@ -1,7 +1,7 @@
 //! The parallel experiment runner must be a pure function of its spec:
 //! the worker count may change wall-clock time, never the report.
 
-use codepack::sim::{run_matrix, ArchConfig, MatrixSpec};
+use codepack::sim::{run_matrix, run_matrix_observed, ArchConfig, MatrixSpec};
 use codepack::synth::BenchmarkProfile;
 
 fn spec() -> MatrixSpec {
@@ -26,6 +26,39 @@ fn worker_count_does_not_change_the_report() {
     }
     // The strongest form: rendered table and JSON are byte-identical.
     assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.to_json(), parallel.to_json());
+}
+
+#[test]
+fn metrics_snapshots_are_worker_count_invariant() {
+    // The observed cube attaches a metrics-only observer to every cell.
+    // Observation reconstructs timelines from results — it never sits in
+    // the timing path — so the per-cell snapshot must be byte-identical
+    // whether one worker ran the cube or three raced through it, and the
+    // observed cube must agree with the unobserved one cycle-for-cycle.
+    let plain = run_matrix(&spec(), 2);
+    let serial = run_matrix_observed(&spec(), 1);
+    let parallel = run_matrix_observed(&spec(), 3);
+
+    assert_eq!(serial.cells.len(), parallel.cells.len());
+    for ((a, b), p) in serial.cells.iter().zip(&parallel.cells).zip(&plain.cells) {
+        assert_eq!((a.profile, a.arch, a.model), (b.profile, b.arch, b.model));
+        let ma = a.metrics.as_ref().expect("observed cells carry metrics");
+        let mb = b.metrics.as_ref().expect("observed cells carry metrics");
+        assert_eq!(
+            ma,
+            mb,
+            "{}: metrics differ across worker counts",
+            a.file_stem()
+        );
+        assert!(p.metrics.is_none(), "plain cells carry no metrics");
+        assert_eq!(
+            a.result.cycles(),
+            p.result.cycles(),
+            "{}: observation perturbed timing",
+            a.file_stem()
+        );
+    }
     assert_eq!(serial.to_json(), parallel.to_json());
 }
 
