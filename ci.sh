@@ -52,4 +52,38 @@ assert all("ph" in e and "ts" in e for e in c["traceEvents"])
 print(f"tier-2 obs smoke: {len(lines)} events, CPI {total:.4f} closes")
 PYEOF
 
+echo "== tier-2: matrix journal kill/resume smoke =="
+# A journaled sweep killed mid-run and resumed must produce byte-identical
+# JSON to an uninterrupted run — the crash-safety contract of the journal.
+MTX_INSNS=3000
+"$CPACK" matrix "$MTX_INSNS" --workers 2 --json \
+    --journal "$OBS_TMP/journal-clean" > "$OBS_TMP/full.json" 2> /dev/null
+
+# Second run: kill -9 once a few cells have been journaled.
+"$CPACK" matrix "$MTX_INSNS" --workers 2 --json \
+    --journal "$OBS_TMP/journal-killed" > /dev/null 2>&1 &
+MTX_PID=$!
+for _ in $(seq 1 200); do
+    if [ "$(wc -l < "$OBS_TMP/journal-killed/journal.jsonl" 2>/dev/null || echo 0)" -ge 3 ]; then
+        break
+    fi
+    sleep 0.05
+done
+kill -9 "$MTX_PID" 2>/dev/null || true
+wait "$MTX_PID" 2>/dev/null || true
+
+"$CPACK" matrix "$MTX_INSNS" --workers 2 --json --resume \
+    --journal "$OBS_TMP/journal-killed" > "$OBS_TMP/resumed.json" 2> /dev/null
+cmp "$OBS_TMP/full.json" "$OBS_TMP/resumed.json" \
+    || { echo "resumed sweep diverged from uninterrupted run"; exit 1; }
+python3 - "$OBS_TMP" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+with open(f"{tmp}/resumed.json") as f:
+    r = json.load(f)
+assert len(r["cells"]) == 54, f"expected the full cube, got {len(r['cells'])} cells"
+assert all(c["outcome"] == "ok" for c in r["cells"])
+print(f"tier-2 matrix smoke: {len(r['cells'])} cells, kill/resume byte-identical")
+PYEOF
+
 echo "ci: all green"

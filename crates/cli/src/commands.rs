@@ -5,7 +5,7 @@ use codepack_core::{CodePackImage, CompressionConfig};
 use codepack_isa::{decode, Program, TEXT_BASE};
 use codepack_obs::{chrome_trace_json, parse_jsonl, JsonlSink, Obs};
 use codepack_sim::{
-    run_matrix, run_matrix_observed, ArchConfig, CodeModel, MatrixSpec, Simulation, Table,
+    run_matrix_with, ArchConfig, CodeModel, MatrixOptions, MatrixSpec, Simulation, Table,
 };
 use codepack_synth::{generate, BenchmarkProfile};
 
@@ -29,7 +29,12 @@ USAGE:
     cpack sweep    <bus|latency|cache|l2> <profile> [INSNS]
     cpack compare  <profile>            compression ratio across schemes
     cpack matrix   [INSNS] [--workers N] [--json] [--metrics-dir DIR]
-                                        full profile x machine x model sweep
+                   [--retries N] [--journal DIR] [--resume]
+                                        full profile x machine x model sweep;
+                                        cells are isolated (a trapping cell
+                                        degrades, never aborts), --journal
+                                        records completed cells crash-safely
+                                        and --resume re-runs only the rest
 ";
 
 const SEED: u64 = 42;
@@ -351,26 +356,50 @@ pub fn trace_export(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `cpack matrix [INSNS] [--workers N] [--json]`
+/// `cpack matrix [INSNS] [--workers N] [--json] [--metrics-dir DIR]
+/// [--retries N] [--journal DIR] [--resume]`
 ///
 /// Runs the whole experiment cube — every profile on every Table 2
 /// machine under every code model — on a worker pool, and prints one
 /// table (or JSON). The report is identical for any worker count.
+///
+/// Cells are fault-isolated: a trapping cell is recorded in the report
+/// (outcome `trapped`) and the rest of the cube completes, so finishing
+/// with failed cells is still exit 0 — the *report* is the product. With
+/// `--journal DIR` every completed cell is appended to a crash-safe
+/// journal; `--resume` restores completed cells from it and re-runs only
+/// the missing or failed ones, producing byte-identical output to an
+/// uninterrupted run.
 pub fn matrix(args: &[String]) -> Result<(), String> {
     let mut insns = 200_000u64;
     let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = false;
     let mut metrics_dir: Option<String> = None;
+    let mut retries: Option<u32> = None;
+    let mut journal_dir: Option<String> = None;
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--resume" => resume = true,
             "--workers" => {
                 let v = it.next().ok_or("matrix: --workers needs a count")?;
                 workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
                 if workers == 0 {
                     return Err("matrix: --workers must be at least 1".into());
                 }
+            }
+            "--retries" => {
+                let v = it.next().ok_or("matrix: --retries needs a count")?;
+                retries = Some(v.parse().map_err(|_| format!("bad retry count `{v}`"))?);
+            }
+            "--journal" => {
+                journal_dir = Some(
+                    it.next()
+                        .ok_or("matrix: --journal needs a directory")?
+                        .clone(),
+                );
             }
             "--metrics-dir" => {
                 metrics_dir = Some(
@@ -391,29 +420,39 @@ pub fn matrix(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    let spec = MatrixSpec::new(SEED, insns);
-    let report = if metrics_dir.is_some() {
-        run_matrix_observed(&spec, workers)
-    } else {
-        run_matrix(&spec, workers)
-    };
+    if resume && journal_dir.is_none() {
+        return Err("matrix: --resume needs --journal DIR".into());
+    }
+    let mut spec = MatrixSpec::new(SEED, insns);
+    if let Some(r) = retries {
+        spec = spec.with_retries(r);
+    }
+    let mut opts = MatrixOptions::new(workers)
+        .observed(metrics_dir.is_some())
+        .resuming(resume);
+    if let Some(dir) = &journal_dir {
+        opts = opts.with_journal(dir);
+    }
+    let report = run_matrix_with(&spec, &opts).map_err(|e| format!("matrix: {e}"))?;
     if let Some(dir) = &metrics_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
         for cell in &report.cells {
-            let snapshot = cell
-                .metrics
-                .as_ref()
-                .expect("observed cube carries per-cell metrics");
+            let Some(snapshot) = cell.metrics.as_ref() else {
+                continue; // failed cells have no snapshot
+            };
             let path = format!("{dir}/{}.metrics.json", cell.file_stem());
             std::fs::write(&path, snapshot).map_err(|e| format!("writing {path}: {e}"))?;
         }
-        println!("wrote {} metrics snapshots to {dir}/", report.cells.len());
+        println!("wrote metrics snapshots to {dir}/");
     }
     if json {
         println!("{}", report.to_json());
     } else {
         print!("{}", report.render());
     }
+    // The summary goes to stderr so `--json > file` stays pure JSON and a
+    // resumed run's stdout is byte-identical to an uninterrupted one.
+    eprintln!("{}", report.summary().render());
     Ok(())
 }
 

@@ -11,6 +11,7 @@
 //! cpack sweep    <bus|latency|cache> <profile> [INSNS]
 //! cpack compare  <profile>            compression ratio across schemes
 //! cpack matrix   [INSNS] [--workers N] [--json] [--metrics-dir DIR]
+//!                [--retries N] [--journal DIR] [--resume]
 //! ```
 
 use std::process::ExitCode;

@@ -183,3 +183,75 @@ fn matrix_metrics_dir_writes_one_snapshot_per_cell() {
     let doc = std::fs::read_to_string(&snapshots[0]).unwrap();
     assert!(json::parse(&doc).is_ok(), "snapshots are valid JSON");
 }
+
+#[test]
+fn matrix_resume_without_journal_is_rejected() {
+    let out = cpack(&["matrix", "--resume"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--journal"));
+}
+
+#[test]
+fn matrix_journal_resume_reproduces_the_uninterrupted_report() {
+    // One uninterrupted journaled run ...
+    let clean_dir = scratch("matrix-journal-clean");
+    let clean = cpack(&[
+        "matrix",
+        "3000",
+        "--workers",
+        "2",
+        "--json",
+        "--journal",
+        clean_dir.to_str().unwrap(),
+    ]);
+    assert!(
+        clean.status.success(),
+        "journaled matrix failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let journal = clean_dir.join("journal.jsonl");
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(
+        text.lines().count(),
+        55,
+        "header + one record per cell, each flushed as it completed"
+    );
+
+    // ... then an interrupted one, simulated by truncating the journal
+    // mid-record (as a kill -9 during an append would leave it), resumed
+    // with a different worker count.
+    let resumed_dir = scratch("matrix-journal-resumed");
+    std::fs::create_dir_all(&resumed_dir).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let torn = format!(
+        "{}\n{}",
+        lines[..20].join("\n"),
+        &lines[20][..lines[20].len() / 2] // a torn, half-written record
+    );
+    std::fs::write(resumed_dir.join("journal.jsonl"), torn).unwrap();
+    let resumed = cpack(&[
+        "matrix",
+        "3000",
+        "--workers",
+        "3",
+        "--json",
+        "--journal",
+        resumed_dir.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert!(
+        resumed.status.success(),
+        "resumed matrix failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "a resumed sweep must be byte-identical to an uninterrupted one"
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("(19 resumed"),
+        "summary counts the restored cells: {stderr}"
+    );
+}

@@ -84,8 +84,20 @@ impl MemoryTiming {
     }
 
     /// Returns a model with the same rate/width but a different bus width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a whole, power-of-two number of bytes —
+    /// both conditions are checked here, up front, so a caller passing
+    /// e.g. 24 bits gets a message about the bus width rather than an
+    /// unrelated assertion from deep inside [`MemoryTiming::new`].
     pub fn with_bus_bits(&self, bits: u32) -> MemoryTiming {
         assert!(bits.is_multiple_of(8), "bus width must be whole bytes");
+        assert!(
+            (bits / 8).is_power_of_two(),
+            "bus width must be a power of two bytes (got {bits} bits = {} bytes)",
+            bits / 8
+        );
         MemoryTiming::new(self.first_access_cycles, self.next_access_cycles, bits / 8)
     }
 
@@ -141,8 +153,18 @@ impl MemoryTiming {
     /// Timing of a native cache-line fill using critical-word-first: the
     /// beat containing `critical_offset` is fetched first, so the missed
     /// word is ready after the first access (paper §4, Figure 2-a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `critical_offset` lies outside the line. This is a
+    /// release-mode check: a wild offset means the caller computed the
+    /// miss address wrong, and silently timing the fill anyway would
+    /// corrupt every downstream cycle count.
     pub fn line_fill(&self, line_bytes: u32, critical_offset: u32) -> LineFill {
-        debug_assert!(critical_offset < line_bytes);
+        assert!(
+            critical_offset < line_bytes,
+            "critical word offset {critical_offset} outside {line_bytes}-byte line"
+        );
         LineFill {
             critical_word_ready: u64::from(self.first_access_cycles),
             fill_complete: self.burst_read_cycles(line_bytes),
@@ -212,5 +234,27 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_bus_panics() {
         let _ = MemoryTiming::new(10, 2, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "bus width must be a power of two bytes (got 24 bits")]
+    fn non_power_of_two_bus_bits_fails_with_bus_width_message() {
+        // Regression: 24 passes the whole-bytes check and used to die
+        // inside `new` with an unrelated message.
+        let _ = MemoryTiming::default().with_bus_bits(24);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 32-byte line")]
+    fn wild_critical_offset_is_rejected_in_release_builds() {
+        // Regression: this was a debug_assert!, so release builds would
+        // silently accept an offset past the line.
+        let _ = MemoryTiming::default().line_fill(32, 32);
+    }
+
+    #[test]
+    fn largest_valid_critical_offset_is_accepted() {
+        let f = MemoryTiming::default().line_fill(32, 31);
+        assert_eq!(f.critical_word_ready, 10);
     }
 }

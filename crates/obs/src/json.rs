@@ -77,6 +77,34 @@ impl Value {
     }
 }
 
+/// Escapes `s` for inclusion in a JSON string literal (quotes not
+/// included). Inverse of the decoding in [`parse`]: control characters
+/// become `\u00XX`, quotes and backslashes are backslash-escaped, and
+/// everything else passes through verbatim.
+///
+/// ```
+/// use codepack_obs::json::escape;
+/// assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+/// ```
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Parses a complete JSON document; trailing non-whitespace is an error.
 pub fn parse(text: &str) -> Result<Value, String> {
     let mut p = Parser {
@@ -297,5 +325,19 @@ mod tests {
     #[test]
     fn unicode_escapes_decode() {
         assert_eq!(parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "newline\nand\ttab",
+            "control \u{1} char",
+            "unicode: ∞ λ",
+        ] {
+            let doc = format!("\"{}\"", escape(s));
+            assert_eq!(parse(&doc).unwrap().as_str(), Some(s), "round-trip {s:?}");
+        }
     }
 }

@@ -20,6 +20,8 @@
 //!   [`CpiBreakdown`] whose components sum exactly to measured CPI.
 //! * [`chrome`] — Chrome trace-event export for `chrome://tracing`.
 //! * [`json`] — a minimal JSON parser for validation and round-trips.
+//! * [`names`] — well-known metric names shared across crates (the
+//!   `matrix.*` fault-tolerance counters of the sweep runner).
 //!
 //! # Example
 //!
@@ -50,6 +52,7 @@ pub mod event;
 pub mod handle;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod sink;
 
 pub use attr::{CpiBreakdown, CycleAttribution};

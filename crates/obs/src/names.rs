@@ -1,0 +1,52 @@
+//! Well-known metric names shared across the workspace.
+//!
+//! Producers (the experiment harness in `codepack-sim`, the pipeline
+//! instrumentation) and consumers (dashboards, CI assertions, the
+//! `cpack` CLI) agree on these strings so counters line up across
+//! crates without either side depending on the other's internals.
+//!
+//! The `matrix.*` family describes the fault-tolerance behaviour of the
+//! sweep runner: how many cells completed, how many degraded to an
+//! error record instead of killing the sweep, and how much retry work
+//! the run absorbed.
+
+/// Cells that completed functionally and produced a result.
+pub const MATRIX_CELLS_OK: &str = "matrix.cells.ok";
+
+/// Cells that trapped or panicked on every attempt and were recorded as
+/// error cells instead of aborting the sweep.
+pub const MATRIX_CELLS_TRAPPED: &str = "matrix.cells.trapped";
+
+/// Cells whose simulation exceeded the per-cell cycle deadline.
+pub const MATRIX_CELLS_TIMED_OUT: &str = "matrix.cells.timed_out";
+
+/// Cells the run never executed (e.g. an injected skip).
+pub const MATRIX_CELLS_SKIPPED: &str = "matrix.cells.skipped";
+
+/// Cells restored from a journal instead of being re-executed.
+pub const MATRIX_CELLS_RESUMED: &str = "matrix.cells.resumed";
+
+/// Extra attempts spent on transiently-failing cells (attempts beyond
+/// the first, summed over all cells).
+pub const MATRIX_RETRIES: &str = "matrix.retries";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_distinct_and_namespaced() {
+        let all = [
+            super::MATRIX_CELLS_OK,
+            super::MATRIX_CELLS_TRAPPED,
+            super::MATRIX_CELLS_TIMED_OUT,
+            super::MATRIX_CELLS_SKIPPED,
+            super::MATRIX_CELLS_RESUMED,
+            super::MATRIX_RETRIES,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert!(a.starts_with("matrix."), "{a} is namespaced");
+            for b in &all[i + 1..] {
+                assert_ne!(a, b, "metric names collide");
+            }
+        }
+    }
+}

@@ -17,11 +17,16 @@
 //! ```
 
 mod arch;
+mod journal;
 mod matrix;
 mod report;
 mod run;
 
 pub use arch::{ArchConfig, CodeModel};
-pub use matrix::{run_matrix, run_matrix_observed, MatrixCell, MatrixSpec, SimReport};
+pub use journal::{journal_exists, read_journal, JournalContents, JournalEntry, JOURNAL_FILE};
+pub use matrix::{
+    run_matrix, run_matrix_observed, run_matrix_with, CellOutcome, FaultKind, FaultPlan,
+    InjectedFault, MatrixCell, MatrixOptions, MatrixSpec, MatrixSummary, SimReport,
+};
 pub use report::{fmt_percent, fmt_speedup, Table};
 pub use run::{SimResult, Simulation};

@@ -19,6 +19,7 @@ pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
     title: Option<String>,
+    footer: Option<String>,
 }
 
 impl Table {
@@ -28,12 +29,19 @@ impl Table {
             headers,
             rows: Vec::new(),
             title: None,
+            footer: None,
         }
     }
 
     /// Sets a title line printed above the table.
     pub fn with_title(mut self, title: impl Into<String>) -> Table {
         self.title = Some(title.into());
+        self
+    }
+
+    /// Sets a footer line printed below the rows, separated by a rule.
+    pub fn with_footer(mut self, footer: impl Into<String>) -> Table {
+        self.footer = Some(footer.into());
         self
     }
 
@@ -78,6 +86,10 @@ impl Table {
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));
         }
+        if let Some(footer) = &self.footer {
+            let _ = writeln!(out, "{}", "-".repeat(total));
+            let _ = writeln!(out, "{footer}");
+        }
         out
     }
 
@@ -118,6 +130,19 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new(vec!["A".into(), "B".into()]);
         t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn footer_renders_below_a_rule() {
+        let mut t = Table::new(vec!["A".into(), "B".into()]).with_footer("2 ok, 0 failed");
+        t.row(vec!["x".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.last(), Some(&"2 ok, 0 failed"));
+        assert!(
+            lines[lines.len() - 2].starts_with('-'),
+            "rule before footer"
+        );
     }
 
     #[test]

@@ -48,13 +48,27 @@ impl SimResult {
     /// # Panics
     ///
     /// Panics if the two runs retired different instruction counts — they
-    /// would not be comparable.
+    /// would not be comparable. Report code aggregating cells that may
+    /// have failed or been cut short should use
+    /// [`Self::checked_speedup_over`] instead.
     pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
         assert_eq!(
             self.retired_instructions, baseline.retired_instructions,
             "speedup requires runs of identical work"
         );
         baseline.cycles() as f64 / self.cycles() as f64
+    }
+
+    /// Non-panicking [`Self::speedup_over`]: `None` when the two runs are
+    /// not comparable (different retired-instruction counts — e.g. one of
+    /// them is a partial or error cell) or when `self` retired zero
+    /// cycles, so the ratio would be meaningless.
+    pub fn checked_speedup_over(&self, baseline: &SimResult) -> Option<f64> {
+        if self.retired_instructions != baseline.retired_instructions || self.cycles() == 0 {
+            None
+        } else {
+            Some(baseline.cycles() as f64 / self.cycles() as f64)
+        }
     }
 
     /// I-cache miss rate per retired instruction (the paper's Table 1
@@ -350,5 +364,22 @@ mod tests {
             .run(&p, 30_000);
         let s = b.speedup_over(&a);
         assert!((s - a.cycles() as f64 / b.cycles() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_speedup_rejects_mismatched_work_without_panicking() {
+        let p = small_program();
+        let sim = Simulation::new(ArchConfig::four_issue(), CodeModel::Native);
+        let full = sim.run(&p, 30_000);
+        let short = sim.run(&p, 500);
+        assert_ne!(full.retired_instructions, short.retired_instructions);
+        // Regression: `speedup_over` assert!-panics here; the checked
+        // variant must yield None so a partial/error cell degrades.
+        assert_eq!(short.checked_speedup_over(&full), None);
+        assert_eq!(
+            full.checked_speedup_over(&full),
+            Some(1.0),
+            "a run compared with itself is speedup 1"
+        );
     }
 }

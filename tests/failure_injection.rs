@@ -1,10 +1,15 @@
 //! Failure injection: corrupt inputs must surface as typed errors, never
 //! as panics or silent wrong answers.
 
+use std::path::PathBuf;
+
 use codepack::core::{CodePackImage, CompressionConfig, DecompressError};
 use codepack::cpu::{ExecError, Machine};
 use codepack::isa::{Assembler, Instruction, Reg};
-use codepack::sim::{ArchConfig, CodeModel, Simulation};
+use codepack::sim::{
+    run_matrix, run_matrix_with, ArchConfig, CellOutcome, CodeModel, FaultKind, InjectedFault,
+    MatrixOptions, MatrixSpec, Simulation,
+};
 use codepack::synth::{generate, BenchmarkProfile};
 
 fn compressible_text() -> Vec<u32> {
@@ -76,6 +81,137 @@ fn unknown_syscall_reports_code() {
         Err(ExecError::UnknownSyscall { code, .. }) => assert_eq!(code, 99),
         other => panic!("expected unknown syscall, got {other:?}"),
     }
+}
+
+// --- Matrix fault tolerance: a failing cell degrades the report, never
+// --- the run, and the crash-safe journal reproduces it byte-for-byte.
+
+fn matrix_spec() -> MatrixSpec {
+    MatrixSpec::new(11, 20_000)
+        .with_profiles(vec![BenchmarkProfile::pegwit_like()])
+        .with_archs(vec![ArchConfig::one_issue(), ArchConfig::four_issue()])
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "codepack-failure-injection-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn trapping_cell_degrades_the_report_and_leaves_the_rest_byte_identical() {
+    let clean = run_matrix(&matrix_spec(), 2);
+    let spec = matrix_spec().with_fault(InjectedFault::permanent(3, FaultKind::Trap));
+    let report = run_matrix(&spec, 2);
+
+    // The cube completed: same shape, the faulty cell carries the error.
+    assert_eq!(report.cells.len(), clean.cells.len());
+    match &report.cells[3].outcome {
+        CellOutcome::Trapped { error } => assert!(error.contains("injected trap")),
+        other => panic!("expected trapped, got {other:?}"),
+    }
+    assert!(report.cells[3].result.is_none());
+
+    // Every other cell is byte-identical to the clean run.
+    for (i, (a, b)) in clean.cells.iter().zip(&report.cells).enumerate() {
+        if i == 3 {
+            continue;
+        }
+        assert!(b.outcome.is_ok(), "cell {i} unaffected by cell 3's fault");
+        assert_eq!(
+            a.expect_ok().state_hash,
+            b.expect_ok().state_hash,
+            "cell {i} diverged"
+        );
+        assert_eq!(a.expect_ok().cycles(), b.expect_ok().cycles());
+    }
+    let s = report.summary();
+    assert_eq!((s.ok, s.trapped), (clean.cells.len() - 1, 1));
+}
+
+#[test]
+fn journal_resume_reproduces_a_partially_failed_sweep() {
+    let spec = matrix_spec()
+        .with_retries(0)
+        .with_fault(InjectedFault::permanent(1, FaultKind::Panic));
+
+    // Uninterrupted journaled run (one trapping cell included).
+    let clean_dir = scratch_dir("clean");
+    let clean = run_matrix_with(&spec, &MatrixOptions::new(2).with_journal(&clean_dir)).unwrap();
+    assert_eq!(clean.summary().trapped, 1);
+
+    // Simulate a kill mid-sweep: keep the header and the first three
+    // records, leaving the fourth torn in half (no trailing newline).
+    let journal = clean_dir.join("journal.jsonl");
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1 + spec.len(), "header + one record per cell");
+    let resumed_dir = scratch_dir("resumed");
+    std::fs::create_dir_all(&resumed_dir).unwrap();
+    std::fs::write(
+        resumed_dir.join("journal.jsonl"),
+        format!(
+            "{}\n{}",
+            lines[..4].join("\n"),
+            &lines[4][..lines[4].len() / 2]
+        ),
+    )
+    .unwrap();
+
+    let resumed = run_matrix_with(
+        &spec,
+        &MatrixOptions::new(3)
+            .with_journal(&resumed_dir)
+            .resuming(true),
+    )
+    .unwrap();
+
+    assert_eq!(
+        clean.to_json(),
+        resumed.to_json(),
+        "resume must reproduce the uninterrupted report byte-for-byte"
+    );
+    // The rendered table matches too, except the diagnostic footer line,
+    // whose "resumed" count intentionally reflects this run, not the cube.
+    let body = |s: String| {
+        s.lines()
+            .count()
+            .checked_sub(1)
+            .map(|n| s.lines().take(n).collect::<Vec<_>>().join("\n"))
+    };
+    assert_eq!(body(clean.render()), body(resumed.render()));
+    // Only the journaled-ok prefix was restored; failed and torn cells re-ran.
+    assert!(resumed.summary().resumed >= 1);
+    assert!(resumed.cells.iter().any(|c| !c.resumed));
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&resumed_dir);
+}
+
+#[test]
+fn resume_rejects_a_journal_from_a_different_cube() {
+    let dir = scratch_dir("mismatch");
+    run_matrix_with(&matrix_spec(), &MatrixOptions::new(1).with_journal(&dir)).unwrap();
+
+    // Same journal, different instruction budget: refuse to mix them.
+    let other = matrix_spec();
+    let other = MatrixSpec {
+        max_insns: other.max_insns + 1,
+        ..other
+    };
+    let err = run_matrix_with(
+        &other,
+        &MatrixOptions::new(1).with_journal(&dir).resuming(true),
+    )
+    .unwrap_err();
+    assert!(
+        err.contains("different cube"),
+        "mismatch must name the cause: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

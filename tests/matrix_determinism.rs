@@ -21,8 +21,8 @@ fn worker_count_does_not_change_the_report() {
     assert_eq!(serial.cells.len(), parallel.cells.len());
     for (a, b) in serial.cells.iter().zip(&parallel.cells) {
         assert_eq!((a.profile, a.arch, a.model), (b.profile, b.arch, b.model));
-        assert_eq!(a.result.cycles(), b.result.cycles());
-        assert_eq!(a.result.state_hash, b.result.state_hash);
+        assert_eq!(a.expect_ok().cycles(), b.expect_ok().cycles());
+        assert_eq!(a.expect_ok().state_hash, b.expect_ok().state_hash);
     }
     // The strongest form: rendered table and JSON are byte-identical.
     assert_eq!(serial.render(), parallel.render());
@@ -53,8 +53,8 @@ fn metrics_snapshots_are_worker_count_invariant() {
         );
         assert!(p.metrics.is_none(), "plain cells carry no metrics");
         assert_eq!(
-            a.result.cycles(),
-            p.result.cycles(),
+            a.expect_ok().cycles(),
+            p.expect_ok().cycles(),
             "{}: observation perturbed timing",
             a.file_stem()
         );
@@ -77,9 +77,12 @@ fn native_and_codepack_cells_agree_on_architectural_state() {
     for cell in &report.cells {
         let native = report.cell(cell.profile, cell.arch, "native").unwrap();
         assert_eq!(
-            cell.result.state_hash, native.result.state_hash,
+            cell.expect_ok().state_hash,
+            native.expect_ok().state_hash,
             "{}/{}/{} diverged from native execution",
-            cell.profile, cell.arch, cell.model
+            cell.profile,
+            cell.arch,
+            cell.model
         );
     }
 }
