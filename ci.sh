@@ -86,4 +86,39 @@ assert all(c["outcome"] == "ok" for c in r["cells"])
 print(f"tier-2 matrix smoke: {len(r['cells'])} cells, kill/resume byte-identical")
 PYEOF
 
+echo "== tier-2: fault campaign smoke =="
+# A tiny fault-injection campaign must be byte-deterministic at any worker
+# count (injection is a pure function of cycle + address, never wall
+# clock), and every cell's ledger must conserve:
+# injected == recovered + trapped + silent.
+FLT_ARGS=(3000 --profile pegwit --rates 0,50000000 --integrity none,crc32 --json)
+"$CPACK" faults "${FLT_ARGS[@]}" --workers 1 > "$OBS_TMP/faults-w1.json" 2> /dev/null
+"$CPACK" faults "${FLT_ARGS[@]}" --workers 4 > "$OBS_TMP/faults-w4.json" 2> /dev/null
+cmp "$OBS_TMP/faults-w1.json" "$OBS_TMP/faults-w4.json" \
+    || { echo "fault campaign not worker-count deterministic"; exit 1; }
+python3 - "$OBS_TMP" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+with open(f"{tmp}/faults-w1.json") as f:
+    r = json.load(f)
+cells = r["cells"]
+assert len(cells) == 6, f"expected 6 cells (native, cp-opt, 2 rates x 2 integrity), got {len(cells)}"
+armed = [c for c in cells if "faults_injected" in c]
+assert armed, "no armed cells in the campaign"
+for c in armed:
+    inj, rec = c["faults_injected"], c["faults_recovered"]
+    trp, sil = c["faults_trapped"], c["faults_silent"]
+    assert inj == rec + trp + sil, f"{c['model']}: ledger not conserved"
+    assert c["faults_detected"] == rec + trp, f"{c['model']}: detected != cured + trapped"
+struck = sum(c["faults_injected"] for c in armed)
+assert struck > 0, "5e-2 rate injected nothing"
+# Rate 0 with no integrity must be cycle-identical to the unprotected model.
+by_model = {c["model"]: c for c in cells}
+assert by_model["cp-none-r0"]["cycles"] == by_model["cp-opt"]["cycles"]
+print(f"tier-2 faults smoke: {len(cells)} cells, {struck} strikes, ledger conserved")
+PYEOF
+
+echo "== tier-2: codec fuzzer (fixed seed) =="
+cargo test -q --offline --test fuzz_codec
+
 echo "ci: all green"

@@ -405,6 +405,7 @@ impl FetchEngine for CcrpFetch {
             source: MissSource::Decompressor,
             index_hit: Some(t_lat == 0),
             index_cycles: t_lat,
+            machine_check: false,
         }
     }
 

@@ -372,6 +372,7 @@ impl FetchEngine for HuffPackFetch {
                 source: MissSource::OutputBuffer,
                 index_hit: None,
                 index_cycles: 0,
+                machine_check: false,
             };
         }
 
@@ -428,6 +429,7 @@ impl FetchEngine for HuffPackFetch {
             source: MissSource::Decompressor,
             index_hit: Some(t_index == 0),
             index_cycles: t_index,
+            machine_check: false,
         }
     }
 

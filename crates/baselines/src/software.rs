@@ -93,6 +93,7 @@ impl FetchEngine for SoftwareDecompFetch {
                 source: MissSource::OutputBuffer,
                 index_hit: None,
                 index_cycles: 0,
+                machine_check: false,
             };
         }
 
@@ -118,6 +119,7 @@ impl FetchEngine for SoftwareDecompFetch {
             source: MissSource::Decompressor,
             index_hit: Some(false),
             index_cycles: self.config.index_lookup_cycles + self.timing.burst_read_cycles(4),
+            machine_check: false,
         }
     }
 

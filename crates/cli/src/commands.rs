@@ -3,9 +3,11 @@
 use codepack_baselines::{estimate_thumb, CcrpImage, HuffPackImage, InsnDictImage};
 use codepack_core::{CodePackImage, CompressionConfig};
 use codepack_isa::{decode, Program, TEXT_BASE};
+use codepack_mem::{IntegrityConfig, PPB_SCALE};
 use codepack_obs::{chrome_trace_json, parse_jsonl, JsonlSink, Obs};
 use codepack_sim::{
-    run_matrix_with, ArchConfig, CodeModel, MatrixOptions, MatrixSpec, Simulation, Table,
+    run_fault_campaign, run_matrix_with, ArchConfig, CodeModel, FaultCampaignSpec, MatrixOptions,
+    MatrixSpec, Simulation, Table,
 };
 use codepack_synth::{generate, BenchmarkProfile};
 
@@ -35,6 +37,14 @@ USAGE:
                                         degrades, never aborts), --journal
                                         records completed cells crash-safely
                                         and --resume re-runs only the rest
+    cpack faults   [INSNS] [--profile P] [--rates PPB,PPB,..]
+                   [--integrity none,parity,crc32] [--workers N] [--json]
+                   [--retries N] [--journal DIR] [--resume]
+                                        soft-error campaign: sweep fault
+                                        rates x integrity configs on the
+                                        journaled matrix runner, reporting
+                                        detected/recovered/trapped/silent
+                                        and protection slowdown vs native
 ";
 
 const SEED: u64 = 42;
@@ -453,6 +463,122 @@ pub fn matrix(args: &[String]) -> Result<(), String> {
     // The summary goes to stderr so `--json > file` stays pure JSON and a
     // resumed run's stdout is byte-identical to an uninterrupted one.
     eprintln!("{}", report.summary().render());
+    Ok(())
+}
+
+/// `cpack faults [INSNS] [--profile P] [--rates PPB,..] [--integrity C,..]
+/// [--workers N] [--json] [--retries N] [--journal DIR] [--resume]`
+pub fn faults(args: &[String]) -> Result<(), String> {
+    let mut insns = 50_000u64;
+    let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = false;
+    let mut profiles: Vec<BenchmarkProfile> = Vec::new();
+    let mut rates: Option<Vec<u32>> = None;
+    let mut integrity: Option<Vec<IntegrityConfig>> = None;
+    let mut retries: Option<u32> = None;
+    let mut journal_dir: Option<String> = None;
+    let mut resume = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--resume" => resume = true,
+            "--workers" => {
+                let v = it.next().ok_or("faults: --workers needs a count")?;
+                workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+                if workers == 0 {
+                    return Err("faults: --workers must be at least 1".into());
+                }
+            }
+            "--profile" => {
+                let v = it.next().ok_or("faults: --profile needs a name")?;
+                profiles.push(profile_by_name(v)?);
+            }
+            "--rates" => {
+                let v = it.next().ok_or("faults: --rates needs a ppb list")?;
+                let parsed = v
+                    .split(',')
+                    .map(|r| {
+                        r.parse::<u32>()
+                            .ok()
+                            .filter(|&ppb| u64::from(ppb) <= PPB_SCALE)
+                            .ok_or_else(|| format!("bad fault rate `{r}` (ppb, at most 1e9)"))
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+                rates = Some(parsed);
+            }
+            "--integrity" => {
+                let v = it.next().ok_or("faults: --integrity needs a config list")?;
+                let parsed = v
+                    .split(',')
+                    .map(|c| match c {
+                        "none" => Ok(IntegrityConfig::none()),
+                        "parity" => Ok(IntegrityConfig::parity()),
+                        "crc32" => Ok(IntegrityConfig::crc32()),
+                        other => Err(format!(
+                            "unknown integrity config `{other}` (none, parity, crc32)"
+                        )),
+                    })
+                    .collect::<Result<Vec<IntegrityConfig>, String>>()?;
+                integrity = Some(parsed);
+            }
+            "--retries" => {
+                let v = it.next().ok_or("faults: --retries needs a count")?;
+                retries = Some(v.parse().map_err(|_| format!("bad retry count `{v}`"))?);
+            }
+            "--journal" => {
+                journal_dir = Some(
+                    it.next()
+                        .ok_or("faults: --journal needs a directory")?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!(
+                    "faults: unknown flag `{flag}` (see `cpack help` for usage)"
+                ));
+            }
+            n => {
+                insns = n
+                    .parse()
+                    .map_err(|_| format!("faults: unexpected argument `{n}`"))?
+            }
+        }
+    }
+    if resume && journal_dir.is_none() {
+        return Err("faults: --resume needs --journal DIR".into());
+    }
+    let mut spec = FaultCampaignSpec::new(SEED, insns);
+    if !profiles.is_empty() {
+        spec = spec.with_profiles(profiles);
+    }
+    if let Some(r) = rates {
+        spec = spec.with_rates_ppb(r);
+    }
+    if let Some(i) = integrity {
+        spec = spec.with_integrity(i);
+    }
+    if let Some(r) = retries {
+        spec = spec.with_retries(r);
+    }
+    let mut opts = MatrixOptions::new(workers).resuming(resume);
+    if let Some(dir) = &journal_dir {
+        opts = opts.with_journal(dir);
+    }
+    let report = run_fault_campaign(&spec, &opts).map_err(|e| format!("faults: {e}"))?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    // Summary to stderr keeps `--json > file` pure JSON.
+    eprintln!("{}", report.report.summary().render());
+    if !report.conservation_holds() {
+        return Err(
+            "faults: fault ledger does not conserve (injected != recovered + trapped + silent)"
+                .into(),
+        );
+    }
     Ok(())
 }
 

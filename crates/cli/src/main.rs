@@ -12,6 +12,8 @@
 //! cpack compare  <profile>            compression ratio across schemes
 //! cpack matrix   [INSNS] [--workers N] [--json] [--metrics-dir DIR]
 //!                [--retries N] [--journal DIR] [--resume]
+//! cpack faults   [INSNS] [--profile P] [--rates PPB,..] [--integrity C,..]
+//!                [--workers N] [--json] [--journal DIR] [--resume]
 //! ```
 
 use std::process::ExitCode;
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
         Some("sweep") => commands::sweep(&args[1..]),
         Some("compare") => commands::compare(&args[1..]),
         Some("matrix") => commands::matrix(&args[1..]),
+        Some("faults") => commands::faults(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -80,4 +80,81 @@ mod tests {
         fn takes_err(_: &(dyn Error + Send + Sync)) {}
         takes_err(&DecompressError::Truncated { at_bit: 0 });
     }
+
+    #[test]
+    fn display_covers_every_variant() {
+        let truncated = DecompressError::Truncated { at_bit: 1234 };
+        assert_eq!(
+            truncated.to_string(),
+            "compressed stream truncated at bit 1234"
+        );
+
+        let low = DecompressError::BadDictIndex {
+            high: false,
+            rank: 7,
+            dict_len: 3,
+        };
+        assert_eq!(
+            low.to_string(),
+            "codeword indexes entry 7 of the low dictionary, which has 3 entries"
+        );
+
+        let block = DecompressError::BadBlock {
+            block: 99,
+            blocks: 16,
+        };
+        assert_eq!(
+            block.to_string(),
+            "block 99 requested from an image of 16 blocks"
+        );
+    }
+
+    #[test]
+    fn errors_have_no_source() {
+        // Leaf errors: `source()` must be `None` for every variant so
+        // callers never chase a chain that isn't there.
+        let variants = [
+            DecompressError::Truncated { at_bit: 8 },
+            DecompressError::BadDictIndex {
+                high: true,
+                rank: 1,
+                dict_len: 0,
+            },
+            DecompressError::BadBlock {
+                block: 0,
+                blocks: 0,
+            },
+        ];
+        for e in variants {
+            assert!(e.source().is_none(), "{e} should be a leaf error");
+        }
+    }
+
+    #[test]
+    fn equality_and_clone_distinguish_payloads() {
+        let a = DecompressError::Truncated { at_bit: 10 };
+        let b = DecompressError::Truncated { at_bit: 11 };
+        assert_ne!(a, b);
+        assert_eq!(a, a.clone());
+
+        let high = DecompressError::BadDictIndex {
+            high: true,
+            rank: 4,
+            dict_len: 4,
+        };
+        let low = DecompressError::BadDictIndex {
+            high: false,
+            rank: 4,
+            dict_len: 4,
+        };
+        assert_ne!(high, low);
+
+        // Copy semantics: using `moved` after a by-value copy still compiles.
+        let moved = a;
+        let copied = moved;
+        assert_eq!(moved, copied);
+
+        // Debug output names the variant (useful in test assertions).
+        assert!(format!("{high:?}").starts_with("BadDictIndex"));
+    }
 }

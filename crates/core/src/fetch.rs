@@ -17,11 +17,27 @@
 
 use std::sync::Arc;
 
-use codepack_mem::{FullyAssociativeCache, MemoryTiming};
-use codepack_obs::{EventKind, Obs};
+use codepack_mem::{
+    FaultDomain, FaultStats, Flips, FullyAssociativeCache, MemoryTiming, SoftErrorConfig,
+    StreamIntegrity,
+};
+use codepack_obs::{EventKind, FaultArea, Obs};
 
+use crate::image::decode_block_bytes;
 use crate::layout::{BLOCK_INSNS, INDEX_ENTRY_BYTES};
 use crate::CodePackImage;
+
+/// Bytes of one dictionary SRAM entry (a 16-bit half-word).
+const DICT_ENTRY_BYTES: u32 = 2;
+
+fn fault_area(domain: FaultDomain) -> FaultArea {
+    match domain {
+        FaultDomain::Stream => FaultArea::Stream,
+        FaultDomain::Index => FaultArea::Index,
+        FaultDomain::Dictionary => FaultArea::Dictionary,
+        FaultDomain::IcacheLine => FaultArea::IcacheLine,
+    }
+}
 
 /// How the decompressor reaches the index table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -156,6 +172,10 @@ pub struct MissService {
     /// (zero on index-cache hits, native fetches, and buffer hits). The
     /// cycle-attribution profiler splits decompression latency on this.
     pub index_cycles: u64,
+    /// Set when soft-error recovery exhausted its re-fetch budget: the
+    /// instructions never arrived, and the pipeline must raise a precise
+    /// machine-check trap instead of consuming this service.
+    pub machine_check: bool,
 }
 
 /// Counters accumulated by a fetch engine.
@@ -222,6 +242,12 @@ pub trait FetchEngine {
     /// Accumulated statistics.
     fn stats(&self) -> FetchStats;
 
+    /// Soft-error ledger of this engine. Engines without a fault model
+    /// report an empty ledger.
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+
     /// Short human-readable name for tables.
     fn name(&self) -> &'static str;
 }
@@ -257,6 +283,7 @@ impl FetchEngine for NativeFetch {
             source: MissSource::Memory,
             index_hit: None,
             index_cycles: 0,
+            machine_check: false,
         }
     }
 
@@ -288,7 +315,18 @@ impl FetchEngine for NativeFetch {
 /// Cycles to deliver instructions already sitting in the output buffer.
 const BUFFER_HIT_CYCLES: u64 = 1;
 
-/// The CodePack decompressor fetch path (paper Figures 2-b and 2-c).
+/// The CodePack decompressor fetch path (paper Figures 2-b and 2-c),
+/// optionally hardened against soft errors (see [`SoftErrorConfig`]).
+///
+/// When protection is armed, every decompressor-serviced miss runs the
+/// recovery state machine: the fault model may strike the index entry,
+/// a dictionary entry, or the compressed stream read; armed integrity
+/// checks (or the codec itself, via a [`crate::DecompressError`]) detect
+/// the strike; detection triggers a bounded re-fetch, and budget
+/// exhaustion marks the service [`MissService::machine_check`] so the
+/// pipeline raises a precise trap. Undetected strikes are counted as
+/// silent escapes — the fault ledger meters reliability while the
+/// simulator's functional machine remains the execution oracle.
 pub struct CodePackFetch {
     image: Arc<CodePackImage>,
     timing: MemoryTiming,
@@ -298,6 +336,11 @@ pub struct CodePackFetch {
     /// Block number currently held by the 16-instruction output buffer.
     buffer_block: Option<u32>,
     stats: FetchStats,
+    protection: Option<SoftErrorConfig>,
+    faults: FaultStats,
+    /// Monotonic access counter keying fault probes on the untraced
+    /// [`FetchEngine::service_miss`] path, which carries no cycle stamp.
+    pseudo_cycle: u64,
 }
 
 impl CodePackFetch {
@@ -324,7 +367,16 @@ impl CodePackFetch {
             index_cache,
             buffer_block: None,
             stats: FetchStats::default(),
+            protection: None,
+            faults: FaultStats::default(),
+            pseudo_cycle: 0,
         }
+    }
+
+    /// Arms soft-error injection, integrity checking, and recovery.
+    pub fn with_protection(mut self, protection: SoftErrorConfig) -> CodePackFetch {
+        self.protection = Some(protection);
+        self
     }
 
     /// The decompressor configuration in effect.
@@ -335,6 +387,49 @@ impl CodePackFetch {
     /// Index-cache statistics (probes/hits), if an index cache is present.
     pub fn index_cache_stats(&self) -> Option<codepack_mem::CacheStats> {
         self.index_cache.as_ref().map(FullyAssociativeCache::stats)
+    }
+
+    /// Emits the injection event plus its outcome event for one fault.
+    fn emit_fault(
+        obs: &mut Obs,
+        cycle: u64,
+        domain: FaultDomain,
+        addr: u32,
+        flips: &Flips,
+        detected: bool,
+    ) {
+        if !obs.enabled() {
+            return;
+        }
+        let area = fault_area(domain);
+        obs.emit(
+            cycle,
+            EventKind::FaultInjected {
+                area,
+                addr,
+                flips: flips.count,
+            },
+        );
+        let outcome = if detected {
+            EventKind::FaultDetected { area, addr }
+        } else {
+            EventKind::FaultSilent { area, addr }
+        };
+        obs.emit(cycle, outcome);
+    }
+
+    /// Whether the codec rejects `block`'s stream bytes after applying
+    /// `flips` to a scratch copy — the `DecompressError` leg of detection.
+    /// The image itself is never mutated.
+    fn corrupted_block_decodes(&self, block: u32, flips: &Flips) -> bool {
+        let info = self.image.block_info(block);
+        let offset = info.byte_offset as usize;
+        let mut bytes =
+            self.image.compressed_bytes()[offset..offset + usize::from(info.byte_len)].to_vec();
+        for &bit in &flips.bits[..flips.count as usize] {
+            bytes[bit as usize / 8] ^= 1 << (bit % 8);
+        }
+        decode_block_bytes(&bytes, self.image.high_dict(), self.image.low_dict()).is_ok()
     }
 
     /// Cycle at which each instruction of `block` is decoded, given the
@@ -365,8 +460,20 @@ impl CodePackFetch {
     }
 }
 
-impl FetchEngine for CodePackFetch {
-    fn service_miss(&mut self, critical_addr: u32, line_bytes: u32) -> MissService {
+impl CodePackFetch {
+    /// Services one miss at absolute cycle `now`, emitting trace events to
+    /// `obs` when it is enabled. Both [`FetchEngine`] entry points funnel
+    /// here so the fault probes, the recovery state machine, and the
+    /// emitted timeline always agree on one set of cycle stamps. Tracing
+    /// never perturbs timing: `obs.enabled()` guards emission only, and
+    /// fault probes key on `now`, not on the observer.
+    fn service_at(
+        &mut self,
+        critical_addr: u32,
+        line_bytes: u32,
+        now: u64,
+        obs: &mut Obs,
+    ) -> MissService {
         assert!(
             line_bytes <= BLOCK_INSNS * 4,
             "a cache line must fit within one compression block"
@@ -382,21 +489,28 @@ impl FetchEngine for CodePackFetch {
 
         // Output buffer: the previous miss always decompressed the whole
         // block, so the block's other line may already be sitting there.
+        // Buffer hits bypass memory, so the memory-side fault domains do
+        // not apply; resident-data strikes are the pipeline's I-cache-line
+        // domain.
         if self.config.output_buffer && self.buffer_block == Some(block) {
             self.stats.buffer_hits += 1;
             self.stats.total_critical_cycles += BUFFER_HIT_CYCLES;
+            if obs.enabled() {
+                obs.emit(now + BUFFER_HIT_CYCLES, EventKind::BufferHit { block });
+            }
             return MissService {
                 critical_ready: BUFFER_HIT_CYCLES,
                 line_fill_complete: BUFFER_HIT_CYCLES,
                 source: MissSource::OutputBuffer,
                 index_hit: None,
                 index_cycles: 0,
+                machine_check: false,
             };
         }
 
         // Index lookup, probed in parallel with the L1: a hit is free.
         let group = self.image.group_of_insn(insn);
-        let (t_index, index_hit) = match self.config.index_cache {
+        let (mut t_index, index_hit) = match self.config.index_cache {
             IndexCacheModel::Perfect => (0, Some(true)),
             IndexCacheModel::None => {
                 self.stats.memory_beats += u64::from(self.timing.beats_for(INDEX_ENTRY_BYTES));
@@ -421,17 +535,233 @@ impl FetchEngine for CodePackFetch {
             }
         };
 
-        // Burst-read the compressed block and decode it, overlapped.
-        let info = self.image.block_info(block);
-        self.stats.memory_beats += u64::from(self.timing.beats_for(u32::from(info.byte_len)));
-        let ready = self.decode_schedule(block, t_index + u64::from(self.config.request_overhead));
+        // Index-SRAM fault domain: a struck entry is caught by parity (odd
+        // flips only) and cured by re-reading the entry from main memory,
+        // whose copy is assumed good. Undetected strikes escape silently —
+        // the simulator meters the escape; the functional machine remains
+        // the execution oracle.
+        if let Some(p) = self.protection {
+            let entry_addr = group * INDEX_ENTRY_BYTES;
+            if let Some(flips) = p.faults.probe(
+                now,
+                u64::from(entry_addr),
+                FaultDomain::Index,
+                INDEX_ENTRY_BYTES * 8,
+            ) {
+                self.faults.injected += 1;
+                let detected = p.integrity.index_parity && flips.parity_detects();
+                Self::emit_fault(
+                    obs,
+                    now + t_index,
+                    FaultDomain::Index,
+                    entry_addr,
+                    &flips,
+                    detected,
+                );
+                if detected {
+                    self.faults.detected += 1;
+                    self.faults.retries += 1;
+                    if obs.enabled() {
+                        obs.emit(
+                            now + t_index,
+                            EventKind::FaultRetry {
+                                area: FaultArea::Index,
+                                attempt: 1,
+                            },
+                        );
+                    }
+                    self.stats.memory_beats += u64::from(self.timing.beats_for(INDEX_ENTRY_BYTES));
+                    t_index += self.timing.burst_read_cycles(INDEX_ENTRY_BYTES)
+                        + u64::from(p.integrity.check_cycles);
+                    self.faults.recovered += 1;
+                } else {
+                    self.faults.silent += 1;
+                }
+            }
+        }
+
+        if obs.enabled() {
+            if let Some(hit) = index_hit {
+                obs.emit(
+                    now + t_index,
+                    EventKind::IndexLookup {
+                        group,
+                        hit,
+                        cycles: t_index,
+                    },
+                );
+            }
+        }
+
+        let info = self.image.block_info(block).clone();
+        let payload = u32::from(info.byte_len);
+        let (overhead, check_cycles) = match self.protection {
+            Some(p) => (
+                p.integrity.stream.overhead_bytes(payload),
+                u64::from(p.integrity.check_cycles),
+            ),
+            None => (0, 0),
+        };
+        let protected_read = self.timing.burst_read_cycles(payload + overhead) + check_cycles;
+
+        // Dictionary-SRAM fault domain: parity-detected strikes reload the
+        // entry from the dictionary's ROM image before decode can start.
+        let mut t_extra = 0u64;
+        if let Some(p) = self.protection {
+            if let Some(flips) = p
+                .faults
+                .probe(now, u64::from(block), FaultDomain::Dictionary, 16)
+            {
+                self.faults.injected += 1;
+                let detected = p.integrity.dict_parity && flips.parity_detects();
+                Self::emit_fault(
+                    obs,
+                    now + t_index,
+                    FaultDomain::Dictionary,
+                    block,
+                    &flips,
+                    detected,
+                );
+                if detected {
+                    self.faults.detected += 1;
+                    self.faults.retries += 1;
+                    if obs.enabled() {
+                        obs.emit(
+                            now + t_index,
+                            EventKind::FaultRetry {
+                                area: FaultArea::Dictionary,
+                                attempt: 1,
+                            },
+                        );
+                    }
+                    self.stats.memory_beats += u64::from(self.timing.beats_for(DICT_ENTRY_BYTES));
+                    t_extra += self.timing.burst_read_cycles(DICT_ENTRY_BYTES)
+                        + u64::from(p.integrity.check_cycles);
+                    self.faults.recovered += 1;
+                } else {
+                    self.faults.silent += 1;
+                }
+            }
+        }
+
+        // Compressed-stream fault domain: detect → re-fetch → trap. Each
+        // read of the block is an independent strike opportunity (keyed on
+        // the attempt number); detection is the armed stream check or the
+        // codec rejecting the corrupted bytes. Detections in a service that
+        // eventually reads clean are `recovered`; if the re-fetch budget
+        // runs out they all become `trapped` and the service is marked for
+        // a machine check.
+        let mut stream_extra = 0u64;
+        let mut machine_check = false;
+        if let Some(p) = self.protection {
+            let mut pending = 0u64;
+            let mut attempt = 0u32;
+            loop {
+                let flips = match p.faults.probe(
+                    now + u64::from(attempt),
+                    u64::from(info.byte_offset),
+                    FaultDomain::Stream,
+                    payload * 8,
+                ) {
+                    None => {
+                        self.faults.recovered += pending;
+                        break;
+                    }
+                    Some(flips) => flips,
+                };
+                self.faults.injected += 1;
+                let detected = p.integrity.stream.detects(&flips)
+                    || !self.corrupted_block_decodes(block, &flips);
+                let fault_addr = info.byte_offset + flips.bits[0] / 8;
+                Self::emit_fault(
+                    obs,
+                    now + t_index + t_extra + stream_extra,
+                    FaultDomain::Stream,
+                    fault_addr,
+                    &flips,
+                    detected,
+                );
+                if !detected {
+                    self.faults.silent += 1;
+                    self.faults.recovered += pending;
+                    break;
+                }
+                self.faults.detected += 1;
+                pending += 1;
+                if attempt >= p.max_refetch {
+                    self.faults.trapped += pending;
+                    self.faults.machine_checks += 1;
+                    // The final, doomed read still occupied the bus and
+                    // the checker.
+                    self.stats.memory_beats += u64::from(self.timing.beats_for(payload + overhead));
+                    stream_extra += protected_read;
+                    machine_check = true;
+                    break;
+                }
+                attempt += 1;
+                self.faults.retries += 1;
+                self.stats.memory_beats += u64::from(self.timing.beats_for(payload + overhead));
+                stream_extra += protected_read;
+                if obs.enabled() {
+                    obs.emit(
+                        now + t_index + t_extra + stream_extra,
+                        EventKind::FaultRetry {
+                            area: FaultArea::Stream,
+                            attempt,
+                        },
+                    );
+                }
+            }
+        }
+
+        if machine_check {
+            let elapsed =
+                t_index + u64::from(self.config.request_overhead) + t_extra + stream_extra;
+            self.stats.total_critical_cycles += elapsed;
+            return MissService {
+                critical_ready: elapsed,
+                line_fill_complete: elapsed,
+                source: MissSource::Decompressor,
+                index_hit,
+                index_cycles: t_index,
+                machine_check: true,
+            };
+        }
+
+        // Burst-read the compressed block and decode it, overlapped. The
+        // decode schedule is unchanged by protection (check bytes trail the
+        // payload); fail-stop delivery gates every instruction on the
+        // integrity check completing.
+        self.stats.memory_beats += u64::from(self.timing.beats_for(payload + overhead));
+        let t_start = t_index + u64::from(self.config.request_overhead) + t_extra + stream_extra;
+        let ready = self.decode_schedule(block, t_start);
+        let gate = match self.protection {
+            Some(p) if p.integrity.stream != StreamIntegrity::None => t_start + protected_read,
+            _ => 0,
+        };
+
+        if obs.enabled() {
+            for (beat, bytes, done) in self.timing.burst_schedule(payload + overhead) {
+                obs.emit(now + t_start + done, EventKind::BurstBeat { beat, bytes });
+            }
+            for (j, &t) in ready.iter().enumerate() {
+                let insn = block * BLOCK_INSNS + j as u32;
+                let kind = if info.raw_mask & (1 << j) != 0 {
+                    EventKind::RawInsn { insn }
+                } else {
+                    EventKind::DictInsn { insn }
+                };
+                obs.emit(now + t, kind);
+            }
+        }
 
         let critical_ready = if self.config.forwarding {
             ready[within]
         } else {
             ready[line_start + insns_per_line - 1]
-        };
-        let line_fill_complete = ready[line_start + insns_per_line - 1];
+        }
+        .max(gate);
+        let line_fill_complete = ready[line_start + insns_per_line - 1].max(gate);
         if self.config.output_buffer {
             self.buffer_block = Some(block);
         }
@@ -443,7 +773,16 @@ impl FetchEngine for CodePackFetch {
             source: MissSource::Decompressor,
             index_hit,
             index_cycles: t_index,
+            machine_check: false,
         }
+    }
+}
+
+impl FetchEngine for CodePackFetch {
+    fn service_miss(&mut self, critical_addr: u32, line_bytes: u32) -> MissService {
+        let now = self.pseudo_cycle;
+        self.pseudo_cycle += 1;
+        self.service_at(critical_addr, line_bytes, now, &mut Obs::disabled())
     }
 
     fn service_miss_traced(
@@ -453,51 +792,15 @@ impl FetchEngine for CodePackFetch {
         now: u64,
         obs: &mut Obs,
     ) -> MissService {
-        let svc = self.service_miss(critical_addr, line_bytes);
-        if !obs.enabled() {
-            return svc;
-        }
-        // Reconstruct the decompressor's internal timeline from the service
-        // result and the image metadata — the emit path never perturbs the
-        // timing model itself.
-        let insn = (critical_addr - self.text_base) / 4;
-        let block = self.image.block_of_insn(insn);
-        if svc.source == MissSource::OutputBuffer {
-            obs.emit(now + svc.critical_ready, EventKind::BufferHit { block });
-            return svc;
-        }
-        if let Some(hit) = svc.index_hit {
-            obs.emit(
-                now + svc.index_cycles,
-                EventKind::IndexLookup {
-                    group: self.image.group_of_insn(insn),
-                    hit,
-                    cycles: svc.index_cycles,
-                },
-            );
-        }
-        let t_start = svc.index_cycles + u64::from(self.config.request_overhead);
-        let info = self.image.block_info(block);
-        let byte_len = u32::from(info.byte_len);
-        let raw_mask = info.raw_mask;
-        for (beat, bytes, done) in self.timing.burst_schedule(byte_len) {
-            obs.emit(now + t_start + done, EventKind::BurstBeat { beat, bytes });
-        }
-        let ready = self.decode_schedule(block, t_start);
-        for (j, &t) in ready.iter().enumerate() {
-            let insn = block * BLOCK_INSNS + j as u32;
-            let kind = if raw_mask & (1 << j) != 0 {
-                EventKind::RawInsn { insn }
-            } else {
-                EventKind::DictInsn { insn }
-            };
-            obs.emit(now + t, kind);
-        }
-        svc
+        self.service_at(critical_addr, line_bytes, now, obs)
     }
 
     fn stats(&self) -> FetchStats {
         self.stats
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.faults
     }
 
     fn name(&self) -> &'static str {
@@ -511,6 +814,8 @@ impl std::fmt::Debug for CodePackFetch {
             .field("config", &self.config)
             .field("buffer_block", &self.buffer_block)
             .field("stats", &self.stats)
+            .field("protection", &self.protection)
+            .field("faults", &self.faults)
             .finish()
     }
 }

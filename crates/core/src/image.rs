@@ -308,14 +308,49 @@ impl CodePackImage {
 
     /// Test-only: constructs an image with corrupted stream bytes, keeping
     /// dictionaries and index intact. Used by failure-injection tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorruptionOutOfRange`] when `at` lies past the compressed
+    /// stream — an out-of-range position used to be ignored, which let a
+    /// fault-injection test silently exercise the clean image.
     #[doc(hidden)]
-    pub fn with_corrupted_bytes(mut self, at: usize, value: u8) -> CodePackImage {
-        if at < self.bytes.len() {
-            self.bytes[at] = value;
+    pub fn with_corrupted_bytes(
+        mut self,
+        at: usize,
+        value: u8,
+    ) -> Result<CodePackImage, CorruptionOutOfRange> {
+        if at >= self.bytes.len() {
+            return Err(CorruptionOutOfRange {
+                at,
+                len: self.bytes.len(),
+            });
         }
-        self
+        self.bytes[at] = value;
+        Ok(self)
     }
 }
+
+/// A corruption request aimed past the end of the compressed stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorruptionOutOfRange {
+    /// Requested byte position.
+    pub at: usize,
+    /// Length of the compressed stream.
+    pub len: usize,
+}
+
+impl std::fmt::Display for CorruptionOutOfRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corruption offset {} is outside the {}-byte compressed stream",
+            self.at, self.len
+        )
+    }
+}
+
+impl std::error::Error for CorruptionOutOfRange {}
 
 /// Decodes one compression block from raw stream bytes with the given
 /// dictionaries — the low-level entry point a hardware decompressor
@@ -695,6 +730,18 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_text_panics() {
         let _ = CodePackImage::compress(&[], &CompressionConfig::default());
+    }
+
+    #[test]
+    fn out_of_range_corruption_is_rejected() {
+        let text = repetitive_text(32);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        let len = img.compressed_bytes().len();
+        let err = img.clone().with_corrupted_bytes(len, 0xff).unwrap_err();
+        assert_eq!(err, CorruptionOutOfRange { at: len, len });
+        assert!(err.to_string().contains("outside"));
+        let ok = img.with_corrupted_bytes(0, 0xff).unwrap();
+        assert_eq!(ok.compressed_bytes()[0], 0xff);
     }
 
     #[test]

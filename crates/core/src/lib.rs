@@ -58,7 +58,9 @@ pub use fetch::{
     CodePackFetch, DecompressorConfig, FetchEngine, FetchStats, IndexCacheModel, MissService,
     MissSource, NativeFetch,
 };
-pub use image::{decode_block_bytes, BlockInfo, CodePackImage, CompressionConfig};
+pub use image::{
+    decode_block_bytes, BlockInfo, CodePackImage, CompressionConfig, CorruptionOutOfRange,
+};
 pub use layout::{BLOCKS_PER_GROUP, BLOCK_INSNS, GROUP_INSNS};
 pub use optimize::{canonicalize_commutative, CanonicalizeStats};
 pub use rom::{RomError, ROM_MAGIC};

@@ -40,6 +40,13 @@ pub enum ExecError {
         /// The `$v0` value.
         code: u32,
     },
+    /// A soft error in the instruction-memory system was detected but could
+    /// not be recovered within the re-fetch budget; the pipeline retired a
+    /// precise machine-check trap instead of the faulted instruction.
+    MachineCheck {
+        /// PC whose fetch exhausted recovery.
+        pc: u32,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -52,6 +59,12 @@ impl fmt::Display for ExecError {
             ExecError::Break { pc } => write!(f, "break trap at {pc:#010x}"),
             ExecError::UnknownSyscall { pc, code } => {
                 write!(f, "unknown syscall {code} at {pc:#010x}")
+            }
+            ExecError::MachineCheck { pc } => {
+                write!(
+                    f,
+                    "machine check: unrecoverable instruction-fetch fault at {pc:#010x}"
+                )
             }
         }
     }

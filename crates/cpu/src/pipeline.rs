@@ -20,8 +20,10 @@
 
 use codepack_core::{FetchEngine, MissSource};
 use codepack_isa::{Instruction, Reg};
-use codepack_mem::{Cache, CacheConfig, CacheStats, MemoryTiming};
-use codepack_obs::{EventKind, MissOrigin, Obs};
+use codepack_mem::{
+    Cache, CacheConfig, CacheStats, FaultDomain, FaultStats, MemoryTiming, SoftErrorConfig,
+};
+use codepack_obs::{names, EventKind, FaultArea, MissOrigin, Obs};
 
 use crate::bpred::{DirectionPredictor, PredictorConfig, ReturnAddressStack};
 use crate::exec::{ExecError, Machine, StepInfo};
@@ -196,6 +198,9 @@ pub struct PipelineStats {
     pub mispredicts: u64,
     /// Indirect jumps whose target was mispredicted (incl. RAS misses).
     pub indirect_mispredicts: u64,
+    /// Soft-error ledger: pipeline-side (resident I-cache line) strikes
+    /// merged with the fetch engine's memory-side domains at end of run.
+    pub faults: FaultStats,
 }
 
 impl PipelineStats {
@@ -268,6 +273,12 @@ pub struct Pipeline {
     seq: u64,
     mem_seq: u64,
     stats: PipelineStats,
+    /// Soft-error configuration for resident I-cache lines; `None` leaves
+    /// the hit path untouched.
+    soft_errors: Option<SoftErrorConfig>,
+    /// Set when the fetch engine reports an unrecoverable fault; [`Self::run`]
+    /// turns it into a precise [`ExecError::MachineCheck`].
+    pending_machine_check: Option<u32>,
     /// Observability handle; [`Obs::disabled`] (the default) costs one
     /// predictable branch per instrumentation site.
     obs: Obs,
@@ -495,6 +506,8 @@ impl Pipeline {
             seq: 0,
             mem_seq: 0,
             stats: PipelineStats::default(),
+            soft_errors: None,
+            pending_machine_check: None,
             obs: Obs::disabled(),
             config,
         }
@@ -523,6 +536,22 @@ impl Pipeline {
         self.fetch_engine.as_ref()
     }
 
+    /// Arms (or disarms, with `None`) soft-error injection on resident
+    /// I-cache lines. The same configuration's memory-side domains are the
+    /// fetch engine's responsibility — install it there with
+    /// `CodePackFetch::with_protection`; this method covers only strikes on
+    /// data already resident in the L1 I-cache.
+    pub fn set_soft_errors(&mut self, soft_errors: Option<SoftErrorConfig>) {
+        self.soft_errors = soft_errors;
+    }
+
+    /// The statistics accumulated so far. After [`Self::run`] returns
+    /// `Err(ExecError::MachineCheck { .. })` this still carries the cycle
+    /// and fault ledger up to the trap.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
     /// Installs a unified L2 between the L1 I-cache and the miss engine.
     /// L1 misses that hit the L2 are served at `hit_cycles`; only L2 misses
     /// reach the engine (which also fills the L2).
@@ -535,7 +564,10 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Propagates functional-execution errors ([`ExecError`]).
+    /// Propagates functional-execution errors ([`ExecError`]), including the
+    /// precise [`ExecError::MachineCheck`] raised when a detected soft error
+    /// exhausts its re-fetch budget; partial statistics remain readable
+    /// through [`Self::stats`] in that case.
     pub fn run(
         &mut self,
         machine: &mut Machine,
@@ -547,13 +579,24 @@ impl Pipeline {
                 break;
             }
             self.account(&info);
+            if let Some(pc) = self.pending_machine_check {
+                self.finish_stats();
+                return Err(ExecError::MachineCheck { pc });
+            }
         }
+        self.finish_stats();
+        Ok(self.stats)
+    }
+
+    /// Snapshots cache statistics, merges the fetch engine's fault ledger,
+    /// and folds end-of-run metrics into the observability registry.
+    fn finish_stats(&mut self) {
         self.stats.icache = self.icache.stats();
         self.stats.dcache = self.dcache.stats();
         self.stats.l2 = self.l2.as_ref().map(|(c, _)| c.stats());
         self.stats.cycles = self.commit_cycle.max(1);
+        self.stats.faults.merge(&self.fetch_engine.fault_stats());
         self.finalize_obs();
-        Ok(self.stats)
     }
 
     /// Folds end-of-run counters into the observability registry (no-op
@@ -590,6 +633,19 @@ impl Pipeline {
         self.obs.incr("bpred.lookups", p.lookups);
         self.obs.incr("bpred.correct", p.correct);
         self.obs.set_gauge("bpred.accuracy", p.accuracy());
+        // Fault counters only appear once a fault actually fired, so a run
+        // armed at rate 0 stays metric-identical to an unarmed run.
+        let ft = s.faults;
+        if !ft.is_empty() {
+            self.obs.incr(names::FAULT_INJECTED, ft.injected);
+            self.obs.incr(names::FAULT_DETECTED, ft.detected);
+            self.obs.incr(names::FAULT_RECOVERED, ft.recovered);
+            self.obs.incr(names::FAULT_TRAPPED, ft.trapped);
+            self.obs.incr(names::FAULT_SILENT, ft.silent);
+            self.obs.incr(names::FAULT_RETRIES, ft.retries);
+            self.obs
+                .incr(names::FAULT_MACHINE_CHECKS, ft.machine_checks);
+        }
     }
 
     /// Accounts one retired instruction. Exposed for fine-grained tests.
@@ -606,7 +662,11 @@ impl Pipeline {
                 self.fetch_cycle += 1;
                 self.fetched_this_cycle = 0;
             }
-            if self.icache.access(info.pc) {
+            let mut hit = self.icache.access(info.pc);
+            if hit {
+                hit = self.probe_resident_line(line, line_bytes);
+            }
+            if hit {
                 self.miss_stream = None;
             } else {
                 self.obs
@@ -627,6 +687,18 @@ impl Pipeline {
                         self.fetch_cycle,
                         &mut self.obs,
                     );
+                    if svc.machine_check {
+                        // Unrecoverable fault: the instruction never
+                        // retires; the trap is precise at this pc, stamped
+                        // when the exhausted service gave up.
+                        self.stats.instructions -= 1;
+                        let trap_at = self.fetch_cycle + svc.critical_ready;
+                        self.obs
+                            .emit(trap_at, EventKind::MachineCheck { pc: info.pc });
+                        self.commit_cycle = self.commit_cycle.max(trap_at);
+                        self.pending_machine_check = Some(info.pc);
+                        return;
+                    }
                     let origin = match svc.source {
                         MissSource::Memory => MissOrigin::Memory,
                         MissSource::Decompressor => MissOrigin::Decompressor,
@@ -794,6 +866,62 @@ impl Pipeline {
 
         // ---- control flow: redirect fetch ----
         self.steer_fetch(info, fetch_t, wb_t);
+    }
+
+    /// Decides whether a soft error strikes the resident I-cache line being
+    /// fetched this cycle. Returns `false` when a parity-detected strike
+    /// forces the line to be invalidated and re-fetched through the normal
+    /// miss path (whose service cycles then model the recovery cost).
+    fn probe_resident_line(&mut self, line: u32, line_bytes: u32) -> bool {
+        let Some(cfg) = self.soft_errors else {
+            return true;
+        };
+        let Some(flips) = cfg.faults.probe(
+            self.fetch_cycle,
+            u64::from(line),
+            FaultDomain::IcacheLine,
+            line_bytes * 8,
+        ) else {
+            return true;
+        };
+        self.stats.faults.injected += 1;
+        let area = FaultArea::IcacheLine;
+        if self.obs.enabled() {
+            self.obs.emit(
+                self.fetch_cycle,
+                EventKind::FaultInjected {
+                    area,
+                    addr: line,
+                    flips: flips.count,
+                },
+            );
+        }
+        if cfg.integrity.icache_parity && flips.parity_detects() {
+            // Parity caught the strike: invalidate and re-fetch. The gold
+            // copy lives behind the miss engine, so one re-fetch always
+            // cures an I-cache-resident fault.
+            self.stats.faults.detected += 1;
+            self.stats.faults.recovered += 1;
+            self.stats.faults.retries += 1;
+            if self.obs.enabled() {
+                self.obs.emit(
+                    self.fetch_cycle,
+                    EventKind::FaultDetected { area, addr: line },
+                );
+                self.obs
+                    .emit(self.fetch_cycle, EventKind::FaultRetry { area, attempt: 1 });
+            }
+            false
+        } else {
+            self.stats.faults.silent += 1;
+            if self.obs.enabled() {
+                self.obs.emit(
+                    self.fetch_cycle,
+                    EventKind::FaultSilent { area, addr: line },
+                );
+            }
+            true
+        }
     }
 
     /// Applies branch prediction and redirects the fetch cursor.

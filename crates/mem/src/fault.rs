@@ -1,0 +1,519 @@
+//! Deterministic soft-error injection and memory-integrity modeling.
+//!
+//! Embedded parts running compressed code keep their working set in exactly
+//! the structures a particle strike hurts most: a variable-length stream
+//! (one flipped codeword bit misaligns the rest of the block), a packed
+//! index table, and small dictionary SRAMs. This module models those
+//! strikes and the protection hardware that catches them:
+//!
+//! * [`FaultModel`] — a zero-wall-clock fault process. Whether a given
+//!   access is struck is a *pure function* of `(seed, domain, cycle,
+//!   address)`, so any run is bit-reproducible at any worker count and a
+//!   protected run at rate 0 is byte-identical to an unprotected one.
+//! * [`IntegrityConfig`] — which checks are armed (per-block CRC-32 or
+//!   interleaved parity over the compressed stream; parity over index and
+//!   dictionary SRAM; parity over resident I-cache lines) and what each
+//!   costs in bus bytes and checker cycles.
+//! * [`FaultStats`] — the conservation ledger: every injected fault is
+//!   either detected (and then recovered or trapped) or escapes silently,
+//!   and `injected == recovered + trapped + silent` always holds.
+//!
+//! The fetch-path recovery state machine that consumes these types lives in
+//! `codepack-core`; the pipeline's machine-check trap in `codepack-cpu`.
+
+use codepack_testkit::{mix_seed, Rng};
+
+/// The four storage domains the fault model can strike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultDomain {
+    /// Compressed instruction stream bytes in main memory.
+    Stream,
+    /// Index-table entries (group → byte offset).
+    Index,
+    /// Dictionary SRAM entries.
+    Dictionary,
+    /// A resident L1 I-cache line.
+    IcacheLine,
+}
+
+impl FaultDomain {
+    /// Stable lower-case name (used in trace events and reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultDomain::Stream => "stream",
+            FaultDomain::Index => "index",
+            FaultDomain::Dictionary => "dict",
+            FaultDomain::IcacheLine => "icache",
+        }
+    }
+
+    /// Decorrelation tag mixed into the PRNG key, so the same
+    /// (cycle, address) pair draws independently per domain.
+    fn stream_tag(self) -> u64 {
+        match self {
+            FaultDomain::Stream => 0x5354_5245_414d,     // "STREAM"
+            FaultDomain::Index => 0x4944_58,             // "IDX"
+            FaultDomain::Dictionary => 0x4449_4354,      // "DICT"
+            FaultDomain::IcacheLine => 0x4943_4143_4845, // "ICACHE"
+        }
+    }
+}
+
+/// The bit flips one fault event applies. At most two bits flip — enough to
+/// distinguish parity (odd flips only) from CRC (any flips) detection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flips {
+    /// Number of flipped bits: 1 or 2.
+    pub count: u32,
+    /// Bit positions within the probed word/region (only `bits[..count]`
+    /// are meaningful; positions are distinct).
+    pub bits: [u32; 2],
+}
+
+impl Flips {
+    /// Whether parity (an odd-flip detector) catches this event.
+    pub fn parity_detects(&self) -> bool {
+        self.count % 2 == 1
+    }
+}
+
+/// One in `DOUBLE_BIT_DENOM` fault events flips two bits instead of one —
+/// the multi-bit tail that defeats parity but not CRC.
+const DOUBLE_BIT_DENOM: u64 = 4;
+
+/// Parts-per-billion denominator for [`FaultModel::ppb`].
+pub const PPB_SCALE: u64 = 1_000_000_000;
+
+/// A deterministic soft-error process.
+///
+/// `ppb` is the probability, in parts per billion, that a single probed
+/// access is struck (`1_000_000_000` = every access faults). Rates are per
+/// *access opportunity* — one draw per stream/index/dictionary read or
+/// I-cache line hit — not per simulated cycle, so slower machines do not
+/// see more faults for the same instruction count.
+///
+/// ```
+/// use codepack_mem::{FaultDomain, FaultModel};
+/// let m = FaultModel::new(7, 1_000_000_000); // every access faults
+/// let a = m.probe(100, 0x40, FaultDomain::Stream, 64).unwrap();
+/// let b = m.probe(100, 0x40, FaultDomain::Stream, 64).unwrap();
+/// assert_eq!(a, b, "same key, same flips");
+/// assert!(FaultModel::new(7, 0).probe(100, 0x40, FaultDomain::Stream, 64).is_none());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultModel {
+    /// Root seed of the fault process.
+    pub seed: u64,
+    /// Strike probability per probed access, in parts per billion.
+    pub ppb: u32,
+}
+
+impl FaultModel {
+    /// A fault process striking with probability `ppb / 1e9` per access.
+    pub fn new(seed: u64, ppb: u32) -> FaultModel {
+        assert!(
+            u64::from(ppb) <= PPB_SCALE,
+            "fault rate {ppb} exceeds 1e9 parts per billion"
+        );
+        FaultModel { seed, ppb }
+    }
+
+    /// A process that never fires (rate 0).
+    pub fn none() -> FaultModel {
+        FaultModel { seed: 0, ppb: 0 }
+    }
+
+    /// Decides whether the access at (`cycle`, `addr`) in `domain` is
+    /// struck, and if so which of its `width_bits` bits flip. Pure: the
+    /// same key always returns the same answer, and a rate of 0 returns
+    /// `None` without touching the PRNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits == 0`.
+    pub fn probe(
+        &self,
+        cycle: u64,
+        addr: u64,
+        domain: FaultDomain,
+        width_bits: u32,
+    ) -> Option<Flips> {
+        if self.ppb == 0 {
+            return None;
+        }
+        assert!(width_bits > 0, "cannot flip bits in a zero-width region");
+        let key = mix_seed(
+            mix_seed(mix_seed(self.seed, domain.stream_tag()), cycle),
+            addr,
+        );
+        let mut rng = Rng::seed_from_u64(key);
+        if rng.bounded_u64(PPB_SCALE) >= u64::from(self.ppb) {
+            return None;
+        }
+        let first = rng.bounded_u64(u64::from(width_bits)) as u32;
+        let double = width_bits > 1 && rng.bounded_u64(DOUBLE_BIT_DENOM) == 0;
+        if !double {
+            return Some(Flips {
+                count: 1,
+                bits: [first, 0],
+            });
+        }
+        // Second flip: a distinct position, chosen without rejection so the
+        // draw count stays fixed.
+        let second = (first + 1 + rng.bounded_u64(u64::from(width_bits) - 1) as u32) % width_bits;
+        Some(Flips {
+            count: 2,
+            bits: [first, second],
+        })
+    }
+}
+
+/// Integrity check over the compressed instruction stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StreamIntegrity {
+    /// No stream protection; corruption is caught only if it happens to
+    /// break the codec (a `DecompressError`).
+    None,
+    /// One interleaved parity bit per payload byte, checked beat by beat.
+    /// Catches odd-bit flips; transparent to double-bit events.
+    Parity,
+    /// A 4-byte CRC-32 appended to each compressed block, checked after the
+    /// last beat. Catches all 1- and 2-bit flips the model injects.
+    Crc32,
+}
+
+impl StreamIntegrity {
+    /// Stable lower-case name (used in campaign labels and reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StreamIntegrity::None => "none",
+            StreamIntegrity::Parity => "parity",
+            StreamIntegrity::Crc32 => "crc32",
+        }
+    }
+
+    /// Extra bus bytes a protected read of `payload` bytes transfers.
+    pub fn overhead_bytes(&self, payload: u32) -> u32 {
+        match self {
+            StreamIntegrity::None => 0,
+            StreamIntegrity::Parity => payload.div_ceil(8),
+            StreamIntegrity::Crc32 => 4,
+        }
+    }
+
+    /// Whether this check catches a given flip pattern.
+    pub fn detects(&self, flips: &Flips) -> bool {
+        match self {
+            StreamIntegrity::None => false,
+            StreamIntegrity::Parity => flips.parity_detects(),
+            StreamIntegrity::Crc32 => true,
+        }
+    }
+}
+
+/// Which integrity hardware is armed, and what checking costs.
+///
+/// Index, dictionary, and I-cache parity are modeled as widened SRAM —
+/// the parity bits ride in the same physical word, so they add checker
+/// cycles but no bus beats. Stream protection travels over the bus with
+/// the block and does add beats (see [`StreamIntegrity::overhead_bytes`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IntegrityConfig {
+    /// Check over compressed stream blocks.
+    pub stream: StreamIntegrity,
+    /// Parity over index-table entries.
+    pub index_parity: bool,
+    /// Parity over dictionary SRAM entries.
+    pub dict_parity: bool,
+    /// Parity over resident I-cache lines.
+    pub icache_parity: bool,
+    /// Cycles the checker adds after the protected data arrives (CRC
+    /// comparison, syndrome check). Parity is checked in-flight and pays
+    /// this only when it fires a retry.
+    pub check_cycles: u32,
+}
+
+impl IntegrityConfig {
+    /// No protection anywhere.
+    pub fn none() -> IntegrityConfig {
+        IntegrityConfig {
+            stream: StreamIntegrity::None,
+            index_parity: false,
+            dict_parity: false,
+            icache_parity: false,
+            check_cycles: 0,
+        }
+    }
+
+    /// Parity everywhere (odd-bit detection, cheapest hardware).
+    pub fn parity() -> IntegrityConfig {
+        IntegrityConfig {
+            stream: StreamIntegrity::Parity,
+            index_parity: true,
+            dict_parity: true,
+            icache_parity: true,
+            check_cycles: 1,
+        }
+    }
+
+    /// CRC-32 over the stream plus parity over the SRAMs — the strongest
+    /// configuration this model offers.
+    pub fn crc32() -> IntegrityConfig {
+        IntegrityConfig {
+            stream: StreamIntegrity::Crc32,
+            index_parity: true,
+            dict_parity: true,
+            icache_parity: true,
+            check_cycles: 2,
+        }
+    }
+
+    /// Stable lower-case name of the configuration's stream check —
+    /// campaign tables key protection columns on this.
+    pub fn label(&self) -> &'static str {
+        self.stream.as_str()
+    }
+}
+
+/// The complete soft-error configuration a simulation arms: the fault
+/// process, the integrity hardware, and the recovery budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SoftErrorConfig {
+    /// The fault injection process.
+    pub faults: FaultModel,
+    /// The armed integrity checks.
+    pub integrity: IntegrityConfig,
+    /// Bounded re-fetch attempts after a detection before the fetch engine
+    /// gives up and raises a machine check.
+    pub max_refetch: u32,
+}
+
+impl SoftErrorConfig {
+    /// Faults at `ppb` with the given integrity, 3 re-fetch attempts.
+    pub fn new(seed: u64, ppb: u32, integrity: IntegrityConfig) -> SoftErrorConfig {
+        SoftErrorConfig {
+            faults: FaultModel::new(seed, ppb),
+            integrity,
+            max_refetch: 3,
+        }
+    }
+
+    /// Returns the config with a different re-fetch budget.
+    pub fn with_max_refetch(mut self, max_refetch: u32) -> SoftErrorConfig {
+        self.max_refetch = max_refetch;
+        self
+    }
+}
+
+/// The fault-outcome ledger. Conservation invariant (enforced by tests and
+/// checked by [`FaultStats::verify`]): every injected fault is recovered,
+/// trapped, or silent — `injected == recovered + trapped + silent` and
+/// `detected == recovered + trapped`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Fault events the model injected.
+    pub injected: u64,
+    /// Injected faults an armed check (or the codec) caught.
+    pub detected: u64,
+    /// Detected faults cured by re-fetch.
+    pub recovered: u64,
+    /// Detected faults that exhausted the re-fetch budget and raised a
+    /// machine check.
+    pub trapped: u64,
+    /// Injected faults no check caught — silent corruption escapes.
+    pub silent: u64,
+    /// Re-fetch attempts issued (≥ `recovered`; retries that themselves
+    /// faulted count each attempt).
+    pub retries: u64,
+    /// Machine-check traps raised (one per trapped miss, which may carry
+    /// several trapped faults).
+    pub machine_checks: u64,
+}
+
+impl FaultStats {
+    /// Folds another ledger into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.injected += other.injected;
+        self.detected += other.detected;
+        self.recovered += other.recovered;
+        self.trapped += other.trapped;
+        self.silent += other.silent;
+        self.retries += other.retries;
+        self.machine_checks += other.machine_checks;
+    }
+
+    /// True when nothing was ever injected (the armed-but-rate-0 case).
+    pub fn is_empty(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Checks the conservation invariant, returning the ledger for
+    /// chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counters do not conserve.
+    pub fn verify(&self) -> &FaultStats {
+        assert_eq!(
+            self.injected,
+            self.recovered + self.trapped + self.silent,
+            "fault ledger does not conserve: {self:?}"
+        );
+        assert_eq!(
+            self.detected,
+            self.recovered + self.trapped,
+            "detected faults must be recovered or trapped: {self:?}"
+        );
+        self
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), computed bitwise.
+/// This is the reference formulation, not a table-driven fast path — the
+/// simulator checksums a few dozen bytes per miss, and the workspace takes
+/// no dependency that would provide one.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_is_a_pure_function_of_its_key() {
+        let m = FaultModel::new(42, 500_000_000);
+        for cycle in [0u64, 17, 1 << 40] {
+            for addr in [0u64, 0x40_0000, u64::MAX] {
+                let a = m.probe(cycle, addr, FaultDomain::Stream, 256);
+                let b = m.probe(cycle, addr, FaultDomain::Stream, 256);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_zero_never_fires_and_rate_full_always_fires() {
+        let off = FaultModel::new(9, 0);
+        let on = FaultModel::new(9, PPB_SCALE as u32);
+        for i in 0..200u64 {
+            assert!(off.probe(i, i * 8, FaultDomain::Index, 32).is_none());
+            let f = on.probe(i, i * 8, FaultDomain::Index, 32).unwrap();
+            assert!((1..=2).contains(&f.count));
+            assert!(f.bits[..f.count as usize].iter().all(|&b| b < 32));
+            if f.count == 2 {
+                assert_ne!(f.bits[0], f.bits[1], "double flips hit distinct bits");
+            }
+        }
+    }
+
+    #[test]
+    fn domains_draw_independent_streams() {
+        let m = FaultModel::new(3, PPB_SCALE as u32);
+        let a = m.probe(5, 0x100, FaultDomain::Stream, 512).unwrap();
+        let b = m.probe(5, 0x100, FaultDomain::Dictionary, 512).unwrap();
+        // Same key apart from the domain tag; identical flips would mean
+        // the tag is not mixed in.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn observed_rate_tracks_ppb() {
+        // 10% rate over 10k probes: expect ~1000 hits, loosely bounded.
+        let m = FaultModel::new(11, 100_000_000);
+        let hits = (0..10_000u64)
+            .filter(|&i| {
+                m.probe(i, 0x40_0000 + i * 4, FaultDomain::Stream, 64)
+                    .is_some()
+            })
+            .count();
+        assert!((800..1200).contains(&hits), "10% rate gave {hits}/10000");
+    }
+
+    #[test]
+    fn multi_bit_flips_occur_and_defeat_parity() {
+        let m = FaultModel::new(13, PPB_SCALE as u32);
+        let doubles = (0..1000u64)
+            .filter_map(|i| m.probe(i, i, FaultDomain::Stream, 128))
+            .filter(|f| f.count == 2)
+            .count();
+        // 1-in-4 nominal; loose bounds.
+        assert!((150..350).contains(&doubles), "got {doubles}/1000 doubles");
+        let double = Flips {
+            count: 2,
+            bits: [3, 9],
+        };
+        let single = Flips {
+            count: 1,
+            bits: [3, 0],
+        };
+        assert!(!StreamIntegrity::Parity.detects(&double));
+        assert!(StreamIntegrity::Parity.detects(&single));
+        assert!(StreamIntegrity::Crc32.detects(&double));
+        assert!(!StreamIntegrity::None.detects(&single));
+    }
+
+    #[test]
+    fn integrity_overheads_match_the_modeled_hardware() {
+        assert_eq!(StreamIntegrity::None.overhead_bytes(40), 0);
+        assert_eq!(StreamIntegrity::Parity.overhead_bytes(40), 5);
+        assert_eq!(StreamIntegrity::Parity.overhead_bytes(1), 1);
+        assert_eq!(StreamIntegrity::Crc32.overhead_bytes(40), 4);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vector() {
+        // The canonical check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Any single flipped bit changes the CRC.
+        let base = crc32(b"codepack");
+        let mut corrupt = *b"codepack";
+        corrupt[3] ^= 0x10;
+        assert_ne!(crc32(&corrupt), base);
+    }
+
+    #[test]
+    fn ledger_conservation_is_enforced() {
+        let mut s = FaultStats {
+            injected: 5,
+            detected: 3,
+            recovered: 2,
+            trapped: 1,
+            silent: 2,
+            retries: 4,
+            machine_checks: 1,
+        };
+        s.verify();
+        let other = s;
+        s.merge(&other);
+        s.verify();
+        assert_eq!(s.injected, 10);
+        assert!(FaultStats::default().is_empty());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not conserve")]
+    fn broken_ledger_panics() {
+        FaultStats {
+            injected: 2,
+            ..FaultStats::default()
+        }
+        .verify();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1e9")]
+    fn over_unity_rate_is_rejected() {
+        let _ = FaultModel::new(0, u32::MAX);
+    }
+}

@@ -13,7 +13,11 @@
 //! * [`FullyAssociativeCache`] — the fully-associative cache used for the
 //!   decompressor's index cache (paper §5.3, Table 6),
 //! * [`SparseMemory`] — a paged functional memory backing the executor's
-//!   data space.
+//!   data space,
+//! * [`FaultModel`] / [`IntegrityConfig`] / [`FaultStats`] — the
+//!   deterministic soft-error process, the armed integrity checks with
+//!   their modeled costs, and the injected/detected/recovered/silent
+//!   conservation ledger (see [`fault`]'s module docs).
 //!
 //! ```
 //! use codepack_mem::{Cache, CacheConfig, MemoryTiming};
@@ -29,11 +33,16 @@
 //! ```
 
 mod cache;
+pub mod fault;
 mod fully_assoc;
 mod sparse;
 mod timing;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
+pub use fault::{
+    crc32, FaultDomain, FaultModel, FaultStats, Flips, IntegrityConfig, SoftErrorConfig,
+    StreamIntegrity, PPB_SCALE,
+};
 pub use fully_assoc::FullyAssociativeCache;
 pub use sparse::SparseMemory;
 pub use timing::{LineFill, MemoryTiming};

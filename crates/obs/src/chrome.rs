@@ -190,6 +190,56 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::PIPELINE,
                 &[],
             ),
+            EventKind::FaultInjected { area, addr, flips } => push_event(
+                &mut out,
+                &mut first,
+                &format!("fault-{}", area.as_str()),
+                'i',
+                c,
+                None,
+                tid::MEMORY,
+                &[("addr", format!("{addr}")), ("flips", format!("{flips}"))],
+            ),
+            EventKind::FaultDetected { area, addr } => push_event(
+                &mut out,
+                &mut first,
+                &format!("fault-detected-{}", area.as_str()),
+                'i',
+                c,
+                None,
+                tid::MEMORY,
+                &[("addr", format!("{addr}"))],
+            ),
+            EventKind::FaultRetry { area, attempt } => push_event(
+                &mut out,
+                &mut first,
+                &format!("fault-retry-{}", area.as_str()),
+                'i',
+                c,
+                None,
+                tid::MEMORY,
+                &[("attempt", format!("{attempt}"))],
+            ),
+            EventKind::FaultSilent { area, addr } => push_event(
+                &mut out,
+                &mut first,
+                &format!("fault-silent-{}", area.as_str()),
+                'i',
+                c,
+                None,
+                tid::MEMORY,
+                &[("addr", format!("{addr}"))],
+            ),
+            EventKind::MachineCheck { pc } => push_event(
+                &mut out,
+                &mut first,
+                "machine-check",
+                'i',
+                c,
+                None,
+                tid::PIPELINE,
+                &[("pc", format!("{pc}"))],
+            ),
         }
     }
     out.push_str("\n  ]\n}\n");

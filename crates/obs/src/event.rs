@@ -45,6 +45,44 @@ impl MissOrigin {
     }
 }
 
+/// Which storage structure a soft-error event touched. Mirrors
+/// `codepack_mem::FaultDomain` without depending on it (obs sits below
+/// every other crate in the dependency graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultArea {
+    /// Compressed instruction stream bytes.
+    Stream,
+    /// Index-table entry.
+    Index,
+    /// Dictionary SRAM entry.
+    Dictionary,
+    /// Resident L1 I-cache line.
+    IcacheLine,
+}
+
+impl FaultArea {
+    /// Stable short name used in JSONL.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultArea::Stream => "stream",
+            FaultArea::Index => "index",
+            FaultArea::Dictionary => "dict",
+            FaultArea::IcacheLine => "icache",
+        }
+    }
+
+    /// Parses the JSONL short name.
+    pub fn parse(s: &str) -> Option<FaultArea> {
+        match s {
+            "stream" => Some(FaultArea::Stream),
+            "index" => Some(FaultArea::Index),
+            "dict" => Some(FaultArea::Dictionary),
+            "icache" => Some(FaultArea::IcacheLine),
+            _ => None,
+        }
+    }
+}
+
 /// One simulator event, without its timestamp.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventKind {
@@ -119,6 +157,43 @@ pub enum EventKind {
         /// Fetch cycles lost to the flush.
         cycles: u64,
     },
+    /// Soft error injected into `area` at physical address `addr`,
+    /// flipping `flips` bits.
+    FaultInjected {
+        /// Struck storage structure.
+        area: FaultArea,
+        /// Physical address of the struck word/region.
+        addr: u32,
+        /// Number of bits flipped (1 or 2).
+        flips: u32,
+    },
+    /// An armed integrity check (or the codec) caught a fault in `area`.
+    FaultDetected {
+        /// Structure in which the fault was caught.
+        area: FaultArea,
+        /// Physical address of the detection.
+        addr: u32,
+    },
+    /// Recovery re-fetch number `attempt` issued for `area`.
+    FaultRetry {
+        /// Structure being re-fetched.
+        area: FaultArea,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// An injected fault escaped every armed check — silent corruption.
+    FaultSilent {
+        /// Structure the escape lives in.
+        area: FaultArea,
+        /// Physical address of the escape.
+        addr: u32,
+    },
+    /// Recovery exhausted its re-fetch budget; a machine-check trap is
+    /// delivered to the pipeline, which retires it precisely at `pc`.
+    MachineCheck {
+        /// Instruction address whose fetch could not be recovered.
+        pc: u32,
+    },
 }
 
 /// An [`EventKind`] stamped with its simulated cycle.
@@ -144,6 +219,11 @@ impl TraceEvent {
             EventKind::DcacheMiss { .. } => "dmiss",
             EventKind::BranchMispredict { .. } => "bmiss",
             EventKind::PipelineFlush { .. } => "flush",
+            EventKind::FaultInjected { .. } => "finj",
+            EventKind::FaultDetected { .. } => "fdet",
+            EventKind::FaultRetry { .. } => "fretry",
+            EventKind::FaultSilent { .. } => "fsilent",
+            EventKind::MachineCheck { .. } => "mcheck",
         }
     }
 
@@ -190,6 +270,22 @@ impl TraceEvent {
             }
             EventKind::PipelineFlush { cycles } => {
                 let _ = write!(s, ",\"cycles\":{cycles}");
+            }
+            EventKind::FaultInjected { area, addr, flips } => {
+                let _ = write!(
+                    s,
+                    ",\"area\":\"{}\",\"addr\":{addr},\"flips\":{flips}",
+                    area.as_str()
+                );
+            }
+            EventKind::FaultDetected { area, addr } | EventKind::FaultSilent { area, addr } => {
+                let _ = write!(s, ",\"area\":\"{}\",\"addr\":{addr}", area.as_str());
+            }
+            EventKind::FaultRetry { area, attempt } => {
+                let _ = write!(s, ",\"area\":\"{}\",\"attempt\":{attempt}", area.as_str());
+            }
+            EventKind::MachineCheck { pc } => {
+                let _ = write!(s, ",\"pc\":{pc}");
             }
         }
         s.push('}');
@@ -261,6 +357,34 @@ impl TraceEvent {
             "flush" => EventKind::PipelineFlush {
                 cycles: get_u64("cycles")?,
             },
+            "finj" | "fdet" | "fretry" | "fsilent" => {
+                let area_name = obj
+                    .get("area")
+                    .and_then(crate::json::Value::as_str)
+                    .ok_or("missing `area` field")?;
+                let area = FaultArea::parse(area_name)
+                    .ok_or_else(|| format!("unknown fault area `{area_name}`"))?;
+                match kind_name {
+                    "finj" => EventKind::FaultInjected {
+                        area,
+                        addr: get_u32("addr")?,
+                        flips: get_u32("flips")?,
+                    },
+                    "fdet" => EventKind::FaultDetected {
+                        area,
+                        addr: get_u32("addr")?,
+                    },
+                    "fretry" => EventKind::FaultRetry {
+                        area,
+                        attempt: get_u32("attempt")?,
+                    },
+                    _ => EventKind::FaultSilent {
+                        area,
+                        addr: get_u32("addr")?,
+                    },
+                }
+            }
+            "mcheck" => EventKind::MachineCheck { pc: get_u32("pc")? },
             other => return Err(format!("unknown event kind `{other}`")),
         };
         Ok(TraceEvent { cycle, kind })
@@ -329,6 +453,39 @@ mod tests {
                 cycle: 61,
                 kind: EventKind::PipelineFlush { cycles: 3 },
             },
+            TraceEvent {
+                cycle: 70,
+                kind: EventKind::FaultInjected {
+                    area: FaultArea::Stream,
+                    addr: 0x128,
+                    flips: 2,
+                },
+            },
+            TraceEvent {
+                cycle: 71,
+                kind: EventKind::FaultDetected {
+                    area: FaultArea::Stream,
+                    addr: 0x128,
+                },
+            },
+            TraceEvent {
+                cycle: 72,
+                kind: EventKind::FaultRetry {
+                    area: FaultArea::Index,
+                    attempt: 1,
+                },
+            },
+            TraceEvent {
+                cycle: 73,
+                kind: EventKind::FaultSilent {
+                    area: FaultArea::Dictionary,
+                    addr: 0x40,
+                },
+            },
+            TraceEvent {
+                cycle: 74,
+                kind: EventKind::MachineCheck { pc: 0x40_0030 },
+            },
         ]
     }
 
@@ -358,5 +515,22 @@ mod tests {
             assert_eq!(MissOrigin::parse(origin.as_str()), Some(origin));
         }
         assert_eq!(MissOrigin::parse("bogus"), None);
+    }
+
+    #[test]
+    fn fault_area_names_are_stable() {
+        for area in [
+            FaultArea::Stream,
+            FaultArea::Index,
+            FaultArea::Dictionary,
+            FaultArea::IcacheLine,
+        ] {
+            assert_eq!(FaultArea::parse(area.as_str()), Some(area));
+        }
+        assert_eq!(FaultArea::parse("rom"), None);
+        assert!(TraceEvent::from_jsonl(
+            "{\"c\":1,\"k\":\"finj\",\"area\":\"rom\",\"addr\":0,\"flips\":1}"
+        )
+        .is_err());
     }
 }

@@ -57,7 +57,7 @@ pub mod sink;
 
 pub use attr::{CpiBreakdown, CycleAttribution};
 pub use chrome::chrome_trace_json;
-pub use event::{EventKind, MissOrigin, TraceEvent};
+pub use event::{EventKind, FaultArea, MissOrigin, TraceEvent};
 pub use handle::{Obs, ObsCore, ObsReport};
 pub use metrics::{bucket_bounds, bucket_index, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use sink::{parse_jsonl, JsonlSink, NullSink, RingSink, TraceSink};

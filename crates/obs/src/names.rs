@@ -9,6 +9,13 @@
 //! sweep runner: how many cells completed, how many degraded to an
 //! error record instead of killing the sweep, and how much retry work
 //! the run absorbed.
+//!
+//! The `fault.*` family is the soft-error ledger of one simulation:
+//! injected bit flips and their fates (recovered, trapped, silent), plus
+//! the re-fetch and machine-check work recovery cost. The counters
+//! conserve — `fault.injected == fault.recovered + fault.trapped +
+//! fault.silent` — so a run's reliability books close the same way its
+//! CPI attribution does.
 
 /// Cells that completed functionally and produced a result.
 pub const MATRIX_CELLS_OK: &str = "matrix.cells.ok";
@@ -30,21 +37,52 @@ pub const MATRIX_CELLS_RESUMED: &str = "matrix.cells.resumed";
 /// the first, summed over all cells).
 pub const MATRIX_RETRIES: &str = "matrix.retries";
 
+/// Soft-error fault events the fault model injected.
+pub const FAULT_INJECTED: &str = "fault.injected";
+
+/// Injected faults an armed integrity check (or the codec) caught.
+pub const FAULT_DETECTED: &str = "fault.detected";
+
+/// Detected faults cured by re-fetching the affected structure.
+pub const FAULT_RECOVERED: &str = "fault.recovered";
+
+/// Detected faults that exhausted the re-fetch budget and raised a
+/// machine check.
+pub const FAULT_TRAPPED: &str = "fault.trapped";
+
+/// Injected faults no check caught — silent corruption escapes.
+pub const FAULT_SILENT: &str = "fault.silent";
+
+/// Re-fetch attempts the recovery state machine issued.
+pub const FAULT_RETRIES: &str = "fault.retries";
+
+/// Machine-check traps delivered to the pipeline.
+pub const FAULT_MACHINE_CHECKS: &str = "fault.machine_checks";
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn names_are_distinct_and_namespaced() {
+        // (name, family prefix) — every name must live in its family and
+        // no two names may collide across families.
         let all = [
-            super::MATRIX_CELLS_OK,
-            super::MATRIX_CELLS_TRAPPED,
-            super::MATRIX_CELLS_TIMED_OUT,
-            super::MATRIX_CELLS_SKIPPED,
-            super::MATRIX_CELLS_RESUMED,
-            super::MATRIX_RETRIES,
+            (super::MATRIX_CELLS_OK, "matrix."),
+            (super::MATRIX_CELLS_TRAPPED, "matrix."),
+            (super::MATRIX_CELLS_TIMED_OUT, "matrix."),
+            (super::MATRIX_CELLS_SKIPPED, "matrix."),
+            (super::MATRIX_CELLS_RESUMED, "matrix."),
+            (super::MATRIX_RETRIES, "matrix."),
+            (super::FAULT_INJECTED, "fault."),
+            (super::FAULT_DETECTED, "fault."),
+            (super::FAULT_RECOVERED, "fault."),
+            (super::FAULT_TRAPPED, "fault."),
+            (super::FAULT_SILENT, "fault."),
+            (super::FAULT_RETRIES, "fault."),
+            (super::FAULT_MACHINE_CHECKS, "fault."),
         ];
-        for (i, a) in all.iter().enumerate() {
-            assert!(a.starts_with("matrix."), "{a} is namespaced");
-            for b in &all[i + 1..] {
+        for (i, (a, family)) in all.iter().enumerate() {
+            assert!(a.starts_with(family), "{a} belongs to {family}");
+            for (b, _) in &all[i + 1..] {
                 assert_ne!(a, b, "metric names collide");
             }
         }

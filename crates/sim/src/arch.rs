@@ -2,7 +2,7 @@
 
 use codepack_core::{CompressionConfig, DecompressorConfig};
 use codepack_cpu::{L2Config, PipelineConfig};
-use codepack_mem::{CacheConfig, MemoryTiming};
+use codepack_mem::{CacheConfig, MemoryTiming, SoftErrorConfig};
 
 /// A complete simulated machine: pipeline + L1 caches + main memory.
 ///
@@ -109,6 +109,9 @@ pub enum CodeModel {
         decompressor: DecompressorConfig,
         /// Compression-time options.
         compression: CompressionConfig,
+        /// Soft-error injection + integrity checking; `None` is the
+        /// fault-free machine the paper models.
+        protection: Option<SoftErrorConfig>,
     },
 }
 
@@ -118,6 +121,7 @@ impl CodeModel {
         CodeModel::CodePack {
             decompressor: DecompressorConfig::baseline(),
             compression: CompressionConfig::default(),
+            protection: None,
         }
     }
 
@@ -126,6 +130,7 @@ impl CodeModel {
         CodeModel::CodePack {
             decompressor: DecompressorConfig::optimized(),
             compression: CompressionConfig::default(),
+            protection: None,
         }
     }
 
@@ -134,7 +139,18 @@ impl CodeModel {
         CodeModel::CodePack {
             decompressor,
             compression: CompressionConfig::default(),
+            protection: None,
         }
+    }
+
+    /// Same model with soft-error injection and integrity checking armed
+    /// (a no-op on [`CodeModel::Native`], which has no compressed state to
+    /// strike).
+    pub fn with_protection(mut self, soft_errors: SoftErrorConfig) -> CodeModel {
+        if let CodeModel::CodePack { protection, .. } = &mut self {
+            *protection = Some(soft_errors);
+        }
+        self
     }
 
     /// Short label for experiment tables.

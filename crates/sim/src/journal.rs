@@ -389,12 +389,19 @@ pub fn result_json(r: &SimResult) -> String {
         json::escape(r.arch),
         json::escape(r.model)
     );
+    let fault_obj = |s: &codepack_mem::FaultStats| {
+        format!(
+            "{{\"injected\": {}, \"detected\": {}, \"recovered\": {}, \"trapped\": {}, \
+             \"silent\": {}, \"retries\": {}, \"machine_checks\": {}}}",
+            s.injected, s.detected, s.recovered, s.trapped, s.silent, s.retries, s.machine_checks
+        )
+    };
     let p = &r.pipeline;
     let _ = write!(
         out,
         ", \"pipeline\": {{\"cycles\": {}, \"instructions\": {}, \"icache\": {}, \
          \"dcache\": {}, \"l2\": {}, \"branches\": {}, \"mispredicts\": {}, \
-         \"indirect_mispredicts\": {}}}",
+         \"indirect_mispredicts\": {}, \"faults\": {}}}",
         p.cycles,
         p.instructions,
         cache(&p.icache),
@@ -402,7 +409,8 @@ pub fn result_json(r: &SimResult) -> String {
         p.l2.as_ref().map_or("null".to_string(), |c| cache(c)),
         p.branches,
         p.mispredicts,
-        p.indirect_mispredicts
+        p.indirect_mispredicts,
+        fault_obj(&p.faults)
     );
     let f = &r.fetch;
     let _ = write!(
@@ -437,6 +445,12 @@ pub fn result_json(r: &SimResult) -> String {
                 c.raw_blocks,
                 c.blocks
             );
+        }
+    }
+    match &r.faults {
+        None => out.push_str(", \"faults\": null"),
+        Some(s) => {
+            let _ = write!(out, ", \"faults\": {}", fault_obj(s));
         }
     }
     // state_hash is a full 64-bit fingerprint; as a bare JSON number it
@@ -475,6 +489,17 @@ pub fn parse_result(v: &Value) -> Result<SimResult, String> {
             evictions: u(c, "evictions").map_err(|e| format!("l2: {e}"))?,
         }),
     };
+    let fault_stats = |node: &Value| -> Result<codepack_mem::FaultStats, String> {
+        Ok(codepack_mem::FaultStats {
+            injected: u(node, "injected")?,
+            detected: u(node, "detected")?,
+            recovered: u(node, "recovered")?,
+            trapped: u(node, "trapped")?,
+            silent: u(node, "silent")?,
+            retries: u(node, "retries")?,
+            machine_checks: u(node, "machine_checks")?,
+        })
+    };
     let pipeline = PipelineStats {
         cycles: u(p, "cycles")?,
         instructions: u(p, "instructions")?,
@@ -484,6 +509,11 @@ pub fn parse_result(v: &Value) -> Result<SimResult, String> {
         branches: u(p, "branches")?,
         mispredicts: u(p, "mispredicts")?,
         indirect_mispredicts: u(p, "indirect_mispredicts")?,
+        // Pre-fault journals lack the ledger; default keeps them readable.
+        faults: match p.get("faults") {
+            None | Some(Value::Null) => codepack_mem::FaultStats::default(),
+            Some(node) => fault_stats(node)?,
+        },
     };
     let f = v.get("fetch").ok_or("result lacks `fetch`")?;
     let fetch = FetchStats {
@@ -535,6 +565,10 @@ pub fn parse_result(v: &Value) -> Result<SimResult, String> {
         compression,
         retired_instructions: u(v, "retired_instructions")?,
         state_hash,
+        faults: match v.get("faults") {
+            None | Some(Value::Null) => None,
+            Some(node) => Some(fault_stats(node)?),
+        },
     })
 }
 
@@ -577,6 +611,40 @@ mod tests {
             assert_eq!(back.cycles(), r.cycles());
             assert_eq!(back.compression.is_some(), r.compression.is_some());
         }
+    }
+
+    #[test]
+    fn fault_ledger_round_trips() {
+        let mut r = sample_result(CodeModel::Native);
+        r.faults = Some(codepack_mem::FaultStats {
+            injected: 9,
+            detected: 7,
+            recovered: 5,
+            trapped: 2,
+            silent: 2,
+            retries: 6,
+            machine_checks: 1,
+        });
+        r.pipeline.faults = r.faults.unwrap();
+        let doc = result_json(&r);
+        let back = parse_result(&json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back.faults, r.faults);
+        assert_eq!(back.pipeline.faults, r.pipeline.faults);
+        assert_eq!(result_json(&back), doc, "second trip is a fixed point");
+    }
+
+    #[test]
+    fn pre_fault_journal_lines_still_parse() {
+        // A journal written before the soft-error subsystem existed has no
+        // `faults` keys anywhere; both omissions must default cleanly.
+        let r = sample_result(CodeModel::Native);
+        let doc = result_json(&r)
+            .replace(", \"faults\": {\"injected\": 0, \"detected\": 0, \"recovered\": 0, \"trapped\": 0, \"silent\": 0, \"retries\": 0, \"machine_checks\": 0}", "")
+            .replace(", \"faults\": null", "");
+        assert!(!doc.contains("faults"), "both fault fields stripped");
+        let back = parse_result(&json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back.faults, None);
+        assert!(back.pipeline.faults.is_empty());
     }
 
     #[test]

@@ -17,12 +17,14 @@
 //! ```
 
 mod arch;
+mod faults;
 mod journal;
 mod matrix;
 mod report;
 mod run;
 
 pub use arch::{ArchConfig, CodeModel};
+pub use faults::{run_fault_campaign, FaultCampaignSpec, FaultReport};
 pub use journal::{journal_exists, read_journal, JournalContents, JournalEntry, JOURNAL_FILE};
 pub use matrix::{
     run_matrix, run_matrix_observed, run_matrix_with, CellOutcome, FaultKind, FaultPlan,

@@ -557,6 +557,22 @@ impl SimReport {
                         s.compression_ratio()
                     );
                 }
+                if let Some(ft) = &r.faults {
+                    let _ = write!(
+                        out,
+                        ", \"faults_injected\": {}, \"faults_detected\": {}, \
+                         \"faults_recovered\": {}, \"faults_trapped\": {}, \
+                         \"faults_silent\": {}, \"fault_retries\": {}, \
+                         \"machine_checks\": {}",
+                        ft.injected,
+                        ft.detected,
+                        ft.recovered,
+                        ft.trapped,
+                        ft.silent,
+                        ft.retries,
+                        ft.machine_checks,
+                    );
+                }
             }
             let comma = if i + 1 < self.cells.len() { "," } else { "" };
             let _ = writeln!(out, "}}{comma}");

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use codepack_core::{CodePackFetch, CodePackImage, CompositionStats, FetchStats, NativeFetch};
 use codepack_cpu::{ExecError, Machine, Pipeline, PipelineStats};
 use codepack_isa::{Program, TEXT_BASE};
+use codepack_mem::FaultStats;
 use codepack_obs::{Obs, ObsReport};
 
 use crate::{ArchConfig, CodeModel};
@@ -29,6 +30,8 @@ pub struct SimResult {
     /// Architectural state fingerprint at the end of the run (equal across
     /// code models: compression must not change execution).
     pub state_hash: u64,
+    /// Soft-error ledger, when injection was armed on this run.
+    pub faults: Option<FaultStats>,
 }
 
 impl SimResult {
@@ -170,11 +173,13 @@ impl Simulation {
         obs: Obs,
     ) -> Result<(SimResult, Option<ObsReport>), ExecError> {
         let mut compression = None;
+        let mut protection_armed = None;
         let engine: Box<dyn codepack_core::FetchEngine> = match &self.model {
             CodeModel::Native => Box::new(NativeFetch::new(self.arch.memory)),
             CodeModel::CodePack {
                 decompressor,
                 compression: ccfg,
+                protection,
             } => {
                 let image = match image {
                     Some(img) => {
@@ -188,12 +193,13 @@ impl Simulation {
                     None => Arc::new(CodePackImage::compress(program.text_words(), ccfg)),
                 };
                 compression = Some(*image.stats());
-                Box::new(CodePackFetch::new(
-                    image,
-                    self.arch.memory,
-                    *decompressor,
-                    TEXT_BASE,
-                ))
+                protection_armed = *protection;
+                let mut fetch =
+                    CodePackFetch::new(image, self.arch.memory, *decompressor, TEXT_BASE);
+                if let Some(p) = protection {
+                    fetch = fetch.with_protection(*p);
+                }
+                Box::new(fetch)
             }
         };
 
@@ -207,6 +213,7 @@ impl Simulation {
         if let Some(l2) = self.arch.l2 {
             pipeline.set_l2(l2);
         }
+        pipeline.set_soft_errors(protection_armed);
         pipeline.set_obs(obs);
         let mut machine = Machine::load(program);
         let stats = pipeline.run(&mut machine, max_insns)?;
@@ -227,6 +234,7 @@ impl Simulation {
                 compression,
                 retired_instructions: stats.instructions,
                 state_hash: machine.state_hash(),
+                faults: protection_armed.map(|_| stats.faults),
             },
             report,
         ))

@@ -25,7 +25,7 @@ fn corrupted_streams_error_or_misdecode_but_never_panic() {
     // Flip bytes at many positions; every decode attempt must return
     // Ok(something) or Err(DecompressError) — panics fail the test harness.
     for at in (0..clean.compressed_bytes().len()).step_by(97) {
-        let corrupt = clean.clone().with_corrupted_bytes(at, 0xff);
+        let corrupt = clean.clone().with_corrupted_bytes(at, 0xff).unwrap();
         for block in 0..corrupt.num_blocks().min(64) {
             let _ = corrupt.decompress_block(block);
         }
