@@ -8,6 +8,9 @@ cd "$(dirname "$0")"
 echo "== fmt =="
 cargo fmt --all --check
 
+echo "== clippy (offline, deny warnings) =="
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
@@ -116,6 +119,67 @@ assert struck > 0, "5e-2 rate injected nothing"
 by_model = {c["model"]: c for c in cells}
 assert by_model["cp-none-r0"]["cycles"] == by_model["cp-opt"]["cycles"]
 print(f"tier-2 faults smoke: {len(cells)} cells, {struck} strikes, ledger conserved")
+PYEOF
+
+echo "== tier-2: sr32lint gate =="
+# Every synthetic benchmark and its compressed image must lint clean, and
+# the linter's *independent* static recount of the compression ratio must
+# equal the codec's claim exactly and match the golden Table 3 values
+# (seed 42). A corrupted ROM must fail the gate with a JSON diagnostic
+# naming the faulting address.
+for p in cc1 go mpeg2enc pegwit perl vortex; do
+    "$CPACK" lint "$p" --json > "$OBS_TMP/lint-$p.json" \
+        || { echo "lint gate failed for $p"; cat "$OBS_TMP/lint-$p.json"; exit 1; }
+done
+"$CPACK" compress pegwit -o "$OBS_TMP/pegwit.cpk" > /dev/null
+"$CPACK" lint "$OBS_TMP/pegwit.cpk" --json > "$OBS_TMP/lint-rom.json" \
+    || { echo "lint gate failed for pegwit.cpk"; exit 1; }
+python3 - "$OBS_TMP" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+golden = {"cc1": 0.5923, "go": 0.5828, "mpeg2enc": 0.5952,
+          "pegwit": 0.5895, "perl": 0.5882, "vortex": 0.5848}
+for p, want in golden.items():
+    with open(f"{tmp}/lint-{p}.json") as f:
+        r = json.load(f)
+    assert r["clean"] and r["errors"] == 0, f"{p}: lint not clean"
+    ratio = r["ratio"]
+    assert ratio["static_ratio"] == ratio["codec_ratio"], \
+        f"{p}: static {ratio['static_ratio']} != codec {ratio['codec_ratio']}"
+    assert round(ratio["static_ratio"], 4) == want, \
+        f"{p}: ratio {ratio['static_ratio']:.4f} != golden {want}"
+with open(f"{tmp}/lint-rom.json") as f:
+    r = json.load(f)
+assert r["clean"], "pegwit.cpk: rom lint not clean"
+print(f"tier-2 lint smoke: 6 profiles + 1 rom clean, static ratios == golden")
+PYEOF
+
+# Corruption must be caught statically: flip index-entry bits, expect a
+# nonzero exit and an error diagnostic carrying the native address.
+python3 - "$OBS_TMP" <<'PYEOF'
+import sys
+tmp = sys.argv[1]
+with open(f"{tmp}/pegwit.cpk", "rb") as f:
+    b = bytearray(f.read())
+hi = int.from_bytes(b[8:10], "little")
+lo = int.from_bytes(b[10:12], "little")
+index_at = 12 + 2 * (hi + lo) + 4
+b[index_at + 4] ^= 0x55
+with open(f"{tmp}/pegwit-corrupt.cpk", "wb") as f:
+    f.write(b)
+PYEOF
+if "$CPACK" lint "$OBS_TMP/pegwit-corrupt.cpk" --json > "$OBS_TMP/lint-corrupt.json"; then
+    echo "lint gate MISSED a corrupted index entry"; exit 1
+fi
+python3 - "$OBS_TMP" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+with open(f"{tmp}/lint-corrupt.json") as f:
+    r = json.load(f)
+assert not r["clean"] and r["errors"] > 0
+assert any(d["severity"] == "error" and (d["addr"] or "").startswith("0x")
+           for d in r["diagnostics"]), "no error diagnostic names an address"
+print("tier-2 lint smoke: corrupted index entry detected statically")
 PYEOF
 
 echo "== tier-2: codec fuzzer (fixed seed) =="

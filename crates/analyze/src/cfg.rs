@@ -1,0 +1,470 @@
+//! Control-flow recovery and static CFG checks over SR32 text.
+//!
+//! The recovery is linear-sweep decode plus reachability from the entry
+//! point: every word is decoded (so illegal encodings are found even in
+//! dead regions), then a worklist walk from the entry — treating `jal`
+//! targets as additional roots, since the generated programs call only
+//! through direct `jal` — marks what can execute.
+//!
+//! Checks (stable names used in diagnostics):
+//!
+//! * `illegal-encoding` — a word that does not decode. Error when
+//!   reachable, Warning in dead code (a decompressor bug there still
+//!   corrupts nothing that runs).
+//! * `branch-target` / `jump-target` — a reachable control transfer whose
+//!   target lies outside the text section. Jump byte targets are also
+//!   checked for word alignment (structural for SR32, but asserted rather
+//!   than assumed).
+//! * `fall-off-end` — a reachable path that runs past the last text word.
+//!   `syscall` as the final instruction is the halt idiom and is accepted.
+//! * `dead-code` — maximal runs of unreachable instructions, one Warning
+//!   per run.
+
+use codepack_isa::{decode_at, DecodeError, Instruction, Program, TEXT_BASE};
+
+use crate::diag::{Diagnostic, LintReport};
+
+/// How many individual diagnostics a single check emits before collapsing
+/// the remainder into one summary line.
+const PER_CHECK_CAP: usize = 16;
+
+/// How control leaves an instruction, in instruction-index space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Falls through to the next instruction.
+    Next,
+    /// Unconditional jump to an absolute instruction index (may be out of
+    /// bounds — that is what the check is for).
+    Jump(i64),
+    /// Conditional branch: falls through or goes to the index.
+    Branch(i64),
+    /// Call: control returns to the next instruction; `Some` target for
+    /// `jal`, `None` for the indirect `jalr`.
+    Call(Option<i64>),
+    /// Indirect return (`jr`).
+    Return,
+    /// Trap (`break`) — execution does not continue.
+    Trap,
+    /// `syscall` — falls through, but is also the halt idiom, so it is a
+    /// legal final instruction.
+    Halt,
+}
+
+/// The recovered control-flow facts for one program.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Per-word decode results, in text order.
+    pub insns: Vec<Result<Instruction, DecodeError>>,
+    /// Can instruction `i` execute on some path from the entry?
+    pub reachable: Vec<bool>,
+    /// Entry instruction index.
+    pub entry: u32,
+}
+
+impl Cfg {
+    /// Number of instructions.
+    pub fn len(&self) -> u32 {
+        self.insns.len() as u32
+    }
+
+    /// `true` for an empty text section.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Native address of instruction index `i`.
+    pub fn addr_of(&self, i: u32) -> u32 {
+        TEXT_BASE + 4 * i
+    }
+
+    /// How control leaves instruction `i` (undecodable words get
+    /// [`Flow::Trap`]: the machine cannot continue past them).
+    pub fn flow_of(&self, i: u32) -> Flow {
+        let Ok(insn) = &self.insns[i as usize] else {
+            return Flow::Trap;
+        };
+        flow_of(insn, i)
+    }
+
+    /// Disassembly context line for instruction `i`.
+    pub fn context_line(&self, i: u32) -> String {
+        let addr = self.addr_of(i);
+        match &self.insns[i as usize] {
+            Ok(insn) => format!("{addr:#010x}: {insn}"),
+            Err(e) => format!("{addr:#010x}: .word {:#010x} ; {}", e.word, e.kind),
+        }
+    }
+}
+
+/// Instruction index of the jump/call target `t` (a word address `>> 2`
+/// within the current 256 MiB region), relative to the text base.
+fn jump_index(target: u32) -> i64 {
+    i64::from(target) - i64::from(TEXT_BASE >> 2)
+}
+
+/// Instruction index a branch at `i` with `offset` lands on.
+fn branch_index(i: u32, offset: i16) -> i64 {
+    i64::from(i) + 1 + i64::from(offset)
+}
+
+fn flow_of(insn: &Instruction, i: u32) -> Flow {
+    match *insn {
+        Instruction::J { target } => Flow::Jump(jump_index(target)),
+        Instruction::Jal { target } => Flow::Call(Some(jump_index(target))),
+        Instruction::Jalr { .. } => Flow::Call(None),
+        Instruction::Jr { .. } => Flow::Return,
+        Instruction::Break => Flow::Trap,
+        Instruction::Syscall => Flow::Halt,
+        Instruction::Beq { offset, .. }
+        | Instruction::Bne { offset, .. }
+        | Instruction::Blez { offset, .. }
+        | Instruction::Bgtz { offset, .. }
+        | Instruction::Bltz { offset, .. }
+        | Instruction::Bgez { offset, .. }
+        | Instruction::Bc1t { offset }
+        | Instruction::Bc1f { offset } => Flow::Branch(branch_index(i, offset)),
+        _ => Flow::Next,
+    }
+}
+
+/// Decodes the whole text section and computes reachability from the
+/// program entry (plus `jal` targets as call roots).
+pub fn recover_cfg(program: &Program) -> Cfg {
+    let insns: Vec<Result<Instruction, DecodeError>> = program
+        .text_words()
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| decode_at(TEXT_BASE + 4 * i as u32, w))
+        .collect();
+    let n = insns.len() as u32;
+    let entry = (program.entry() - TEXT_BASE) / 4;
+
+    let mut cfg = Cfg {
+        insns,
+        reachable: vec![false; n as usize],
+        entry,
+    };
+
+    let mut work: Vec<u32> = Vec::new();
+    let push = |work: &mut Vec<u32>, reachable: &mut [bool], idx: i64| {
+        if (0..i64::from(n)).contains(&idx) && !reachable[idx as usize] {
+            reachable[idx as usize] = true;
+            work.push(idx as u32);
+        }
+    };
+    push(&mut work, &mut cfg.reachable, i64::from(entry));
+    while let Some(i) = work.pop() {
+        match cfg.flow_of(i) {
+            Flow::Next | Flow::Halt => push(&mut work, &mut cfg.reachable, i64::from(i) + 1),
+            Flow::Jump(t) => push(&mut work, &mut cfg.reachable, t),
+            Flow::Branch(t) => {
+                push(&mut work, &mut cfg.reachable, i64::from(i) + 1);
+                push(&mut work, &mut cfg.reachable, t);
+            }
+            Flow::Call(t) => {
+                push(&mut work, &mut cfg.reachable, i64::from(i) + 1);
+                if let Some(t) = t {
+                    push(&mut work, &mut cfg.reachable, t);
+                }
+            }
+            Flow::Return | Flow::Trap => {}
+        }
+    }
+    cfg
+}
+
+/// Runs every CFG-level check, emitting into `report`.
+pub fn check_cfg(cfg: &Cfg, report: &mut LintReport) {
+    report.ran("illegal-encoding");
+    report.ran("branch-target");
+    report.ran("jump-target");
+    report.ran("fall-off-end");
+    report.ran("dead-code");
+
+    check_encodings(cfg, report);
+    check_transfers(cfg, report);
+    check_fall_off_end(cfg, report);
+    check_dead_code(cfg, report);
+}
+
+fn check_encodings(cfg: &Cfg, report: &mut LintReport) {
+    let mut emitted = 0usize;
+    let mut suppressed = 0usize;
+    for (i, insn) in cfg.insns.iter().enumerate() {
+        let Err(e) = insn else { continue };
+        if emitted == PER_CHECK_CAP {
+            suppressed += 1;
+            continue;
+        }
+        emitted += 1;
+        let d = if cfg.reachable[i] {
+            Diagnostic::error("illegal-encoding", format!("{e}"))
+        } else {
+            Diagnostic::warning("illegal-encoding", format!("{e} (in unreachable code)"))
+        };
+        report.push(d.at(e.addr).with_context(cfg.context_line(i as u32)));
+    }
+    if suppressed > 0 {
+        report.push(Diagnostic::info(
+            "illegal-encoding",
+            format!("{suppressed} further undecodable word(s) suppressed"),
+        ));
+    }
+}
+
+fn check_transfers(cfg: &Cfg, report: &mut LintReport) {
+    let n = i64::from(cfg.len());
+    for i in 0..cfg.len() {
+        if !cfg.reachable[i as usize] {
+            continue;
+        }
+        let (check, target) = match cfg.flow_of(i) {
+            Flow::Jump(t) | Flow::Call(Some(t)) => ("jump-target", t),
+            Flow::Branch(t) => ("branch-target", t),
+            _ => continue,
+        };
+        // Jump byte targets are target<<2 and branch offsets are whole
+        // instructions, so misalignment cannot be *encoded* — asserted
+        // here so the invariant is checked, not assumed.
+        let byte_addr = i64::from(TEXT_BASE) + 4 * target;
+        debug_assert_eq!(byte_addr % 4, 0);
+        if !(0..n).contains(&target) {
+            report.push(
+                Diagnostic::error(
+                    check,
+                    format!(
+                        "target {:#010x} is outside the text section \
+                         [{TEXT_BASE:#010x}, {:#010x})",
+                        byte_addr,
+                        i64::from(TEXT_BASE) + 4 * n,
+                    ),
+                )
+                .at(cfg.addr_of(i))
+                .with_context(cfg.context_line(i)),
+            );
+        }
+    }
+}
+
+fn check_fall_off_end(cfg: &Cfg, report: &mut LintReport) {
+    let n = cfg.len();
+    if n == 0 {
+        report.push(Diagnostic::error("fall-off-end", "empty text section"));
+        return;
+    }
+    for i in 0..n {
+        if !cfg.reachable[i as usize] {
+            continue;
+        }
+        let falls_through = match cfg.flow_of(i) {
+            Flow::Next | Flow::Branch(_) | Flow::Call(_) => true,
+            // `syscall` in final position is the halt idiom.
+            Flow::Halt | Flow::Jump(_) | Flow::Return | Flow::Trap => false,
+        };
+        if falls_through && i + 1 == n {
+            report.push(
+                Diagnostic::error(
+                    "fall-off-end",
+                    "a reachable path runs past the last text word",
+                )
+                .at(cfg.addr_of(i))
+                .with_context(cfg.context_line(i)),
+            );
+        }
+    }
+}
+
+fn check_dead_code(cfg: &Cfg, report: &mut LintReport) {
+    let mut emitted = 0usize;
+    let mut suppressed_runs = 0usize;
+    let mut i = 0u32;
+    let n = cfg.len();
+    while i < n {
+        if cfg.reachable[i as usize] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < n && !cfg.reachable[i as usize] {
+            i += 1;
+        }
+        let len = i - start;
+        // A trailing run of NOP words is alignment padding, not dead code.
+        let all_nops = (start..i).all(|j| cfg.insns[j as usize] == Ok(Instruction::NOP));
+        if i == n && all_nops {
+            continue;
+        }
+        if emitted == PER_CHECK_CAP {
+            suppressed_runs += 1;
+            continue;
+        }
+        emitted += 1;
+        report.push(
+            Diagnostic::warning(
+                "dead-code",
+                format!(
+                    "{len} unreachable instruction(s) in [{:#010x}, {:#010x})",
+                    cfg.addr_of(start),
+                    cfg.addr_of(i)
+                ),
+            )
+            .at(cfg.addr_of(start))
+            .with_context(cfg.context_line(start)),
+        );
+    }
+    if suppressed_runs > 0 {
+        report.push(Diagnostic::info(
+            "dead-code",
+            format!("{suppressed_runs} further unreachable run(s) suppressed"),
+        ));
+    }
+}
+
+/// Encodes a short hand-written program for tests.
+#[cfg(test)]
+pub(crate) fn program_of(words: &[u32]) -> Program {
+    Program::new("test", words.to_vec(), Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codepack_isa::{encode, Reg};
+
+    fn words(insns: &[Instruction]) -> Vec<u32> {
+        insns.iter().map(|&i| encode(i)).collect()
+    }
+
+    fn lint(words: &[u32]) -> LintReport {
+        let program = program_of(words);
+        let cfg = recover_cfg(&program);
+        let mut report = LintReport::new("test");
+        check_cfg(&cfg, &mut report);
+        report
+    }
+
+    fn halt_pair() -> Vec<Instruction> {
+        vec![
+            Instruction::Addiu {
+                rt: Reg::V0,
+                rs: Reg::ZERO,
+                imm: 10,
+            },
+            Instruction::Syscall,
+        ]
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let r = lint(&words(&halt_pair()));
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.warnings(), 0, "{}", r.render());
+    }
+
+    #[test]
+    fn fall_off_end_detected() {
+        let r = lint(&words(&[Instruction::Addiu {
+            rt: Reg::V0,
+            rs: Reg::ZERO,
+            imm: 1,
+        }]));
+        assert!(r.diagnostics.iter().any(|d| d.check == "fall-off-end"));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn branch_out_of_bounds_detected() {
+        let mut p = vec![Instruction::Beq {
+            rs: Reg::ZERO,
+            rt: Reg::ZERO,
+            offset: 100,
+        }];
+        p.extend(halt_pair());
+        let r = lint(&words(&p));
+        assert!(
+            r.diagnostics.iter().any(|d| d.check == "branch-target"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn jump_below_text_base_detected() {
+        let mut p = vec![Instruction::J { target: 0 }];
+        p.extend(halt_pair());
+        let r = lint(&words(&p));
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.check == "jump-target" && d.addr == Some(TEXT_BASE)),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn illegal_encoding_severity_tracks_reachability() {
+        // Reachable bad word: error.
+        let mut w = words(&halt_pair());
+        w.insert(0, 0xffff_ffff);
+        let r = lint(&w);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.check == "illegal-encoding" && d.severity == crate::Severity::Error));
+
+        // Bad word after an unconditional jump over it: warning only —
+        // but the skipped word is also a dead-code run.
+        let jump_over = vec![
+            encode(Instruction::J {
+                target: (TEXT_BASE >> 2) + 2,
+            }),
+            0xffff_ffff,
+        ];
+        let mut w = jump_over;
+        w.extend(words(&halt_pair()));
+        let r = lint(&w);
+        let enc = r
+            .diagnostics
+            .iter()
+            .find(|d| d.check == "illegal-encoding")
+            .expect("reported");
+        assert_eq!(enc.severity, crate::Severity::Warning, "{}", r.render());
+        assert!(r.diagnostics.iter().any(|d| d.check == "dead-code"));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn trailing_nop_padding_is_not_dead_code() {
+        let mut w = words(&halt_pair());
+        // jr $ra would end the program; pad with NOP words after halt.
+        w.extend([0u32; 5]);
+        let r = lint(&w);
+        assert!(
+            !r.diagnostics.iter().any(|d| d.check == "dead-code"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn jal_target_is_reachability_root() {
+        // entry: jal f; halt. f: jr $ra — the function body must be
+        // reachable, so no dead-code warning.
+        let insns = vec![
+            Instruction::Jal {
+                target: (TEXT_BASE >> 2) + 3,
+            },
+            Instruction::Addiu {
+                rt: Reg::V0,
+                rs: Reg::ZERO,
+                imm: 10,
+            },
+            Instruction::Syscall,
+            Instruction::Jr { rs: Reg::RA },
+        ];
+        let r = lint(&words(&insns));
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.warnings(), 0, "{}", r.render());
+    }
+}

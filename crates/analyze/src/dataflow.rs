@@ -1,0 +1,395 @@
+//! Conservative use-before-def register dataflow.
+//!
+//! A forward may-defined analysis over the recovered CFG: a register is
+//! *defined at* an instruction if **some** path from the entry writes it
+//! first. Reading a register that is defined on **no** incoming path is
+//! reported as a `use-before-def` Warning — it is suspicious (the value is
+//! whatever the reset state left there) but not provably fatal, so it never
+//! breaks the lint gate.
+//!
+//! Join is set union (hence "may"), which keeps the check quiet: one
+//! defining path suppresses the report. Calls are modelled conservatively
+//! in the same quiet direction — after a `jal`/`jalr` returns, *every*
+//! register is considered defined (the callee may have written anything),
+//! and a `jal` target's entry state receives the call-site state plus
+//! `$ra`. The state tracks the 32 integer registers, the 32 FP registers,
+//! `HI`/`LO`, and the FP condition flag as one 67-bit set in a `u128`.
+//!
+//! At program entry only `$zero` and `$sp` hold architected values (the
+//! loader zeroes `$zero` by definition and the reset state points `$sp` at
+//! the stack top — see `Machine::new` in `codepack-cpu`).
+
+use codepack_isa::{FReg, Instruction, Reg};
+
+use crate::cfg::{Cfg, Flow};
+use crate::diag::{Diagnostic, LintReport};
+
+/// Bit positions 0..32 are integer registers, 32..64 FP registers, then
+/// `HI`, `LO`, and the FP condition flag.
+type RegSet = u128;
+
+const HI_BIT: u32 = 64;
+const LO_BIT: u32 = 65;
+const FCC_BIT: u32 = 66;
+
+/// All 67 tracked locations.
+const ALL: RegSet = (1u128 << 67) - 1;
+
+/// How many use-before-def diagnostics to emit before summarizing.
+const CAP: usize = 16;
+
+fn r(reg: Reg) -> RegSet {
+    1u128 << reg.index()
+}
+
+fn f(reg: FReg) -> RegSet {
+    1u128 << (32 + reg.index())
+}
+
+/// `(uses, defs)` of one instruction.
+fn uses_defs(insn: &Instruction) -> (RegSet, RegSet) {
+    use Instruction::*;
+    match *insn {
+        Sll { rd, rt, .. } | Srl { rd, rt, .. } | Sra { rd, rt, .. } => (r(rt), r(rd)),
+        Sllv { rd, rt, rs } | Srlv { rd, rt, rs } | Srav { rd, rt, rs } => (r(rt) | r(rs), r(rd)),
+        Jr { rs } => (r(rs), 0),
+        Jalr { rd, rs } => (r(rs), r(rd)),
+        Mfhi { rd } => (1 << HI_BIT, r(rd)),
+        Mflo { rd } => (1 << LO_BIT, r(rd)),
+        Mult { rs, rt } | Multu { rs, rt } | Div { rs, rt } | Divu { rs, rt } => {
+            (r(rs) | r(rt), (1 << HI_BIT) | (1 << LO_BIT))
+        }
+        Addu { rd, rs, rt }
+        | Subu { rd, rs, rt }
+        | And { rd, rs, rt }
+        | Or { rd, rs, rt }
+        | Xor { rd, rs, rt }
+        | Nor { rd, rs, rt }
+        | Slt { rd, rs, rt }
+        | Sltu { rd, rs, rt } => (r(rs) | r(rt), r(rd)),
+        // The halt/IO idiom reads the service selector in $v0.
+        Syscall => (r(Reg::V0), 0),
+        Break => (0, 0),
+        Beq { rs, rt, .. } | Bne { rs, rt, .. } => (r(rs) | r(rt), 0),
+        Blez { rs, .. } | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } => (r(rs), 0),
+        Addiu { rt, rs, .. }
+        | Slti { rt, rs, .. }
+        | Sltiu { rt, rs, .. }
+        | Andi { rt, rs, .. }
+        | Ori { rt, rs, .. }
+        | Xori { rt, rs, .. } => (r(rs), r(rt)),
+        Lui { rt, .. } => (0, r(rt)),
+        Lb { rt, base, .. }
+        | Lh { rt, base, .. }
+        | Lw { rt, base, .. }
+        | Lbu { rt, base, .. }
+        | Lhu { rt, base, .. } => (r(base), r(rt)),
+        Sb { rt, base, .. } | Sh { rt, base, .. } | Sw { rt, base, .. } => (r(base) | r(rt), 0),
+        J { .. } => (0, 0),
+        Jal { .. } => (0, r(Reg::RA)),
+        AddS { fd, fs, ft } | SubS { fd, fs, ft } | MulS { fd, fs, ft } | DivS { fd, fs, ft } => {
+            (f(fs) | f(ft), f(fd))
+        }
+        MovS { fd, fs } | CvtSW { fd, fs } | CvtWS { fd, fs } => (f(fs), f(fd)),
+        CEqS { fs, ft } | CLtS { fs, ft } | CLeS { fs, ft } => (f(fs) | f(ft), 1 << FCC_BIT),
+        Bc1t { .. } | Bc1f { .. } => (1 << FCC_BIT, 0),
+        Mtc1 { rt, fs } => (r(rt), f(fs)),
+        Mfc1 { rt, fs } => (f(fs), r(rt)),
+        Lwc1 { ft, base, .. } => (r(base), f(ft)),
+        Swc1 { ft, base, .. } => (r(base) | f(ft), 0),
+    }
+}
+
+/// Human name of tracked location `bit`.
+fn loc_name(bit: u32) -> String {
+    match bit {
+        0..=31 => Reg::new(bit as u8).name().to_string(),
+        32..=63 => format!("$f{}", bit - 32),
+        HI_BIT => "HI".to_string(),
+        LO_BIT => "LO".to_string(),
+        _ => "FCC".to_string(),
+    }
+}
+
+/// Runs the analysis and reports `use-before-def` warnings.
+pub fn check_use_before_def(cfg: &Cfg, report: &mut LintReport) {
+    report.ran("use-before-def");
+    let n = cfg.len() as usize;
+    if n == 0 {
+        return;
+    }
+
+    // In-state per instruction: union of out-states of all predecessors.
+    // `visited` distinguishes "no path reaches this yet" from "a path with
+    // nothing defined reaches it".
+    let mut in_state: Vec<RegSet> = vec![0; n];
+    let mut visited: Vec<bool> = vec![false; n];
+    let entry_defined = r(Reg::ZERO) | r(Reg::SP);
+
+    let mut work: Vec<u32> = Vec::new();
+    let join = |idx: i64,
+                state: RegSet,
+                in_state: &mut [RegSet],
+                visited: &mut [bool],
+                work: &mut Vec<u32>| {
+        if !(0..n as i64).contains(&idx) {
+            return;
+        }
+        let idx = idx as usize;
+        let merged = in_state[idx] | state;
+        if !visited[idx] || merged != in_state[idx] {
+            visited[idx] = true;
+            in_state[idx] = merged;
+            work.push(idx as u32);
+        }
+    };
+    join(
+        i64::from(cfg.entry),
+        entry_defined,
+        &mut in_state,
+        &mut visited,
+        &mut work,
+    );
+
+    while let Some(i) = work.pop() {
+        let Ok(insn) = &cfg.insns[i as usize] else {
+            continue;
+        };
+        let (_, defs) = uses_defs(insn);
+        let out = in_state[i as usize] | defs;
+        match cfg.flow_of(i) {
+            Flow::Next | Flow::Halt => join(
+                i64::from(i) + 1,
+                out,
+                &mut in_state,
+                &mut visited,
+                &mut work,
+            ),
+            Flow::Jump(t) => join(t, out, &mut in_state, &mut visited, &mut work),
+            Flow::Branch(t) => {
+                join(
+                    i64::from(i) + 1,
+                    out,
+                    &mut in_state,
+                    &mut visited,
+                    &mut work,
+                );
+                join(t, out, &mut in_state, &mut visited, &mut work);
+            }
+            Flow::Call(t) => {
+                // The callee may define anything before control returns.
+                join(
+                    i64::from(i) + 1,
+                    ALL,
+                    &mut in_state,
+                    &mut visited,
+                    &mut work,
+                );
+                if let Some(t) = t {
+                    join(t, out, &mut in_state, &mut visited, &mut work);
+                }
+            }
+            Flow::Return | Flow::Trap => {}
+        }
+    }
+
+    // Reporting pass over the fixpoint, deduplicated per (address, reg).
+    let mut findings: Vec<(u32, u32)> = Vec::new();
+    for i in 0..n {
+        if !visited[i] {
+            continue;
+        }
+        let Ok(insn) = &cfg.insns[i] else { continue };
+        let (uses, _) = uses_defs(insn);
+        let mut missing = uses & !in_state[i];
+        while missing != 0 {
+            let bit = missing.trailing_zeros();
+            missing &= missing - 1;
+            findings.push((i as u32, bit));
+        }
+    }
+    for &(i, bit) in findings.iter().take(CAP) {
+        report.push(
+            Diagnostic::warning(
+                "use-before-def",
+                format!("{} is read before any path defines it", loc_name(bit)),
+            )
+            .at(cfg.addr_of(i))
+            .with_context(cfg.context_line(i)),
+        );
+    }
+    if findings.len() > CAP {
+        report.push(Diagnostic::info(
+            "use-before-def",
+            format!(
+                "{} further use-before-def site(s) suppressed",
+                findings.len() - CAP
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{program_of, recover_cfg};
+    use codepack_isa::encode;
+
+    fn lint(insns: &[Instruction]) -> LintReport {
+        let words: Vec<u32> = insns.iter().map(|&i| encode(i)).collect();
+        let program = program_of(&words);
+        let cfg = recover_cfg(&program);
+        let mut report = LintReport::new("test");
+        check_use_before_def(&cfg, &mut report);
+        report
+    }
+
+    fn halt() -> Vec<Instruction> {
+        vec![
+            Instruction::Addiu {
+                rt: Reg::V0,
+                rs: Reg::ZERO,
+                imm: 10,
+            },
+            Instruction::Syscall,
+        ]
+    }
+
+    #[test]
+    fn read_of_undefined_register_is_flagged() {
+        let mut p = vec![Instruction::Addu {
+            rd: Reg::T0,
+            rs: Reg::T1, // never written
+            rt: Reg::ZERO,
+        }];
+        p.extend(halt());
+        let r = lint(&p);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.check == "use-before-def")
+            .expect("flagged");
+        assert!(d.message.contains("$t1"), "{}", d.message);
+        assert!(r.is_clean(), "warnings only");
+    }
+
+    #[test]
+    fn one_defining_path_suppresses_the_warning() {
+        // beq $zero,$zero,+1 defines nothing but creates two paths; $t1 is
+        // written on the fallthrough path only — may-defined join keeps
+        // quiet.
+        let mut p = vec![
+            Instruction::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: 1,
+            },
+            Instruction::Addiu {
+                rt: Reg::T1,
+                rs: Reg::ZERO,
+                imm: 7,
+            },
+            Instruction::Addu {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::ZERO,
+            },
+        ];
+        p.extend(halt());
+        let r = lint(&p);
+        assert!(
+            !r.diagnostics.iter().any(|d| d.check == "use-before-def"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn sp_and_zero_are_defined_at_entry() {
+        let mut p = vec![
+            Instruction::Addiu {
+                rt: Reg::SP,
+                rs: Reg::SP,
+                imm: -16,
+            },
+            Instruction::Sw {
+                rt: Reg::ZERO,
+                base: Reg::SP,
+                offset: 0,
+            },
+        ];
+        p.extend(halt());
+        let r = lint(&p);
+        assert!(
+            !r.diagnostics.iter().any(|d| d.check == "use-before-def"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn registers_are_all_defined_after_a_call() {
+        // jal f; use $v0 (callee may set it); halt. f: jr $ra.
+        use codepack_isa::TEXT_BASE;
+        let p = vec![
+            Instruction::Jal {
+                target: (TEXT_BASE >> 2) + 4,
+            },
+            Instruction::Addu {
+                rd: Reg::T0,
+                rs: Reg::V0,
+                rt: Reg::ZERO,
+            },
+            Instruction::Addiu {
+                rt: Reg::V0,
+                rs: Reg::ZERO,
+                imm: 10,
+            },
+            Instruction::Syscall,
+            Instruction::Jr { rs: Reg::RA },
+        ];
+        let r = lint(&p);
+        assert!(
+            !r.diagnostics.iter().any(|d| d.check == "use-before-def"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn callee_sees_ra_defined() {
+        use codepack_isa::TEXT_BASE;
+        // f uses $ra via jr — defined by the jal edge, not at entry.
+        let p = vec![
+            Instruction::Jal {
+                target: (TEXT_BASE >> 2) + 3,
+            },
+            Instruction::Addiu {
+                rt: Reg::V0,
+                rs: Reg::ZERO,
+                imm: 10,
+            },
+            Instruction::Syscall,
+            Instruction::Jr { rs: Reg::RA },
+        ];
+        let r = lint(&p);
+        assert!(
+            !r.diagnostics.iter().any(|d| d.check == "use-before-def"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn fp_flag_read_before_compare_is_flagged() {
+        let mut p = vec![Instruction::Bc1t { offset: 0 }];
+        p.extend(halt());
+        let r = lint(&p);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.check == "use-before-def")
+            .expect("flagged");
+        assert!(d.message.contains("FCC"), "{}", d.message);
+    }
+}

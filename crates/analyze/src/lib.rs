@@ -1,0 +1,149 @@
+//! `sr32lint` — static verification for the CodePack reproduction: a CFG
+//! verifier for SR32 binaries and a linter for compressed images, neither
+//! of which runs a single simulated cycle.
+//!
+//! The paper's premise is that the compressed image is *semantically
+//! transparent*: decompression is exact, so the processor cannot tell
+//! compressed storage from native storage. This crate makes that premise
+//! checkable ahead of time:
+//!
+//! * [`cfg`] recovers a control-flow graph from the binary (decode, basic
+//!   blocks, reachability) and proves the static properties the runtime
+//!   relies on — every branch/jump lands inside text, no reachable path
+//!   falls off the end, no reachable word is undecodable.
+//! * [`dataflow`] adds a conservative use-before-def register analysis.
+//! * [`image`] verifies a compressed image against the published layout
+//!   alone — an independent walk of the bit stream that re-derives block
+//!   extents, dictionary references, the full [`CompositionStats`]
+//!   recount (the static compression-ratio cross-check), and the
+//!   decompressed bytes themselves.
+//! * [`diag`] is the reporting spine: severities, stable check names,
+//!   human and JSON rendering through `codepack-obs`'s `JsonWriter`.
+//!
+//! The CLI front end is `cpack lint`; CI runs it over every synthetic
+//! benchmark and fails on any Error-severity diagnostic.
+//!
+//! [`CompositionStats`]: codepack_core::CompositionStats
+//!
+//! ```
+//! use codepack_isa::{encode, Instruction, Program, Reg};
+//!
+//! let text: Vec<u32> = [
+//!     Instruction::Addiu { rt: Reg::V0, rs: Reg::ZERO, imm: 10 },
+//!     Instruction::Syscall,
+//! ]
+//! .into_iter()
+//! .map(encode)
+//! .collect();
+//! let program = Program::new("halt", text, Vec::new());
+//! let report = codepack_analyze::lint_program(&program);
+//! assert!(report.is_clean(), "{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dataflow;
+pub mod diag;
+pub mod image;
+
+pub use cfg::{check_cfg, recover_cfg, Cfg, Flow};
+pub use dataflow::check_use_before_def;
+pub use diag::{Diagnostic, LintReport, RatioReport, Severity};
+pub use image::{check_image, ImageParts, StaticWalk};
+
+use codepack_core::{CodePackImage, RomParts};
+use codepack_isa::Program;
+
+/// Lints a native SR32 program: CFG recovery, static CFG checks, and the
+/// use-before-def dataflow pass.
+pub fn lint_program(program: &Program) -> LintReport {
+    let mut report = LintReport::new(program.name());
+    let cfg = recover_cfg(program);
+    check_cfg(&cfg, &mut report);
+    check_use_before_def(&cfg, &mut report);
+    report
+}
+
+/// Lints a program *and* its compressed image: every CFG check plus the
+/// full static image verification against the native text.
+pub fn lint_compressed(program: &Program, image: &CodePackImage) -> LintReport {
+    let mut report = lint_program(program);
+    check_image(
+        &ImageParts::of_image(image),
+        Some(program.text_words()),
+        &mut report,
+    );
+    report
+}
+
+/// Lints a structurally-parsed ROM without a native reference: the image
+/// checks that do not need the original text (extents, dictionary slots,
+/// padding, stats recount, ratio agreement).
+pub fn lint_rom(rom: &RomParts, target: impl Into<String>) -> LintReport {
+    let mut report = LintReport::new(target);
+    check_image(&ImageParts::of_rom(rom), None, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codepack_core::{parse_rom_parts, CompressionConfig};
+    use codepack_isa::{encode, Instruction, Reg};
+
+    fn halt_program() -> Program {
+        let text: Vec<u32> = [
+            Instruction::Addiu {
+                rt: Reg::V0,
+                rs: Reg::ZERO,
+                imm: 10,
+            },
+            Instruction::Syscall,
+        ]
+        .into_iter()
+        .map(encode)
+        .collect();
+        Program::new("halt", text, Vec::new())
+    }
+
+    #[test]
+    fn compressed_roundtrip_lints_clean() {
+        let program = halt_program();
+        let image = CodePackImage::compress(program.text_words(), &CompressionConfig::default());
+        let report = lint_compressed(&program, &image);
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.ratio.is_some());
+    }
+
+    #[test]
+    fn rom_bytes_lint_clean_via_structural_parse() {
+        let program = halt_program();
+        let image = CodePackImage::compress(program.text_words(), &CompressionConfig::default());
+        let rom = parse_rom_parts(&image.to_rom_bytes()).expect("well-formed rom");
+        let report = lint_rom(&rom, "halt.cpk");
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn corrupted_rom_index_is_caught_from_bytes_alone() {
+        let program = halt_program();
+        let image = CodePackImage::compress(program.text_words(), &CompressionConfig::default());
+        let mut bytes = image.to_rom_bytes();
+        // Index table begins after magic(4) + n_insns(4) + dict lens(2+2)
+        // + dict entries; corrupt its first byte (little-endian low bits
+        // of the second-block offset).
+        let hi = u16::from_le_bytes([bytes[8], bytes[9]]) as usize;
+        let lo = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
+        let index_at = 12 + 2 * (hi + lo) + 4;
+        bytes[index_at] ^= 0x7f;
+        let rom = parse_rom_parts(&bytes).expect("structure still parses");
+        let report = lint_rom(&rom, "corrupt.cpk");
+        assert!(!report.is_clean(), "{}", report.render());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.check.starts_with("index-") || d.check == "dict-slot"));
+    }
+}

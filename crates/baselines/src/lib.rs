@@ -32,6 +32,8 @@
 //! assert!(thumb.size_ratio() <= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod ccrp;
 mod huffman;
 mod huffpack;

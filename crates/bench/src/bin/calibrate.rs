@@ -3,6 +3,8 @@
 //! targets. Used while tuning `BenchmarkProfile` parameters; kept as a
 //! diagnostic tool.
 
+#![forbid(unsafe_code)]
+
 use codepack_bench::{max_insns, paper, Workload};
 use codepack_sim::{ArchConfig, CodeModel, Table};
 

@@ -10,6 +10,8 @@
 //! >1 billion, which only changes the statistics' precision, not the
 //! > trends).
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use codepack_core::{CodePackImage, CompressionConfig};

@@ -1,6 +1,8 @@
 //! Implementation of the `cpack` subcommands.
 
+use codepack_analyze::{lint_compressed, lint_rom, Diagnostic, LintReport};
 use codepack_baselines::{estimate_thumb, CcrpImage, HuffPackImage, InsnDictImage};
+use codepack_core::parse_rom_parts;
 use codepack_core::{CodePackImage, CompressionConfig};
 use codepack_isa::{decode, Program, TEXT_BASE};
 use codepack_mem::{IntegrityConfig, PPB_SCALE};
@@ -30,6 +32,14 @@ USAGE:
                                         trace-event format (chrome://tracing)
     cpack sweep    <bus|latency|cache|l2> <profile> [INSNS]
     cpack compare  <profile>            compression ratio across schemes
+    cpack lint     <profile|FILE.cpk> [--json]
+                                        sr32lint: static CFG verification
+                                        (decode, reachability, branch
+                                        targets, use-before-def) and
+                                        compressed-image checks (index
+                                        extents, dictionary slots, stats
+                                        recount, byte-exact decompression);
+                                        exits nonzero on any error
     cpack matrix   [INSNS] [--workers N] [--json] [--metrics-dir DIR]
                    [--retries N] [--journal DIR] [--resume]
                                         full profile x machine x model sweep;
@@ -710,4 +720,60 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     ]);
     t.print();
     Ok(())
+}
+
+/// `cpack lint <profile|FILE.cpk> [--json]`
+///
+/// Lints a benchmark profile (generate, CFG-verify, compress, verify the
+/// image against the native text) or a `.cpk` ROM file (image checks
+/// only — there is no native reference). Exits nonzero when any
+/// Error-severity diagnostic fires, so CI can gate on it.
+pub fn lint(args: &[String]) -> Result<(), String> {
+    let target = args
+        .first()
+        .ok_or("lint: missing profile name or .cpk file")?;
+    let mut json = false;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--json" => json = true,
+            other => return Err(format!("lint: unexpected argument `{other}`")),
+        }
+    }
+
+    let is_profile = BenchmarkProfile::suite().iter().any(|p| p.name == *target);
+    let report: LintReport = if is_profile {
+        let program = program_for(target)?;
+        let image = CodePackImage::compress(program.text_words(), &CompressionConfig::default());
+        lint_compressed(&program, &image)
+    } else if std::path::Path::new(target).is_file() {
+        let bytes = std::fs::read(target).map_err(|e| format!("reading {target}: {e}"))?;
+        match parse_rom_parts(&bytes) {
+            Ok(rom) => lint_rom(&rom, target.as_str()),
+            Err(e) => {
+                let mut r = LintReport::new(target.as_str());
+                r.ran("rom-structure");
+                r.push(Diagnostic::error("rom-structure", e.to_string()));
+                r
+            }
+        }
+    } else {
+        return Err(format!(
+            "lint: `{target}` is neither a benchmark profile nor a readable file"
+        ));
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "lint: {} error(s) in {}",
+            report.errors(),
+            report.target
+        ))
+    }
 }

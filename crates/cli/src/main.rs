@@ -10,11 +10,14 @@
 //! cpack trace-export <FILE> --chrome [-o FILE]
 //! cpack sweep    <bus|latency|cache> <profile> [INSNS]
 //! cpack compare  <profile>            compression ratio across schemes
+//! cpack lint     <profile|FILE.cpk> [--json]  static CFG + image verification
 //! cpack matrix   [INSNS] [--workers N] [--json] [--metrics-dir DIR]
 //!                [--retries N] [--journal DIR] [--resume]
 //! cpack faults   [INSNS] [--profile P] [--rates PPB,..] [--integrity C,..]
 //!                [--workers N] [--json] [--journal DIR] [--resume]
 //! ```
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
@@ -32,6 +35,7 @@ fn main() -> ExitCode {
         Some("trace-export") => commands::trace_export(&args[1..]),
         Some("sweep") => commands::sweep(&args[1..]),
         Some("compare") => commands::compare(&args[1..]),
+        Some("lint") => commands::lint(&args[1..]),
         Some("matrix") => commands::matrix(&args[1..]),
         Some("faults") => commands::faults(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {

@@ -84,8 +84,7 @@ pub struct CodePackImage {
     stats: CompositionStats,
 }
 
-/// Number of bits of the second-block offset field in an index entry.
-const SECOND_OFFSET_BITS: u32 = 7;
+use crate::layout::INDEX_SECOND_OFFSET_BITS as SECOND_OFFSET_BITS;
 const SECOND_OFFSET_MASK: u32 = (1 << SECOND_OFFSET_BITS) - 1;
 
 impl CodePackImage {

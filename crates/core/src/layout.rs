@@ -145,6 +145,24 @@ pub const BLOCKS_PER_GROUP: u32 = 2;
 pub const GROUP_INSNS: u32 = BLOCK_INSNS * BLOCKS_PER_GROUP;
 /// Bytes of one index-table entry (32-bit entries, paper §3.1).
 pub const INDEX_ENTRY_BYTES: u32 = 4;
+/// Bits of an index entry holding the second block's offset relative to the
+/// first ("a few low-order bits represent the offset of the second block").
+pub const INDEX_SECOND_OFFSET_BITS: u32 = 7;
+
+/// Splits a 32-bit index-table entry into the first block's absolute byte
+/// offset into the compressed stream and the second block's byte offset
+/// relative to the first.
+///
+/// ```
+/// use codepack_core::layout::index_entry_parts;
+/// assert_eq!(index_entry_parts((100 << 7) | 23), (100, 23));
+/// ```
+pub const fn index_entry_parts(entry: u32) -> (u32, u32) {
+    (
+        entry >> INDEX_SECOND_OFFSET_BITS,
+        entry & ((1 << INDEX_SECOND_OFFSET_BITS) - 1),
+    )
+}
 
 #[cfg(test)]
 mod tests {

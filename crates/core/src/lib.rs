@@ -41,6 +41,8 @@
 //! # Ok::<(), codepack_core::DecompressError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bits;
 mod dict;
 mod error;
@@ -63,5 +65,5 @@ pub use image::{
 };
 pub use layout::{BLOCKS_PER_GROUP, BLOCK_INSNS, GROUP_INSNS};
 pub use optimize::{canonicalize_commutative, CanonicalizeStats};
-pub use rom::{RomError, ROM_MAGIC};
+pub use rom::{parse_rom_parts, RomError, RomParts, ROM_MAGIC};
 pub use stats::CompositionStats;

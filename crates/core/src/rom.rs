@@ -72,6 +72,89 @@ impl From<DecompressError> for RomError {
     }
 }
 
+/// The structurally-parsed fields of a ROM blob, before any semantic
+/// validation of the compressed stream.
+///
+/// [`parse_rom_parts`] produces this without decoding a single block, so a
+/// linter can inspect a *corrupt* image — bad index entries, out-of-range
+/// dictionary references, a stream that does not decode — and report on it,
+/// where [`CodePackImage::from_rom_bytes`] would reject the blob outright.
+#[derive(Clone, Debug)]
+pub struct RomParts {
+    /// Number of instructions in the original (unpadded) text.
+    pub n_insns: u32,
+    /// High-dictionary values in rank order.
+    pub high_values: Vec<u16>,
+    /// Low-dictionary values in rank order.
+    pub low_values: Vec<u16>,
+    /// Index-table entries as stored, one per compression group.
+    pub index: Vec<u32>,
+    /// The compressed stream bytes.
+    pub stream: Vec<u8>,
+    /// The composition statistics as stored (unverified).
+    pub stats: CompositionStats,
+}
+
+/// Parses the structure of a ROM blob without validating its content.
+///
+/// Only framing is checked: the magic, that every declared length is
+/// actually present, and that the instruction count is nonzero. The index
+/// table, dictionaries, stream, and stats are returned exactly as stored —
+/// including any corruption — for static analysis to diagnose.
+///
+/// # Errors
+///
+/// Returns [`RomError::BadMagic`], [`RomError::Truncated`], or
+/// [`RomError::Inconsistent`] (zero instruction count) for blobs whose
+/// framing cannot be read at all.
+pub fn parse_rom_parts(bytes: &[u8]) -> Result<RomParts, RomError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    if c.take(4)? != ROM_MAGIC {
+        return Err(RomError::BadMagic);
+    }
+    let n_insns = c.u32()?;
+    if n_insns == 0 {
+        return Err(RomError::Inconsistent("image with zero instructions"));
+    }
+    let high_len = c.u16()?;
+    let low_len = c.u16()?;
+    let high_values: Vec<u16> = (0..high_len).map(|_| c.u16()).collect::<Result<_, _>>()?;
+    let low_values: Vec<u16> = (0..low_len).map(|_| c.u16()).collect::<Result<_, _>>()?;
+
+    let n_groups = c.u32()?;
+    let index: Vec<u32> = (0..n_groups).map(|_| c.u32()).collect::<Result<_, _>>()?;
+
+    let stream_len = c.u32()? as usize;
+    let stream = c.take(stream_len)?.to_vec();
+
+    let mut stats_fields = [0u64; 11];
+    for f in &mut stats_fields {
+        *f = c.u64()?;
+    }
+    let stats = CompositionStats {
+        original_bytes: stats_fields[0],
+        index_table_bytes: stats_fields[1],
+        dictionary_bytes: stats_fields[2],
+        compressed_tag_bits: stats_fields[3],
+        dict_index_bits: stats_fields[4],
+        raw_tag_bits: stats_fields[5],
+        raw_literal_bits: stats_fields[6],
+        pad_bits: stats_fields[7],
+        raw_halfwords: stats_fields[8],
+        raw_blocks: stats_fields[9],
+        blocks: stats_fields[10],
+    };
+
+    Ok(RomParts {
+        n_insns,
+        high_values,
+        low_values,
+        index,
+        stream,
+        stats,
+    })
+}
+
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -168,63 +251,35 @@ impl CodePackImage {
     ///
     /// Returns a [`RomError`] for short, inconsistent, or corrupt blobs.
     pub fn from_rom_bytes(bytes: &[u8]) -> Result<CodePackImage, RomError> {
-        let mut c = Cursor { bytes, pos: 0 };
-        if c.take(4)? != ROM_MAGIC {
-            return Err(RomError::BadMagic);
-        }
-        let n_insns = c.u32()?;
-        if n_insns == 0 {
-            return Err(RomError::Inconsistent("image with zero instructions"));
-        }
-        let high_len = c.u16()?;
-        let low_len = c.u16()?;
-        let high_values: Vec<u16> = (0..high_len).map(|_| c.u16()).collect::<Result<_, _>>()?;
-        let low_values: Vec<u16> = (0..low_len).map(|_| c.u16()).collect::<Result<_, _>>()?;
+        let RomParts {
+            n_insns,
+            high_values,
+            low_values,
+            index,
+            stream,
+            stats,
+        } = parse_rom_parts(bytes)?;
         let high_dict = Dictionary::from_ranked_values(high_values);
         let low_dict = Dictionary::from_ranked_values(low_values);
 
-        let n_groups = c.u32()?;
         let expected_groups = n_insns.div_ceil(BLOCK_INSNS * BLOCKS_PER_GROUP);
-        if n_groups != expected_groups {
+        if index.len() as u32 != expected_groups {
             return Err(RomError::Inconsistent(
                 "group count does not match instruction count",
             ));
         }
-        let index: Vec<u32> = (0..n_groups).map(|_| c.u32()).collect::<Result<_, _>>()?;
-
-        let stream_len = c.u32()? as usize;
-        let stream = c.take(stream_len)?.to_vec();
-
-        let mut stats_fields = [0u64; 11];
-        for f in &mut stats_fields {
-            *f = c.u64()?;
-        }
-        let stats = CompositionStats {
-            original_bytes: stats_fields[0],
-            index_table_bytes: stats_fields[1],
-            dictionary_bytes: stats_fields[2],
-            compressed_tag_bits: stats_fields[3],
-            dict_index_bits: stats_fields[4],
-            raw_tag_bits: stats_fields[5],
-            raw_literal_bits: stats_fields[6],
-            pad_bits: stats_fields[7],
-            raw_halfwords: stats_fields[8],
-            raw_blocks: stats_fields[9],
-            blocks: stats_fields[10],
-        };
 
         // Rebuild per-block metadata by decoding every block through the
         // index table — this also validates the whole stream.
-        let n_blocks = n_groups * BLOCKS_PER_GROUP;
+        let n_blocks = expected_groups * BLOCKS_PER_GROUP;
         let mut blocks = Vec::with_capacity(n_blocks as usize);
         for b in 0..n_blocks {
             let group = (b / BLOCKS_PER_GROUP) as usize;
-            let entry = index[group];
-            let first = entry >> 7;
+            let (first, second_rel) = crate::layout::index_entry_parts(index[group]);
             let offset = if b % BLOCKS_PER_GROUP == 0 {
                 first
             } else {
-                first + (entry & 0x7f)
+                first + second_rel
             };
             let offset = offset as usize;
             if offset > stream.len() {

@@ -35,6 +35,8 @@
 //! assert!(stats.ipc() > 0.5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bpred;
 mod exec;
 mod pipeline;

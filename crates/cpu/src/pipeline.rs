@@ -1267,7 +1267,7 @@ mod tests {
 
     #[test]
     fn mispredict_events_carry_flush_costs() {
-        use codepack_obs::{RingSink, TraceSink};
+        use codepack_obs::RingSink;
 
         let mut a = Assembler::new();
         // Data-dependent alternating branch: gshare needs warmup, so the

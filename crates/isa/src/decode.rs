@@ -6,24 +6,143 @@ use std::fmt;
 use crate::encode::*;
 use crate::{FReg, Instruction, Reg};
 
+/// Why a word failed to decode: which field of the encoding was
+/// unrecognised, or which reserved field was nonzero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeErrorKind {
+    /// The primary opcode (bits 31..26) is not assigned.
+    UnknownOpcode {
+        /// The 6-bit primary opcode field.
+        opcode: u8,
+    },
+    /// A SPECIAL-opcode funct (bits 5..0) is not assigned.
+    UnknownFunct {
+        /// The 6-bit funct field.
+        funct: u8,
+    },
+    /// A REGIMM rt selector (bits 20..16) is not assigned.
+    UnknownRegimm {
+        /// The 5-bit rt selector field.
+        rt: u8,
+    },
+    /// A COP1 format field (bits 25..21) is not assigned.
+    UnknownCop1Format {
+        /// The 5-bit fmt field.
+        fmt: u8,
+    },
+    /// A COP1 arithmetic funct is not assigned for its format.
+    UnknownCop1Funct {
+        /// The 5-bit fmt field.
+        fmt: u8,
+        /// The 6-bit funct field.
+        funct: u8,
+    },
+    /// A COP1 branch condition selector other than bc1f/bc1t.
+    UnknownCop1Branch {
+        /// The 5-bit condition selector field.
+        cond: u8,
+    },
+    /// A field the encoder always writes as zero is nonzero.
+    ReservedFieldNonzero,
+}
+
+impl fmt::Display for DecodeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeErrorKind::UnknownOpcode { opcode } => {
+                write!(f, "unknown primary opcode {opcode:#04x}")
+            }
+            DecodeErrorKind::UnknownFunct { funct } => {
+                write!(f, "unknown SPECIAL funct {funct:#04x}")
+            }
+            DecodeErrorKind::UnknownRegimm { rt } => {
+                write!(f, "unknown REGIMM selector {rt:#04x}")
+            }
+            DecodeErrorKind::UnknownCop1Format { fmt: format } => {
+                write!(f, "unknown COP1 format {format:#04x}")
+            }
+            DecodeErrorKind::UnknownCop1Funct { fmt: format, funct } => {
+                write!(
+                    f,
+                    "unknown COP1 funct {funct:#04x} for format {format:#04x}"
+                )
+            }
+            DecodeErrorKind::UnknownCop1Branch { cond } => {
+                write!(f, "unknown COP1 branch condition {cond:#04x}")
+            }
+            DecodeErrorKind::ReservedFieldNonzero => {
+                write!(f, "nonzero reserved field")
+            }
+        }
+    }
+}
+
 /// Error returned by [`decode`] for a word that is not a valid SR32
 /// instruction.
 ///
-/// The offending word is carried so callers (e.g. the executor's illegal-
-/// instruction trap) can report it.
+/// The offending word and the reason are carried so callers (e.g. the
+/// executor's illegal-instruction trap, or the static linter) can report
+/// *why* the word is invalid, not just that it is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DecodeInstructionError {
     /// The word that failed to decode.
     pub word: u32,
+    /// Which part of the encoding was rejected.
+    pub kind: DecodeErrorKind,
 }
 
 impl fmt::Display for DecodeInstructionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid SR32 instruction word {:#010x}", self.word)
+        write!(
+            f,
+            "invalid SR32 instruction word {:#010x}: {}",
+            self.word, self.kind
+        )
     }
 }
 
 impl Error for DecodeInstructionError {}
+
+/// A decode failure bound to the virtual address it occurred at.
+///
+/// This is the diagnostic-grade error: [`decode_at`] attaches the address
+/// so reports can name the faulting location directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Virtual address of the offending word.
+    pub addr: u32,
+    /// The word that failed to decode.
+    pub word: u32,
+    /// Which part of the encoding was rejected.
+    pub kind: DecodeErrorKind,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid SR32 instruction word {:#010x} at {:#010x}: {}",
+            self.word, self.addr, self.kind
+        )
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Decodes the word at virtual address `addr`, binding any failure to the
+/// address for diagnostics.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] under exactly the conditions [`decode`] fails,
+/// with the address attached.
+pub fn decode_at(addr: u32, word: u32) -> Result<Instruction, DecodeError> {
+    decode(word).map_err(|e| DecodeError {
+        addr,
+        word: e.word,
+        kind: e.kind,
+    })
+}
 
 #[inline]
 fn rs(w: u32) -> Reg {
@@ -79,7 +198,14 @@ fn uimm(w: u32) -> u16 {
 /// ```
 pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
     use Instruction::*;
-    let err = Err(DecodeInstructionError { word: w });
+    macro_rules! bail {
+        ($kind:expr) => {
+            return Err(DecodeInstructionError {
+                word: w,
+                kind: $kind,
+            })
+        };
+    }
     let op = w >> 26;
     let insn = match op {
         OP_SPECIAL => {
@@ -87,7 +213,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
             match funct {
                 FN_SLL | FN_SRL | FN_SRA => {
                     if (w >> 21) & 31 != 0 {
-                        return err;
+                        bail!(DecodeErrorKind::ReservedFieldNonzero);
                     }
                     match funct {
                         FN_SLL => Sll {
@@ -109,7 +235,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                 }
                 FN_SLLV | FN_SRLV | FN_SRAV => {
                     if shamt(w) != 0 {
-                        return err;
+                        bail!(DecodeErrorKind::ReservedFieldNonzero);
                     }
                     match funct {
                         FN_SLLV => Sllv {
@@ -131,13 +257,13 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                 }
                 FN_JR => {
                     if (w >> 6) & 0x7fff != 0 {
-                        return err;
+                        bail!(DecodeErrorKind::ReservedFieldNonzero);
                     }
                     Jr { rs: rs(w) }
                 }
                 FN_JALR => {
                     if (w >> 16) & 31 != 0 || shamt(w) != 0 {
-                        return err;
+                        bail!(DecodeErrorKind::ReservedFieldNonzero);
                     }
                     Jalr {
                         rd: rd(w),
@@ -146,19 +272,19 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                 }
                 FN_SYSCALL => {
                     if w >> 6 != 0 {
-                        return err;
+                        bail!(DecodeErrorKind::ReservedFieldNonzero);
                     }
                     Syscall
                 }
                 FN_BREAK => {
                     if w >> 6 != 0 {
-                        return err;
+                        bail!(DecodeErrorKind::ReservedFieldNonzero);
                     }
                     Break
                 }
                 FN_MFHI | FN_MFLO => {
                     if (w >> 16) & 0x3ff != 0 || shamt(w) != 0 {
-                        return err;
+                        bail!(DecodeErrorKind::ReservedFieldNonzero);
                     }
                     if funct == FN_MFHI {
                         Mfhi { rd: rd(w) }
@@ -168,7 +294,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                 }
                 FN_MULT | FN_MULTU | FN_DIV | FN_DIVU => {
                     if (w >> 6) & 0x3ff != 0 {
-                        return err;
+                        bail!(DecodeErrorKind::ReservedFieldNonzero);
                     }
                     match funct {
                         FN_MULT => Mult {
@@ -191,7 +317,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                 }
                 FN_ADDU | FN_SUBU | FN_AND | FN_OR | FN_XOR | FN_NOR | FN_SLT | FN_SLTU => {
                     if shamt(w) != 0 {
-                        return err;
+                        bail!(DecodeErrorKind::ReservedFieldNonzero);
                     }
                     let (rd, rs, rt) = (rd(w), rs(w), rt(w));
                     match funct {
@@ -205,7 +331,9 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                         _ => Sltu { rd, rs, rt },
                     }
                 }
-                _ => return err,
+                _ => bail!(DecodeErrorKind::UnknownFunct {
+                    funct: (w & 0x3f) as u8,
+                }),
             }
         }
         OP_REGIMM => match (w >> 16) & 31 {
@@ -217,7 +345,9 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                 rs: rs(w),
                 offset: simm(w),
             },
-            _ => return err,
+            _ => bail!(DecodeErrorKind::UnknownRegimm {
+                rt: ((w >> 16) & 31) as u8,
+            }),
         },
         OP_J => J {
             target: w & 0x03ff_ffff,
@@ -237,7 +367,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
         },
         OP_BLEZ | OP_BGTZ => {
             if (w >> 16) & 31 != 0 {
-                return err;
+                bail!(DecodeErrorKind::ReservedFieldNonzero);
             }
             if op == OP_BLEZ {
                 Blez {
@@ -283,7 +413,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
         },
         OP_LUI => {
             if (w >> 21) & 31 != 0 {
-                return err;
+                bail!(DecodeErrorKind::ReservedFieldNonzero);
             }
             Lui {
                 rt: rt(w),
@@ -295,7 +425,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
             match fmt {
                 FMT_MFC1 | FMT_MTC1 => {
                     if (w >> 6) & 31 != 0 || w & 0x3f != 0 {
-                        return err;
+                        bail!(DecodeErrorKind::ReservedFieldNonzero);
                     }
                     if fmt == FMT_MTC1 {
                         Mtc1 {
@@ -312,7 +442,9 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                 FMT_BC => match (w >> 16) & 31 {
                     0 => Bc1f { offset: simm(w) },
                     1 => Bc1t { offset: simm(w) },
-                    _ => return err,
+                    _ => bail!(DecodeErrorKind::UnknownCop1Branch {
+                        cond: ((w >> 16) & 31) as u8,
+                    }),
                 },
                 FMT_S => match w & 0x3f {
                     FN_ADD_S => AddS {
@@ -337,7 +469,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                     },
                     FN_MOV_S => {
                         if (w >> 16) & 31 != 0 {
-                            return err;
+                            bail!(DecodeErrorKind::ReservedFieldNonzero);
                         }
                         MovS {
                             fd: fd(w),
@@ -346,7 +478,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                     }
                     FN_CVT_W => {
                         if (w >> 16) & 31 != 0 {
-                            return err;
+                            bail!(DecodeErrorKind::ReservedFieldNonzero);
                         }
                         CvtWS {
                             fd: fd(w),
@@ -355,7 +487,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                     }
                     FN_C_EQ | FN_C_LT | FN_C_LE => {
                         if (w >> 6) & 31 != 0 {
-                            return err;
+                            bail!(DecodeErrorKind::ReservedFieldNonzero);
                         }
                         match w & 0x3f {
                             FN_C_EQ => CEqS {
@@ -372,21 +504,27 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
                             },
                         }
                     }
-                    _ => return err,
+                    _ => bail!(DecodeErrorKind::UnknownCop1Funct {
+                        fmt: FMT_S as u8,
+                        funct: (w & 0x3f) as u8,
+                    }),
                 },
                 FMT_W => match w & 0x3f {
                     FN_CVT_S => {
                         if (w >> 16) & 31 != 0 {
-                            return err;
+                            bail!(DecodeErrorKind::ReservedFieldNonzero);
                         }
                         CvtSW {
                             fd: fd(w),
                             fs: fs(w),
                         }
                     }
-                    _ => return err,
+                    _ => bail!(DecodeErrorKind::UnknownCop1Funct {
+                        fmt: FMT_W as u8,
+                        funct: (w & 0x3f) as u8,
+                    }),
                 },
-                _ => return err,
+                _ => bail!(DecodeErrorKind::UnknownCop1Format { fmt: fmt as u8 }),
             }
         }
         OP_LB => Lb {
@@ -439,7 +577,7 @@ pub fn decode(w: u32) -> Result<Instruction, DecodeInstructionError> {
             base: rs(w),
             offset: simm(w),
         },
-        _ => return err,
+        _ => bail!(DecodeErrorKind::UnknownOpcode { opcode: op as u8 }),
     };
     Ok(insn)
 }

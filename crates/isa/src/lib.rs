@@ -27,18 +27,22 @@
 //! [`encode`]: fn@encode
 //! [`decode`]: fn@decode
 
+#![forbid(unsafe_code)]
+
 mod asm;
 mod decode;
 mod disasm;
 mod encode;
 mod insn;
+mod parse;
 mod program;
 mod reg;
 
 pub use asm::{AssembleError, Assembler, Label};
-pub use decode::{decode, DecodeInstructionError};
+pub use decode::{decode, decode_at, DecodeError, DecodeErrorKind, DecodeInstructionError};
 pub use encode::encode;
 pub use insn::Instruction;
+pub use parse::{parse_asm, ParseAsmError};
 pub use program::{Program, DATA_BASE, STACK_BASE, TEXT_BASE};
 pub use reg::{FReg, Reg};
 

@@ -1,0 +1,426 @@
+//! Textual assembly parsing: the inverse of the `Display` disassembler.
+//!
+//! [`parse_asm`] accepts exactly the syntax the disassembler emits —
+//! conventional MIPS assembler mnemonics with ABI register names, branch
+//! offsets in instructions, byte jump targets, and `offset(base)` memory
+//! operands — so `parse_asm(&insn.to_string()) == Ok(insn)` for every
+//! instruction.
+//!
+//! ```
+//! use codepack_isa::{parse_asm, Instruction, Reg};
+//!
+//! let insn = parse_asm("addu $v0, $a0, $a1").unwrap();
+//! assert_eq!(insn, Instruction::Addu { rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 });
+//! assert_eq!(parse_asm("lw $t0, -8($sp)").unwrap().to_string(), "lw $t0, -8($sp)");
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{FReg, Instruction, Reg};
+
+/// Error returned by [`parse_asm`] for text that is not a valid SR32
+/// assembly line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// What was wrong with the line.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse assembly: {}", self.message)
+    }
+}
+
+impl Error for ParseAsmError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseAsmError> {
+    Err(ParseAsmError {
+        message: message.into(),
+    })
+}
+
+fn parse_reg(s: &str) -> Result<Reg, ParseAsmError> {
+    for i in 0..32u8 {
+        let r = Reg::new(i);
+        if r.name() == s {
+            return Ok(r);
+        }
+    }
+    err(format!("unknown register `{s}`"))
+}
+
+fn parse_freg(s: &str) -> Result<FReg, ParseAsmError> {
+    let Some(n) = s.strip_prefix("$f") else {
+        return err(format!("expected FP register, got `{s}`"));
+    };
+    match n.parse::<u8>() {
+        Ok(i) if i < 32 && !n.starts_with('+') => Ok(FReg::new(i)),
+        _ => err(format!("bad FP register `{s}`")),
+    }
+}
+
+/// Parses a decimal or `0x`-prefixed integer, optionally negated.
+fn parse_int(s: &str) -> Result<i64, ParseAsmError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let magnitude = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match magnitude {
+        Ok(v) if !body.starts_with(['+', '-']) => Ok(if neg { -v } else { v }),
+        _ => err(format!("bad integer `{s}`")),
+    }
+}
+
+fn parse_simm(s: &str) -> Result<i16, ParseAsmError> {
+    match i16::try_from(parse_int(s)?) {
+        Ok(v) => Ok(v),
+        Err(_) => err(format!("immediate `{s}` out of i16 range")),
+    }
+}
+
+fn parse_uimm(s: &str) -> Result<u16, ParseAsmError> {
+    match u16::try_from(parse_int(s)?) {
+        Ok(v) => Ok(v),
+        Err(_) => err(format!("immediate `{s}` out of u16 range")),
+    }
+}
+
+fn parse_shamt(s: &str) -> Result<u8, ParseAsmError> {
+    match parse_int(s)? {
+        v @ 0..=31 => Ok(v as u8),
+        _ => err(format!("shift amount `{s}` out of range 0..32")),
+    }
+}
+
+/// Parses a byte jump target back into a 26-bit instruction-index target.
+fn parse_target(s: &str) -> Result<u32, ParseAsmError> {
+    match parse_int(s)? {
+        v if (0..=((1i64 << 28) - 4)).contains(&v) && v % 4 == 0 => Ok((v >> 2) as u32),
+        _ => err(format!("jump target `{s}` not a word address in range")),
+    }
+}
+
+/// Parses an `offset(base)` memory operand.
+fn parse_mem(s: &str) -> Result<(i16, Reg), ParseAsmError> {
+    let Some((off, rest)) = s.split_once('(') else {
+        return err(format!("expected offset(base), got `{s}`"));
+    };
+    let Some(base) = rest.strip_suffix(')') else {
+        return err(format!("unterminated memory operand `{s}`"));
+    };
+    Ok((parse_simm(off.trim())?, parse_reg(base.trim())?))
+}
+
+/// Parses one line of SR32 assembly into an [`Instruction`].
+///
+/// The accepted grammar is exactly what `Display` produces: mnemonic
+/// followed by comma-separated operands, ABI register names, immediates in
+/// decimal or `0x` hex, branch offsets in instructions, jump targets in
+/// bytes, loads/stores as `offset(base)`.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] naming the offending token when the line is
+/// not a valid instruction.
+pub fn parse_asm(line: &str) -> Result<Instruction, ParseAsmError> {
+    use Instruction::*;
+    let line = line.trim();
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let arity = |n: usize| -> Result<(), ParseAsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(format!(
+                "`{mnemonic}` takes {n} operand(s), got {}",
+                ops.len()
+            ))
+        }
+    };
+
+    // Shape helpers over the operand list.
+    let r = |i: usize| parse_reg(ops[i]);
+    let fr = |i: usize| parse_freg(ops[i]);
+
+    let insn = match mnemonic {
+        "nop" => {
+            arity(0)?;
+            Instruction::NOP
+        }
+        "syscall" => {
+            arity(0)?;
+            Syscall
+        }
+        "break" => {
+            arity(0)?;
+            Break
+        }
+        "sll" | "srl" | "sra" => {
+            arity(3)?;
+            let (rd, rt, shamt) = (r(0)?, r(1)?, parse_shamt(ops[2])?);
+            match mnemonic {
+                "sll" => Sll { rd, rt, shamt },
+                "srl" => Srl { rd, rt, shamt },
+                _ => Sra { rd, rt, shamt },
+            }
+        }
+        "sllv" | "srlv" | "srav" => {
+            arity(3)?;
+            let (rd, rt, rs) = (r(0)?, r(1)?, r(2)?);
+            match mnemonic {
+                "sllv" => Sllv { rd, rt, rs },
+                "srlv" => Srlv { rd, rt, rs },
+                _ => Srav { rd, rt, rs },
+            }
+        }
+        "jr" => {
+            arity(1)?;
+            Jr { rs: r(0)? }
+        }
+        "jalr" => {
+            arity(2)?;
+            Jalr {
+                rd: r(0)?,
+                rs: r(1)?,
+            }
+        }
+        "mfhi" => {
+            arity(1)?;
+            Mfhi { rd: r(0)? }
+        }
+        "mflo" => {
+            arity(1)?;
+            Mflo { rd: r(0)? }
+        }
+        "mult" | "multu" | "div" | "divu" => {
+            arity(2)?;
+            let (rs, rt) = (r(0)?, r(1)?);
+            match mnemonic {
+                "mult" => Mult { rs, rt },
+                "multu" => Multu { rs, rt },
+                "div" => Div { rs, rt },
+                _ => Divu { rs, rt },
+            }
+        }
+        "addu" | "subu" | "and" | "or" | "xor" | "nor" | "slt" | "sltu" => {
+            arity(3)?;
+            let (rd, rs, rt) = (r(0)?, r(1)?, r(2)?);
+            match mnemonic {
+                "addu" => Addu { rd, rs, rt },
+                "subu" => Subu { rd, rs, rt },
+                "and" => And { rd, rs, rt },
+                "or" => Or { rd, rs, rt },
+                "xor" => Xor { rd, rs, rt },
+                "nor" => Nor { rd, rs, rt },
+                "slt" => Slt { rd, rs, rt },
+                _ => Sltu { rd, rs, rt },
+            }
+        }
+        "beq" | "bne" => {
+            arity(3)?;
+            let (rs, rt, offset) = (r(0)?, r(1)?, parse_simm(ops[2])?);
+            if mnemonic == "beq" {
+                Beq { rs, rt, offset }
+            } else {
+                Bne { rs, rt, offset }
+            }
+        }
+        "blez" | "bgtz" | "bltz" | "bgez" => {
+            arity(2)?;
+            let (rs, offset) = (r(0)?, parse_simm(ops[1])?);
+            match mnemonic {
+                "blez" => Blez { rs, offset },
+                "bgtz" => Bgtz { rs, offset },
+                "bltz" => Bltz { rs, offset },
+                _ => Bgez { rs, offset },
+            }
+        }
+        "addiu" | "slti" | "sltiu" => {
+            arity(3)?;
+            let (rt, rs, imm) = (r(0)?, r(1)?, parse_simm(ops[2])?);
+            match mnemonic {
+                "addiu" => Addiu { rt, rs, imm },
+                "slti" => Slti { rt, rs, imm },
+                _ => Sltiu { rt, rs, imm },
+            }
+        }
+        "andi" | "ori" | "xori" => {
+            arity(3)?;
+            let (rt, rs, imm) = (r(0)?, r(1)?, parse_uimm(ops[2])?);
+            match mnemonic {
+                "andi" => Andi { rt, rs, imm },
+                "ori" => Ori { rt, rs, imm },
+                _ => Xori { rt, rs, imm },
+            }
+        }
+        "lui" => {
+            arity(2)?;
+            Lui {
+                rt: r(0)?,
+                imm: parse_uimm(ops[1])?,
+            }
+        }
+        "lb" | "lh" | "lw" | "lbu" | "lhu" | "sb" | "sh" | "sw" => {
+            arity(2)?;
+            let rt = r(0)?;
+            let (offset, base) = parse_mem(ops[1])?;
+            match mnemonic {
+                "lb" => Lb { rt, base, offset },
+                "lh" => Lh { rt, base, offset },
+                "lw" => Lw { rt, base, offset },
+                "lbu" => Lbu { rt, base, offset },
+                "lhu" => Lhu { rt, base, offset },
+                "sb" => Sb { rt, base, offset },
+                "sh" => Sh { rt, base, offset },
+                _ => Sw { rt, base, offset },
+            }
+        }
+        "j" | "jal" => {
+            arity(1)?;
+            let target = parse_target(ops[0])?;
+            if mnemonic == "j" {
+                J { target }
+            } else {
+                Jal { target }
+            }
+        }
+        "add.s" | "sub.s" | "mul.s" | "div.s" => {
+            arity(3)?;
+            let (fd, fs, ft) = (fr(0)?, fr(1)?, fr(2)?);
+            match mnemonic {
+                "add.s" => AddS { fd, fs, ft },
+                "sub.s" => SubS { fd, fs, ft },
+                "mul.s" => MulS { fd, fs, ft },
+                _ => DivS { fd, fs, ft },
+            }
+        }
+        "mov.s" => {
+            arity(2)?;
+            MovS {
+                fd: fr(0)?,
+                fs: fr(1)?,
+            }
+        }
+        "c.eq.s" | "c.lt.s" | "c.le.s" => {
+            arity(2)?;
+            let (fs, ft) = (fr(0)?, fr(1)?);
+            match mnemonic {
+                "c.eq.s" => CEqS { fs, ft },
+                "c.lt.s" => CLtS { fs, ft },
+                _ => CLeS { fs, ft },
+            }
+        }
+        "bc1t" | "bc1f" => {
+            arity(1)?;
+            let offset = parse_simm(ops[0])?;
+            if mnemonic == "bc1t" {
+                Bc1t { offset }
+            } else {
+                Bc1f { offset }
+            }
+        }
+        "mtc1" | "mfc1" => {
+            arity(2)?;
+            let (rt, fs) = (r(0)?, fr(1)?);
+            if mnemonic == "mtc1" {
+                Mtc1 { rt, fs }
+            } else {
+                Mfc1 { rt, fs }
+            }
+        }
+        "cvt.s.w" | "cvt.w.s" => {
+            arity(2)?;
+            let (fd, fs) = (fr(0)?, fr(1)?);
+            if mnemonic == "cvt.s.w" {
+                CvtSW { fd, fs }
+            } else {
+                CvtWS { fd, fs }
+            }
+        }
+        "" => return err("empty line"),
+        other => return err(format!("unknown mnemonic `{other}`")),
+    };
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_three_register_form() {
+        assert_eq!(
+            parse_asm("addu $v0, $a0, $a1").unwrap(),
+            Instruction::Addu {
+                rd: Reg::V0,
+                rs: Reg::A0,
+                rt: Reg::A1
+            }
+        );
+    }
+
+    #[test]
+    fn parses_memory_operand() {
+        assert_eq!(
+            parse_asm("lw $t0, -8($sp)").unwrap(),
+            Instruction::Lw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: -8
+            }
+        );
+    }
+
+    #[test]
+    fn parses_jump_byte_target() {
+        assert_eq!(
+            parse_asm("j 0x1000").unwrap(),
+            Instruction::J { target: 0x400 }
+        );
+    }
+
+    #[test]
+    fn parses_fp_and_hex_immediates() {
+        assert_eq!(
+            parse_asm("mul.s $f2, $f4, $f6").unwrap().to_string(),
+            "mul.s $f2, $f4, $f6"
+        );
+        assert_eq!(
+            parse_asm("ori $t0, $zero, 0xbeef").unwrap(),
+            Instruction::Ori {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 0xbeef
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_asm("frobnicate $t0").is_err());
+        assert!(parse_asm("addu $t0, $t1").is_err());
+        assert!(parse_asm("lw $t0, 8[$sp]").is_err());
+        assert!(parse_asm("j 0x1001").is_err());
+        assert!(parse_asm("").is_err());
+        assert!(parse_asm("sll $t0, $t1, 99").is_err());
+    }
+
+    #[test]
+    fn nop_round_trips() {
+        assert_eq!(parse_asm("nop").unwrap(), Instruction::NOP);
+    }
+}

@@ -317,3 +317,74 @@ fn register_generators_cover_the_file() {
         assert!(f.index() < 32);
     });
 }
+
+/// encode -> decode -> disassemble -> parse round-trips every
+/// instruction class: the assembly text is a faithful, machine-readable
+/// rendering of the instruction, not just a pretty-printer.
+#[test]
+fn encode_decode_disasm_parse_roundtrip() {
+    use codepack_isa::parse_asm;
+    forall!(cases = 4096, (arb_insn()), |insn| {
+        let word = encode(insn);
+        let decoded = decode(word).expect("constructible instructions decode");
+        let text = decoded.to_string();
+        let parsed = parse_asm(&text).unwrap_or_else(|e| panic!("parse_asm({text:?}) failed: {e}"));
+        assert_eq!(parsed, insn, "asm text {text:?}");
+    });
+}
+
+/// The typed decode errors carry the offending word, the address, and the
+/// precise reason.
+#[test]
+fn known_illegal_encodings_carry_typed_errors() {
+    use codepack_isa::{decode_at, DecodeErrorKind};
+
+    // Primary opcode 0x3f is unassigned.
+    let word = 0xffff_ffff;
+    let e = decode_at(0x0040_0040, word).unwrap_err();
+    assert_eq!(e.addr, 0x0040_0040);
+    assert_eq!(e.word, word);
+    assert_eq!(e.kind, DecodeErrorKind::UnknownOpcode { opcode: 0x3f });
+
+    // SPECIAL (opcode 0) with unassigned funct 0x3f.
+    let e = decode(0x0000_003f).unwrap_err();
+    assert_eq!(e.kind, DecodeErrorKind::UnknownFunct { funct: 0x3f });
+
+    // sll with a nonzero rs field (bits 25..21 are reserved-zero).
+    let sll_bad_rs = 1 << 21;
+    let e = decode(sll_bad_rs).unwrap_err();
+    assert_eq!(e.kind, DecodeErrorKind::ReservedFieldNonzero);
+
+    // REGIMM (opcode 1) with unassigned rt selector 0x1f.
+    let regimm_bad = (1 << 26) | (0x1f << 16);
+    let e = decode(regimm_bad).unwrap_err();
+    assert_eq!(e.kind, DecodeErrorKind::UnknownRegimm { rt: 0x1f });
+
+    // COP1 with unassigned format 0x1f.
+    let cop1_bad_fmt = (0x11 << 26) | (0x1f << 21);
+    let e = decode(cop1_bad_fmt).unwrap_err();
+    assert_eq!(e.kind, DecodeErrorKind::UnknownCop1Format { fmt: 0x1f });
+
+    // Every error's Display names the word; decode_at's also the address.
+    let e = decode_at(0x0040_1234, 0xffff_ffff).unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("0xffffffff"), "{msg}");
+    assert!(msg.contains("0x00401234"), "{msg}");
+}
+
+/// decode() and decode_at() agree on every word: same acceptance, same
+/// instruction, same error kind.
+#[test]
+fn decode_and_decode_at_agree() {
+    use codepack_isa::decode_at;
+    forall!(cases = 4096, (gen::any_int::<u32>()), |word| {
+        match (decode(word), decode_at(0x0040_0000, word)) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(a), Err(b)) => {
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(b.word, word);
+            }
+            (a, b) => panic!("disagreement on {word:#010x}: {a:?} vs {b:?}"),
+        }
+    });
+}

@@ -52,7 +52,7 @@ impl FaultDomain {
     fn stream_tag(self) -> u64 {
         match self {
             FaultDomain::Stream => 0x5354_5245_414d,     // "STREAM"
-            FaultDomain::Index => 0x4944_58,             // "IDX"
+            FaultDomain::Index => 0x0049_4458,           // "IDX"
             FaultDomain::Dictionary => 0x4449_4354,      // "DICT"
             FaultDomain::IcacheLine => 0x4943_4143_4845, // "ICACHE"
         }

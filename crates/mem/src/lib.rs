@@ -32,6 +32,8 @@
 //! assert_eq!(t.burst_read_cycles(32), 16);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cache;
 pub mod fault;
 mod fully_assoc;

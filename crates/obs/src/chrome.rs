@@ -21,54 +21,63 @@ mod tid {
     pub const PIPELINE: u32 = 3;
 }
 
-fn push_event(
-    out: &mut String,
-    first: &mut bool,
-    name: &str,
-    ph: char,
-    ts: u64,
-    dur: Option<u64>,
-    tid: u32,
-    args: &[(&str, String)],
-) {
-    if !*first {
-        out.push_str(",\n");
-    }
-    *first = false;
-    let _ = write!(
-        out,
-        "    {{\"name\": \"{name}\", \"ph\": \"{ph}\", \"ts\": {ts}"
-    );
-    if let Some(d) = dur {
-        let _ = write!(out, ", \"dur\": {d}");
-    }
-    let _ = write!(out, ", \"pid\": 0, \"tid\": {tid}");
-    if ph == 'i' {
-        out.push_str(", \"s\": \"t\"");
-    }
-    out.push_str(", \"args\": {");
-    for (n, (k, v)) in args.iter().enumerate() {
-        if n > 0 {
-            out.push_str(", ");
+/// Accumulates trace-event records, handling the comma discipline between
+/// entries of the `traceEvents` array.
+struct EventWriter {
+    out: String,
+    first: bool,
+}
+
+impl EventWriter {
+    fn push(
+        &mut self,
+        name: &str,
+        ph: char,
+        ts: u64,
+        dur: Option<u64>,
+        tid: u32,
+        args: &[(&str, String)],
+    ) {
+        let out = &mut self.out;
+        if !self.first {
+            out.push_str(",\n");
         }
-        let _ = write!(out, "\"{k}\": {v}");
+        self.first = false;
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{name}\", \"ph\": \"{ph}\", \"ts\": {ts}"
+        );
+        if let Some(d) = dur {
+            let _ = write!(out, ", \"dur\": {d}");
+        }
+        let _ = write!(out, ", \"pid\": 0, \"tid\": {tid}");
+        if ph == 'i' {
+            out.push_str(", \"s\": \"t\"");
+        }
+        out.push_str(", \"args\": {");
+        for (n, (k, v)) in args.iter().enumerate() {
+            if n > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{k}\": {v}");
+        }
+        out.push_str("}}");
     }
-    out.push_str("}}");
 }
 
 /// Renders `events` as a complete Chrome trace-event JSON document.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
-    let mut out = String::from("{\"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
-    let mut first = true;
+    let mut w = EventWriter {
+        out: String::from("{\"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n"),
+        first: true,
+    };
     for (label, t) in [
         ("fetch", tid::FETCH),
         ("decompressor", tid::DECOMPRESSOR),
         ("memory", tid::MEMORY),
         ("pipeline", tid::PIPELINE),
     ] {
-        push_event(
-            &mut out,
-            &mut first,
+        w.push(
             "thread_name",
             'M',
             0,
@@ -80,9 +89,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     for ev in events {
         let c = ev.cycle;
         match ev.kind {
-            EventKind::IcacheMiss { pc } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::IcacheMiss { pc } => w.push(
                 "icache-miss",
                 'i',
                 c,
@@ -90,9 +97,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::FETCH,
                 &[("pc", format!("{pc}"))],
             ),
-            EventKind::IndexLookup { group, hit, cycles } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::IndexLookup { group, hit, cycles } => w.push(
                 if hit { "index-hit" } else { "index-miss" },
                 'X',
                 c,
@@ -100,9 +105,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::DECOMPRESSOR,
                 &[("group", format!("{group}")), ("hit", format!("{hit}"))],
             ),
-            EventKind::BurstBeat { beat, bytes } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::BurstBeat { beat, bytes } => w.push(
                 "burst-beat",
                 'i',
                 c,
@@ -110,9 +113,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::MEMORY,
                 &[("beat", format!("{beat}")), ("bytes", format!("{bytes}"))],
             ),
-            EventKind::DictInsn { insn } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::DictInsn { insn } => w.push(
                 "dict-decode",
                 'i',
                 c,
@@ -120,9 +121,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::DECOMPRESSOR,
                 &[("insn", format!("{insn}"))],
             ),
-            EventKind::RawInsn { insn } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::RawInsn { insn } => w.push(
                 "raw-escape",
                 'i',
                 c,
@@ -130,9 +129,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::DECOMPRESSOR,
                 &[("insn", format!("{insn}"))],
             ),
-            EventKind::BufferHit { block } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::BufferHit { block } => w.push(
                 "buffer-hit",
                 'i',
                 c,
@@ -146,9 +143,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 critical,
                 fill,
                 index_cycles,
-            } => push_event(
-                &mut out,
-                &mut first,
+            } => w.push(
                 &format!("miss-served-{}", origin.as_str()),
                 'X',
                 c.saturating_sub(critical),
@@ -160,9 +155,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     ("index_cycles", format!("{index_cycles}")),
                 ],
             ),
-            EventKind::DcacheMiss { addr, cycles } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::DcacheMiss { addr, cycles } => w.push(
                 "dcache-miss",
                 'X',
                 c,
@@ -170,9 +163,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::MEMORY,
                 &[("addr", format!("{addr}"))],
             ),
-            EventKind::BranchMispredict { pc, indirect } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::BranchMispredict { pc, indirect } => w.push(
                 "branch-mispredict",
                 'i',
                 c,
@@ -180,9 +171,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::PIPELINE,
                 &[("pc", format!("{pc}")), ("indirect", format!("{indirect}"))],
             ),
-            EventKind::PipelineFlush { cycles } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::PipelineFlush { cycles } => w.push(
                 "pipeline-flush",
                 'X',
                 c,
@@ -190,9 +179,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::PIPELINE,
                 &[],
             ),
-            EventKind::FaultInjected { area, addr, flips } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::FaultInjected { area, addr, flips } => w.push(
                 &format!("fault-{}", area.as_str()),
                 'i',
                 c,
@@ -200,9 +187,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::MEMORY,
                 &[("addr", format!("{addr}")), ("flips", format!("{flips}"))],
             ),
-            EventKind::FaultDetected { area, addr } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::FaultDetected { area, addr } => w.push(
                 &format!("fault-detected-{}", area.as_str()),
                 'i',
                 c,
@@ -210,9 +195,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::MEMORY,
                 &[("addr", format!("{addr}"))],
             ),
-            EventKind::FaultRetry { area, attempt } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::FaultRetry { area, attempt } => w.push(
                 &format!("fault-retry-{}", area.as_str()),
                 'i',
                 c,
@@ -220,9 +203,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::MEMORY,
                 &[("attempt", format!("{attempt}"))],
             ),
-            EventKind::FaultSilent { area, addr } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::FaultSilent { area, addr } => w.push(
                 &format!("fault-silent-{}", area.as_str()),
                 'i',
                 c,
@@ -230,9 +211,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 tid::MEMORY,
                 &[("addr", format!("{addr}"))],
             ),
-            EventKind::MachineCheck { pc } => push_event(
-                &mut out,
-                &mut first,
+            EventKind::MachineCheck { pc } => w.push(
                 "machine-check",
                 'i',
                 c,
@@ -242,8 +221,8 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             ),
         }
     }
-    out.push_str("\n  ]\n}\n");
-    out
+    w.out.push_str("\n  ]\n}\n");
+    w.out
 }
 
 #[cfg(test)]

@@ -20,6 +20,8 @@
 //!   [`CpiBreakdown`] whose components sum exactly to measured CPI.
 //! * [`chrome`] — Chrome trace-event export for `chrome://tracing`.
 //! * [`json`] — a minimal JSON parser for validation and round-trips.
+//! * [`writer`] — the emitting counterpart: a streaming [`JsonWriter`]
+//!   used for structured documents (lint reports, metrics).
 //! * [`names`] — well-known metric names shared across crates (the
 //!   `matrix.*` fault-tolerance counters of the sweep runner).
 //!
@@ -44,6 +46,7 @@
 //! assert!((report.breakdown.component_sum() - report.breakdown.total).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attr;
@@ -54,6 +57,7 @@ pub mod json;
 pub mod metrics;
 pub mod names;
 pub mod sink;
+pub mod writer;
 
 pub use attr::{CpiBreakdown, CycleAttribution};
 pub use chrome::chrome_trace_json;
@@ -61,3 +65,4 @@ pub use event::{EventKind, FaultArea, MissOrigin, TraceEvent};
 pub use handle::{Obs, ObsCore, ObsReport};
 pub use metrics::{bucket_bounds, bucket_index, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use sink::{parse_jsonl, JsonlSink, NullSink, RingSink, TraceSink};
+pub use writer::JsonWriter;

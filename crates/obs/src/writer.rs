@@ -1,0 +1,285 @@
+//! A minimal JSON writer — the emitting counterpart of [`crate::json`]'s
+//! parser. Hermetic-build policy forbids `serde`, so structured documents
+//! (lint reports, metrics) are built through this instead of ad-hoc
+//! `format!` calls.
+//!
+//! The writer is a streaming builder: open containers with
+//! [`JsonWriter::begin_object`] / [`JsonWriter::begin_array`], emit keys and
+//! values, close them, and [`JsonWriter::finish`]. Comma and quoting
+//! discipline is handled internally, so every produced document parses.
+//!
+//! ```
+//! use codepack_obs::{json, JsonWriter};
+//!
+//! let mut w = JsonWriter::new();
+//! w.begin_object();
+//! w.field_str("name", "cc1");
+//! w.key("ratios").begin_array();
+//! w.f64(0.5923);
+//! w.end_array();
+//! w.end_object();
+//! let doc = w.finish();
+//! assert!(json::parse(&doc).is_ok());
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::json::escape;
+
+/// What container the writer is currently inside.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Frame {
+    Object { seen: bool },
+    Array { seen: bool },
+}
+
+/// A streaming JSON document builder. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    stack: Vec<Frame>,
+    /// A key was just written; the next value belongs to it (no comma).
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// A writer for one JSON document.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Emits the separator due before a new element in the current
+    /// container, if any.
+    fn sep(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(frame) = self.stack.last_mut() {
+            match frame {
+                Frame::Object { seen } | Frame::Array { seen } => {
+                    if *seen {
+                        self.out.push_str(", ");
+                    }
+                    *seen = true;
+                }
+            }
+        }
+    }
+
+    /// Opens an object.
+    pub fn begin_object(&mut self) -> &mut JsonWriter {
+        self.sep();
+        self.out.push('{');
+        self.stack.push(Frame::Object { seen: false });
+        self
+    }
+
+    /// Closes the innermost object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the innermost open container is not an object.
+    pub fn end_object(&mut self) -> &mut JsonWriter {
+        match self.stack.pop() {
+            Some(Frame::Object { .. }) => self.out.push('}'),
+            other => panic!("end_object with open container {other:?}"),
+        }
+        self
+    }
+
+    /// Opens an array.
+    pub fn begin_array(&mut self) -> &mut JsonWriter {
+        self.sep();
+        self.out.push('[');
+        self.stack.push(Frame::Array { seen: false });
+        self
+    }
+
+    /// Closes the innermost array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the innermost open container is not an array.
+    pub fn end_array(&mut self) -> &mut JsonWriter {
+        match self.stack.pop() {
+            Some(Frame::Array { .. }) => self.out.push(']'),
+            other => panic!("end_array with open container {other:?}"),
+        }
+        self
+    }
+
+    /// Emits an object key; the next emitted value becomes its member.
+    pub fn key(&mut self, k: &str) -> &mut JsonWriter {
+        self.sep();
+        let _ = write!(self.out, "\"{}\": ", escape(k));
+        self.after_key = true;
+        self
+    }
+
+    /// Emits a string value.
+    pub fn string(&mut self, v: &str) -> &mut JsonWriter {
+        self.sep();
+        let _ = write!(self.out, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut JsonWriter {
+        self.sep();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Emits a signed integer value.
+    pub fn i64(&mut self, v: i64) -> &mut JsonWriter {
+        self.sep();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Emits a floating-point value (`null` if not finite, which JSON
+    /// cannot represent).
+    pub fn f64(&mut self, v: f64) -> &mut JsonWriter {
+        self.sep();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Emits a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut JsonWriter {
+        self.sep();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Emits `null`.
+    pub fn null(&mut self) -> &mut JsonWriter {
+        self.sep();
+        self.out.push_str("null");
+        self
+    }
+
+    /// `key(k)` + `string(v)`.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut JsonWriter {
+        self.key(k).string(v)
+    }
+
+    /// `key(k)` + `u64(v)`.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut JsonWriter {
+        self.key(k).u64(v)
+    }
+
+    /// `key(k)` + `f64(v)`.
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut JsonWriter {
+        self.key(k).f64(v)
+    }
+
+    /// `key(k)` + `bool(v)`.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut JsonWriter {
+        self.key(k).bool(v)
+    }
+
+    /// The finished document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a container is still open — the document would not parse.
+    pub fn finish(self) -> String {
+        assert!(
+            self.stack.is_empty() && !self.after_key,
+            "json document finished with open container or dangling key"
+        );
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+
+    #[test]
+    fn nested_document_parses_back() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("tool", "sr32lint");
+        w.field_u64("errors", 0);
+        w.key("diagnostics").begin_array();
+        w.begin_object();
+        w.field_str("severity", "warning");
+        w.field_f64("ratio", 0.5923);
+        w.field_bool("clean", true);
+        w.key("context").null();
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        let doc = w.finish();
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(v.get("tool").and_then(Value::as_str), Some("sr32lint"));
+        assert_eq!(v.get("errors").and_then(Value::as_u64), Some(0));
+        let diags = v
+            .get("diagnostics")
+            .and_then(Value::as_array)
+            .expect("array");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].get("ratio").and_then(Value::as_f64), Some(0.5923));
+        assert_eq!(diags[0].get("context"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("msg", "say \"hi\"\n\tdone");
+        w.end_object();
+        let doc = w.finish();
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("msg").and_then(Value::as_str),
+            Some("say \"hi\"\n\tdone")
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(f64::NAN).f64(f64::INFINITY).f64(1.5);
+        w.end_array();
+        let v = json::parse(&w.finish()).unwrap();
+        assert_eq!(
+            v.as_array().unwrap(),
+            &[Value::Null, Value::Null, Value::Number(1.5)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "open container")]
+    fn finish_with_open_container_panics() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.finish();
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a").begin_array();
+        w.end_array();
+        w.key("b").begin_object();
+        w.end_object();
+        w.end_object();
+        let v = json::parse(&w.finish()).unwrap();
+        assert_eq!(
+            v.get("a").and_then(Value::as_array).map(<[_]>::len),
+            Some(0)
+        );
+        assert!(v.get("b").and_then(Value::as_object).is_some());
+    }
+}

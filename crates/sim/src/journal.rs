@@ -406,7 +406,7 @@ pub fn result_json(r: &SimResult) -> String {
         p.instructions,
         cache(&p.icache),
         cache(&p.dcache),
-        p.l2.as_ref().map_or("null".to_string(), |c| cache(c)),
+        p.l2.as_ref().map_or("null".to_string(), cache),
         p.branches,
         p.mispredicts,
         p.indirect_mispredicts,

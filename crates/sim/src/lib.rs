@@ -16,6 +16,8 @@
 //! println!("{}: IPC {:.2}", result.benchmark, result.ipc());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod arch;
 mod faults;
 mod journal;

@@ -13,6 +13,8 @@
 //! assert!(program.text_size_bytes() > 64 * 1024);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod gen;
 mod mix;
 mod profile;

@@ -141,10 +141,9 @@ impl Bench {
                 break;
             }
             // Aim just past the target; at least double to converge fast.
-            iters = (iters * 2).max(if elapsed == 0 {
-                iters * 16
-            } else {
-                iters * target_batch_ns() / elapsed + 1
+            iters = (iters * 2).max(match (iters * target_batch_ns()).checked_div(elapsed) {
+                None => iters * 16,
+                Some(scaled) => scaled + 1,
             });
         }
 

@@ -20,6 +20,8 @@
 //! Environment knobs: `TESTKIT_SEED`, `TESTKIT_CASES`,
 //! `TESTKIT_BENCH_FAST`, `TESTKIT_BENCH_BATCHES`.
 
+#![forbid(unsafe_code)]
+
 pub mod bench;
 pub mod prop;
 pub mod rng;

@@ -29,11 +29,14 @@ use std::sync::Once;
 
 use crate::rng::{mix_seed, Rng};
 
+/// A shrinker: proposes candidate smaller variants of a failing value.
+type Shrinker<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
 /// A generator: draws a value from an [`Rng`] and knows how to propose
 /// smaller variants of a failing value.
 pub struct Gen<T> {
     generate: Rc<dyn Fn(&mut Rng) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    shrink: Shrinker<T>,
 }
 
 impl<T> Clone for Gen<T> {
@@ -77,10 +80,10 @@ impl<T: 'static> Gen<T> {
     }
 
     /// Pairs two generators; each side shrinks independently.
-    pub fn zip<U: 'static>(self, other: Gen<U>) -> Gen<(T, U)>
+    pub fn zip<U>(self, other: Gen<U>) -> Gen<(T, U)>
     where
         T: Clone,
-        U: Clone,
+        U: Clone + 'static,
     {
         let (ga, gb) = (self.clone(), other.clone());
         Gen::new(move |rng| (ga.draw(rng), gb.draw(rng))).with_shrink(move |(a, b)| {
@@ -574,7 +577,7 @@ mod tests {
             cases = 30,
             (gen::ints(1u32..10), gen::bools(), gen::unit_f64()),
             |a, b, c| {
-                assert!(a >= 1 && a < 10);
+                assert!((1..10).contains(&a));
                 assert!((0.0..1.0).contains(&c));
                 let _ = b;
             }

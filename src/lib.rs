@@ -34,6 +34,8 @@
 //! assert_eq!(native.retired_instructions, packed.retired_instructions);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use codepack_baselines as baselines;
 pub use codepack_core as core;
 pub use codepack_cpu as cpu;
