@@ -182,7 +182,43 @@ assert any(d["severity"] == "error" and (d["addr"] or "").startswith("0x")
 print("tier-2 lint smoke: corrupted index entry detected statically")
 PYEOF
 
-echo "== tier-2: codec fuzzer (fixed seed) =="
+echo "== tier-2: codec fuzzer (fixed seed, both backends) =="
 cargo test -q --offline --test fuzz_codec
+
+echo "== tier-2: decode-throughput scorecard gate =="
+# A fresh smoke run of the codec bench must show the fast backend beating
+# the scalar reference on every profile, and the checked-in full-mode
+# BENCH_codec.json must carry the >= 2x speedup the fast path promises.
+TESTKIT_BENCH_FAST=1 BENCH_CODEC_OUT="$OBS_TMP/bench_codec.json" \
+    cargo bench -q --offline -p codepack-bench --bench decode_throughput > /dev/null
+python3 - "$OBS_TMP" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+PROFILES = {"cc1", "go", "mpeg2enc", "pegwit", "perl", "vortex"}
+
+def load(path, mode):
+    with open(path) as f:
+        r = json.load(f)
+    assert r["suite"] == "codec" and r["bench"] == "decode_throughput", r
+    assert r["unit"] == "MB/s" and r["seed"] == 42, r
+    assert r["mode"] == mode, f"{path}: mode {r['mode']} != {mode}"
+    rows = r["profiles"]
+    assert {p["name"] for p in rows} == PROFILES, f"{path}: wrong profile set"
+    for p in rows:
+        assert p["bytes"] > 0 and p["scalar_mb_s"] > 0 and p["fast_mb_s"] > 0, p
+    return rows
+
+# Fresh smoke run: fast must outrun scalar on every profile, right now,
+# on this machine — catches hot-path regressions before they land.
+for p in load(f"{tmp}/bench_codec.json", "smoke"):
+    assert p["fast_mb_s"] > p["scalar_mb_s"], \
+        f"{p['name']}: fast {p['fast_mb_s']} MB/s <= scalar {p['scalar_mb_s']} MB/s"
+
+# Checked-in scorecard: schema-valid full-mode numbers with >= 2x each.
+for p in load("BENCH_codec.json", "full"):
+    assert p["speedup"] >= 2.0, \
+        f"{p['name']}: checked-in speedup {p['speedup']} < 2"
+print("tier-2 codec scorecard: fresh smoke fast > scalar on all 6, checked-in >= 2x")
+PYEOF
 
 echo "ci: all green"

@@ -13,6 +13,9 @@
 //! * a full [`CompositionStats`] recount compared field-by-field against
 //!   the stats the image claims (`stats-mismatch`) — this is the static
 //!   compression-ratio cross-check surfaced in [`RatioReport`],
+//! * the codec's own decoders, both backends, diffed block-by-block
+//!   against the walk's decompression (`decode-backend` — the three-way
+//!   scalar / fast / static oracle),
 //! * and the decompressed text itself, compared byte-for-byte against the
 //!   native program when one is available (`decompress-mismatch`).
 //!
@@ -22,7 +25,10 @@ use codepack_core::layout::{
     index_entry_parts, CodewordClass, BLOCKS_PER_GROUP, BLOCK_INSNS, GROUP_INSNS, HIGH_CLASSES,
     HIGH_DICT_CAPACITY, INDEX_ENTRY_BYTES, LOW_CLASSES, LOW_DICT_CAPACITY, RAW_TAG, RAW_TAG_BITS,
 };
-use codepack_core::{BitReader, CodePackImage, CompositionStats, RomParts};
+use codepack_core::{
+    decode_block_bytes, BitReader, CodePackImage, CompositionStats, Dictionary, FastDecoder,
+    RomParts,
+};
 use codepack_isa::{decode, TEXT_BASE};
 
 use crate::diag::{Diagnostic, LintReport, RatioReport};
@@ -256,6 +262,7 @@ pub fn check_image(
         "stream-slack",
         "stats-mismatch",
         "ratio-agreement",
+        "decode-backend",
     ] {
         report.ran(check);
     }
@@ -399,6 +406,14 @@ pub fn check_image(
         });
     }
 
+    // Three-way decode oracle: the independent walk above, the codec's
+    // scalar reference decoder, and the table-driven fast decoder must
+    // recover identical words for every block. Only meaningful when the
+    // walk saw every block (a structural fault already fired otherwise).
+    if complete {
+        check_decode_backends(parts, &words, report);
+    }
+
     // Byte-for-byte decompression check against the native text.
     if let Some(native) = native {
         check_native(&words, native, parts.n_insns, complete, report);
@@ -409,6 +424,73 @@ pub fn check_image(
         words,
         complete,
     }
+}
+
+/// Runs both codec decode backends over every block and diffs each against
+/// the static walk's words — the `decode-backend` three-way check. The walk
+/// is layout-driven and shares no code with either backend, so agreement
+/// here certifies all three independently.
+fn check_decode_backends(parts: &ImageParts<'_>, words: &[u32], report: &mut LintReport) {
+    let high = Dictionary::from_ranked_values(parts.high_values.clone());
+    let low = Dictionary::from_ranked_values(parts.low_values.clone());
+    let fast = FastDecoder::new(&high, &low);
+    let mut cap = Capped::new("decode-backend");
+    for (g, &entry) in parts.index.iter().enumerate() {
+        let (first, second_rel) = index_entry_parts(entry);
+        for b in 0..BLOCKS_PER_GROUP {
+            let start = if b == 0 { first } else { first + second_rel } as usize;
+            let block = g as u32 * BLOCKS_PER_GROUP + b;
+            let base_addr = TEXT_BASE + 4 * BLOCK_INSNS * block;
+            let Some(slice) = parts.stream.get(start..) else {
+                continue; // extent errors already reported by the walk
+            };
+            let walked = &words[block as usize * BLOCK_INSNS as usize..][..BLOCK_INSNS as usize];
+            for (backend, decoded) in [
+                ("scalar", decode_block_bytes(slice, &high, &low)),
+                ("fast", fast.decode_block(slice)),
+            ] {
+                match decoded {
+                    Ok(got) if got == walked => {}
+                    Ok(got) => {
+                        let diverges = got
+                            .iter()
+                            .zip(walked)
+                            .position(|(a, b)| a != b)
+                            .unwrap_or(0);
+                        cap.push(
+                            report,
+                            Diagnostic::error(
+                                "decode-backend",
+                                format!(
+                                    "block {block}: {backend} decoder diverges from the \
+                                     static walk at instruction {diverges}"
+                                ),
+                            )
+                            .at(base_addr)
+                            .with_context(format!(
+                                "{backend} {:#010x}, walk {:#010x}",
+                                got[diverges], walked[diverges]
+                            )),
+                        );
+                    }
+                    Err(e) => {
+                        cap.push(
+                            report,
+                            Diagnostic::error(
+                                "decode-backend",
+                                format!(
+                                    "block {block}: {backend} decoder rejects a block the \
+                                     static walk verified: {e}"
+                                ),
+                            )
+                            .at(base_addr),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    cap.finish(report);
 }
 
 fn check_stats(walked: &CompositionStats, claimed: &CompositionStats, report: &mut LintReport) {
@@ -576,6 +658,17 @@ mod tests {
         let (report, walk) = lint_image(&image, Some(&text));
         assert!(report.is_clean(), "{}", report.render());
         assert!(walk.words.len() >= text.len());
+    }
+
+    #[test]
+    fn decode_backend_check_runs_and_is_clean_on_valid_images() {
+        let text = sample_text(96);
+        let image = compress(&text);
+        let (report, walk) = lint_image(&image, None);
+        assert!(report.checks_run.contains(&"decode-backend"));
+        assert!(report.is_clean(), "{}", report.render());
+        // The walk's words really are what both backends produce.
+        assert_eq!(&walk.words[..text.len()], &text[..]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use codepack_analyze::{lint_compressed, lint_rom, Diagnostic, LintReport};
 use codepack_baselines::{estimate_thumb, CcrpImage, HuffPackImage, InsnDictImage};
 use codepack_core::parse_rom_parts;
-use codepack_core::{CodePackImage, CompressionConfig};
+use codepack_core::{CodePackImage, CompressionConfig, DecodeBackend};
 use codepack_isa::{decode, Program, TEXT_BASE};
 use codepack_mem::{IntegrityConfig, PPB_SCALE};
 use codepack_obs::{chrome_trace_json, parse_jsonl, JsonlSink, Obs};
@@ -24,9 +24,12 @@ USAGE:
     cpack disasm   <profile> [N]        disassemble the first N instructions (default 32)
     cpack sim      <profile> [INSNS]    simulate native vs CodePack (default 500000)
     cpack run      <profile> [INSNS] [--arch 1|4|8] [--model native|cp-base|cp-opt]
-                   [--trace FILE.jsonl] [--metrics FILE.json]
+                   [--backend scalar|fast] [--trace FILE.jsonl] [--metrics FILE.json]
                                         one observed run: event trace, metrics
-                                        registry, CPI attribution
+                                        registry, CPI attribution; --backend
+                                        picks the functional decoder (fast =
+                                        table-driven default, scalar =
+                                        bit-at-a-time reference)
     cpack trace-export <FILE.jsonl> --chrome [-o FILE.json]
                                         convert a JSONL trace to Chrome
                                         trace-event format (chrome://tracing)
@@ -238,11 +241,12 @@ pub fn sim(args: &[String]) -> Result<(), String> {
 pub fn run(args: &[String]) -> Result<(), String> {
     const RUN_USAGE: &str = "usage: cpack run <profile> [INSNS] \
          [--arch 1|4|8] [--model native|cp-base|cp-opt] \
-         [--trace FILE.jsonl] [--metrics FILE.json]";
+         [--backend scalar|fast] [--trace FILE.jsonl] [--metrics FILE.json]";
     let mut profile: Option<String> = None;
     let mut insns: Option<u64> = None;
     let mut arch = ArchConfig::four_issue();
     let mut model = ("cp-opt", CodeModel::codepack_optimized());
+    let mut backend: Option<DecodeBackend> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut it = args.iter();
@@ -270,6 +274,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     }
                 };
             }
+            "--backend" => {
+                let v = it.next().ok_or("run: --backend needs a decoder name")?;
+                backend = Some(
+                    DecodeBackend::parse(v)
+                        .ok_or_else(|| format!("run: unknown backend `{v}` (scalar|fast)"))?,
+                );
+            }
             "--trace" => {
                 trace_path = Some(it.next().ok_or("run: --trace needs a file name")?.clone());
             }
@@ -292,6 +303,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let name = profile.ok_or(format!("run: missing profile name\n{RUN_USAGE}"))?;
     let program = program_for(&name)?;
     let insns = insns.unwrap_or(500_000);
+    if let Some(b) = backend {
+        if matches!(model.1, CodeModel::Native) {
+            return Err(format!(
+                "run: --backend {b} requires a CodePack model (native code is never decoded)"
+            ));
+        }
+        model.1 = model.1.with_decode_backend(b);
+    }
 
     let obs = match &trace_path {
         Some(p) => {

@@ -53,6 +53,41 @@ fn unknown_command_fails() {
 }
 
 #[test]
+fn run_backend_flag_selects_decoder() {
+    // Both backends run to completion and, being byte-identical decoders,
+    // retire the same instruction stream in the same number of cycles.
+    let outputs: Vec<String> = ["scalar", "fast"]
+        .iter()
+        .map(|b| {
+            let out = cpack(&[
+                "run",
+                "pegwit",
+                "20000",
+                "--model",
+                "cp-base",
+                "--backend",
+                b,
+            ]);
+            assert!(
+                out.status.success(),
+                "run --backend {b} failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            String::from_utf8_lossy(&out.stdout).into_owned()
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1], "backends must not change results");
+
+    let bad = cpack(&["run", "pegwit", "--backend", "simd"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown backend"));
+
+    let native = cpack(&["run", "pegwit", "--model", "native", "--backend", "fast"]);
+    assert!(!native.status.success());
+    assert!(String::from_utf8_lossy(&native.stderr).contains("CodePack model"));
+}
+
+#[test]
 fn run_writes_parseable_trace_and_metrics() {
     let trace = scratch("run.jsonl");
     let metrics = scratch("run.metrics.json");

@@ -23,6 +23,7 @@ use codepack_mem::{
 };
 use codepack_obs::{EventKind, FaultArea, Obs};
 
+use crate::fastdecode::DecodeBackend;
 use crate::image::decode_block_bytes;
 use crate::layout::{BLOCK_INSNS, INDEX_ENTRY_BYTES};
 use crate::CodePackImage;
@@ -86,6 +87,10 @@ pub struct DecompressorConfig {
     /// the idealized Figure-2 timeline. Does not apply to output-buffer
     /// hits.
     pub request_overhead: u32,
+    /// Which decoder implementation services functional decodes (fault
+    /// detection, integrity checks). Purely functional: both backends are
+    /// byte-identical, so timing results never depend on this.
+    pub decode_backend: DecodeBackend,
 }
 
 impl DecompressorConfig {
@@ -101,6 +106,7 @@ impl DecompressorConfig {
             output_buffer: true,
             forwarding: true,
             request_overhead: 2,
+            decode_backend: DecodeBackend::default(),
         }
     }
 
@@ -429,7 +435,12 @@ impl CodePackFetch {
         for &bit in &flips.bits[..flips.count as usize] {
             bytes[bit as usize / 8] ^= 1 << (bit % 8);
         }
-        decode_block_bytes(&bytes, self.image.high_dict(), self.image.low_dict()).is_ok()
+        match self.config.decode_backend {
+            DecodeBackend::Scalar => {
+                decode_block_bytes(&bytes, self.image.high_dict(), self.image.low_dict()).is_ok()
+            }
+            DecodeBackend::Fast => self.image.fast_decoder().decode_block(&bytes).is_ok(),
+        }
     }
 
     /// Cycle at which each instruction of `block` is decoded, given the

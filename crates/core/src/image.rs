@@ -1,7 +1,10 @@
 //! Whole-program compression: blocks, groups, and the index table.
 
+use std::sync::OnceLock;
+
 use crate::bits::{BitReader, BitWriter};
 use crate::dict::Dictionary;
+use crate::fastdecode::{DecodeBackend, FastDecoder};
 use crate::layout::{
     class_for_rank, CodewordClass, BLOCKS_PER_GROUP, BLOCK_INSNS, GROUP_INSNS, HIGH_CLASSES,
     HIGH_DICT_CAPACITY, INDEX_ENTRY_BYTES, LOW_CLASSES, LOW_DICT_CAPACITY, RAW_TAG, RAW_TAG_BITS,
@@ -82,6 +85,9 @@ pub struct CodePackImage {
     blocks: Vec<BlockInfo>,
     n_insns: u32,
     stats: CompositionStats,
+    /// Lazily-built decode tables for the fast backend. Depends only on the
+    /// dictionaries, so it survives `with_corrupted_bytes`.
+    fast: OnceLock<FastDecoder>,
 }
 
 use crate::layout::INDEX_SECOND_OFFSET_BITS as SECOND_OFFSET_BITS;
@@ -174,6 +180,7 @@ impl CodePackImage {
             blocks,
             n_insns,
             stats,
+            fast: OnceLock::new(),
         }
     }
 
@@ -284,6 +291,80 @@ impl CodePackImage {
         Ok(out)
     }
 
+    /// The image's table-driven decoder, built on first use and cached.
+    ///
+    /// The tables depend only on the dictionaries, so one build amortises
+    /// over every block of the image (and every corrupted variant of it).
+    pub fn fast_decoder(&self) -> &FastDecoder {
+        self.fast
+            .get_or_init(|| FastDecoder::new(&self.high_dict, &self.low_dict))
+    }
+
+    /// Decompresses one block with the table-driven fast backend.
+    ///
+    /// Byte-identical to [`Self::decompress_block`] on every input — equal
+    /// words on success, equal [`DecompressError`] values on corrupt or
+    /// truncated streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecompressError`] if `block` is out of range or the
+    /// stream is corrupt.
+    pub fn decode_block_fast(
+        &self,
+        block: u32,
+    ) -> Result<[u32; BLOCK_INSNS as usize], DecompressError> {
+        let offset = self.block_offset_via_index(block)? as usize;
+        self.fast_decoder().decode_block(&self.bytes[offset..])
+    }
+
+    /// Decompresses the whole image with the table-driven fast backend.
+    ///
+    /// Byte-identical to [`Self::decompress_all`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecompressError`] on corrupt input.
+    pub fn decompress_all_fast(&self) -> Result<Vec<u32>, DecompressError> {
+        let fast = self.fast_decoder();
+        let mut out = Vec::with_capacity(self.blocks.len() * BLOCK_INSNS as usize);
+        for b in 0..self.num_blocks() {
+            let offset = self.block_offset_via_index(b)? as usize;
+            out.extend_from_slice(&fast.decode_block(&self.bytes[offset..])?);
+        }
+        out.truncate(self.n_insns as usize);
+        Ok(out)
+    }
+
+    /// Decompresses one block with the selected backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecompressError`] if `block` is out of range or the
+    /// stream is corrupt.
+    pub fn decompress_block_with(
+        &self,
+        block: u32,
+        backend: DecodeBackend,
+    ) -> Result<[u32; BLOCK_INSNS as usize], DecompressError> {
+        match backend {
+            DecodeBackend::Scalar => self.decompress_block(block),
+            DecodeBackend::Fast => self.decode_block_fast(block),
+        }
+    }
+
+    /// Decompresses the whole image with the selected backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecompressError`] on corrupt input.
+    pub fn decompress_all_with(&self, backend: DecodeBackend) -> Result<Vec<u32>, DecompressError> {
+        match backend {
+            DecodeBackend::Scalar => self.decompress_all(),
+            DecodeBackend::Fast => self.decompress_all_fast(),
+        }
+    }
+
     /// Assembles an image from pre-validated parts (the ROM loader).
     pub(crate) fn from_parts(
         high_dict: Dictionary,
@@ -302,6 +383,7 @@ impl CodePackImage {
             blocks,
             n_insns,
             stats,
+            fast: OnceLock::new(),
         }
     }
 
@@ -356,6 +438,14 @@ impl std::error::Error for CorruptionOutOfRange {}
 /// implements. [`CodePackImage::decompress_block`] wraps this with
 /// index-table resolution.
 ///
+/// Decoding stops after 16 instructions: the 0–7 zero bits that pad the
+/// block to a byte boundary (the paper's Table 4 *Pad* column) are ignored,
+/// as are any further bytes — `bytes` may be exactly one padded block or a
+/// whole multi-block stream. A block is therefore decodable from its own
+/// `byte_len` bytes alone, but **not** from its unpadded bit length rounded
+/// down: truncating the pad byte cuts real codeword bits and yields
+/// [`DecompressError::Truncated`].
+///
 /// # Errors
 ///
 /// Returns a [`DecompressError`] if the stream is truncated or a codeword
@@ -371,6 +461,16 @@ impl std::error::Error for CorruptionOutOfRange {}
 ///     image.low_dict(),
 /// ).unwrap();
 /// assert_eq!(&words[..], &text[..]);
+///
+/// // Trailing padding: the first block alone — its `byte_len` includes the
+/// // pad bits after the last codeword — decodes to the same 16 words.
+/// let len = usize::from(image.block_info(0).byte_len);
+/// let alone = decode_block_bytes(
+///     &image.compressed_bytes()[..len],
+///     image.high_dict(),
+///     image.low_dict(),
+/// ).unwrap();
+/// assert_eq!(alone, words);
 /// ```
 pub fn decode_block_bytes(
     bytes: &[u8],
@@ -749,5 +849,82 @@ mod tests {
         let img = CodePackImage::compress(&text, &CompressionConfig::default());
         assert_eq!(img.len_insns(), 17);
         assert_eq!(img.decompress_all().unwrap().len(), 17);
+    }
+
+    #[test]
+    fn trailing_padding_after_last_block_decodes_in_both_backends() {
+        // Regression (issue 6): a block must decode from exactly its own
+        // padded bytes — pad bits after the final codeword are ignored, and
+        // the end of the slice right after them must not trip either
+        // backend's end-of-stream handling.
+        let text = repetitive_text(64);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        let fast = img.fast_decoder();
+        let mut saw_padded_block = false;
+        for b in 0..img.num_blocks() {
+            let info = img.block_info(b);
+            let start = info.byte_offset as usize;
+            let alone = &img.compressed_bytes()[start..start + usize::from(info.byte_len)];
+            saw_padded_block |= usize::from(info.cum_bits[16]) < alone.len() * 8;
+            let whole_stream = img.decompress_block(b).unwrap();
+            let scalar = decode_block_bytes(alone, img.high_dict(), img.low_dict());
+            assert_eq!(scalar, Ok(whole_stream), "scalar, block {b}");
+            assert_eq!(fast.decode_block(alone), scalar, "fast, block {b}");
+        }
+        assert!(
+            saw_padded_block,
+            "test text must produce at least one block with trailing pad bits"
+        );
+    }
+
+    #[test]
+    fn cutting_the_pad_byte_truncates_in_both_backends() {
+        // The last byte carries both final codeword bits and padding;
+        // dropping it must yield `Truncated`, identically in both backends.
+        let text = repetitive_text(64);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        let info = img.block_info(0);
+        let start = info.byte_offset as usize;
+        let cut = &img.compressed_bytes()[start..start + usize::from(info.byte_len) - 1];
+        let scalar = decode_block_bytes(cut, img.high_dict(), img.low_dict());
+        assert!(
+            matches!(scalar, Err(DecompressError::Truncated { .. })),
+            "expected truncation, got {scalar:?}"
+        );
+        assert_eq!(img.fast_decoder().decode_block(cut), scalar);
+    }
+
+    #[test]
+    fn fast_image_apis_match_scalar_apis() {
+        let text = repetitive_text(200);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        assert_eq!(img.decompress_all_fast().unwrap(), text);
+        assert_eq!(
+            img.decompress_all_with(crate::DecodeBackend::Fast),
+            img.decompress_all_with(crate::DecodeBackend::Scalar)
+        );
+        for b in 0..img.num_blocks() {
+            assert_eq!(img.decode_block_fast(b), img.decompress_block(b));
+            assert_eq!(
+                img.decompress_block_with(b, crate::DecodeBackend::Fast),
+                img.decompress_block_with(b, crate::DecodeBackend::Scalar)
+            );
+        }
+        // Out-of-range blocks error identically too.
+        assert_eq!(
+            img.decode_block_fast(img.num_blocks()),
+            img.decompress_block(img.num_blocks())
+        );
+    }
+
+    #[test]
+    fn fast_decoder_cache_survives_corruption() {
+        let text = repetitive_text(64);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        let _ = img.fast_decoder();
+        let corrupt = img.with_corrupted_bytes(0, 0xff).unwrap();
+        for b in 0..corrupt.num_blocks() {
+            assert_eq!(corrupt.decode_block_fast(b), corrupt.decompress_block(b));
+        }
     }
 }

@@ -25,6 +25,8 @@
 //!   full composition accounting of the paper's Tables 3–4
 //!   ([`CompositionStats`]),
 //! * [`Dictionary`] — frequency-ranked half-word dictionaries,
+//! * [`FastDecoder`] / [`DecodeBackend`] — the table-driven batch decoder
+//!   hot path and the selector that keeps the scalar reference available,
 //! * [`NativeFetch`] / [`CodePackFetch`] — cycle-level models of the L1
 //!   I-miss service path (Figure 2), including the paper's optimizations:
 //!   the fully-associative index cache and wider decompressors
@@ -46,6 +48,7 @@
 mod bits;
 mod dict;
 mod error;
+mod fastdecode;
 mod fetch;
 mod image;
 pub mod layout;
@@ -56,6 +59,7 @@ mod stats;
 pub use bits::{BitReader, BitWriter};
 pub use dict::Dictionary;
 pub use error::DecompressError;
+pub use fastdecode::{DecodeBackend, FastDecoder, LOOKUP_BITS};
 pub use fetch::{
     CodePackFetch, DecompressorConfig, FetchEngine, FetchStats, IndexCacheModel, MissService,
     MissSource, NativeFetch,

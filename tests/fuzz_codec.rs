@@ -7,9 +7,13 @@
 //! succeed (misdecode) or fail with a typed [`DecompressError`], but it
 //! must never panic, and every error must carry positions that are
 //! in bounds for the input that produced it.
+//!
+//! Every mutated input is decoded through *both* backends — the scalar
+//! reference and the table-driven fast path — and the two `Result`s are
+//! diffed: under fuzz the backends must stay byte- and error-identical.
 
 use codepack::core::{
-    decode_block_bytes, CodePackImage, CompressionConfig, DecompressError, BLOCK_INSNS,
+    decode_block_bytes, CodePackImage, CompressionConfig, DecompressError, FastDecoder, BLOCK_INSNS,
 };
 use codepack::synth::{generate, BenchmarkProfile};
 use codepack_testkit::Rng;
@@ -51,6 +55,7 @@ fn check_error(e: DecompressError, input_bits: u64, context: &str) {
 #[test]
 fn mutated_block_bytes_never_panic_and_errors_stay_in_bounds() {
     let clean = image();
+    let fast = FastDecoder::new(clean.high_dict(), clean.low_dict());
     let mut rng = Rng::seed_from_u64(FUZZ_SEED);
     let base = clean.compressed_bytes().to_vec();
     for round in 0..400 {
@@ -72,10 +77,16 @@ fn mutated_block_bytes_never_panic_and_errors_stay_in_bounds() {
             bytes.truncate(rng.gen_range(0..=bytes.len()));
         }
         let bits = bytes.len() as u64 * 8;
-        match decode_block_bytes(&bytes, clean.high_dict(), clean.low_dict()) {
+        let scalar = decode_block_bytes(&bytes, clean.high_dict(), clean.low_dict());
+        match &scalar {
             Ok(words) => assert_eq!(words.len(), BLOCK_INSNS as usize),
-            Err(e) => check_error(e, bits, &format!("round {round}")),
+            Err(e) => check_error(*e, bits, &format!("round {round}")),
         }
+        assert_eq!(
+            fast.decode_block(&bytes),
+            scalar,
+            "round {round}: backends diverge on a mutated stream"
+        );
     }
 }
 
@@ -94,9 +105,15 @@ fn mutated_images_never_panic_across_all_blocks() {
         }
         let bits = len as u64 * 8;
         for block in 0..corrupt.num_blocks() {
-            if let Err(e) = corrupt.decompress_block(block) {
-                check_error(e, bits, &format!("round {round} block {block}"));
+            let scalar = corrupt.decompress_block(block);
+            if let Err(e) = &scalar {
+                check_error(*e, bits, &format!("round {round} block {block}"));
             }
+            assert_eq!(
+                corrupt.decode_block_fast(block),
+                scalar,
+                "round {round} block {block}: backends diverge on a corrupt image"
+            );
         }
         // Out-of-range blocks stay typed errors on corrupt images too.
         match corrupt.decompress_block(corrupt.num_blocks()) {
