@@ -191,34 +191,45 @@ echo "== tier-2: decode-throughput scorecard gate =="
 # BENCH_codec.json must carry the >= 2x speedup the fast path promises.
 TESTKIT_BENCH_FAST=1 BENCH_CODEC_OUT="$OBS_TMP/bench_codec.json" \
     cargo bench -q --offline -p codepack-bench --bench decode_throughput > /dev/null
+# One validator (tools/validate_bench.py) checks both documents, so the
+# schema_version-1 scorecard schema is enforced in exactly one place.
+# Fresh smoke run: fast must outrun scalar on every profile, right now,
+# on this machine — catches hot-path regressions before they land.
+python3 tools/validate_bench.py "$OBS_TMP/bench_codec.json" --mode smoke --fast-beats-scalar
+# Checked-in scorecard: schema-valid full-mode numbers with >= 2x each.
+python3 tools/validate_bench.py BENCH_codec.json --mode full --min-speedup 2.0
+
+echo "== tier-2: block profiler smoke =="
+# A profiled run must emit a schema-valid versioned artifact that is
+# byte-identical across worker counts at the fixed seed (the input
+# contract of the profile-guided compressor), and the armed profiler must
+# stay inside its overhead budget.
+"$CPACK" profile pegwit 30000 --workers 1 --out "$OBS_TMP/prof-w1.json" > /dev/null 2>&1
+"$CPACK" profile pegwit 30000 --workers 4 --out "$OBS_TMP/prof-w4.json" > /dev/null 2>&1
+cmp "$OBS_TMP/prof-w1.json" "$OBS_TMP/prof-w4.json" \
+    || { echo "profile artifact not worker-count deterministic"; exit 1; }
+"$CPACK" profile --diff "$OBS_TMP/prof-w1.json" "$OBS_TMP/prof-w4.json" \
+    | grep -q "byte-identical" || { echo "profile --diff missed identity"; exit 1; }
 python3 - "$OBS_TMP" <<'PYEOF'
 import json, sys
 tmp = sys.argv[1]
-PROFILES = {"cc1", "go", "mpeg2enc", "pegwit", "perl", "vortex"}
-
-def load(path, mode):
-    with open(path) as f:
-        r = json.load(f)
-    assert r["suite"] == "codec" and r["bench"] == "decode_throughput", r
-    assert r["unit"] == "MB/s" and r["seed"] == 42, r
-    assert r["mode"] == mode, f"{path}: mode {r['mode']} != {mode}"
-    rows = r["profiles"]
-    assert {p["name"] for p in rows} == PROFILES, f"{path}: wrong profile set"
-    for p in rows:
-        assert p["bytes"] > 0 and p["scalar_mb_s"] > 0 and p["fast_mb_s"] > 0, p
-    return rows
-
-# Fresh smoke run: fast must outrun scalar on every profile, right now,
-# on this machine — catches hot-path regressions before they land.
-for p in load(f"{tmp}/bench_codec.json", "smoke"):
-    assert p["fast_mb_s"] > p["scalar_mb_s"], \
-        f"{p['name']}: fast {p['fast_mb_s']} MB/s <= scalar {p['scalar_mb_s']} MB/s"
-
-# Checked-in scorecard: schema-valid full-mode numbers with >= 2x each.
-for p in load("BENCH_codec.json", "full"):
-    assert p["speedup"] >= 2.0, \
-        f"{p['name']}: checked-in speedup {p['speedup']} < 2"
-print("tier-2 codec scorecard: fresh smoke fast > scalar on all 6, checked-in >= 2x")
+with open(f"{tmp}/prof-w1.json") as f:
+    p = json.load(f)
+assert p["schema"] == "cpack-block-profile", p.get("schema")
+assert p["schema_version"] == 1, p.get("schema_version")
+assert p["total_blocks"] > 0 and p["blocks"], "profile is empty"
+for b in p["blocks"]:
+    assert b["fetches"] >= b["buffer_hits"], f"block {b['block']}: hits exceed fetches"
+    misses = b["fetches"] - b["buffer_hits"]
+    assert b["miss_cycles"]["count"] == misses, \
+        f"block {b['block']}: histogram count != misses"
+touched = len(p["blocks"])
+fetches = sum(b["fetches"] for b in p["blocks"])
+print(f"tier-2 profile smoke: {touched}/{p['total_blocks']} blocks, "
+      f"{fetches} fetches, worker-count byte-identical")
 PYEOF
+TESTKIT_BENCH_FAST=1 \
+    cargo bench -q --offline -p codepack-bench --bench profile_overhead > /dev/null \
+    || { echo "profile overhead budget exceeded"; exit 1; }
 
 echo "ci: all green"

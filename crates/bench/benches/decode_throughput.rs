@@ -59,6 +59,7 @@ fn scorecard_path() -> PathBuf {
 
 fn scorecard_json(mode: &str, rows: &[ProfileRow]) -> String {
     let mut out = String::from("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
     out.push_str("  \"suite\": \"codec\",\n");
     out.push_str("  \"bench\": \"decode_throughput\",\n");
     out.push_str("  \"unit\": \"MB/s\",\n");

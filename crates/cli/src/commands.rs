@@ -6,7 +6,7 @@ use codepack_core::parse_rom_parts;
 use codepack_core::{CodePackImage, CompressionConfig, DecodeBackend};
 use codepack_isa::{decode, Program, TEXT_BASE};
 use codepack_mem::{IntegrityConfig, PPB_SCALE};
-use codepack_obs::{chrome_trace_json, parse_jsonl, JsonlSink, Obs};
+use codepack_obs::{chrome_trace_json, parse_jsonl, BlockProfile, JsonlSink, Obs};
 use codepack_sim::{
     run_fault_campaign, run_matrix_with, ArchConfig, CodeModel, FaultCampaignSpec, MatrixOptions,
     MatrixSpec, Simulation, Table,
@@ -50,6 +50,17 @@ USAGE:
                                         degrades, never aborts), --journal
                                         records completed cells crash-safely
                                         and --resume re-runs only the rest
+    cpack profile  <profile> [INSNS] [--out FILE.json] [--top N]
+                   [--workers N] [--json]
+                                        block-level access profile: run the
+                                        benchmark under both decode backends
+                                        with the per-block profiler armed and
+                                        report hot blocks, the cumulative
+                                        hotness curve, working set, and
+                                        decode-path counters; --out writes
+                                        the versioned profile artifact
+                                        (byte-identical for any worker count)
+    cpack profile  --diff A.json B.json compare two profile artifacts
     cpack faults   [INSNS] [--profile P] [--rates PPB,PPB,..]
                    [--integrity none,parity,crc32] [--workers N] [--json]
                    [--retries N] [--journal DIR] [--resume]
@@ -492,6 +503,245 @@ pub fn matrix(args: &[String]) -> Result<(), String> {
     // The summary goes to stderr so `--json > file` stays pure JSON and a
     // resumed run's stdout is byte-identical to an uninterrupted one.
     eprintln!("{}", report.summary().render());
+    Ok(())
+}
+
+/// `cpack profile <profile> [INSNS] [--out FILE] [--top N] [--workers N]
+/// [--json]`, or `cpack profile --diff A.json B.json`
+///
+/// Runs one benchmark on the 4-issue machine under both decode backends
+/// (fast and scalar) with the per-block profiler armed, merges the
+/// cells' profiles, and prints a hot-block report. `--out` writes the
+/// versioned profile artifact — the input contract of the
+/// profile-guided compressor — which is byte-identical for any worker
+/// count at a fixed seed. `--diff` instead loads two artifacts and
+/// reports per-block fetch movement between them.
+pub fn profile(args: &[String]) -> Result<(), String> {
+    const PROFILE_USAGE: &str = "usage: cpack profile <profile> [INSNS] \
+         [--out FILE.json] [--top N] [--workers N] [--json]\n\
+         \x20      cpack profile --diff A.json B.json";
+    let mut name: Option<String> = None;
+    let mut insns: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut top = 10usize;
+    let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = false;
+    let mut diff: Option<(String, String)> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--out" | "-o" => {
+                out = Some(it.next().ok_or("profile: --out needs a file name")?.clone());
+            }
+            "--top" => {
+                let v = it.next().ok_or("profile: --top needs a count")?;
+                top = v.parse().map_err(|_| format!("bad top count `{v}`"))?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or("profile: --workers needs a count")?;
+                workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+                if workers == 0 {
+                    return Err("profile: --workers must be at least 1".into());
+                }
+            }
+            "--diff" => {
+                let a = it.next().ok_or("profile: --diff needs two files")?.clone();
+                let b = it.next().ok_or("profile: --diff needs two files")?.clone();
+                diff = Some((a, b));
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("profile: unknown flag `{flag}`\n{PROFILE_USAGE}"));
+            }
+            v if name.is_none() => name = Some(v.to_string()),
+            v if insns.is_none() => {
+                insns = Some(
+                    v.parse()
+                        .map_err(|_| format!("profile: bad instruction count `{v}`"))?,
+                );
+            }
+            other => {
+                return Err(format!(
+                    "profile: unexpected argument `{other}`\n{PROFILE_USAGE}"
+                ))
+            }
+        }
+    }
+
+    if let Some((a, b)) = diff {
+        if name.is_some() || out.is_some() || json {
+            return Err(format!(
+                "profile: --diff takes exactly two artifacts\n{PROFILE_USAGE}"
+            ));
+        }
+        return profile_diff(&a, &b, top);
+    }
+
+    let name = name.ok_or(format!("profile: missing profile name\n{PROFILE_USAGE}"))?;
+    let bench = profile_by_name(&name)?;
+    let insns = insns.unwrap_or(200_000);
+    // One benchmark, one machine, both decode backends: the merged
+    // artifact then carries fast- and scalar-path counters side by side.
+    let spec = MatrixSpec::new(SEED, insns)
+        .with_profiles(vec![bench])
+        .with_archs(vec![ArchConfig::four_issue()])
+        .with_models(vec![
+            ("cp-opt", CodeModel::codepack_optimized()),
+            (
+                "cp-opt-scalar",
+                CodeModel::codepack_optimized().with_decode_backend(DecodeBackend::Scalar),
+            ),
+        ]);
+    let opts = MatrixOptions::new(workers).profiling(true);
+    let report = run_matrix_with(&spec, &opts).map_err(|e| format!("profile: {e}"))?;
+    if !report.summary().all_ok() {
+        return Err(format!(
+            "profile: cells failed: {}",
+            report.summary().render()
+        ));
+    }
+    let merged = report
+        .profile
+        .ok_or("profile: no profile collected (no compressed block was ever fetched)")?;
+
+    if let Some(path) = &out {
+        std::fs::write(path, merged.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if json {
+        println!("{}", merged.to_json());
+    } else {
+        print!("{}", render_profile(&name, insns, &merged, top));
+    }
+    if let Some(path) = &out {
+        eprintln!("profile -> {path}");
+    }
+    Ok(())
+}
+
+/// Human rendering of a merged block profile: top-N hot blocks, the
+/// cumulative hotness curve, working-set summary, and decode-backend
+/// totals. Deterministic for a given artifact.
+fn render_profile(name: &str, insns: u64, p: &BlockProfile, top: usize) -> String {
+    use std::fmt::Write as _;
+    let t = p.totals();
+    let mut out = String::new();
+    let mut table = Table::new(
+        [
+            "Block", "Fetches", "Misses", "Beats", "p50 cyc", "p95 cyc", "Fast", "Scalar",
+        ]
+        .map(String::from)
+        .to_vec(),
+    )
+    .with_title(format!(
+        "{name}: hot blocks ({insns} insns/cell, source {})",
+        p.source()
+    ));
+    for (block, s) in p.hot_blocks(top) {
+        table.row(vec![
+            format!("{block}"),
+            format!("{}", s.fetches),
+            format!("{}", s.misses()),
+            format!("{}", s.memory_beats),
+            format!("{}", s.miss_cycles.percentile(50.0)),
+            format!("{}", s.miss_cycles.percentile(95.0)),
+            format!("{}", s.decode_fast),
+            format!("{}", s.decode_scalar),
+        ]);
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "working set: {} of {} blocks touched ({} fetches, {} misses)",
+        p.blocks_touched(),
+        p.total_blocks(),
+        t.fetches,
+        t.misses()
+    );
+    let curve: Vec<String> = [50.0, 80.0, 90.0, 95.0, 99.0]
+        .iter()
+        .map(|&pct| format!("{pct}% of fetches in {} blocks", p.coverage_blocks(pct)))
+        .collect();
+    let _ = writeln!(out, "hotness curve: {}", curve.join(", "));
+    let _ = writeln!(
+        out,
+        "decode: {} fast ({} lookups, {} raw escapes, {} refills, {} fallbacks), {} scalar",
+        t.decode_fast,
+        t.table_lookups,
+        t.raw_escapes,
+        t.refills,
+        t.scalar_fallbacks,
+        t.decode_scalar
+    );
+    if t.faults_injected > 0 || t.machine_checks > 0 {
+        let _ = writeln!(
+            out,
+            "faults: {} injected, {} recovered, {} machine checks",
+            t.faults_injected, t.faults_recovered, t.machine_checks
+        );
+    }
+    out
+}
+
+/// `cpack profile --diff A.json B.json`: loads two artifacts and reports
+/// the blocks whose fetch counts moved the most.
+fn profile_diff(a_path: &str, b_path: &str, top: usize) -> Result<(), String> {
+    let load = |path: &str| -> Result<BlockProfile, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        BlockProfile::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    // Union of touched blocks, with per-block fetch movement.
+    let mut deltas: Vec<(u32, u64, u64)> = Vec::new();
+    for (block, s) in a.iter() {
+        let after = b.stats(block).map_or(0, |x| x.fetches);
+        deltas.push((block, s.fetches, after));
+    }
+    for (block, s) in b.iter() {
+        if a.stats(block).is_none() {
+            deltas.push((block, 0, s.fetches));
+        }
+    }
+    deltas
+        .sort_by_key(|&(block, before, after)| (std::cmp::Reverse(before.abs_diff(after)), block));
+
+    let ta = a.totals();
+    let tb = b.totals();
+    println!(
+        "A {a_path} (source {}): {} fetches over {} blocks",
+        a.source(),
+        ta.fetches,
+        a.blocks_touched()
+    );
+    println!(
+        "B {b_path} (source {}): {} fetches over {} blocks",
+        b.source(),
+        tb.fetches,
+        b.blocks_touched()
+    );
+    if a.to_json() == b.to_json() {
+        println!("profiles are byte-identical");
+        return Ok(());
+    }
+    let mut t = Table::new(
+        ["Block", "A fetches", "B fetches", "Delta"]
+            .map(String::from)
+            .to_vec(),
+    )
+    .with_title("largest per-block fetch movement".to_string());
+    for (block, before, after) in deltas.iter().take(top) {
+        if before == after {
+            break; // sorted by |delta|: everything past here is unchanged
+        }
+        let sign = if after >= before { "+" } else { "-" };
+        t.row(vec![
+            format!("{block}"),
+            format!("{before}"),
+            format!("{after}"),
+            format!("{sign}{}", before.abs_diff(*after)),
+        ]);
+    }
+    t.print();
     Ok(())
 }
 

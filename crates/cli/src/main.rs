@@ -13,6 +13,8 @@
 //! cpack lint     <profile|FILE.cpk> [--json]  static CFG + image verification
 //! cpack matrix   [INSNS] [--workers N] [--json] [--metrics-dir DIR]
 //!                [--retries N] [--journal DIR] [--resume]
+//! cpack profile  <profile> [INSNS] [--out FILE] [--top N] [--workers N] [--json]
+//! cpack profile  --diff A.json B.json
 //! cpack faults   [INSNS] [--profile P] [--rates PPB,..] [--integrity C,..]
 //!                [--workers N] [--json] [--journal DIR] [--resume]
 //! ```
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
         Some("compare") => commands::compare(&args[1..]),
         Some("lint") => commands::lint(&args[1..]),
         Some("matrix") => commands::matrix(&args[1..]),
+        Some("profile") => commands::profile(&args[1..]),
         Some("faults") => commands::faults(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);

@@ -103,6 +103,40 @@ impl std::fmt::Display for DecodeBackend {
 /// lookup and the scalar fallback is unreachable.
 pub const LOOKUP_BITS: u32 = 11;
 
+/// Decode-path counters for one [`FastDecoder::decode_block_counted`] call.
+///
+/// The profiling observatory (`cpack profile`) needs to see inside the
+/// fast path — how many table lookups a block costs, how often it takes
+/// the raw escape, how many bit-buffer refills it pays — to judge future
+/// SIMD work against. The hot [`FastDecoder::decode_block`] stays
+/// completely uninstrumented (its throughput is scorecard-gated); the
+/// counted mirror collects these per block:
+///
+/// * `table_lookups` — decode-table steps, one per halfword resolved in
+///   a window (raw escapes included: the escape is a table entry).
+/// * `raw_escapes` — halfwords that took the 3-bit raw tag + 16 literal
+///   bits path.
+/// * `refills` — bit-buffer refill points in the decode loop (one per
+///   instruction on the compressed path, one per accumulator drain on
+///   the raw-block path; refills inside scalar-mirror reads not counted).
+/// * `scalar_fallbacks` — halfwords decoded by the scalar mirror
+///   (stream tail or a codeword longer than the window).
+///
+/// For a clean compressed block at the default window,
+/// `table_lookups + scalar_fallbacks == 2 * BLOCK_INSNS` and
+/// `refills == BLOCK_INSNS`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeCounters {
+    /// Decode-table lookups performed.
+    pub table_lookups: u64,
+    /// Raw-escape entries taken.
+    pub raw_escapes: u64,
+    /// Bit-buffer refill points in the decode loop.
+    pub refills: u64,
+    /// Halfwords decoded by the scalar-mirror fallback.
+    pub scalar_fallbacks: u64,
+}
+
 const KIND_SHIFT: u32 = 24;
 const LEN_SHIFT: u32 = 16;
 const LEN_MASK: u32 = 0x3F;
@@ -312,6 +346,54 @@ impl DecodeTable {
         }
     }
 
+    /// Counting mirror of [`DecodeTable::decode`]; same results, plus
+    /// [`DecodeCounters`] bookkeeping. Kept separate so the hot path
+    /// carries no counter stores.
+    fn decode_counted(
+        &self,
+        cur: &mut Cursor<'_>,
+        c: &mut DecodeCounters,
+    ) -> Result<u16, DecompressError> {
+        cur.refill();
+        if cur.remaining() < u64::from(RAW_LEN_BITS) {
+            c.scalar_fallbacks += 1;
+            return self.decode_scalar(cur);
+        }
+        self.decode_prefetched_counted(cur, c)
+    }
+
+    /// Counting mirror of [`DecodeTable::decode_prefetched`].
+    fn decode_prefetched_counted(
+        &self,
+        cur: &mut Cursor<'_>,
+        c: &mut DecodeCounters,
+    ) -> Result<u16, DecompressError> {
+        c.table_lookups += 1;
+        let entry = self.entries[cur.peek(self.window_bits) as usize];
+        match entry >> KIND_SHIFT {
+            KIND_HIT => {
+                cur.consume((entry >> LEN_SHIFT) & LEN_MASK);
+                Ok(entry as u16)
+            }
+            KIND_RAW => {
+                c.raw_escapes += 1;
+                cur.consume(u32::from(RAW_TAG_BITS));
+                let literal = cur.peek(16) as u16;
+                cur.consume(16);
+                Ok(literal)
+            }
+            KIND_BAD_RANK => Err(DecompressError::BadDictIndex {
+                high: self.high,
+                rank: entry as u16,
+                dict_len: self.dict_len,
+            }),
+            _ => {
+                c.scalar_fallbacks += 1;
+                self.decode_scalar(cur)
+            }
+        }
+    }
+
     /// Read-for-read mirror of the scalar `decode_halfword`, over the
     /// cursor. Used for stream tails and window-overflowing codewords.
     fn decode_scalar(&self, cur: &mut Cursor<'_>) -> Result<u16, DecompressError> {
@@ -437,6 +519,68 @@ impl FastDecoder {
                 )
             } else {
                 (self.high.decode(&mut cur)?, self.low.decode(&mut cur)?)
+            };
+            *slot = (u32::from(high) << 16) | u32::from(low);
+        }
+        Ok(out)
+    }
+
+    /// [`FastDecoder::decode_block`] plus [`DecodeCounters`]: identical
+    /// results (success values and error values alike), with decode-path
+    /// bookkeeping the profiler folds into block profiles. A deliberate
+    /// structural mirror of the uncounted path — the hot loop must stay
+    /// store-free, so the two are kept textually separate and pinned
+    /// together by the `counted_decode_matches_uncounted` test.
+    pub fn decode_block_counted(
+        &self,
+        bytes: &[u8],
+    ) -> (
+        Result<[u32; BLOCK_INSNS as usize], DecompressError>,
+        DecodeCounters,
+    ) {
+        let mut c = DecodeCounters::default();
+        let result = self.decode_block_counted_inner(bytes, &mut c);
+        (result, c)
+    }
+
+    fn decode_block_counted_inner(
+        &self,
+        bytes: &[u8],
+        c: &mut DecodeCounters,
+    ) -> Result<[u32; BLOCK_INSNS as usize], DecompressError> {
+        let mut cur = Cursor::new(bytes);
+        let mut out = [0u32; BLOCK_INSNS as usize];
+        if cur.read(1)? == 1 {
+            let mut i = 0;
+            while i < out.len() {
+                c.refills += 1;
+                cur.refill();
+                if cur.remaining() < 32 {
+                    return Err(DecompressError::Truncated {
+                        at_bit: cur.consumed(),
+                    });
+                }
+                while cur.acc_bits >= 32 && i < out.len() {
+                    out[i] = cur.peek(32);
+                    cur.consume(32);
+                    i += 1;
+                }
+            }
+            return Ok(out);
+        }
+        for slot in &mut out {
+            c.refills += 1;
+            cur.refill();
+            let (high, low) = if cur.remaining() >= 2 * u64::from(RAW_LEN_BITS) {
+                (
+                    self.high.decode_prefetched_counted(&mut cur, c)?,
+                    self.low.decode_prefetched_counted(&mut cur, c)?,
+                )
+            } else {
+                (
+                    self.high.decode_counted(&mut cur, c)?,
+                    self.low.decode_counted(&mut cur, c)?,
+                )
             };
             *slot = (u32::from(high) << 16) | u32::from(low);
         }
@@ -596,6 +740,65 @@ mod tests {
                 dict_len: 1,
             })
         );
+    }
+
+    #[test]
+    fn counted_decode_matches_uncounted() {
+        let img = sample_image();
+        for window in [LOOKUP_BITS, 4] {
+            let fast = FastDecoder::with_window(img.high_dict(), img.low_dict(), window);
+            for b in 0..img.num_blocks() {
+                let offset = img.block_offset_via_index(b).unwrap() as usize;
+                let block_len = img.block_info(b).byte_len as usize;
+                let whole = &img.compressed_bytes()[offset..offset + block_len];
+                // Equal on clean blocks and on every truncation of them.
+                for cut in (0..=whole.len()).rev() {
+                    let bytes = &whole[..cut];
+                    let (counted, c) = fast.decode_block_counted(bytes);
+                    assert_eq!(
+                        counted,
+                        fast.decode_block(bytes),
+                        "window {window} block {b}"
+                    );
+                    if cut == whole.len() {
+                        assert_eq!(c.refills, u64::from(BLOCK_INSNS));
+                        if window == LOOKUP_BITS {
+                            assert_eq!(c.scalar_fallbacks, 0, "full window never falls back");
+                            assert_eq!(
+                                c.table_lookups,
+                                2 * u64::from(BLOCK_INSNS),
+                                "every halfword is one table lookup"
+                            );
+                        } else {
+                            // A window-overflowing halfword counts both the
+                            // lookup that found the long entry and the scalar
+                            // fallback that resolved it, so the sum exceeds
+                            // the halfword count.
+                            assert!(c.scalar_fallbacks > 0, "narrow window must fall back");
+                            assert!(
+                                c.table_lookups + c.scalar_fallbacks >= 2 * u64::from(BLOCK_INSNS),
+                                "every halfword does at least one of the two"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counted_decode_counts_raw_blocks() {
+        let text: Vec<u32> = (0..16u32)
+            .map(|i| i.wrapping_mul(2654435761).rotate_left(7))
+            .collect();
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        assert!(img.stats().raw_blocks > 0, "need a raw block to test");
+        let fast = FastDecoder::new(img.high_dict(), img.low_dict());
+        let offset = img.block_offset_via_index(0).unwrap() as usize;
+        let (got, c) = fast.decode_block_counted(&img.compressed_bytes()[offset..]);
+        assert_eq!(got.unwrap()[..], text[..]);
+        assert_eq!(c.table_lookups, 0, "raw blocks never touch the tables");
+        assert!(c.refills > 0);
     }
 
     #[test]

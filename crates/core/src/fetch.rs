@@ -21,7 +21,7 @@ use codepack_mem::{
     FaultDomain, FaultStats, Flips, FullyAssociativeCache, MemoryTiming, SoftErrorConfig,
     StreamIntegrity,
 };
-use codepack_obs::{EventKind, FaultArea, Obs};
+use codepack_obs::{EventKind, FaultArea, MissRecord, Obs};
 
 use crate::fastdecode::DecodeBackend;
 use crate::image::decode_block_bytes;
@@ -243,6 +243,14 @@ pub trait FetchEngine {
     ) -> MissService {
         let _ = (now, obs);
         self.service_miss(critical_addr, line_bytes)
+    }
+
+    /// Folds end-of-run per-block decode-path counters into the block
+    /// profile armed on `obs`, if any. Called once after the run so the
+    /// per-miss profiling path stays increment-only; engines without
+    /// decode structure (or when no profile is armed) do nothing.
+    fn finalize_profile(&self, obs: &mut Obs) {
+        let _ = obs;
     }
 
     /// Accumulated statistics.
@@ -469,6 +477,42 @@ impl CodePackFetch {
         }
         ready
     }
+
+    /// Folds one decompressor-path service into the armed block profile,
+    /// if any: the per-service deltas of the beat and fault ledgers plus
+    /// the numbers already at hand. Disarmed: one branch.
+    fn record_profiled_miss(
+        &self,
+        obs: &mut Obs,
+        block: u32,
+        critical_cycles: u64,
+        index_hit: Option<bool>,
+        before: &LedgerSnapshot,
+        machine_check: bool,
+    ) {
+        let Some(p) = obs.profile_mut() else { return };
+        p.set_total_blocks(self.image.num_blocks());
+        p.record_miss(
+            block,
+            &MissRecord {
+                critical_cycles,
+                index_hit,
+                memory_beats: self.stats.memory_beats - before.memory_beats,
+                decompressed: true,
+                fast_decode: self.config.decode_backend == DecodeBackend::Fast,
+                machine_check,
+                faults_injected: self.faults.injected - before.faults.injected,
+                faults_recovered: self.faults.recovered - before.faults.recovered,
+            },
+        );
+    }
+}
+
+/// Start-of-service copies of the running beat and fault ledgers, so the
+/// profiler can attribute per-service deltas to one block.
+struct LedgerSnapshot {
+    memory_beats: u64,
+    faults: FaultStats,
 }
 
 impl CodePackFetch {
@@ -491,6 +535,13 @@ impl CodePackFetch {
         );
         debug_assert!(critical_addr >= self.text_base);
         self.stats.misses += 1;
+        // Profiling attributes per-service deltas of the running ledgers;
+        // the snapshot is two cheap copies, and the recording sites
+        // below are guarded by the armed-profile branch.
+        let before = LedgerSnapshot {
+            memory_beats: self.stats.memory_beats,
+            faults: self.faults,
+        };
 
         let insn = (critical_addr - self.text_base) / 4;
         let block = self.image.block_of_insn(insn);
@@ -509,6 +560,10 @@ impl CodePackFetch {
             if obs.enabled() {
                 obs.emit(now + BUFFER_HIT_CYCLES, EventKind::BufferHit { block });
             }
+            if let Some(p) = obs.profile_mut() {
+                p.set_total_blocks(self.image.num_blocks());
+                p.record_buffer_hit(block);
+            }
             return MissService {
                 critical_ready: BUFFER_HIT_CYCLES,
                 line_fill_complete: BUFFER_HIT_CYCLES,
@@ -524,11 +579,9 @@ impl CodePackFetch {
         let (mut t_index, index_hit) = match self.config.index_cache {
             IndexCacheModel::Perfect => (0, Some(true)),
             IndexCacheModel::None => {
-                self.stats.memory_beats += u64::from(self.timing.beats_for(INDEX_ENTRY_BYTES));
-                (
-                    self.timing.burst_read_cycles(INDEX_ENTRY_BYTES),
-                    Some(false),
-                )
+                let (beats, cycles) = self.timing.burst_read_profile(INDEX_ENTRY_BYTES);
+                self.stats.memory_beats += u64::from(beats);
+                (cycles, Some(false))
             }
             IndexCacheModel::Cached { .. } => {
                 let cache = self.index_cache.as_mut().expect("cache built in new()");
@@ -537,11 +590,9 @@ impl CodePackFetch {
                     (0, Some(true))
                 } else {
                     self.stats.index_misses += 1;
-                    self.stats.memory_beats += u64::from(self.timing.beats_for(INDEX_ENTRY_BYTES));
-                    (
-                        self.timing.burst_read_cycles(INDEX_ENTRY_BYTES),
-                        Some(false),
-                    )
+                    let (beats, cycles) = self.timing.burst_read_profile(INDEX_ENTRY_BYTES);
+                    self.stats.memory_beats += u64::from(beats);
+                    (cycles, Some(false))
                 }
             }
         };
@@ -729,6 +780,7 @@ impl CodePackFetch {
             let elapsed =
                 t_index + u64::from(self.config.request_overhead) + t_extra + stream_extra;
             self.stats.total_critical_cycles += elapsed;
+            self.record_profiled_miss(obs, block, elapsed, index_hit, &before, true);
             return MissService {
                 critical_ready: elapsed,
                 line_fill_complete: elapsed,
@@ -777,6 +829,7 @@ impl CodePackFetch {
             self.buffer_block = Some(block);
         }
         self.stats.total_critical_cycles += critical_ready;
+        self.record_profiled_miss(obs, block, critical_ready, index_hit, &before, false);
 
         MissService {
             critical_ready,
@@ -812,6 +865,32 @@ impl FetchEngine for CodePackFetch {
 
     fn fault_stats(&self) -> FaultStats {
         self.faults
+    }
+
+    /// Scales the image's cached per-block [`crate::DecodeCounters`] by
+    /// each block's modeled invocation count. Done once at end of run
+    /// rather than per miss: a block's decode-path counts are a pure
+    /// function of its bytes ([`CodePackImage::block_decode_counters`]
+    /// computes them once per image), so the armed per-miss path stays
+    /// increment-only (the <3% overhead budget) while the profile still
+    /// attributes exact table/escape/refill work. Scalar-backend
+    /// invocations contribute no counters — the counters describe the
+    /// table-driven path.
+    fn finalize_profile(&self, obs: &mut Obs) {
+        let Some(profile) = obs.profile_mut() else {
+            return;
+        };
+        let counters = self.image.block_decode_counters();
+        for (block, stats) in profile.iter_mut() {
+            if stats.decode_fast == 0 || block >= self.image.num_blocks() {
+                continue;
+            }
+            let c = counters[block as usize];
+            stats.table_lookups += c.table_lookups * stats.decode_fast;
+            stats.raw_escapes += c.raw_escapes * stats.decode_fast;
+            stats.refills += c.refills * stats.decode_fast;
+            stats.scalar_fallbacks += c.scalar_fallbacks * stats.decode_fast;
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -1047,6 +1126,70 @@ mod tests {
             .iter()
             .any(|e| matches!(e.kind, EventKind::RawInsn { .. })));
         assert!(events.iter().all(|e| e.cycle >= 1000));
+    }
+
+    #[test]
+    fn profiled_service_matches_timing_and_attributes_blocks() {
+        let image = figure2_image();
+        let cfg = DecompressorConfig::baseline();
+        let mut plain = CodePackFetch::new(Arc::clone(&image), MemoryTiming::default(), cfg, 0);
+        let mut prof = CodePackFetch::new(Arc::clone(&image), MemoryTiming::default(), cfg, 0);
+        let mut obs = Obs::with_null_sink();
+        obs.arm_profile();
+
+        // 0: block-0 miss; 32/16: block-0 buffer hits; 64: block-1 miss;
+        // 0 again: block-0 miss (buffer now holds block 1).
+        for addr in [0u32, 32, 16, 64, 0] {
+            let a = plain.service_miss(addr, 32);
+            let b = prof.service_miss_traced(addr, 32, 1000, &mut obs);
+            assert_eq!(a, b, "profiling must not perturb the timing model");
+        }
+        assert_eq!(plain.stats(), prof.stats());
+        prof.finalize_profile(&mut obs);
+
+        let p = obs.profile().unwrap();
+        assert_eq!(p.total_blocks(), image.num_blocks());
+        assert_eq!(p.blocks_touched(), 2);
+        let b0 = p.stats(0).unwrap();
+        assert_eq!((b0.fetches, b0.buffer_hits, b0.misses()), (4, 2, 2));
+        assert_eq!(b0.decode_fast, 2);
+        assert_eq!(b0.miss_cycles.count(), 2, "buffer hits are not misses");
+        let b1 = p.stats(1).unwrap();
+        assert_eq!((b1.fetches, b1.misses()), (1, 1));
+        // The decode-path counters are the per-decode counted numbers
+        // scaled by each block's invocation count.
+        // Slice to the exact block length: the prefetched-vs-tail split
+        // depends on the bytes remaining, and finalize_profile decodes
+        // exact-length block slices.
+        let offset = image.block_offset_via_index(0).unwrap() as usize;
+        let len = image.block_info(0).byte_len as usize;
+        let (_, c) = image
+            .fast_decoder()
+            .decode_block_counted(&image.compressed_bytes()[offset..offset + len]);
+        assert_eq!(b0.table_lookups, 2 * c.table_lookups);
+        assert_eq!(b0.raw_escapes, 2 * c.raw_escapes);
+        assert_eq!(b0.refills, 2 * c.refills);
+        assert!(b0.table_lookups > 0 && b0.raw_escapes > 0);
+        // Memory beats attributed per block sum to the engine's ledger.
+        let total_beats: u64 = p.iter().map(|(_, s)| s.memory_beats).sum();
+        assert_eq!(total_beats, prof.stats().memory_beats);
+    }
+
+    #[test]
+    fn scalar_backend_profiles_invocations_without_table_counters() {
+        let image = figure2_image();
+        let cfg = DecompressorConfig {
+            decode_backend: DecodeBackend::Scalar,
+            ..DecompressorConfig::baseline()
+        };
+        let mut f = CodePackFetch::new(image, MemoryTiming::default(), cfg, 0);
+        let mut obs = Obs::with_null_sink();
+        obs.arm_profile();
+        f.service_miss_traced(0, 32, 0, &mut obs);
+        f.finalize_profile(&mut obs);
+        let s = obs.profile().unwrap().stats(0).unwrap().clone();
+        assert_eq!((s.decode_scalar, s.decode_fast), (1, 0));
+        assert_eq!(s.table_lookups, 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::sync::OnceLock;
 
 use crate::bits::{BitReader, BitWriter};
 use crate::dict::Dictionary;
-use crate::fastdecode::{DecodeBackend, FastDecoder};
+use crate::fastdecode::{DecodeBackend, DecodeCounters, FastDecoder};
 use crate::layout::{
     class_for_rank, CodewordClass, BLOCKS_PER_GROUP, BLOCK_INSNS, GROUP_INSNS, HIGH_CLASSES,
     HIGH_DICT_CAPACITY, INDEX_ENTRY_BYTES, LOW_CLASSES, LOW_DICT_CAPACITY, RAW_TAG, RAW_TAG_BITS,
@@ -88,6 +88,10 @@ pub struct CodePackImage {
     /// Lazily-built decode tables for the fast backend. Depends only on the
     /// dictionaries, so it survives `with_corrupted_bytes`.
     fast: OnceLock<FastDecoder>,
+    /// Lazily-built per-block decode-path counters (the block profiler's
+    /// attribution source). Depends on the stream bytes, so
+    /// `with_corrupted_bytes` resets it.
+    decode_counts: OnceLock<Vec<DecodeCounters>>,
 }
 
 use crate::layout::INDEX_SECOND_OFFSET_BITS as SECOND_OFFSET_BITS;
@@ -181,6 +185,7 @@ impl CodePackImage {
             n_insns,
             stats,
             fast: OnceLock::new(),
+            decode_counts: OnceLock::new(),
         }
     }
 
@@ -300,6 +305,31 @@ impl CodePackImage {
             .get_or_init(|| FastDecoder::new(&self.high_dict, &self.low_dict))
     }
 
+    /// Per-block decode-path counters of the table-driven backend, built
+    /// on first use and cached: entry `b` is what one counted decode of
+    /// block `b` reports ([`FastDecoder::decode_block_counted`] on the
+    /// block's exact byte slice). The counters are a pure function of the
+    /// image bytes, so one pass amortises over every profiled run sharing
+    /// this image — the block profiler multiplies them by per-run
+    /// invocation counts instead of re-walking streams. A block whose
+    /// index entry is unreadable contributes zeroed counters.
+    pub fn block_decode_counters(&self) -> &[DecodeCounters] {
+        self.decode_counts.get_or_init(|| {
+            let fast = self.fast_decoder();
+            (0..self.num_blocks())
+                .map(|b| match self.block_offset_via_index(b) {
+                    Ok(offset) => {
+                        let offset = offset as usize;
+                        let len = usize::from(self.blocks[b as usize].byte_len);
+                        fast.decode_block_counted(&self.bytes[offset..offset + len])
+                            .1
+                    }
+                    Err(_) => DecodeCounters::default(),
+                })
+                .collect()
+        })
+    }
+
     /// Decompresses one block with the table-driven fast backend.
     ///
     /// Byte-identical to [`Self::decompress_block`] on every input — equal
@@ -384,6 +414,7 @@ impl CodePackImage {
             n_insns,
             stats,
             fast: OnceLock::new(),
+            decode_counts: OnceLock::new(),
         }
     }
 
@@ -408,6 +439,9 @@ impl CodePackImage {
             });
         }
         self.bytes[at] = value;
+        // The cached per-block counters were computed from the clean
+        // stream; the corrupted one decodes differently.
+        self.decode_counts = OnceLock::new();
         Ok(self)
     }
 }
@@ -926,5 +960,37 @@ mod tests {
         for b in 0..corrupt.num_blocks() {
             assert_eq!(corrupt.decode_block_fast(b), corrupt.decompress_block(b));
         }
+    }
+
+    #[test]
+    fn block_decode_counters_match_direct_counted_decode() {
+        let text = repetitive_text(64);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        let cached = img.block_decode_counters();
+        assert_eq!(cached.len(), img.num_blocks() as usize);
+        for b in 0..img.num_blocks() {
+            let offset = img.block_offset_via_index(b).unwrap() as usize;
+            let len = usize::from(img.block_info(b).byte_len);
+            let (_, c) = img
+                .fast_decoder()
+                .decode_block_counted(&img.compressed_bytes()[offset..offset + len]);
+            assert_eq!(cached[b as usize], c, "block {b}");
+        }
+    }
+
+    #[test]
+    fn block_decode_counters_reset_on_corruption() {
+        let text = repetitive_text(64);
+        let img = CodePackImage::compress(&text, &CompressionConfig::default());
+        let _ = img.block_decode_counters();
+        // Flip a stream byte: the cache must be recomputed from the
+        // corrupted bytes, not served stale from the clean image.
+        let corrupt = img.with_corrupted_bytes(0, 0xff).unwrap();
+        let offset = corrupt.block_offset_via_index(0).unwrap() as usize;
+        let len = usize::from(corrupt.block_info(0).byte_len);
+        let (_, c) = corrupt
+            .fast_decoder()
+            .decode_block_counted(&corrupt.compressed_bytes()[offset..offset + len]);
+        assert_eq!(corrupt.block_decode_counters()[0], c);
     }
 }

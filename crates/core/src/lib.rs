@@ -59,7 +59,7 @@ mod stats;
 pub use bits::{BitReader, BitWriter};
 pub use dict::Dictionary;
 pub use error::DecompressError;
-pub use fastdecode::{DecodeBackend, FastDecoder, LOOKUP_BITS};
+pub use fastdecode::{DecodeBackend, DecodeCounters, FastDecoder, LOOKUP_BITS};
 pub use fetch::{
     CodePackFetch, DecompressorConfig, FetchEngine, FetchStats, IndexCacheModel, MissService,
     MissSource, NativeFetch,

@@ -596,6 +596,11 @@ impl Pipeline {
         self.stats.l2 = self.l2.as_ref().map(|(c, _)| c.stats());
         self.stats.cycles = self.commit_cycle.max(1);
         self.stats.faults.merge(&self.fetch_engine.fault_stats());
+        // Let the fetch engine fill in the deferred per-block decode-path
+        // counters before the summary metrics are folded below.
+        let mut obs = std::mem::replace(&mut self.obs, Obs::disabled());
+        self.fetch_engine.finalize_profile(&mut obs);
+        self.obs = obs;
         self.finalize_obs();
     }
 
@@ -645,6 +650,24 @@ impl Pipeline {
             self.obs.incr(names::FAULT_RETRIES, ft.retries);
             self.obs
                 .incr(names::FAULT_MACHINE_CHECKS, ft.machine_checks);
+        }
+        // Profile summary counters only appear when a profile was armed, so
+        // un-profiled runs stay metric-identical (the per-block data lives
+        // in the profile artifact, not the registry).
+        let summary = self.obs.profile().map(|p| {
+            let t = p.totals();
+            (
+                p.blocks_touched() as u64,
+                t.fetches,
+                t.decode_fast,
+                t.decode_scalar,
+            )
+        });
+        if let Some((touched, fetches, fast, scalar)) = summary {
+            self.obs.incr(names::PROFILE_BLOCKS_TOUCHED, touched);
+            self.obs.incr(names::PROFILE_FETCHES, fetches);
+            self.obs.incr(names::PROFILE_DECODE_FAST, fast);
+            self.obs.incr(names::PROFILE_DECODE_SCALAR, scalar);
         }
     }
 

@@ -127,6 +127,13 @@ impl MemoryTiming {
             + u64::from(beats - 1) * u64::from(self.next_access_cycles)
     }
 
+    /// Beat count and total cycles of a burst read of `bytes`, as one pair —
+    /// what every caller that both meters bus traffic and attributes read
+    /// latency (the fetch-path block profiler) needs together.
+    pub fn burst_read_profile(&self, bytes: u32) -> (u32, u64) {
+        (self.beats_for(bytes), self.burst_read_cycles(bytes))
+    }
+
     /// Completion cycle of each beat of a burst read of `bytes`, relative to
     /// issue. Beat `i` delivers bytes `[i*bus, (i+1)*bus)`.
     pub fn beat_completion_cycles(&self, bytes: u32) -> impl Iterator<Item = u64> + '_ {
@@ -192,6 +199,19 @@ mod tests {
         assert_eq!(m.first_access_cycles(), 10);
         assert_eq!(m.next_access_cycles(), 2);
         assert_eq!(m.bus_bits(), 64);
+    }
+
+    #[test]
+    fn burst_read_profile_pairs_beats_with_cycles() {
+        let m = MemoryTiming::default();
+        for bytes in [0u32, 1, 8, 9, 64] {
+            assert_eq!(
+                m.burst_read_profile(bytes),
+                (m.beats_for(bytes), m.burst_read_cycles(bytes)),
+                "{bytes} bytes"
+            );
+        }
+        assert_eq!(m.burst_read_profile(9), (2, 12));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::attr::{CpiBreakdown, CycleAttribution};
 use crate::event::{EventKind, TraceEvent};
 use crate::metrics::MetricsRegistry;
+use crate::profile::BlockProfile;
 use crate::sink::{NullSink, TraceSink};
 
 /// Everything an enabled observer carries.
@@ -25,6 +26,9 @@ pub struct ObsCore {
     pub sink: Box<dyn TraceSink + Send>,
     /// Running CPI attribution folded from emitted events.
     pub attribution: CycleAttribution,
+    /// Per-block access profile; `None` until armed, so the un-profiled
+    /// observed path pays one extra branch per profiling site at most.
+    pub profile: Option<BlockProfile>,
 }
 
 /// A cheap, possibly-disabled observability handle.
@@ -58,6 +62,7 @@ impl Obs {
             metrics: MetricsRegistry::new(),
             sink,
             attribution: CycleAttribution::default(),
+            profile: None,
         })))
     }
 
@@ -108,6 +113,28 @@ impl Obs {
         }
     }
 
+    /// Arms per-block access profiling on an enabled handle (no-op when
+    /// disabled — profiling rides on the observability plumbing, it
+    /// cannot outlive it).
+    pub fn arm_profile(&mut self) {
+        if let Some(core) = &mut self.0 {
+            core.profile.get_or_insert_with(BlockProfile::new);
+        }
+    }
+
+    /// The armed block profile, if any. Disabled or un-armed: `None`
+    /// after at most two predictable branches, so profiling sites stay
+    /// in the same cost class as every other instrumentation site.
+    #[inline]
+    pub fn profile_mut(&mut self) -> Option<&mut BlockProfile> {
+        self.0.as_deref_mut().and_then(|c| c.profile.as_mut())
+    }
+
+    /// Read access to the armed block profile, if any.
+    pub fn profile(&self) -> Option<&BlockProfile> {
+        self.0.as_deref().and_then(|c| c.profile.as_ref())
+    }
+
     /// Read access to the metrics, when enabled.
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.0.as_deref().map(|c| &c.metrics)
@@ -137,6 +164,7 @@ impl Obs {
             metrics: core.metrics,
             breakdown,
             events_recorded: core.sink.recorded(),
+            profile: core.profile,
             sink: core.sink,
         })
     }
@@ -158,6 +186,11 @@ pub struct ObsReport {
     pub breakdown: CpiBreakdown,
     /// Total events recorded by the sink.
     pub events_recorded: u64,
+    /// The block access profile, when one was armed. Exported as its own
+    /// versioned artifact via [`BlockProfile::to_json`], never spliced
+    /// into [`ObsReport::to_json`] — matrix cells compare that document
+    /// byte-for-byte and its shape predates profiling.
+    pub profile: Option<BlockProfile>,
     /// The sink, for in-memory sinks whose events the caller wants back.
     pub sink: Box<dyn TraceSink + Send>,
 }

@@ -24,6 +24,9 @@
 //!   used for structured documents (lint reports, metrics).
 //! * [`names`] — well-known metric names shared across crates (the
 //!   `matrix.*` fault-tolerance counters of the sweep runner).
+//! * [`profile`] — the per-block access [`BlockProfile`] collector and
+//!   its versioned JSON artifact, the input contract for profile-guided
+//!   compression.
 //!
 //! # Example
 //!
@@ -56,6 +59,7 @@ pub mod handle;
 pub mod json;
 pub mod metrics;
 pub mod names;
+pub mod profile;
 pub mod sink;
 pub mod writer;
 
@@ -64,5 +68,6 @@ pub use chrome::chrome_trace_json;
 pub use event::{EventKind, FaultArea, MissOrigin, TraceEvent};
 pub use handle::{Obs, ObsCore, ObsReport};
 pub use metrics::{bucket_bounds, bucket_index, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use profile::{BlockProfile, BlockStats, MissRecord, PROFILE_SCHEMA, PROFILE_SCHEMA_VERSION};
 pub use sink::{parse_jsonl, JsonlSink, NullSink, RingSink, TraceSink};
 pub use writer::JsonWriter;

@@ -131,6 +131,9 @@ impl Histogram {
 
     /// The `p`-th percentile (0–100) as the upper bound of the bucket
     /// containing that rank, clamped to `[min, max]`. Returns 0 when empty.
+    /// The endpoints are exact: `p == 0` is the observed minimum and
+    /// `p == 100` the observed maximum (a bucket upper bound would
+    /// over-approximate p0 by up to 2× on a non-empty low bucket).
     ///
     /// Monotone in `p`: `p1 <= p2` implies
     /// `percentile(p1) <= percentile(p2)`.
@@ -139,6 +142,12 @@ impl Histogram {
             return 0;
         }
         let p = p.clamp(0.0, 100.0);
+        if p == 0.0 {
+            return self.min;
+        }
+        if p == 100.0 {
+            return self.max;
+        }
         // 1-based rank of the requested sample.
         let rank = ((p / 100.0 * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
@@ -150,6 +159,53 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Rebuilds a histogram from the summary fields its
+    /// [`Histogram::to_json`] rendering carries: saturating sum, observed
+    /// min/max, and `[bucket_lo, count]` pairs. Inverse of `to_json` up to
+    /// equality — a round trip through JSON reconstructs a histogram equal
+    /// to the original. An empty bucket list yields the empty histogram
+    /// (whose JSON prints min/max as 0); `sum`/`min`/`max` are ignored in
+    /// that case.
+    ///
+    /// # Errors
+    ///
+    /// Rejects bucket lower bounds that are not power-of-two bucket
+    /// boundaries, zero bucket counts, and a `min`/`max` pair that does not
+    /// fall in the lowest/highest populated bucket.
+    pub fn from_summary(
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: &[(u64, u64)],
+    ) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        for &(lo, c) in buckets {
+            let i = bucket_index(lo);
+            if bucket_bounds(i).0 != lo {
+                return Err(format!("{lo} is not a bucket lower bound"));
+            }
+            if c == 0 {
+                return Err(format!("bucket {lo} has zero count"));
+            }
+            h.counts[i] += c;
+            h.total += c;
+        }
+        if h.total == 0 {
+            return Ok(h);
+        }
+        let first = h.counts.iter().position(|&c| c > 0).expect("non-empty");
+        let last = h.counts.iter().rposition(|&c| c > 0).expect("non-empty");
+        if min > max || bucket_index(min) != first || bucket_index(max) != last {
+            return Err(format!(
+                "min {min} / max {max} inconsistent with populated buckets"
+            ));
+        }
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Ok(h)
     }
 
     /// Merges `other` into `self`. Exact (integer) and associative: merging
@@ -216,7 +272,15 @@ impl MetricsRegistry {
     }
 
     /// Adds `by` to counter `name`, creating it at zero first.
+    ///
+    /// Debug builds assert that `name` is not already a gauge or histogram:
+    /// one name bound to two metric kinds renders as duplicate JSON keys
+    /// and silently shadows on merge, so it is a programming error.
     pub fn incr(&mut self, name: &str, by: u64) {
+        debug_assert!(
+            !self.gauges.contains_key(name) && !self.histograms.contains_key(name),
+            "metric name `{name}` already used by another metric kind"
+        );
         match self.counters.get_mut(name) {
             Some(c) => *c += by,
             None => {
@@ -225,8 +289,13 @@ impl MetricsRegistry {
         }
     }
 
-    /// Sets gauge `name` to `v`.
+    /// Sets gauge `name` to `v`. Debug builds assert `name` is not already
+    /// a counter or histogram (see [`MetricsRegistry::incr`]).
     pub fn set_gauge(&mut self, name: &str, v: f64) {
+        debug_assert!(
+            !self.counters.contains_key(name) && !self.histograms.contains_key(name),
+            "metric name `{name}` already used by another metric kind"
+        );
         match self.gauges.get_mut(name) {
             Some(g) => *g = v,
             None => {
@@ -235,8 +304,14 @@ impl MetricsRegistry {
         }
     }
 
-    /// Records `v` into histogram `name`, creating it empty first.
+    /// Records `v` into histogram `name`, creating it empty first. Debug
+    /// builds assert `name` is not already a counter or gauge (see
+    /// [`MetricsRegistry::incr`]).
     pub fn observe(&mut self, name: &str, v: u64) {
+        debug_assert!(
+            !self.counters.contains_key(name) && !self.gauges.contains_key(name),
+            "metric name `{name}` already used by another metric kind"
+        );
         match self.histograms.get_mut(name) {
             Some(h) => h.record(v),
             None => {
@@ -349,6 +424,58 @@ mod tests {
         // Bucket [4,7] would report 7; clamping pins it to the real max.
         assert_eq!(h.percentile(0.0), 5);
         assert_eq!(h.percentile(100.0), 5);
+    }
+
+    #[test]
+    fn percentile_endpoints_are_exact() {
+        let mut h = Histogram::new();
+        for v in [2u64, 3, 100] {
+            h.record(v);
+        }
+        // Bucket [2,3] would report 3 for p0; the endpoint is exact.
+        assert_eq!(h.percentile(0.0), 2);
+        assert_eq!(h.percentile(100.0), 100);
+        assert!(h.percentile(50.0) >= 2 && h.percentile(50.0) <= 100);
+        // Out-of-range p saturates to the endpoints.
+        assert_eq!(h.percentile(-5.0), 2);
+        assert_eq!(h.percentile(250.0), 100);
+    }
+
+    #[test]
+    fn from_summary_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 900, u64::MAX] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h
+            .nonzero_buckets()
+            .map(|(i, c)| (bucket_bounds(i).0, c))
+            .collect();
+        let back = Histogram::from_summary(h.sum(), h.min(), h.max(), &buckets).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(Histogram::from_summary(0, 0, 0, &[]).unwrap().count(), 0);
+        // 5 is not a bucket lower bound; min 9 lies outside bucket [4,7].
+        assert!(Histogram::from_summary(5, 5, 5, &[(5, 1)]).is_err());
+        assert!(Histogram::from_summary(9, 9, 9, &[(4, 1)]).is_err());
+        assert!(Histogram::from_summary(4, 4, 4, &[(4, 0)]).is_err());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "already used by another metric kind")]
+    fn counter_colliding_with_gauge_panics() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("x", 1.0);
+        m.incr("x", 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "already used by another metric kind")]
+    fn histogram_colliding_with_counter_panics() {
+        let mut m = MetricsRegistry::new();
+        m.incr("x", 1);
+        m.observe("x", 1);
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! conserve — `fault.injected == fault.recovered + fault.trapped +
 //! fault.silent` — so a run's reliability books close the same way its
 //! CPI attribution does.
+//!
+//! The `profile.*` family summarizes an armed block profiler into the
+//! metrics registry at end of run (the full per-block data lives in the
+//! profile artifact itself, not the registry). The counters only appear
+//! when a profile was armed, so un-profiled runs stay metric-identical.
 
 /// Cells that completed functionally and produced a result.
 pub const MATRIX_CELLS_OK: &str = "matrix.cells.ok";
@@ -59,6 +64,18 @@ pub const FAULT_RETRIES: &str = "fault.retries";
 /// Machine-check traps delivered to the pipeline.
 pub const FAULT_MACHINE_CHECKS: &str = "fault.machine_checks";
 
+/// Distinct compressed blocks the block profiler saw fetched.
+pub const PROFILE_BLOCKS_TOUCHED: &str = "profile.blocks_touched";
+
+/// Total fetch services the block profiler attributed.
+pub const PROFILE_FETCHES: &str = "profile.fetches";
+
+/// Profiled decompressor invocations through the fast table backend.
+pub const PROFILE_DECODE_FAST: &str = "profile.decode.fast";
+
+/// Profiled decompressor invocations through the scalar backend.
+pub const PROFILE_DECODE_SCALAR: &str = "profile.decode.scalar";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -79,6 +96,10 @@ mod tests {
             (super::FAULT_SILENT, "fault."),
             (super::FAULT_RETRIES, "fault."),
             (super::FAULT_MACHINE_CHECKS, "fault."),
+            (super::PROFILE_BLOCKS_TOUCHED, "profile."),
+            (super::PROFILE_FETCHES, "profile."),
+            (super::PROFILE_DECODE_FAST, "profile."),
+            (super::PROFILE_DECODE_SCALAR, "profile."),
         ];
         for (i, (a, family)) in all.iter().enumerate() {
             assert!(a.starts_with(family), "{a} belongs to {family}");

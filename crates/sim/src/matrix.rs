@@ -48,7 +48,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use codepack_core::{CodePackImage, CompressionConfig};
 use codepack_isa::Program;
-use codepack_obs::{names, MetricsRegistry, Obs};
+use codepack_obs::{names, BlockProfile, MetricsRegistry, Obs};
 use codepack_synth::{generate, BenchmarkProfile};
 use codepack_testkit::{mix_seed, Rng};
 
@@ -372,6 +372,15 @@ pub struct SimReport {
     pub max_insns: u64,
     /// One cell per (profile, arch, model), profile-major.
     pub cells: Vec<MatrixCell>,
+    /// The block profiles of all CodePack cells, merged in cell
+    /// (enumeration) order, when the cube ran profiled
+    /// ([`MatrixOptions::profiling`]). Merging is commutative and
+    /// associative, so the merged artifact is byte-identical for any
+    /// worker count; each contributing cell's `file_stem` appears in the
+    /// merged source label. Exported as its own versioned document via
+    /// [`BlockProfile::to_json`], never spliced into
+    /// [`SimReport::to_json`].
+    pub profile: Option<BlockProfile>,
 }
 
 impl SimReport {
@@ -590,6 +599,10 @@ pub struct MatrixOptions {
     pub workers: usize,
     /// Attach a metrics-only observer to every cell.
     pub observed: bool,
+    /// Arm a per-block access profile in every cell and merge the cells'
+    /// profiles into [`SimReport::profile`]. Mutually exclusive with
+    /// journaling (the journal schema has no profile record).
+    pub profiled: bool,
     /// Directory for the crash-safe completion journal, if any.
     pub journal_dir: Option<PathBuf>,
     /// Restore completed cells from an existing journal before running.
@@ -605,6 +618,7 @@ impl MatrixOptions {
         MatrixOptions {
             workers,
             observed: false,
+            profiled: false,
             journal_dir: None,
             resume: false,
         }
@@ -613,6 +627,12 @@ impl MatrixOptions {
     /// Enables the per-cell metrics observer.
     pub fn observed(mut self, yes: bool) -> MatrixOptions {
         self.observed = yes;
+        self
+    }
+
+    /// Arms the per-block access profiler in every cell.
+    pub fn profiling(mut self, yes: bool) -> MatrixOptions {
+        self.profiled = yes;
         self
     }
 
@@ -671,6 +691,7 @@ struct Done {
     resumed: bool,
     result: Option<SimResult>,
     metrics: Option<String>,
+    profile: Option<BlockProfile>,
 }
 
 /// Runs the cube with full control over observation and journaling.
@@ -687,6 +708,13 @@ struct Done {
 pub fn run_matrix_with(spec: &MatrixSpec, opts: &MatrixOptions) -> Result<SimReport, String> {
     assert!(opts.workers > 0, "run_matrix needs at least one worker");
     assert!(!spec.is_empty(), "run_matrix needs a non-empty cube");
+    if opts.profiled && opts.journal_dir.is_some() {
+        return Err(
+            "profiled runs cannot be journaled: the journal schema carries no \
+             profile record; run the profiled sweep without a journal"
+                .to_string(),
+        );
+    }
 
     // Profile-major job list; index into it IS the report order.
     struct Job {
@@ -732,6 +760,7 @@ pub fn run_matrix_with(spec: &MatrixSpec, opts: &MatrixOptions) -> Result<SimRep
                             resumed: true,
                             result: e.result,
                             metrics: e.metrics,
+                            profile: None,
                         })
                         .unwrap_or_else(|_| unreachable!("journal restore precedes workers"));
                 }
@@ -787,7 +816,7 @@ pub fn run_matrix_with(spec: &MatrixSpec, opts: &MatrixOptions) -> Result<SimRep
                     .as_ref()
                     .expect("profiles with pending cells are prepared");
 
-                let done = run_cell(spec, opts.observed, i, job.arch, job.model, prep);
+                let done = run_cell(spec, opts, i, job.arch, job.model, prep);
 
                 if let Some(w) = &journal {
                     let entry = JournalEntry {
@@ -815,12 +844,17 @@ pub fn run_matrix_with(spec: &MatrixSpec, opts: &MatrixOptions) -> Result<SimRep
         return Err(e.clone());
     }
 
-    let cells = jobs
+    // Merge cell profiles in enumeration order. The merge is commutative
+    // and associative anyway, so this is belt-and-braces for worker-count
+    // independence; empty profiles (native cells never touch a block) are
+    // skipped so they do not pollute the merged source label.
+    let mut merged_profile: Option<BlockProfile> = None;
+    let cells: Vec<MatrixCell> = jobs
         .iter()
         .zip(slots)
         .map(|(job, slot)| {
             let done = slot.into_inner().expect("every job ran");
-            MatrixCell {
+            let cell = MatrixCell {
                 profile: job.profile,
                 arch: job.arch.name,
                 model: job.model_label,
@@ -829,7 +863,17 @@ pub fn run_matrix_with(spec: &MatrixSpec, opts: &MatrixOptions) -> Result<SimRep
                 resumed: done.resumed,
                 result: done.result,
                 metrics: done.metrics,
+            };
+            if let Some(mut p) = done.profile {
+                if p.blocks_touched() > 0 {
+                    p.set_source(&cell.file_stem());
+                    match &mut merged_profile {
+                        Some(m) => m.merge(&p),
+                        None => merged_profile = Some(p),
+                    }
+                }
             }
+            cell
         })
         .collect();
 
@@ -837,6 +881,7 @@ pub fn run_matrix_with(spec: &MatrixSpec, opts: &MatrixOptions) -> Result<SimRep
         seed: spec.seed,
         max_insns: spec.max_insns,
         cells,
+        profile: merged_profile,
     })
 }
 
@@ -845,12 +890,13 @@ pub fn run_matrix_with(spec: &MatrixSpec, opts: &MatrixOptions) -> Result<SimRep
 /// cycle-deadline check on success.
 fn run_cell(
     spec: &MatrixSpec,
-    observed: bool,
+    opts: &MatrixOptions,
     i: usize,
     arch: ArchConfig,
     model: CodeModel,
     prep: &Prepared,
 ) -> Done {
+    let (observed, profiled) = (opts.observed, opts.profiled);
     let max_attempts = spec.retries.saturating_add(1);
     let mut attempt: u32 = 0;
     loop {
@@ -863,6 +909,7 @@ fn run_cell(
                 resumed: false,
                 result: None,
                 metrics: None,
+                profile: None,
             };
         }
 
@@ -887,11 +934,14 @@ fn run_cell(
                         .1,
                 )),
             };
-            let obs = if observed {
+            let mut obs = if observed || profiled {
                 Obs::with_null_sink()
             } else {
                 Obs::disabled()
             };
+            if profiled {
+                obs.arm_profile();
+            }
             Simulation::new(arch, model)
                 .try_run_observed(&prep.program, spec.max_insns, image, obs)
                 .map_err(|e| e.to_string())
@@ -911,15 +961,25 @@ fn run_cell(
                             resumed: false,
                             result: None,
                             metrics: None,
+                            profile: None,
                         };
                     }
                 }
+                let mut report = report;
+                let profile = report.as_mut().and_then(|r| r.profile.take());
                 return Done {
                     outcome: CellOutcome::Ok,
                     attempts: attempt + 1,
                     resumed: false,
                     result: Some(result),
-                    metrics: report.map(|r| r.to_json()),
+                    // Metrics snapshots belong to observed mode only: a
+                    // profiled-but-unobserved cube must not grow them.
+                    metrics: if observed {
+                        report.map(|r| r.to_json())
+                    } else {
+                        None
+                    },
+                    profile,
                 };
             }
             Ok(Err(trap)) => trap,
@@ -934,6 +994,7 @@ fn run_cell(
                 resumed: false,
                 result: None,
                 metrics: None,
+                profile: None,
             };
         }
         retry_jitter(spec.seed, i, attempt);
@@ -1122,6 +1183,48 @@ mod tests {
             }
         }
         assert!(report.render().contains("timed-out"));
+    }
+
+    #[test]
+    fn profiled_cube_merges_profiles_byte_identically_across_workers() {
+        let spec = tiny_spec();
+        let one = run_matrix_with(&spec, &MatrixOptions::new(1).profiling(true)).unwrap();
+        let four = run_matrix_with(&spec, &MatrixOptions::new(4).profiling(true)).unwrap();
+        let a = one.profile.as_ref().expect("codepack cells profiled");
+        let b = four.profile.as_ref().expect("codepack cells profiled");
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "merged profile must not depend on worker count"
+        );
+        // The merged source label names exactly the contributing cells —
+        // native cells never touch a compressed block.
+        assert!(a.source().contains("cp-base") && a.source().contains("cp-opt"));
+        assert!(!a.source().contains("native"));
+        assert!(a.blocks_touched() > 0 && a.total_blocks() > 0);
+        // Profiling changes no timing and observed-mode metrics stay off.
+        let plain = run_matrix(&spec, 1);
+        assert!(
+            plain.profile.is_none(),
+            "unprofiled cube carries no profile"
+        );
+        for (p, c) in one.cells.iter().zip(&plain.cells) {
+            assert_eq!(
+                p.expect_ok().cycles(),
+                c.expect_ok().cycles(),
+                "profiling must not perturb timing"
+            );
+            assert!(p.metrics.is_none(), "profiled-only cells carry no metrics");
+        }
+    }
+
+    #[test]
+    fn profiled_journaled_run_is_rejected() {
+        let dir = std::env::temp_dir().join("cpack-profiled-journal-guard");
+        let opts = MatrixOptions::new(1).profiling(true).with_journal(&dir);
+        let err = run_matrix_with(&tiny_spec(), &opts).unwrap_err();
+        assert!(err.contains("cannot be journaled"), "got: {err}");
+        assert!(!dir.exists(), "the guard fires before any journal I/O");
     }
 
     #[test]

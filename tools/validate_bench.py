@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validator for the BENCH_codec.json decode-throughput scorecard.
+
+The scorecard is a versioned artifact (schema_version 1): CI validates
+both the fresh smoke run and the checked-in full-mode numbers with this
+one script, so the schema is enforced in exactly one place.
+
+Usage:
+    validate_bench.py FILE --mode smoke|full
+                      [--min-speedup X] [--fast-beats-scalar]
+
+Exit status is nonzero (with a message on stderr) on any violation.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+PROFILES = {"cc1", "go", "mpeg2enc", "pegwit", "perl", "vortex"}
+
+
+def validate(doc, path, mode, min_speedup, fast_beats_scalar):
+    """Returns a list of violation strings (empty when the doc is valid)."""
+    errs = []
+
+    def expect(cond, msg):
+        if not cond:
+            errs.append(f"{path}: {msg}")
+
+    expect(
+        doc.get("schema_version") == SCHEMA_VERSION,
+        f"schema_version {doc.get('schema_version')!r} != {SCHEMA_VERSION}",
+    )
+    expect(doc.get("suite") == "codec", f"suite {doc.get('suite')!r} != 'codec'")
+    expect(
+        doc.get("bench") == "decode_throughput",
+        f"bench {doc.get('bench')!r} != 'decode_throughput'",
+    )
+    expect(doc.get("unit") == "MB/s", f"unit {doc.get('unit')!r} != 'MB/s'")
+    expect(doc.get("seed") == 42, f"seed {doc.get('seed')!r} != 42")
+    if mode is not None:
+        expect(doc.get("mode") == mode, f"mode {doc.get('mode')!r} != {mode!r}")
+
+    rows = doc.get("profiles")
+    if not isinstance(rows, list):
+        errs.append(f"{path}: profiles is not a list")
+        return errs
+    names = {r.get("name") for r in rows}
+    expect(names == PROFILES, f"profile set {sorted(map(str, names))} != expected suite")
+    for r in rows:
+        name = r.get("name", "<unnamed>")
+        for field in ("bytes", "scalar_mb_s", "fast_mb_s", "speedup"):
+            v = r.get(field)
+            if not isinstance(v, (int, float)) or v <= 0:
+                errs.append(f"{path}: {name}.{field} = {v!r} is not a positive number")
+        if fast_beats_scalar and not r.get("fast_mb_s", 0) > r.get("scalar_mb_s", 0):
+            errs.append(
+                f"{path}: {name}: fast {r.get('fast_mb_s')} MB/s "
+                f"<= scalar {r.get('scalar_mb_s')} MB/s"
+            )
+        if min_speedup is not None and not r.get("speedup", 0) >= min_speedup:
+            errs.append(f"{path}: {name}: speedup {r.get('speedup')} < {min_speedup}")
+    return errs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file")
+    ap.add_argument("--mode", choices=["smoke", "full"])
+    ap.add_argument("--min-speedup", type=float, default=None)
+    ap.add_argument(
+        "--fast-beats-scalar",
+        action="store_true",
+        help="require fast_mb_s > scalar_mb_s on every profile",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.file) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{args.file}: {e}")
+
+    errs = validate(doc, args.file, args.mode, args.min_speedup, args.fast_beats_scalar)
+    if errs:
+        sys.exit("\n".join(errs))
+    print(f"{args.file}: valid codec scorecard (schema v{SCHEMA_VERSION}, "
+          f"{len(doc['profiles'])} profiles, mode {doc.get('mode')})")
+
+
+if __name__ == "__main__":
+    main()
