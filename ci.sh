@@ -182,22 +182,57 @@ assert any(d["severity"] == "error" and (d["addr"] or "").startswith("0x")
 print("tier-2 lint smoke: corrupted index entry detected statically")
 PYEOF
 
-echo "== tier-2: codec fuzzer (fixed seed, both backends) =="
+echo "== tier-2: codec + frame fuzzer (fixed seed, both backends) =="
+# Covers mutated block streams (both decode backends must agree) and
+# mutated .cpk frames (one-shot serial, one-shot parallel, and the
+# streaming reader must reach the same typed verdict — never a panic).
 cargo test -q --offline --test fuzz_codec
 
-echo "== tier-2: decode-throughput scorecard gate =="
+echo "== tier-2: .cpk frame round-trip smoke =="
+# The frame pipeline's determinism contract, end to end through the
+# binary: packing at any worker count is byte-identical, unpack restores
+# the exact instruction stream, re-packing the unpacked words reproduces
+# the frame, cat streams the same bytes, and a truncated frame is
+# rejected with a nonzero exit and a typed message.
+"$CPACK" pack pegwit -o "$OBS_TMP/pegwit-w1.cpk" --workers 1 2> /dev/null
+"$CPACK" pack pegwit -o "$OBS_TMP/pegwit-w4.cpk" --workers 4 2> /dev/null
+cmp "$OBS_TMP/pegwit-w1.cpk" "$OBS_TMP/pegwit-w4.cpk" \
+    || { echo "frame pack not worker-count byte-identical"; exit 1; }
+"$CPACK" unpack "$OBS_TMP/pegwit-w1.cpk" -o "$OBS_TMP/pegwit-text.bin" 2> /dev/null
+"$CPACK" pack "$OBS_TMP/pegwit-text.bin" -o "$OBS_TMP/pegwit-repack.cpk" 2> /dev/null
+cmp "$OBS_TMP/pegwit-w1.cpk" "$OBS_TMP/pegwit-repack.cpk" \
+    || { echo "pack(unpack(frame)) is not byte-stable"; exit 1; }
+"$CPACK" cat "$OBS_TMP/pegwit-w1.cpk" 2> /dev/null | cmp - "$OBS_TMP/pegwit-text.bin" \
+    || { echo "cat and unpack disagree"; exit 1; }
+head -c 40 "$OBS_TMP/pegwit-w1.cpk" > "$OBS_TMP/pegwit-truncated.cpk"
+if "$CPACK" unpack "$OBS_TMP/pegwit-truncated.cpk" -o /dev/null 2> "$OBS_TMP/trunc.err"; then
+    echo "unpack ACCEPTED a truncated frame"; exit 1
+fi
+grep -q "truncated" "$OBS_TMP/trunc.err" \
+    || { echo "truncated frame not reported as truncation"; exit 1; }
+echo "tier-2 frame smoke: worker-identical pack, byte-stable round trip, truncation rejected"
+
+echo "== tier-2: codec scorecard gate (decode + frame) =="
 # A fresh smoke run of the codec bench must show the fast backend beating
 # the scalar reference on every profile, and the checked-in full-mode
 # BENCH_codec.json must carry the >= 2x speedup the fast path promises.
+# frame_throughput merges its serial-vs-parallel .cpk section into the
+# same document; its parallel-speedup floor is core-count aware (the
+# validator skips it when the recorded cpus < workers, since a one-CPU
+# runner cannot exhibit parallel speedup).
 TESTKIT_BENCH_FAST=1 BENCH_CODEC_OUT="$OBS_TMP/bench_codec.json" \
     cargo bench -q --offline -p codepack-bench --bench decode_throughput > /dev/null
+TESTKIT_BENCH_FAST=1 BENCH_CODEC_OUT="$OBS_TMP/bench_codec.json" \
+    cargo bench -q --offline -p codepack-bench --bench frame_throughput > /dev/null
 # One validator (tools/validate_bench.py) checks both documents, so the
 # schema_version-1 scorecard schema is enforced in exactly one place.
 # Fresh smoke run: fast must outrun scalar on every profile, right now,
 # on this machine — catches hot-path regressions before they land.
-python3 tools/validate_bench.py "$OBS_TMP/bench_codec.json" --mode smoke --fast-beats-scalar
+python3 tools/validate_bench.py "$OBS_TMP/bench_codec.json" --mode smoke \
+    --fast-beats-scalar --require-frame --min-parallel-speedup 2.0
 # Checked-in scorecard: schema-valid full-mode numbers with >= 2x each.
-python3 tools/validate_bench.py BENCH_codec.json --mode full --min-speedup 2.0
+python3 tools/validate_bench.py BENCH_codec.json --mode full --min-speedup 2.0 \
+    --require-frame --min-parallel-speedup 2.0
 
 echo "== tier-2: block profiler smoke =="
 # A profiled run must emit a schema-valid versioned artifact that is

@@ -6,7 +6,10 @@
 //! original text bytes per second) per profile and backend.
 //!
 //! Output goes to `$BENCH_CODEC_OUT` when set, else `BENCH_codec.json`
-//! at the workspace root. The raw testkit measurements also land in
+//! at the workspace root. The scorecard is shared with `frame_throughput`
+//! (which owns the `frame` section): writes go through
+//! [`codepack_bench::scorecard`]'s read-modify-write so each bench only
+//! replaces its own section. The raw testkit measurements also land in
 //! `target/bench/decode_throughput.json` like every other suite.
 //!
 //! Run modes:
@@ -17,69 +20,16 @@
 //!   with `BENCH_CODEC_OUT` pointed at a scratch file — what the ci.sh
 //!   tier-2 gate runs to catch fast-path regressions quickly.
 
-use std::path::PathBuf;
-
+use codepack_bench::scorecard::{self, ProfileRow, SCORECARD_SEED};
 use codepack_core::{CodePackImage, CompressionConfig, DecodeBackend};
 use codepack_synth::{generate, BenchmarkProfile};
 use codepack_testkit::{Bench, Throughput};
 
-const SEED: u64 = 42;
-
-struct ProfileRow {
-    name: &'static str,
-    bytes: u64,
-    scalar_mb_s: f64,
-    fast_mb_s: f64,
-}
+const SEED: u64 = SCORECARD_SEED;
 
 /// Decimal MB/s from a per-iteration byte count and median ns.
 fn mb_per_s(bytes: u64, median_ns: f64) -> f64 {
     bytes as f64 * 1e3 / median_ns.max(1e-9)
-}
-
-/// The workspace root, found via `Cargo.lock` like testkit's bench dir.
-fn workspace_root() -> PathBuf {
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    loop {
-        if dir.join("Cargo.lock").exists() {
-            return dir;
-        }
-        if !dir.pop() {
-            return PathBuf::from(".");
-        }
-    }
-}
-
-fn scorecard_path() -> PathBuf {
-    match std::env::var("BENCH_CODEC_OUT") {
-        Ok(p) => PathBuf::from(p),
-        Err(_) => workspace_root().join("BENCH_codec.json"),
-    }
-}
-
-fn scorecard_json(mode: &str, rows: &[ProfileRow]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 1,\n");
-    out.push_str("  \"suite\": \"codec\",\n");
-    out.push_str("  \"bench\": \"decode_throughput\",\n");
-    out.push_str("  \"unit\": \"MB/s\",\n");
-    out.push_str(&format!("  \"seed\": {SEED},\n"));
-    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
-    out.push_str("  \"profiles\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"bytes\": {}, \"scalar_mb_s\": {:.2}, \
-             \"fast_mb_s\": {:.2}, \"speedup\": {:.2}}}{}\n",
-            r.name,
-            r.bytes,
-            r.scalar_mb_s,
-            r.fast_mb_s,
-            r.fast_mb_s / r.scalar_mb_s.max(1e-9),
-            if i + 1 == rows.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
 }
 
 fn main() {
@@ -113,7 +63,7 @@ fn main() {
             .median_ns;
 
         rows.push(ProfileRow {
-            name: profile.name,
+            name: profile.name.to_owned(),
             bytes,
             scalar_mb_s: mb_per_s(bytes, scalar_ns),
             fast_mb_s: mb_per_s(bytes, fast_ns),
@@ -122,11 +72,17 @@ fn main() {
 
     b.finish();
 
-    let path = scorecard_path();
-    let doc = scorecard_json(mode, &rows);
+    // Read-modify-write: replace the decode rows, keep any frame section
+    // a `frame_throughput` run left behind.
+    let path = scorecard::scorecard_path();
+    let mut card = scorecard::load(&path).unwrap_or_default();
+    card.mode = mode.to_owned();
+    card.profiles = rows;
+    let doc = scorecard::render(&card);
     std::fs::write(&path, &doc).expect("write scorecard");
+    let rows = &card.profiles;
     println!("scorecard ({mode}) -> {}", path.display());
-    for r in &rows {
+    for r in rows {
         println!(
             "  {:>10}: scalar {:>8.1} MB/s  fast {:>9.1} MB/s  ({:.1}x)",
             r.name,

@@ -1,0 +1,147 @@
+//! `.cpk` frame pack/unpack throughput: serial vs parallel group pipeline.
+//!
+//! Packs the whole six-profile corpus into one frame and times the four
+//! interesting regimes — pack and unpack, each at one worker and at
+//! `FRAME_WORKERS` workers — then merges a `frame` section into
+//! `BENCH_codec.json` (see [`codepack_bench::scorecard`]; the per-profile
+//! decode rows from `decode_throughput` are preserved).
+//!
+//! The section records the machine's CPU count alongside the worker
+//! count: parallel speedup is physics, not bookkeeping, so the validator
+//! (`tools/validate_bench.py`) only enforces a speedup floor when
+//! `cpus >= workers`. A one-CPU container still produces a valid
+//! scorecard — its speedups just hover around 1.0 and are exempt.
+//!
+//! Run modes match `decode_throughput`: full by default, smoke under
+//! `TESTKIT_BENCH_FAST=1` with `BENCH_CODEC_OUT` pointed at scratch.
+
+use codepack_bench::scorecard::{self, FrameSection, Scorecard, SCORECARD_SEED};
+use codepack_core::frame::{pack_frame, unpack_frame, PackOptions, UnpackOptions};
+use codepack_synth::{generate, BenchmarkProfile};
+use codepack_testkit::{Bench, Throughput};
+
+/// Worker count for the parallel rows (the ISSUE's reference point).
+const FRAME_WORKERS: usize = 4;
+
+fn mb_per_s(bytes: u64, median_ns: f64) -> f64 {
+    bytes as f64 * 1e3 / median_ns.max(1e-9)
+}
+
+fn main() {
+    let smoke = std::env::var("TESTKIT_BENCH_FAST").is_ok_and(|v| v != "0");
+    let mode = if smoke { "smoke" } else { "full" };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+
+    // One corpus: the six benchmark texts concatenated (~2.3 MB), so the
+    // frame has enough groups for the pipeline to matter.
+    let mut corpus: Vec<u32> = Vec::new();
+    for profile in BenchmarkProfile::suite() {
+        corpus.extend_from_slice(generate(&profile, SCORECARD_SEED).text_words());
+    }
+    let bytes = corpus.len() as u64 * 4;
+
+    let serial_pack = PackOptions::default();
+    let parallel_pack = PackOptions {
+        workers: FRAME_WORKERS,
+        ..PackOptions::default()
+    };
+    let parallel_unpack = UnpackOptions {
+        workers: FRAME_WORKERS,
+        ..UnpackOptions::default()
+    };
+
+    let frame = pack_frame(&corpus, &serial_pack);
+    assert_eq!(
+        frame,
+        pack_frame(&corpus, &parallel_pack),
+        "parallel pack must be byte-identical before it is worth timing"
+    );
+    assert_eq!(
+        unpack_frame(&frame, &parallel_unpack).expect("clean frame unpacks"),
+        corpus,
+        "parallel unpack must round-trip before it is worth timing"
+    );
+
+    let mut b = Bench::new("frame_throughput");
+    let rows = [
+        ("pack/serial", &frame, true, 1usize),
+        ("pack/parallel", &frame, true, FRAME_WORKERS),
+        ("unpack/serial", &frame, false, 1),
+        ("unpack/parallel", &frame, false, FRAME_WORKERS),
+    ];
+    let mut mb_s = Vec::new();
+    for (id, frame, is_pack, workers) in rows {
+        let ns = b
+            .with_throughput(Throughput::Bytes(bytes))
+            .bench(id.to_string(), || {
+                if is_pack {
+                    pack_frame(
+                        &corpus,
+                        &PackOptions {
+                            workers,
+                            ..PackOptions::default()
+                        },
+                    )
+                    .len()
+                } else {
+                    unpack_frame(
+                        frame,
+                        &UnpackOptions {
+                            workers,
+                            ..UnpackOptions::default()
+                        },
+                    )
+                    .expect("clean frame unpacks")
+                    .len()
+                }
+            })
+            .median_ns;
+        mb_s.push(mb_per_s(bytes, ns));
+    }
+    b.finish();
+
+    let section = FrameSection {
+        mode: mode.to_owned(),
+        workers: FRAME_WORKERS as u64,
+        cpus,
+        bytes,
+        serial_pack_mb_s: mb_s[0],
+        parallel_pack_mb_s: mb_s[1],
+        serial_unpack_mb_s: mb_s[2],
+        parallel_unpack_mb_s: mb_s[3],
+    };
+
+    let path = scorecard_path_and_merge(section);
+    println!("frame scorecard ({mode}) -> {}", path.display());
+    println!(
+        "  corpus {:.1} MB, {} workers on {} cpu(s)",
+        bytes as f64 / 1e6,
+        FRAME_WORKERS,
+        cpus
+    );
+    println!(
+        "  pack:   serial {:>7.1} MB/s  parallel {:>7.1} MB/s  ({:.2}x)",
+        mb_s[0],
+        mb_s[1],
+        mb_s[1] / mb_s[0].max(1e-9)
+    );
+    println!(
+        "  unpack: serial {:>7.1} MB/s  parallel {:>7.1} MB/s  ({:.2}x)",
+        mb_s[2],
+        mb_s[3],
+        mb_s[3] / mb_s[2].max(1e-9)
+    );
+}
+
+/// Read-modify-write of the scorecard: keep the decode rows, replace the
+/// frame section.
+fn scorecard_path_and_merge(section: FrameSection) -> std::path::PathBuf {
+    let path = scorecard::scorecard_path();
+    let mut card = scorecard::load(&path).unwrap_or_else(|| Scorecard {
+        mode: section.mode.clone(),
+        ..Scorecard::default()
+    });
+    card.frame = Some(section);
+    std::fs::write(&path, scorecard::render(&card)).expect("write scorecard");
+    path
+}

@@ -1,0 +1,245 @@
+//! The `BENCH_codec.json` codec scorecard: one checked-in document shared
+//! by two bench targets.
+//!
+//! `decode_throughput` owns the per-profile rows; `frame_throughput` owns
+//! the `frame` section (serial-vs-parallel `.cpk` pack/unpack). Either
+//! bench may run alone, so both go through this module's read-modify-write
+//! cycle: load whatever is on disk, replace only your own section, and
+//! re-render the whole document with a fixed field order so the artifact
+//! is byte-stable regardless of which bench ran last.
+
+use std::path::PathBuf;
+
+use codepack_obs::json;
+
+/// One profile row of the decode-throughput section.
+#[derive(Clone, Debug)]
+pub struct ProfileRow {
+    /// Benchmark profile name (`cc1`, `go`, ...).
+    pub name: String,
+    /// Original text size in bytes (the throughput denominator).
+    pub bytes: u64,
+    /// Scalar-backend decode throughput, decimal MB/s.
+    pub scalar_mb_s: f64,
+    /// Fast-backend decode throughput, decimal MB/s.
+    pub fast_mb_s: f64,
+}
+
+/// The `.cpk` frame pack/unpack section.
+#[derive(Clone, Debug)]
+pub struct FrameSection {
+    /// `smoke` or `full` — the mode the frame bench ran in.
+    pub mode: String,
+    /// Worker count used for the parallel rows.
+    pub workers: u64,
+    /// CPUs visible to the bench process. Speedup expectations only make
+    /// sense when `cpus >= workers`; the validator gates on this.
+    pub cpus: u64,
+    /// Corpus size in bytes (the throughput denominator).
+    pub bytes: u64,
+    /// One-worker frame pack, decimal MB/s.
+    pub serial_pack_mb_s: f64,
+    /// `workers`-worker frame pack, decimal MB/s.
+    pub parallel_pack_mb_s: f64,
+    /// One-worker frame unpack, decimal MB/s.
+    pub serial_unpack_mb_s: f64,
+    /// `workers`-worker frame unpack, decimal MB/s.
+    pub parallel_unpack_mb_s: f64,
+}
+
+/// The whole scorecard document.
+#[derive(Clone, Debug, Default)]
+pub struct Scorecard {
+    /// `smoke` or `full` — the mode of the decode-throughput rows.
+    pub mode: String,
+    /// Per-profile decode rows (empty until `decode_throughput` runs).
+    pub profiles: Vec<ProfileRow>,
+    /// Frame section (absent until `frame_throughput` runs).
+    pub frame: Option<FrameSection>,
+}
+
+/// Seed every scorecard run uses, mirrored in the document.
+pub const SCORECARD_SEED: u64 = 42;
+
+/// The scorecard location: `$BENCH_CODEC_OUT` when set, else
+/// `BENCH_codec.json` at the workspace root.
+pub fn scorecard_path() -> PathBuf {
+    match std::env::var("BENCH_CODEC_OUT") {
+        Ok(p) => PathBuf::from(p),
+        Err(_) => workspace_root().join("BENCH_codec.json"),
+    }
+}
+
+/// The workspace root, found via `Cargo.lock` like testkit's bench dir.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Loads the scorecard at `path`. Returns `None` when the file is absent
+/// or unparseable — the caller then starts from an empty document rather
+/// than failing the bench run over a stale artifact.
+pub fn load(path: &std::path::Path) -> Option<Scorecard> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = json::parse(&text).ok()?;
+    let mode = doc.get("mode")?.as_str()?.to_owned();
+    let mut profiles = Vec::new();
+    for row in doc.get("profiles")?.as_array()? {
+        profiles.push(ProfileRow {
+            name: row.get("name")?.as_str()?.to_owned(),
+            bytes: row.get("bytes")?.as_u64()?,
+            scalar_mb_s: row.get("scalar_mb_s")?.as_f64()?,
+            fast_mb_s: row.get("fast_mb_s")?.as_f64()?,
+        });
+    }
+    let frame = doc.get("frame").and_then(|f| {
+        Some(FrameSection {
+            mode: f.get("mode")?.as_str()?.to_owned(),
+            workers: f.get("workers")?.as_u64()?,
+            cpus: f.get("cpus")?.as_u64()?,
+            bytes: f.get("bytes")?.as_u64()?,
+            serial_pack_mb_s: f.get("serial_pack_mb_s")?.as_f64()?,
+            parallel_pack_mb_s: f.get("parallel_pack_mb_s")?.as_f64()?,
+            serial_unpack_mb_s: f.get("serial_unpack_mb_s")?.as_f64()?,
+            parallel_unpack_mb_s: f.get("parallel_unpack_mb_s")?.as_f64()?,
+        })
+    });
+    Some(Scorecard {
+        mode,
+        profiles,
+        frame,
+    })
+}
+
+/// Renders the document with a fixed field order (schema v1).
+pub fn render(card: &Scorecard) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"suite\": \"codec\",\n");
+    out.push_str("  \"bench\": \"decode_throughput\",\n");
+    out.push_str("  \"unit\": \"MB/s\",\n");
+    out.push_str(&format!("  \"seed\": {SCORECARD_SEED},\n"));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json::escape(&card.mode)));
+    out.push_str("  \"profiles\": [");
+    if card.profiles.is_empty() {
+        out.push(']');
+    } else {
+        out.push('\n');
+        for (i, r) in card.profiles.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"bytes\": {}, \"scalar_mb_s\": {:.2}, \
+                 \"fast_mb_s\": {:.2}, \"speedup\": {:.2}}}{}\n",
+                json::escape(&r.name),
+                r.bytes,
+                r.scalar_mb_s,
+                r.fast_mb_s,
+                r.fast_mb_s / r.scalar_mb_s.max(1e-9),
+                if i + 1 == card.profiles.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        out.push_str("  ]");
+    }
+    if let Some(f) = &card.frame {
+        out.push_str(",\n  \"frame\": {\n");
+        out.push_str(&format!(
+            "    \"mode\": \"{}\",\n    \"workers\": {},\n    \"cpus\": {},\n    \
+             \"bytes\": {},\n",
+            json::escape(&f.mode),
+            f.workers,
+            f.cpus,
+            f.bytes
+        ));
+        out.push_str(&format!(
+            "    \"serial_pack_mb_s\": {:.2},\n    \"parallel_pack_mb_s\": {:.2},\n    \
+             \"pack_speedup\": {:.2},\n",
+            f.serial_pack_mb_s,
+            f.parallel_pack_mb_s,
+            f.parallel_pack_mb_s / f.serial_pack_mb_s.max(1e-9)
+        ));
+        out.push_str(&format!(
+            "    \"serial_unpack_mb_s\": {:.2},\n    \"parallel_unpack_mb_s\": {:.2},\n    \
+             \"unpack_speedup\": {:.2}\n  }}",
+            f.serial_unpack_mb_s,
+            f.parallel_unpack_mb_s,
+            f.parallel_unpack_mb_s / f.serial_unpack_mb_s.max(1e-9)
+        ));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scorecard {
+        Scorecard {
+            mode: "full".into(),
+            profiles: vec![ProfileRow {
+                name: "pegwit".into(),
+                bytes: 87200,
+                scalar_mb_s: 120.5,
+                fast_mb_s: 340.25,
+            }],
+            frame: Some(FrameSection {
+                mode: "smoke".into(),
+                workers: 4,
+                cpus: 1,
+                bytes: 2_000_000,
+                serial_pack_mb_s: 50.0,
+                parallel_pack_mb_s: 49.5,
+                serial_unpack_mb_s: 200.0,
+                parallel_unpack_mb_s: 198.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn render_load_round_trips_both_sections() {
+        let card = sample();
+        let dir = std::env::temp_dir().join(format!("scorecard-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("card.json");
+        std::fs::write(&path, render(&card)).unwrap();
+        let back = load(&path).expect("rendered scorecard loads");
+        assert_eq!(back.mode, "full");
+        assert_eq!(back.profiles.len(), 1);
+        assert_eq!(back.profiles[0].name, "pegwit");
+        assert_eq!(back.profiles[0].bytes, 87200);
+        // Re-render of the reloaded card is byte-stable.
+        assert_eq!(render(&back), std::fs::read_to_string(&path).unwrap());
+        let f = back.frame.expect("frame section survives");
+        assert_eq!((f.workers, f.cpus), (4, 1));
+        assert_eq!(f.bytes, 2_000_000);
+    }
+
+    #[test]
+    fn render_without_frame_matches_legacy_shape() {
+        let mut card = sample();
+        card.frame = None;
+        let doc = render(&card);
+        assert!(!doc.contains("\"frame\""));
+        assert!(json::parse(&doc).is_ok());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("scorecard-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(load(&path).is_none());
+        assert!(load(&dir.join("missing.json")).is_none());
+    }
+}

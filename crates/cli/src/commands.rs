@@ -2,6 +2,7 @@
 
 use codepack_analyze::{lint_compressed, lint_rom, Diagnostic, LintReport};
 use codepack_baselines::{estimate_thumb, CcrpImage, HuffPackImage, InsnDictImage};
+use codepack_core::frame::{pack_frame, unpack_frame, PackOptions, UnpackOptions};
 use codepack_core::parse_rom_parts;
 use codepack_core::{CodePackImage, CompressionConfig, DecodeBackend};
 use codepack_isa::{decode, Program, TEXT_BASE};
@@ -61,6 +62,22 @@ USAGE:
                                         the versioned profile artifact
                                         (byte-identical for any worker count)
     cpack profile  --diff A.json B.json compare two profile artifacts
+    cpack pack     <profile|FILE|-> [-o FILE|-] [--workers N]
+                   [--integrity none|parity|crc32]
+                                        pack a text section into a streaming
+                                        .cpk frame (CPKF): a profile name
+                                        packs its synthetic program, a file
+                                        or `-` (stdin) packs little-endian
+                                        32-bit words; group chunks are
+                                        encoded in parallel and the output
+                                        is byte-identical at any worker
+                                        count (default output: stdout)
+    cpack unpack   <FILE|-> [-o FILE|-] [--workers N] [--backend scalar|fast]
+                                        decode a .cpk frame back to the
+                                        original words (little-endian bytes;
+                                        default output: stdout)
+    cpack cat      <FILE|-> [--workers N] [--backend scalar|fast]
+                                        decode a .cpk frame to stdout
     cpack faults   [INSNS] [--profile P] [--rates PPB,PPB,..]
                    [--integrity none,parity,crc32] [--workers N] [--json]
                    [--retries N] [--journal DIR] [--resume]
@@ -134,7 +151,11 @@ pub fn compress(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("compress: missing profile name")?;
     let out = match args.get(1).map(String::as_str) {
         Some("-o") => args.get(2).ok_or("compress: -o needs a file name")?.clone(),
-        Some(other) => return Err(format!("compress: unexpected argument `{other}`")),
+        Some(other) => {
+            return Err(format!(
+                "compress: unexpected argument `{other}` (see `cpack help` for usage)"
+            ))
+        }
         None => format!("{name}.cpk"),
     };
     let program = program_for(name)?;
@@ -181,9 +202,17 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
 /// `cpack disasm <profile> [N]`
 pub fn disasm(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("disasm: missing profile name")?;
-    let count: usize = args
-        .get(1)
-        .map_or(Ok(32), |s| s.parse().map_err(|_| "disasm: bad count"))?;
+    let count: usize = match args.get(1).map(String::as_str) {
+        None => 32,
+        Some(s) if s.starts_with('-') && s.len() > 1 => {
+            return Err(format!(
+                "disasm: unknown flag `{s}` (see `cpack help` for usage)"
+            ));
+        }
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("disasm: bad count `{s}` (see `cpack help` for usage)"))?,
+    };
     no_more("disasm", args.get(2..).unwrap_or(&[]))?;
     let program = program_for(name)?;
     for (i, &w) in program.text_words().iter().take(count).enumerate() {
@@ -198,8 +227,11 @@ pub fn disasm(args: &[String]) -> Result<(), String> {
 
 fn parse_insns(args: &[String], idx: usize, default: u64) -> Result<u64, String> {
     args.get(idx).map_or(Ok(default), |s| {
+        if s.starts_with('-') && s.len() > 1 {
+            return Err(format!("unknown flag `{s}` (see `cpack help` for usage)"));
+        }
         s.parse()
-            .map_err(|_| format!("bad instruction count `{s}`"))
+            .map_err(|_| format!("bad instruction count `{s}` (see `cpack help` for usage)"))
     })
 }
 
@@ -1005,7 +1037,11 @@ pub fn lint(args: &[String]) -> Result<(), String> {
     for a in &args[1..] {
         match a.as_str() {
             "--json" => json = true,
-            other => return Err(format!("lint: unexpected argument `{other}`")),
+            other => {
+                return Err(format!(
+                    "lint: unexpected argument `{other}` (see `cpack help` for usage)"
+                ))
+            }
         }
     }
 
@@ -1045,4 +1081,202 @@ pub fn lint(args: &[String]) -> Result<(), String> {
             report.target
         ))
     }
+}
+
+const PACK_USAGE: &str = "usage: cpack pack <profile|FILE|-> [-o FILE|-] \
+[--workers N] [--integrity none|parity|crc32]";
+const UNPACK_USAGE: &str =
+    "usage: cpack unpack <FILE|-> [-o FILE|-] [--workers N] [--backend scalar|fast]";
+const CAT_USAGE: &str = "usage: cpack cat <FILE|-> [--workers N] [--backend scalar|fast]";
+
+/// Reads a frame command's input: `-` is stdin, anything else a file path.
+fn read_input(cmd: &str, path: &str) -> Result<Vec<u8>, String> {
+    use std::io::Read;
+    if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .lock()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("{cmd}: reading stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read(path).map_err(|e| format!("{cmd}: reading {path}: {e}"))
+    }
+}
+
+/// Writes a frame command's output: `-` is stdout, anything else a file path.
+fn write_output(cmd: &str, path: &str, bytes: &[u8]) -> Result<(), String> {
+    use std::io::Write;
+    if path == "-" {
+        let mut out = std::io::stdout().lock();
+        out.write_all(bytes)
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("{cmd}: writing stdout: {e}"))
+    } else {
+        std::fs::write(path, bytes).map_err(|e| format!("{cmd}: writing {path}: {e}"))
+    }
+}
+
+fn parse_frame_workers(cmd: &str, v: Option<&String>, usage: &str) -> Result<usize, String> {
+    let v = v.ok_or(format!("{cmd}: --workers needs a count\n{usage}"))?;
+    let workers: usize = v
+        .parse()
+        .map_err(|_| format!("{cmd}: bad worker count `{v}`\n{usage}"))?;
+    if workers == 0 {
+        return Err(format!("{cmd}: --workers must be at least 1\n{usage}"));
+    }
+    Ok(workers)
+}
+
+/// The instruction words a pack input denotes: a benchmark profile's
+/// synthetic program, or raw little-endian words from a file / stdin.
+fn pack_input_words(input: &str) -> Result<Vec<u32>, String> {
+    if BenchmarkProfile::suite().iter().any(|p| p.name == input) {
+        return Ok(program_for(input)?.text_words().to_vec());
+    }
+    let bytes = read_input("pack", input)?;
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!(
+            "pack: input is {} bytes — not a whole number of 32-bit instruction words",
+            bytes.len()
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}
+
+/// `cpack pack <profile|FILE|-> [-o FILE|-] [--workers N] [--integrity ...]`
+pub fn pack(args: &[String]) -> Result<(), String> {
+    let mut input: Option<&String> = None;
+    let mut out = String::from("-");
+    let mut opts = PackOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => {
+                out = it
+                    .next()
+                    .ok_or(format!("pack: -o needs a file name\n{PACK_USAGE}"))?
+                    .clone();
+            }
+            "--workers" => opts.workers = parse_frame_workers("pack", it.next(), PACK_USAGE)?,
+            "--integrity" => {
+                let v = it
+                    .next()
+                    .ok_or(format!("pack: --integrity needs a mode\n{PACK_USAGE}"))?;
+                opts.integrity = match v.as_str() {
+                    "none" => codepack_mem::StreamIntegrity::None,
+                    "parity" => codepack_mem::StreamIntegrity::Parity,
+                    "crc32" => codepack_mem::StreamIntegrity::Crc32,
+                    other => {
+                        return Err(format!(
+                            "pack: unknown integrity mode `{other}` (none|parity|crc32)"
+                        ))
+                    }
+                };
+            }
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                return Err(format!("pack: unknown flag `{flag}`\n{PACK_USAGE}"));
+            }
+            other => {
+                if input.is_some() {
+                    return Err(format!("pack: unexpected argument `{other}`\n{PACK_USAGE}"));
+                }
+                input = Some(a);
+            }
+        }
+    }
+    let input = input.ok_or(format!("pack: missing input\n{PACK_USAGE}"))?;
+    let words = pack_input_words(input)?;
+    let frame = pack_frame(&words, &opts);
+    write_output("pack", &out, &frame)?;
+    eprintln!(
+        "pack: {} words ({} bytes) -> {} bytes ({:.1}%), integrity {}, {} worker(s)",
+        words.len(),
+        words.len() * 4,
+        frame.len(),
+        if words.is_empty() {
+            100.0
+        } else {
+            frame.len() as f64 / (words.len() * 4) as f64 * 100.0
+        },
+        opts.integrity.as_str(),
+        opts.workers
+    );
+    Ok(())
+}
+
+/// Shared argument loop of `cpack unpack` and `cpack cat`.
+fn frame_decode_args<'a>(
+    cmd: &str,
+    args: &'a [String],
+    usage: &str,
+    allow_output: bool,
+) -> Result<(&'a String, String, UnpackOptions), String> {
+    let mut input: Option<&String> = None;
+    let mut out = String::from("-");
+    let mut opts = UnpackOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" if allow_output => {
+                out = it
+                    .next()
+                    .ok_or(format!("{cmd}: -o needs a file name\n{usage}"))?
+                    .clone();
+            }
+            "--workers" => opts.workers = parse_frame_workers(cmd, it.next(), usage)?,
+            "--backend" => {
+                let v = it
+                    .next()
+                    .ok_or(format!("{cmd}: --backend needs a decoder name\n{usage}"))?;
+                opts.backend = DecodeBackend::parse(v)
+                    .ok_or_else(|| format!("{cmd}: unknown backend `{v}` (scalar|fast)"))?;
+            }
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                return Err(format!("{cmd}: unknown flag `{flag}`\n{usage}"));
+            }
+            other => {
+                if input.is_some() {
+                    return Err(format!("{cmd}: unexpected argument `{other}`\n{usage}"));
+                }
+                input = Some(a);
+            }
+        }
+    }
+    let input = input.ok_or(format!("{cmd}: missing input\n{usage}"))?;
+    Ok((input, out, opts))
+}
+
+fn unpack_to(cmd: &str, input: &str, out: &str, opts: &UnpackOptions) -> Result<usize, String> {
+    let frame = read_input(cmd, input)?;
+    let words = unpack_frame(&frame, opts).map_err(|e| format!("{cmd}: {e}"))?;
+    let mut bytes = Vec::with_capacity(words.len() * 4);
+    for w in &words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    write_output(cmd, out, &bytes)?;
+    Ok(words.len())
+}
+
+/// `cpack unpack <FILE|-> [-o FILE|-] [--workers N] [--backend scalar|fast]`
+pub fn unpack(args: &[String]) -> Result<(), String> {
+    let (input, out, opts) = frame_decode_args("unpack", args, UNPACK_USAGE, true)?;
+    let n = unpack_to("unpack", input, &out, &opts)?;
+    eprintln!(
+        "unpack: {n} words ({} bytes), backend {}, {} worker(s)",
+        n * 4,
+        opts.backend,
+        opts.workers
+    );
+    Ok(())
+}
+
+/// `cpack cat <FILE|-> [--workers N] [--backend scalar|fast]`
+pub fn cat(args: &[String]) -> Result<(), String> {
+    let (input, _, opts) = frame_decode_args("cat", args, CAT_USAGE, false)?;
+    unpack_to("cat", input, "-", &opts)?;
+    Ok(())
 }

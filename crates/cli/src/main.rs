@@ -15,6 +15,9 @@
 //!                [--retries N] [--journal DIR] [--resume]
 //! cpack profile  <profile> [INSNS] [--out FILE] [--top N] [--workers N] [--json]
 //! cpack profile  --diff A.json B.json
+//! cpack pack     <profile|FILE|-> [-o FILE|-] [--workers N] [--integrity M]
+//! cpack unpack   <FILE|-> [-o FILE|-] [--workers N] [--backend scalar|fast]
+//! cpack cat      <FILE|-> [--workers N] [--backend scalar|fast]
 //! cpack faults   [INSNS] [--profile P] [--rates PPB,..] [--integrity C,..]
 //!                [--workers N] [--json] [--journal DIR] [--resume]
 //! ```
@@ -40,6 +43,9 @@ fn main() -> ExitCode {
         Some("lint") => commands::lint(&args[1..]),
         Some("matrix") => commands::matrix(&args[1..]),
         Some("profile") => commands::profile(&args[1..]),
+        Some("pack") => commands::pack(&args[1..]),
+        Some("unpack") => commands::unpack(&args[1..]),
+        Some("cat") => commands::cat(&args[1..]),
         Some("faults") => commands::faults(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);

@@ -37,19 +37,32 @@ impl BitWriter {
 
     /// Appends the low `count` bits of `value`, most significant first.
     ///
+    /// `count == 0` writes nothing; `count == 32` writes the whole word.
+    /// Both boundaries avoid shift-overflow by masking in `u64`: the naive
+    /// `value & ((1u32 << count) - 1)` wraps (UB-adjacent overflow in
+    /// release builds) at `count == 32`, and the byte-chunk loop never
+    /// shifts by more than 7.
+    ///
     /// # Panics
     ///
     /// Panics if `count > 32`.
     pub fn write(&mut self, value: u32, count: u32) {
         assert!(count <= 32, "cannot write more than 32 bits at once");
-        for i in (0..count).rev() {
-            let bit = (value >> i) & 1;
+        // Mask wide (count ≤ 32 < 64), so count == 32 keeps every bit and
+        // count == 0 clears them all without an out-of-range shift.
+        let value = u64::from(value) & ((1u64 << count) - 1);
+        let mut left = count;
+        while left > 0 {
             if self.partial_bits == 0 {
                 self.bytes.push(0);
             }
+            let free = 8 - self.partial_bits; // 1..=8
+            let take = free.min(left);
+            let chunk = ((value >> (left - take)) & ((1u64 << take) - 1)) as u8;
             let last = self.bytes.last_mut().expect("pushed above");
-            *last |= (bit as u8) << (7 - self.partial_bits);
-            self.partial_bits = (self.partial_bits + 1) % 8;
+            *last |= chunk << (free - take);
+            self.partial_bits = (self.partial_bits + take) % 8;
+            left -= take;
         }
         self.bits_written += u64::from(count);
     }
@@ -105,6 +118,12 @@ impl<'a> BitReader<'a> {
 
     /// Reads `count` bits MSB-first.
     ///
+    /// `count == 0` always succeeds with `0`, even positioned exactly at
+    /// the end of the stream; `count == 32` assembles a full word from up
+    /// to five straddled bytes. Every shift in the chunk loop is by at most
+    /// 8 — the accumulator's total shift distance is `count`, applied in
+    /// byte-sized steps, so no single shift can overflow.
+    ///
     /// # Errors
     ///
     /// Returns [`DecompressError::Truncated`] if fewer than `count` bits
@@ -121,11 +140,16 @@ impl<'a> BitReader<'a> {
             });
         }
         let mut value = 0u32;
-        for _ in 0..count {
+        let mut left = count;
+        while left > 0 {
             let byte = self.bytes[(self.bit_pos / 8) as usize];
-            let bit = (byte >> (7 - (self.bit_pos % 8))) & 1;
-            value = (value << 1) | u32::from(bit);
-            self.bit_pos += 1;
+            let used = (self.bit_pos % 8) as u32;
+            let avail = 8 - used; // 1..=8
+            let take = avail.min(left);
+            let chunk = (u32::from(byte) >> (avail - take)) & ((1u32 << take) - 1);
+            value = (value << take) | chunk;
+            self.bit_pos += u64::from(take);
+            left -= take;
         }
         Ok(value)
     }
@@ -197,5 +221,137 @@ mod tests {
         w.write(0xdead_beef, 32);
         let bytes = w.into_bytes();
         assert_eq!(BitReader::new(&bytes).read(32).unwrap(), 0xdead_beef);
+    }
+
+    /// Bit-at-a-time reference writer: the pre-optimization semantics the
+    /// chunked implementation must match exactly.
+    fn reference_write(bytes: &mut Vec<u8>, partial: &mut u32, value: u32, count: u32) {
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            if *partial == 0 {
+                bytes.push(0);
+            }
+            let last = bytes.last_mut().unwrap();
+            *last |= (bit as u8) << (7 - *partial);
+            *partial = (*partial + 1) % 8;
+        }
+    }
+
+    /// Every `count` in 0..=32 at every starting alignment 0..8, against
+    /// the bit-at-a-time reference — bytes and bit accounting identical.
+    #[test]
+    fn write_boundary_exhaustive_vs_reference() {
+        for count in 0..=32u32 {
+            for align in 0..8u32 {
+                for value in [0u32, 1, 0xffff_ffff, 0xdead_beef, 0x8000_0001] {
+                    let mut w = BitWriter::new();
+                    w.write(0x15, align); // set the starting alignment
+                    w.write(value, count);
+                    assert_eq!(w.bit_len(), u64::from(align + count));
+
+                    let mut ref_bytes = Vec::new();
+                    let mut partial = 0u32;
+                    reference_write(&mut ref_bytes, &mut partial, 0x15, align);
+                    reference_write(&mut ref_bytes, &mut partial, value, count);
+                    assert_eq!(
+                        w.into_bytes(),
+                        ref_bytes,
+                        "count={count} align={align} value={value:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every `count` in 0..=32 at every bit offset, reading back exactly
+    /// what a reference bit-at-a-time read sees — including reads whose
+    /// last bits land in the final byte of the stream.
+    #[test]
+    fn read_boundary_exhaustive() {
+        let bytes: Vec<u8> = (0..9u8).map(|i| i.wrapping_mul(0x5b) ^ 0xa7).collect();
+        let total_bits = bytes.len() as u64 * 8;
+        for count in 0..=32u32 {
+            for start in 0..total_bits {
+                let mut r = BitReader::new(&bytes);
+                if start > 0 {
+                    // Position via chunked reads of mixed sizes.
+                    let mut left = start;
+                    while left > 0 {
+                        let step = left.min(13) as u32;
+                        r.read(step).unwrap();
+                        left -= u64::from(step);
+                    }
+                }
+                let got = r.read(count);
+                if start + u64::from(count) > total_bits {
+                    assert_eq!(
+                        got,
+                        Err(DecompressError::Truncated { at_bit: start }),
+                        "count={count} start={start}"
+                    );
+                    // A failed read must not move the cursor.
+                    assert_eq!(r.bit_pos(), start);
+                } else {
+                    let mut expected = 0u32;
+                    for b in start..start + u64::from(count) {
+                        let bit = (bytes[(b / 8) as usize] >> (7 - (b % 8))) & 1;
+                        expected = (expected << 1) | u32::from(bit);
+                    }
+                    assert_eq!(got, Ok(expected), "count={count} start={start}");
+                    assert_eq!(r.bit_pos(), start + u64::from(count));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_fields_are_free() {
+        let mut w = BitWriter::new();
+        w.write(0xffff_ffff, 0); // value bits must all be masked away
+        assert_eq!(w.bit_len(), 0);
+        w.write(0b1, 1);
+        w.write(0xffff_ffff, 0);
+        assert_eq!(w.bit_len(), 1);
+        assert_eq!(w.into_bytes(), vec![0b1000_0000]);
+
+        // Reading 0 bits succeeds even exactly at the end of the stream.
+        let mut r = BitReader::new(&[0xff]);
+        r.read(8).unwrap();
+        assert_eq!(r.read(0), Ok(0));
+        assert_eq!(r.remaining(), 0);
+        // And on a completely empty stream.
+        assert_eq!(BitReader::new(&[]).read(0), Ok(0));
+        assert_eq!(
+            BitReader::new(&[]).read(1),
+            Err(DecompressError::Truncated { at_bit: 0 })
+        );
+    }
+
+    #[test]
+    fn full_width_fields_at_every_alignment() {
+        // A 32-bit field straddles 4 or 5 bytes depending on alignment.
+        for align in 0..8u32 {
+            let mut w = BitWriter::new();
+            w.write(0, align);
+            w.write(0xdead_beef, 32);
+            w.write(0xffff_ffff, 32);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            r.read(align).unwrap();
+            assert_eq!(r.read(32).unwrap(), 0xdead_beef, "align={align}");
+            assert_eq!(r.read(32).unwrap(), 0xffff_ffff, "align={align}");
+        }
+    }
+
+    #[test]
+    fn straddling_the_final_byte_truncates_exactly() {
+        // 12 bits of data: a 9-bit read from bit 4 needs bit 12 — gone.
+        let mut w = BitWriter::new();
+        w.write(0xabc >> 4, 8);
+        let bytes = w.into_bytes(); // 8 bits after padding
+        let mut r = BitReader::new(&bytes);
+        r.read(4).unwrap();
+        assert_eq!(r.read(4), Ok(0xb));
+        assert_eq!(r.read(1), Err(DecompressError::Truncated { at_bit: 8 }));
     }
 }

@@ -1,0 +1,1192 @@
+//! The `.cpk` streaming frame format (`CPKF`) — CodePack as a production
+//! container.
+//!
+//! A [`CodePackImage`](crate::CodePackImage) is an in-memory artifact bound
+//! to one text section; the frame format is the wire/file form of the same
+//! compression, shaped like a production codec container (lz4-frame style):
+//! a self-describing header, a sequence of independently decodable **group
+//! chunks**, and integrity trailers. CodePack's 2-block compression groups
+//! are independently decodable by construction (paper §3.1), which is
+//! exactly what makes the chunks parallelizable: pack and unpack both fan
+//! out over group boundaries and remain **byte-identical at any worker
+//! count**.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "CPKF" | version u16 | flags u16 | content_size u64
+//! high_len u16 | low_len u16 | high dict entries (u16 each) | low dict entries
+//! header_crc32 u32                          (over every preceding byte)
+//! per group (ceil(content_size/4/32) chunks):
+//!   payload_len u32 | first_len u16 | payload bytes | integrity trailer
+//! end marker u32 = 0
+//! trailer_crc32 u32    (over all chunk (payload_len, first_len) pairs
+//!                       and content_size — the frame's structural skeleton)
+//! ```
+//!
+//! `flags` bits 0–1 select the per-chunk integrity trailer, reusing the
+//! fault model's [`StreamIntegrity`] machinery: `0` none, `1` parity (one
+//! bit per payload byte, packed LSB-first), `2` CRC-32 of the payload.
+//! Bits 2–15 are reserved and must be zero. `first_len` is the byte length
+//! of the group's first compression block inside the payload, so each block
+//! can be decoded independently without re-walking the bitstream.
+//!
+//! The trailing CRC covers chunk *metadata*, not payload bytes: payload
+//! corruption is caught per chunk (by the integrity trailer or by the codec
+//! itself as a [`DecompressError`]), which keeps verification inside the
+//! parallel workers instead of forcing a serial whole-stream scan.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use codepack_mem::{crc32, StreamIntegrity};
+
+use crate::dict::Dictionary;
+use crate::fastdecode::{DecodeBackend, FastDecoder};
+use crate::image::{decode_block_bytes, encode_block, CompressionConfig};
+use crate::layout::{BLOCK_INSNS, GROUP_INSNS, HIGH_DICT_CAPACITY, LOW_DICT_CAPACITY};
+use crate::DecompressError;
+
+/// Magic bytes identifying a `.cpk` frame (distinct from the ROM's `CPK1`).
+pub const FRAME_MAGIC: [u8; 4] = *b"CPKF";
+/// The frame format version this build reads and writes.
+pub const FRAME_VERSION: u16 = 1;
+/// Upper bound on one group chunk's payload. A compression group is two
+/// blocks of at most 77 bytes each (16 instructions of worst-case 19+19-bit
+/// codewords, or 65 bytes with the raw-block fallback), so anything larger
+/// is structurally impossible and rejected before buffering.
+pub const MAX_GROUP_PAYLOAD: u32 = 512;
+
+/// Bits 0–1 of `flags`: the integrity trailer mode.
+const FLAG_INTEGRITY_MASK: u16 = 0b11;
+
+const GROUP_WORDS: usize = GROUP_INSNS as usize;
+const BLOCK_WORDS: usize = BLOCK_INSNS as usize;
+
+/// Where in a frame a checksum failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameRegion {
+    /// The header CRC (magic through dictionaries).
+    Header,
+    /// One group chunk's integrity trailer.
+    Group(u32),
+    /// The structural trailer CRC at the end of the frame.
+    Trailer,
+}
+
+impl fmt::Display for FrameRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameRegion::Header => write!(f, "header"),
+            FrameRegion::Group(g) => write!(f, "group {g}"),
+            FrameRegion::Trailer => write!(f, "frame trailer"),
+        }
+    }
+}
+
+/// Error reading a `.cpk` frame. Every malformed input maps to one of these
+/// variants — the parser never panics, whatever the bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The input ended before the structure it declares.
+    Truncated {
+        /// Byte offset where more data was needed.
+        at: u64,
+    },
+    /// The input does not start with [`FRAME_MAGIC`].
+    BadMagic,
+    /// The frame was written by an incompatible format version.
+    VersionSkew {
+        /// The version the frame declares.
+        version: u16,
+    },
+    /// Reserved flag bits are set (or the integrity code is unknown).
+    UnknownFlags {
+        /// The flags field as stored.
+        flags: u16,
+    },
+    /// A checksum did not match the covered bytes.
+    ChecksumMismatch {
+        /// Which checksum failed.
+        region: FrameRegion,
+    },
+    /// A group payload failed to decode through the codec.
+    Corrupt {
+        /// The group whose payload is bad.
+        group: u32,
+        /// The codec's error.
+        source: DecompressError,
+    },
+    /// A declared size or structural invariant is internally inconsistent.
+    Inconsistent(&'static str),
+    /// The underlying reader or writer failed.
+    Io(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { at } => write!(f, "frame truncated at byte {at}"),
+            FrameError::BadMagic => write!(f, "not a .cpk frame (bad magic)"),
+            FrameError::VersionSkew { version } => write!(
+                f,
+                "unsupported frame version {version} (this build reads version {FRAME_VERSION})"
+            ),
+            FrameError::UnknownFlags { flags } => write!(f, "unknown frame flags {flags:#06x}"),
+            FrameError::ChecksumMismatch { region } => {
+                write!(f, "checksum mismatch in {region}")
+            }
+            FrameError::Corrupt { group, source } => {
+                write!(f, "group {group} does not decode: {source}")
+            }
+            FrameError::Inconsistent(what) => write!(f, "frame inconsistent: {what}"),
+            FrameError::Io(what) => write!(f, "frame i/o error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Corrupt { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Knobs of [`pack_frame`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackOptions {
+    /// Per-chunk integrity trailer (default CRC-32).
+    pub integrity: StreamIntegrity,
+    /// Worker threads encoding group chunks (1 = fully serial; output is
+    /// byte-identical at any count).
+    pub workers: usize,
+    /// The codec configuration (dictionaries, fallback, …).
+    pub compression: CompressionConfig,
+}
+
+impl Default for PackOptions {
+    fn default() -> PackOptions {
+        PackOptions {
+            integrity: StreamIntegrity::Crc32,
+            workers: 1,
+            compression: CompressionConfig::default(),
+        }
+    }
+}
+
+/// Knobs of [`unpack_frame`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnpackOptions {
+    /// The functional decoder (fast = table-driven, scalar = reference).
+    pub backend: DecodeBackend,
+    /// Worker threads decoding group chunks (1 = fully serial; output is
+    /// byte-identical at any count).
+    pub workers: usize,
+}
+
+impl Default for UnpackOptions {
+    fn default() -> UnpackOptions {
+        UnpackOptions {
+            backend: DecodeBackend::Fast,
+            workers: 1,
+        }
+    }
+}
+
+/// Runs `n` index jobs on `workers` threads with a work-stealing counter —
+/// the matrix runner's deterministic pool shape: results land in
+/// per-index [`OnceLock`] slots and are collected in index order, so the
+/// outcome is identical at any worker count.
+fn run_jobs<T, F>(n: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(&job).collect();
+    }
+    let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let done = job(i);
+                let _ = slots[i].set(done);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Builds the two dictionaries exactly as [`CodePackImage::compress`] does
+/// (over the zero-padded text), so frame payloads are byte-identical to the
+/// image's compressed stream.
+///
+/// [`CodePackImage::compress`]: crate::CodePackImage::compress
+fn build_dicts(padded: &[u32], config: &CompressionConfig) -> (Dictionary, Dictionary) {
+    let high = Dictionary::build(
+        padded.iter().map(|&w| (w >> 16) as u16),
+        HIGH_DICT_CAPACITY,
+        config.dict_min_count,
+        false,
+    );
+    let low = Dictionary::build(
+        padded.iter().map(|&w| w as u16),
+        LOW_DICT_CAPACITY,
+        config.dict_min_count,
+        config.pin_low_zero,
+    );
+    (high, low)
+}
+
+/// One encoded group: the concatenated two-block payload and the first
+/// block's byte length within it.
+struct GroupChunk {
+    payload: Vec<u8>,
+    first_len: u16,
+}
+
+fn encode_group(
+    words: &[u32],
+    high: &Dictionary,
+    low: &Dictionary,
+    config: &CompressionConfig,
+) -> GroupChunk {
+    debug_assert_eq!(words.len(), GROUP_WORDS);
+    let mut payload = Vec::new();
+    let mut first_len = 0u16;
+    for (i, block) in words.chunks_exact(BLOCK_WORDS).enumerate() {
+        let (bytes, _, _, _) = encode_block(block, high, low, config);
+        if i == 0 {
+            first_len = u16::try_from(bytes.len()).expect("block fits in u16 bytes");
+        }
+        payload.extend_from_slice(&bytes);
+    }
+    GroupChunk { payload, first_len }
+}
+
+/// Computes a chunk's integrity trailer. Parity packs one bit per payload
+/// byte, LSB-first within each trailer byte; CRC-32 is the fault model's
+/// bitwise [`crc32`] over the payload, little-endian.
+fn integrity_trailer(integrity: StreamIntegrity, payload: &[u8]) -> Vec<u8> {
+    match integrity {
+        StreamIntegrity::None => Vec::new(),
+        StreamIntegrity::Parity => {
+            let mut trailer = vec![0u8; payload.len().div_ceil(8)];
+            for (i, byte) in payload.iter().enumerate() {
+                trailer[i / 8] |= ((byte.count_ones() as u8) & 1) << (i % 8);
+            }
+            trailer
+        }
+        StreamIntegrity::Crc32 => crc32(payload).to_le_bytes().to_vec(),
+    }
+}
+
+fn integrity_flag(integrity: StreamIntegrity) -> u16 {
+    match integrity {
+        StreamIntegrity::None => 0,
+        StreamIntegrity::Parity => 1,
+        StreamIntegrity::Crc32 => 2,
+    }
+}
+
+fn integrity_from_flags(flags: u16) -> Result<StreamIntegrity, FrameError> {
+    if flags & !FLAG_INTEGRITY_MASK != 0 {
+        return Err(FrameError::UnknownFlags { flags });
+    }
+    match flags & FLAG_INTEGRITY_MASK {
+        0 => Ok(StreamIntegrity::None),
+        1 => Ok(StreamIntegrity::Parity),
+        2 => Ok(StreamIntegrity::Crc32),
+        _ => Err(FrameError::UnknownFlags { flags }),
+    }
+}
+
+/// Packs a text section into a `.cpk` frame.
+///
+/// Unlike [`CodePackImage::compress`], the empty text is a valid (empty)
+/// frame. Group chunks are encoded on `opts.workers` threads; the output is
+/// byte-identical at any worker count, and the concatenated chunk payloads
+/// equal the image's compressed stream for the same text and configuration.
+///
+/// [`CodePackImage::compress`]: crate::CodePackImage::compress
+///
+/// ```
+/// use codepack_core::frame::{pack_frame, unpack_frame, PackOptions, UnpackOptions};
+/// let text: Vec<u32> = (0..100).map(|i| 0x2402_0000 | (i % 7)).collect();
+/// let frame = pack_frame(&text, &PackOptions::default());
+/// assert_eq!(unpack_frame(&frame, &UnpackOptions::default()).unwrap(), text);
+/// ```
+pub fn pack_frame(text: &[u32], opts: &PackOptions) -> Vec<u8> {
+    let padded_len = text.len().div_ceil(GROUP_WORDS) * GROUP_WORDS;
+    let mut padded = text.to_vec();
+    padded.resize(padded_len, 0);
+    let (high, low) = build_dicts(&padded, &opts.compression);
+
+    let groups: Vec<&[u32]> = padded.chunks_exact(GROUP_WORDS).collect();
+    let chunks = run_jobs(groups.len(), opts.workers, |g| {
+        encode_group(groups[g], &high, &low, &opts.compression)
+    });
+
+    let content_size = (text.len() as u64) * 4;
+    let mut out = Vec::new();
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&integrity_flag(opts.integrity).to_le_bytes());
+    out.extend_from_slice(&content_size.to_le_bytes());
+    out.extend_from_slice(&high.len().to_le_bytes());
+    out.extend_from_slice(&low.len().to_le_bytes());
+    for (_, v) in high.iter() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for (_, v) in low.iter() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&crc32(&out).to_le_bytes());
+
+    let mut meta = Vec::new();
+    for chunk in &chunks {
+        let payload_len = chunk.payload.len() as u32;
+        out.extend_from_slice(&payload_len.to_le_bytes());
+        out.extend_from_slice(&chunk.first_len.to_le_bytes());
+        meta.extend_from_slice(&payload_len.to_le_bytes());
+        meta.extend_from_slice(&chunk.first_len.to_le_bytes());
+        out.extend_from_slice(&chunk.payload);
+        out.extend_from_slice(&integrity_trailer(opts.integrity, &chunk.payload));
+    }
+    meta.extend_from_slice(&content_size.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&crc32(&meta).to_le_bytes());
+    out
+}
+
+/// Byte cursor over an in-memory frame.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated {
+            at: self.pos as u64,
+        })?;
+        if end > self.bytes.len() {
+            return Err(FrameError::Truncated {
+                at: self.pos as u64,
+            });
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// The validated fields of a frame header.
+struct Header {
+    integrity: StreamIntegrity,
+    content_size: u64,
+    high: Dictionary,
+    low: Dictionary,
+}
+
+impl Header {
+    fn n_insns(&self) -> u32 {
+        (self.content_size / 4) as u32
+    }
+
+    fn n_groups(&self) -> usize {
+        (self.n_insns() as usize).div_ceil(GROUP_WORDS)
+    }
+}
+
+fn parse_header(c: &mut Cursor<'_>) -> Result<Header, FrameError> {
+    if c.take(4)? != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let version = c.u16()?;
+    if version != FRAME_VERSION {
+        return Err(FrameError::VersionSkew { version });
+    }
+    let flags = c.u16()?;
+    let integrity = integrity_from_flags(flags)?;
+    let content_size = c.u64()?;
+    let high_len = c.u16()?;
+    let low_len = c.u16()?;
+    // The capacity bound is structural — it caps how many entry words the
+    // parser will consume before it can even locate the header CRC.
+    if high_len > HIGH_DICT_CAPACITY || low_len > LOW_DICT_CAPACITY {
+        return Err(FrameError::Inconsistent(
+            "dictionary length exceeds its capacity",
+        ));
+    }
+    let high: Vec<u16> = (0..high_len).map(|_| c.u16()).collect::<Result<_, _>>()?;
+    let low: Vec<u16> = (0..low_len).map(|_| c.u16()).collect::<Result<_, _>>()?;
+    let covered = &c.bytes[..c.pos];
+    let stored = c.u32()?;
+    if crc32(covered) != stored {
+        return Err(FrameError::ChecksumMismatch {
+            region: FrameRegion::Header,
+        });
+    }
+    // Semantic checks run only on a CRC-clean header: damage upstream is
+    // reported as a checksum mismatch, not a misleading semantic error.
+    if !content_size.is_multiple_of(4) {
+        return Err(FrameError::Inconsistent(
+            "content size is not a whole number of instructions",
+        ));
+    }
+    if content_size / 4 > u64::from(u32::MAX) {
+        return Err(FrameError::Inconsistent(
+            "content size exceeds the 32-bit instruction count",
+        ));
+    }
+    Ok(Header {
+        integrity,
+        content_size,
+        high: Dictionary::from_ranked_values(high),
+        low: Dictionary::from_ranked_values(low),
+    })
+}
+
+/// Reads one chunk's framing (`payload_len`, `first_len`, payload, trailer)
+/// and appends its metadata to `meta`.
+fn scan_chunk<'a>(
+    c: &mut Cursor<'a>,
+    integrity: StreamIntegrity,
+    meta: &mut Vec<u8>,
+) -> Result<(&'a [u8], u16, &'a [u8]), FrameError> {
+    let payload_len = c.u32()?;
+    if payload_len == 0 {
+        return Err(FrameError::Inconsistent("zero-length group chunk"));
+    }
+    if payload_len > MAX_GROUP_PAYLOAD {
+        return Err(FrameError::Inconsistent(
+            "group chunk larger than the format maximum",
+        ));
+    }
+    let first_len = c.u16()?;
+    if u32::from(first_len) > payload_len {
+        return Err(FrameError::Inconsistent(
+            "first-block length exceeds the group payload",
+        ));
+    }
+    meta.extend_from_slice(&payload_len.to_le_bytes());
+    meta.extend_from_slice(&first_len.to_le_bytes());
+    let payload = c.take(payload_len as usize)?;
+    let trailer = c.take(integrity.overhead_bytes(payload_len) as usize)?;
+    Ok((payload, first_len, trailer))
+}
+
+/// Shared state of the group-decode workers: integrity mode, dictionaries,
+/// and the optional table-driven decoder.
+struct GroupDecoder<'a> {
+    integrity: StreamIntegrity,
+    high: &'a Dictionary,
+    low: &'a Dictionary,
+    fast: Option<&'a FastDecoder>,
+}
+
+impl GroupDecoder<'_> {
+    /// Decodes one group chunk: integrity check, then both blocks through
+    /// the selected backend.
+    fn decode(
+        &self,
+        payload: &[u8],
+        first_len: u16,
+        trailer: &[u8],
+        group: u32,
+    ) -> Result<[u32; GROUP_WORDS], FrameError> {
+        if integrity_trailer(self.integrity, payload) != trailer {
+            return Err(FrameError::ChecksumMismatch {
+                region: FrameRegion::Group(group),
+            });
+        }
+        let decode = |bytes: &[u8]| -> Result<[u32; BLOCK_WORDS], FrameError> {
+            match self.fast {
+                Some(f) => f.decode_block(bytes),
+                None => decode_block_bytes(bytes, self.high, self.low),
+            }
+            .map_err(|source| FrameError::Corrupt { group, source })
+        };
+        let first = decode(&payload[..usize::from(first_len)])?;
+        let second = decode(&payload[usize::from(first_len)..])?;
+        let mut words = [0u32; GROUP_WORDS];
+        words[..BLOCK_WORDS].copy_from_slice(&first);
+        words[BLOCK_WORDS..].copy_from_slice(&second);
+        Ok(words)
+    }
+}
+
+/// Unpacks a `.cpk` frame back to the original text.
+///
+/// The frame structure is scanned serially (cheap: lengths and checksums of
+/// the skeleton), then group chunks are verified and decoded on
+/// `opts.workers` threads; on multiple failures the error of the
+/// lowest-numbered group is returned, so the result — success or error — is
+/// identical at any worker count.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] for any malformed, truncated, or corrupt input;
+/// never panics, whatever the bytes.
+pub fn unpack_frame(frame: &[u8], opts: &UnpackOptions) -> Result<Vec<u32>, FrameError> {
+    let mut c = Cursor {
+        bytes: frame,
+        pos: 0,
+    };
+    let header = parse_header(&mut c)?;
+    let n_groups = header.n_groups();
+
+    let mut meta = Vec::new();
+    let mut chunks = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        chunks.push(scan_chunk(&mut c, header.integrity, &mut meta)?);
+    }
+    if c.u32()? != 0 {
+        return Err(FrameError::Inconsistent("missing end-of-frame marker"));
+    }
+    meta.extend_from_slice(&header.content_size.to_le_bytes());
+    let stored = c.u32()?;
+    if crc32(&meta) != stored {
+        return Err(FrameError::ChecksumMismatch {
+            region: FrameRegion::Trailer,
+        });
+    }
+    if c.pos != frame.len() {
+        return Err(FrameError::Inconsistent("trailing bytes after frame"));
+    }
+
+    let fast = match opts.backend {
+        DecodeBackend::Fast => Some(FastDecoder::new(&header.high, &header.low)),
+        DecodeBackend::Scalar => None,
+    };
+    let decoder = GroupDecoder {
+        integrity: header.integrity,
+        high: &header.high,
+        low: &header.low,
+        fast: fast.as_ref(),
+    };
+    let results = run_jobs(n_groups, opts.workers, |g| {
+        let (payload, first_len, trailer) = chunks[g];
+        decoder.decode(payload, first_len, trailer, g as u32)
+    });
+
+    let mut out = Vec::with_capacity(n_groups * GROUP_WORDS);
+    for words in results {
+        out.extend_from_slice(&words?);
+    }
+    out.truncate(header.n_insns() as usize);
+    Ok(out)
+}
+
+/// Streaming `.cpk` writer: an [`io::Write`] adapter over [`pack_frame`].
+///
+/// CodePack's dictionaries are built over the *whole* text, so the adapter
+/// buffers everything written to it and emits the frame in one shot on
+/// [`finish`](Self::finish) — the streaming side of the format is the
+/// reader. Input bytes are little-endian 32-bit instruction words; a length
+/// that is not a multiple of 4 fails at `finish`.
+///
+/// ```
+/// use std::io::Write;
+/// use codepack_core::frame::{FrameReader, FrameWriter};
+/// let mut w = FrameWriter::new(Vec::new());
+/// w.write_all(&0x2402_0001u32.to_le_bytes()).unwrap();
+/// let frame = w.finish().unwrap();
+/// let mut decoded = Vec::new();
+/// std::io::Read::read_to_end(
+///     &mut FrameReader::new(&frame[..]).unwrap(),
+///     &mut decoded,
+/// ).unwrap();
+/// assert_eq!(decoded, 0x2402_0001u32.to_le_bytes());
+/// ```
+pub struct FrameWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+    opts: PackOptions,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Creates a writer with default [`PackOptions`].
+    pub fn new(inner: W) -> FrameWriter<W> {
+        FrameWriter::with_options(inner, PackOptions::default())
+    }
+
+    /// Creates a writer with explicit options.
+    pub fn with_options(inner: W, opts: PackOptions) -> FrameWriter<W> {
+        FrameWriter {
+            inner,
+            buf: Vec::new(),
+            opts,
+        }
+    }
+
+    /// Packs the buffered input, writes the frame, and returns the inner
+    /// writer.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the buffered length is not a multiple of 4; any
+    /// error of the inner writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        if !self.buf.len().is_multiple_of(4) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "input is {} bytes — not a whole number of 32-bit instruction words",
+                    self.buf.len()
+                ),
+            ));
+        }
+        let words: Vec<u32> = self
+            .buf
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        let frame = pack_frame(&words, &self.opts);
+        self.inner.write_all(&frame)?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: Write> Write for FrameWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streaming `.cpk` reader: an [`io::Read`] adapter yielding the decoded
+/// text as little-endian instruction-word bytes.
+///
+/// The header is read and validated up front (in [`new`](Self::new)); group
+/// chunks are then decoded one at a time as the consumer reads, so memory
+/// stays bounded by one chunk regardless of content size. The structural
+/// trailer is verified when the last chunk has been consumed. Frame errors
+/// surface as [`io::ErrorKind::InvalidData`] with the [`FrameError`] as
+/// source.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    header: Header,
+    fast: Option<FastDecoder>,
+    /// Content bytes not yet handed to the consumer.
+    remaining: u64,
+    groups_read: usize,
+    /// Accumulated chunk metadata for the trailer check.
+    meta: Vec<u8>,
+    /// Decoded bytes waiting for the consumer.
+    pending: Vec<u8>,
+    pending_pos: usize,
+    /// Bytes consumed from `inner` (for `Truncated { at }`).
+    pos: u64,
+    /// The trailer has been verified; subsequent reads return EOF.
+    finished: bool,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Reads and validates the frame header with the default (fast) decode
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`] the header can produce: truncation, bad magic,
+    /// version skew, unknown flags, header checksum mismatch.
+    pub fn new(inner: R) -> Result<FrameReader<R>, FrameError> {
+        FrameReader::with_backend(inner, DecodeBackend::Fast)
+    }
+
+    /// Like [`new`](Self::new) with an explicit decode backend.
+    ///
+    /// # Errors
+    ///
+    /// See [`new`](Self::new).
+    pub fn with_backend(inner: R, backend: DecodeBackend) -> Result<FrameReader<R>, FrameError> {
+        let mut r = FrameReader {
+            inner,
+            header: Header {
+                integrity: StreamIntegrity::None,
+                content_size: 0,
+                high: Dictionary::from_ranked_values(Vec::new()),
+                low: Dictionary::from_ranked_values(Vec::new()),
+            },
+            fast: None,
+            remaining: 0,
+            groups_read: 0,
+            meta: Vec::new(),
+            pending: Vec::new(),
+            pending_pos: 0,
+            pos: 0,
+            finished: false,
+        };
+        let mut head = Vec::new();
+        // magic + version + flags + content_size + dict lengths
+        r.fill(&mut head, 4 + 2 + 2 + 8 + 2 + 2)?;
+        let high_len = u16::from_le_bytes(head[16..18].try_into().expect("2 bytes"));
+        let low_len = u16::from_le_bytes(head[18..20].try_into().expect("2 bytes"));
+        // Bound the dictionary read before trusting the lengths; the parser
+        // re-checks them against the capacities.
+        let dict_bytes = 2
+            * (usize::from(high_len.min(HIGH_DICT_CAPACITY))
+                + usize::from(low_len.min(LOW_DICT_CAPACITY)));
+        r.fill(&mut head, dict_bytes + 4)?;
+        let mut c = Cursor {
+            bytes: &head,
+            pos: 0,
+        };
+        r.header = parse_header(&mut c)?;
+        r.remaining = r.header.content_size;
+        r.fast = match backend {
+            DecodeBackend::Fast => Some(FastDecoder::new(&r.header.high, &r.header.low)),
+            DecodeBackend::Scalar => None,
+        };
+        Ok(r)
+    }
+
+    /// The original text size in bytes, as the header declares.
+    pub fn content_size(&self) -> u64 {
+        self.header.content_size
+    }
+
+    /// Appends exactly `n` more bytes from the inner reader to `buf`.
+    fn fill(&mut self, buf: &mut Vec<u8>, n: usize) -> Result<(), FrameError> {
+        let start = buf.len();
+        buf.resize(start + n, 0);
+        let mut filled = start;
+        while filled < buf.len() {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(FrameError::Truncated {
+                        at: self.pos + (filled - start) as u64,
+                    })
+                }
+                Ok(k) => filled += k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e.to_string())),
+            }
+        }
+        self.pos += n as u64;
+        Ok(())
+    }
+
+    /// Reads, verifies, and decodes the next group chunk into `pending`,
+    /// or verifies the end-of-frame structure after the last chunk.
+    fn advance(&mut self) -> Result<(), FrameError> {
+        if self.groups_read == self.header.n_groups() {
+            let mut tail = Vec::new();
+            self.fill(&mut tail, 8)?;
+            if u32::from_le_bytes(tail[..4].try_into().expect("4 bytes")) != 0 {
+                return Err(FrameError::Inconsistent("missing end-of-frame marker"));
+            }
+            self.meta
+                .extend_from_slice(&self.header.content_size.to_le_bytes());
+            let stored = u32::from_le_bytes(tail[4..].try_into().expect("4 bytes"));
+            if crc32(&self.meta) != stored {
+                return Err(FrameError::ChecksumMismatch {
+                    region: FrameRegion::Trailer,
+                });
+            }
+            self.finished = true;
+            return Ok(());
+        }
+        let mut chunk = Vec::new();
+        self.fill(&mut chunk, 6)?;
+        {
+            let mut c = Cursor {
+                bytes: &chunk,
+                pos: 0,
+            };
+            let payload_len = c.u32()?;
+            if payload_len == 0 {
+                return Err(FrameError::Inconsistent("zero-length group chunk"));
+            }
+            if payload_len > MAX_GROUP_PAYLOAD {
+                return Err(FrameError::Inconsistent(
+                    "group chunk larger than the format maximum",
+                ));
+            }
+            let first_len = c.u16()?;
+            if u32::from(first_len) > payload_len {
+                return Err(FrameError::Inconsistent(
+                    "first-block length exceeds the group payload",
+                ));
+            }
+            self.meta.extend_from_slice(&chunk);
+            let trailer_len = self.header.integrity.overhead_bytes(payload_len) as usize;
+            let payload_len = payload_len as usize;
+            let mut body = Vec::new();
+            self.fill(&mut body, payload_len + trailer_len)?;
+            let decoder = GroupDecoder {
+                integrity: self.header.integrity,
+                high: &self.header.high,
+                low: &self.header.low,
+                fast: self.fast.as_ref(),
+            };
+            let words = decoder.decode(
+                &body[..payload_len],
+                first_len,
+                &body[payload_len..],
+                self.groups_read as u32,
+            )?;
+            let take = (self.remaining).min(GROUP_WORDS as u64 * 4) as usize;
+            self.pending.clear();
+            self.pending_pos = 0;
+            for w in &words {
+                self.pending.extend_from_slice(&w.to_le_bytes());
+            }
+            self.pending.truncate(take);
+            self.remaining -= take as u64;
+        }
+        self.groups_read += 1;
+        Ok(())
+    }
+}
+
+impl<R: Read> Read for FrameReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        while self.pending_pos == self.pending.len() {
+            if self.finished {
+                return Ok(0);
+            }
+            self.advance()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        }
+        let n = buf.len().min(self.pending.len() - self.pending_pos);
+        buf[..n].copy_from_slice(&self.pending[self.pending_pos..self.pending_pos + n]);
+        self.pending_pos += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CodePackImage;
+
+    fn text(n: usize) -> Vec<u32> {
+        (0..n)
+            .map(|i| match i % 9 {
+                8 => (i as u32).wrapping_mul(0x9e37_79b9),
+                k => 0x2442_0000 | k as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_all_integrity_modes() {
+        let words = text(100);
+        for integrity in [
+            StreamIntegrity::None,
+            StreamIntegrity::Parity,
+            StreamIntegrity::Crc32,
+        ] {
+            let frame = pack_frame(
+                &words,
+                &PackOptions {
+                    integrity,
+                    ..PackOptions::default()
+                },
+            );
+            for backend in [DecodeBackend::Scalar, DecodeBackend::Fast] {
+                let got = unpack_frame(
+                    &frame,
+                    &UnpackOptions {
+                        backend,
+                        workers: 1,
+                    },
+                )
+                .unwrap();
+                assert_eq!(got, words, "{integrity:?}/{backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pack_and_unpack_byte_identical() {
+        let words = text(500);
+        let serial = pack_frame(&words, &PackOptions::default());
+        for workers in [2, 3, 4, 7] {
+            let parallel = pack_frame(
+                &words,
+                &PackOptions {
+                    workers,
+                    ..PackOptions::default()
+                },
+            );
+            assert_eq!(serial, parallel, "pack at {workers} workers");
+            let got = unpack_frame(
+                &serial,
+                &UnpackOptions {
+                    workers,
+                    ..UnpackOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(got, words, "unpack at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn payloads_match_image_compressed_stream() {
+        // The frame is the wire form of CodePackImage::compress: same
+        // dictionaries, same per-block bytes.
+        let words = text(333);
+        let frame = pack_frame(&words, &PackOptions::default());
+        let image = CodePackImage::compress(&words, &CompressionConfig::default());
+        let mut c = Cursor {
+            bytes: &frame,
+            pos: 0,
+        };
+        let header = parse_header(&mut c).unwrap();
+        let mut stream = Vec::new();
+        let mut meta = Vec::new();
+        for _ in 0..header.n_groups() {
+            let (payload, _, _) = scan_chunk(&mut c, header.integrity, &mut meta).unwrap();
+            stream.extend_from_slice(payload);
+        }
+        assert_eq!(stream, image.compressed_bytes());
+    }
+
+    #[test]
+    fn empty_text_is_a_valid_frame() {
+        let frame = pack_frame(&[], &PackOptions::default());
+        assert_eq!(
+            unpack_frame(&frame, &UnpackOptions::default()).unwrap(),
+            Vec::<u32>::new()
+        );
+        let mut r = FrameReader::new(&frame[..]).unwrap();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn non_group_multiple_lengths_round_trip() {
+        for n in [1, 15, 16, 17, 31, 32, 33, 63, 64, 65] {
+            let words = text(n);
+            let frame = pack_frame(&words, &PackOptions::default());
+            assert_eq!(
+                unpack_frame(&frame, &UnpackOptions::default()).unwrap(),
+                words,
+                "length {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_yields_truncated_everywhere() {
+        let frame = pack_frame(&text(64), &PackOptions::default());
+        for cut in 0..frame.len() {
+            match unpack_frame(&frame[..cut], &UnpackOptions::default()) {
+                Err(FrameError::Truncated { at }) => {
+                    assert!(at <= cut as u64, "cut {cut}: position {at} in bounds")
+                }
+                Err(FrameError::BadMagic) => assert!(cut < 4),
+                other => panic!("cut at {cut}: expected truncation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_flags_rejected() {
+        let frame = pack_frame(&text(32), &PackOptions::default());
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            unpack_frame(&bad, &UnpackOptions::default()),
+            Err(FrameError::BadMagic)
+        );
+        let mut skew = frame.clone();
+        skew[4] = 9;
+        assert_eq!(
+            unpack_frame(&skew, &UnpackOptions::default()),
+            Err(FrameError::VersionSkew { version: 9 })
+        );
+        let mut flags = frame.clone();
+        flags[7] = 0x80; // reserved high bits of the flags field
+        assert_eq!(
+            unpack_frame(&flags, &UnpackOptions::default()),
+            Err(FrameError::UnknownFlags {
+                flags: u16::from_le_bytes([flags[6], flags[7]])
+            })
+        );
+    }
+
+    #[test]
+    fn header_corruption_is_a_header_checksum_mismatch() {
+        let mut frame = pack_frame(&text(32), &PackOptions::default());
+        frame[20] ^= 0x01; // inside the dictionaries
+        assert_eq!(
+            unpack_frame(&frame, &UnpackOptions::default()),
+            Err(FrameError::ChecksumMismatch {
+                region: FrameRegion::Header
+            })
+        );
+    }
+
+    #[test]
+    fn flipped_group_trailer_names_the_group() {
+        let words = text(96); // 3 groups
+        let frame = pack_frame(&words, &PackOptions::default());
+        // Flip the last byte of the final chunk's CRC trailer (just before
+        // the 8-byte end marker + trailer CRC).
+        let mut bad = frame.clone();
+        let at = bad.len() - 9;
+        bad[at] ^= 0xff;
+        assert_eq!(
+            unpack_frame(&bad, &UnpackOptions::default()),
+            Err(FrameError::ChecksumMismatch {
+                region: FrameRegion::Group(2)
+            })
+        );
+    }
+
+    #[test]
+    fn flipped_frame_trailer_is_a_trailer_mismatch() {
+        let mut frame = pack_frame(&text(96), &PackOptions::default());
+        let at = frame.len() - 1;
+        frame[at] ^= 0xff;
+        assert_eq!(
+            unpack_frame(&frame, &UnpackOptions::default()),
+            Err(FrameError::ChecksumMismatch {
+                region: FrameRegion::Trailer
+            })
+        );
+    }
+
+    #[test]
+    fn payload_corruption_without_integrity_is_typed() {
+        // With integrity off, a mangled payload either decodes to different
+        // words or errors — never panics.
+        let words = text(64);
+        let opts = PackOptions {
+            integrity: StreamIntegrity::None,
+            ..PackOptions::default()
+        };
+        let frame = pack_frame(&words, &opts);
+        for at in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[at] ^= 0x55;
+            // Typed result either way; a panic here fails the test.
+            let _ = unpack_frame(&bad, &UnpackOptions::default());
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut frame = pack_frame(&text(32), &PackOptions::default());
+        frame.push(0);
+        assert_eq!(
+            unpack_frame(&frame, &UnpackOptions::default()),
+            Err(FrameError::Inconsistent("trailing bytes after frame"))
+        );
+    }
+
+    #[test]
+    fn writer_reader_round_trip_streams() {
+        let words = text(200);
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let mut w = FrameWriter::new(Vec::new());
+        // Write in awkward splits to exercise buffering.
+        for piece in bytes.chunks(13) {
+            w.write_all(piece).unwrap();
+        }
+        let frame = w.finish().unwrap();
+        assert_eq!(frame, pack_frame(&words, &PackOptions::default()));
+
+        for backend in [DecodeBackend::Scalar, DecodeBackend::Fast] {
+            let mut r = FrameReader::with_backend(&frame[..], backend).unwrap();
+            assert_eq!(r.content_size(), bytes.len() as u64);
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            assert_eq!(out, bytes, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn writer_rejects_partial_words() {
+        let mut w = FrameWriter::new(Vec::new());
+        w.write_all(&[1, 2, 3]).unwrap();
+        let err = w.finish().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn reader_surfaces_frame_errors_as_invalid_data() {
+        let mut frame = pack_frame(&text(64), &PackOptions::default());
+        let at = frame.len() - 9;
+        frame[at] ^= 0xff;
+        let mut r = FrameReader::new(&frame[..]).unwrap();
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let source = err.get_ref().expect("frame error attached");
+        assert!(source.downcast_ref::<FrameError>().is_some());
+    }
+
+    #[test]
+    fn reader_rejects_truncated_input() {
+        let frame = pack_frame(&text(64), &PackOptions::default());
+        let cut = frame.len() - 20;
+        let mut r = FrameReader::new(&frame[..cut]).unwrap();
+        let mut out = Vec::new();
+        assert!(r.read_to_end(&mut out).is_err());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = FrameError::Corrupt {
+            group: 3,
+            source: DecompressError::Truncated { at_bit: 7 },
+        };
+        assert_eq!(
+            e.to_string(),
+            "group 3 does not decode: compressed stream truncated at bit 7"
+        );
+        assert!(std::error::Error::source(&e).is_some());
+        assert_eq!(
+            FrameError::ChecksumMismatch {
+                region: FrameRegion::Group(1)
+            }
+            .to_string(),
+            "checksum mismatch in group 1"
+        );
+    }
+}

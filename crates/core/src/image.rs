@@ -516,7 +516,7 @@ pub fn decode_block_bytes(
 }
 
 #[derive(Default)]
-struct BlockDelta {
+pub(crate) struct BlockDelta {
     compressed_tag_bits: u64,
     dict_index_bits: u64,
     raw_tag_bits: u64,
@@ -554,8 +554,9 @@ fn encode_halfword(
 }
 
 /// Encodes one block; returns (bytes, cumulative decode bits, raw-escape
-/// mask, stats delta).
-fn encode_block(
+/// mask, stats delta). Shared with the frame packer, which encodes groups
+/// in parallel with the same dictionaries.
+pub(crate) fn encode_block(
     words: &[u32],
     high_dict: &Dictionary,
     low_dict: &Dictionary,

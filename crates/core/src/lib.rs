@@ -27,6 +27,10 @@
 //! * [`Dictionary`] — frequency-ranked half-word dictionaries,
 //! * [`FastDecoder`] / [`DecodeBackend`] — the table-driven batch decoder
 //!   hot path and the selector that keeps the scalar reference available,
+//! * [`frame`] — the `.cpk` streaming frame format: a self-describing
+//!   container over independently decodable group chunks with integrity
+//!   trailers, parallel [`pack_frame`] / [`unpack_frame`], and
+//!   [`FrameWriter`] / [`FrameReader`] io adapters,
 //! * [`NativeFetch`] / [`CodePackFetch`] — cycle-level models of the L1
 //!   I-miss service path (Figure 2), including the paper's optimizations:
 //!   the fully-associative index cache and wider decompressors
@@ -50,6 +54,7 @@ mod dict;
 mod error;
 mod fastdecode;
 mod fetch;
+pub mod frame;
 mod image;
 pub mod layout;
 mod optimize;
@@ -63,6 +68,10 @@ pub use fastdecode::{DecodeBackend, DecodeCounters, FastDecoder, LOOKUP_BITS};
 pub use fetch::{
     CodePackFetch, DecompressorConfig, FetchEngine, FetchStats, IndexCacheModel, MissService,
     MissSource, NativeFetch,
+};
+pub use frame::{
+    pack_frame, unpack_frame, FrameError, FrameReader, FrameRegion, FrameWriter, PackOptions,
+    UnpackOptions, FRAME_MAGIC, FRAME_VERSION,
 };
 pub use image::{
     decode_block_bytes, BlockInfo, CodePackImage, CompressionConfig, CorruptionOutOfRange,

@@ -12,6 +12,7 @@
 //! reference and the table-driven fast path — and the two `Result`s are
 //! diffed: under fuzz the backends must stay byte- and error-identical.
 
+use codepack::core::frame::{pack_frame, unpack_frame, FrameReader, PackOptions, UnpackOptions};
 use codepack::core::{
     decode_block_bytes, CodePackImage, CompressionConfig, DecompressError, FastDecoder, BLOCK_INSNS,
 };
@@ -122,6 +123,69 @@ fn mutated_images_never_panic_across_all_blocks() {
                 assert_eq!(blocks, corrupt.num_blocks());
             }
             other => panic!("expected BadBlock, got {other:?}"),
+        }
+    }
+}
+
+/// Mutated `.cpk` frames never panic the frame parser: every outcome is
+/// either a clean decode or a typed [`FrameError`], identically through
+/// the one-shot unpacker (serial and parallel) and the streaming reader.
+#[test]
+fn mutated_frames_never_panic_and_stay_typed() {
+    let text = generate(&BenchmarkProfile::pegwit_like(), 11)
+        .text_words()
+        .to_vec();
+    let base = pack_frame(&text[..640], &PackOptions::default());
+    let mut rng = Rng::seed_from_u64(FUZZ_SEED ^ 2);
+    for round in 0..400 {
+        let mut bytes = base.clone();
+        for _ in 0..rng.gen_range(1usize..=4) {
+            let at = rng.gen_range(0..bytes.len());
+            if rng.gen_bool(0.5) {
+                bytes[at] ^= 1 << rng.gen_range(0u32..8);
+            } else {
+                bytes[at] = rng.gen_u32() as u8;
+            }
+        }
+        match rng.gen_range(0u32..4) {
+            0 => bytes.truncate(rng.gen_range(0..=bytes.len())),
+            1 => bytes.extend((0..rng.gen_range(1usize..=8)).map(|_| rng.gen_u32() as u8)),
+            _ => {}
+        }
+
+        let serial = unpack_frame(&bytes, &UnpackOptions::default());
+        let parallel = unpack_frame(
+            &bytes,
+            &UnpackOptions {
+                workers: 3,
+                ..UnpackOptions::default()
+            },
+        );
+        assert_eq!(
+            serial, parallel,
+            "round {round}: serial and parallel unpack disagree on a mutated frame"
+        );
+
+        // The streaming reader must reach the same verdict: the same words
+        // on success, an error (wrapped in io::Error) on failure.
+        let mut streamed = Vec::new();
+        let outcome = FrameReader::new(&bytes[..])
+            .map_err(drop)
+            .and_then(|mut r| std::io::copy(&mut r, &mut streamed).map_err(drop));
+        match (&serial, outcome) {
+            (Ok(words), Ok(_)) => {
+                let le: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+                assert_eq!(
+                    streamed, le,
+                    "round {round}: reader decoded different words"
+                );
+            }
+            (Err(_), Err(())) => {}
+            (s, r) => panic!(
+                "round {round}: one-shot ({}) and streaming ({}) verdicts diverge",
+                if s.is_ok() { "ok" } else { "err" },
+                if r.is_ok() { "ok" } else { "err" },
+            ),
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Property tests over the CodePack codec at the whole-image level.
 
-use codepack::core::{CodePackImage, CompressionConfig};
+use codepack::core::frame::{pack_frame, unpack_frame, PackOptions, UnpackOptions};
+use codepack::core::{CodePackImage, CompressionConfig, BLOCKS_PER_GROUP, GROUP_INSNS};
 use codepack_testkit::forall;
 use codepack_testkit::prop::{gen, Gen};
 
@@ -37,6 +38,57 @@ fn roundtrip_any_text_any_config() {
         let image = CodePackImage::compress(&text, &config);
         assert_eq!(image.decompress_all().unwrap(), text);
     });
+}
+
+/// Padding/capacity math for every input length in `0..=4*GROUP_INSNS`
+/// through both decode backends: the `div_ceil` + `chunks_exact` +
+/// `truncate(n_insns)` chain in `CodePackImage::compress` must produce a
+/// whole number of groups, two blocks per group, and an exact round trip
+/// for lengths that end anywhere inside a block, a group, or exactly on
+/// either boundary. Length 0 is the frame layer's job — `compress` rejects
+/// it by documented contract (see `empty_text_panics`) while an empty
+/// `.cpk` frame round-trips.
+#[test]
+fn every_length_to_four_groups_round_trips_both_backends() {
+    let max = 4 * GROUP_INSNS as usize;
+    forall!(
+        cases = 12,
+        (
+            gen::vec_of(gen::any_int::<u32>(), max..max + 1),
+            arb_config()
+        ),
+        |text, config| {
+            for n in 0..=max {
+                let prefix = &text[..n];
+                if n == 0 {
+                    let opts = PackOptions {
+                        compression: config,
+                        ..PackOptions::default()
+                    };
+                    let frame = pack_frame(prefix, &opts);
+                    assert!(unpack_frame(&frame, &UnpackOptions::default())
+                        .unwrap()
+                        .is_empty());
+                    continue;
+                }
+                let image = CodePackImage::compress(prefix, &config);
+                let groups = n.div_ceil(GROUP_INSNS as usize) as u32;
+                assert_eq!(image.num_groups(), groups, "length {n}");
+                assert_eq!(image.num_blocks(), groups * BLOCKS_PER_GROUP, "length {n}");
+                assert_eq!(image.len_insns() as usize, n);
+                assert_eq!(
+                    image.decompress_all().unwrap(),
+                    prefix,
+                    "scalar, length {n}"
+                );
+                assert_eq!(
+                    image.decompress_all_fast().unwrap(),
+                    prefix,
+                    "fast, length {n}"
+                );
+            }
+        }
+    );
 }
 
 /// The composition accounting always partitions the image exactly.

@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
-"""Validator for the BENCH_codec.json decode-throughput scorecard.
+"""Validator for the BENCH_codec.json codec scorecard.
 
 The scorecard is a versioned artifact (schema_version 1): CI validates
 both the fresh smoke run and the checked-in full-mode numbers with this
-one script, so the schema is enforced in exactly one place.
+one script, so the schema is enforced in exactly one place. It carries
+two sections: per-profile decode rows (owned by the decode_throughput
+bench) and an optional "frame" section (owned by frame_throughput) with
+serial-vs-parallel .cpk pack/unpack rates.
 
 Usage:
     validate_bench.py FILE --mode smoke|full
                       [--min-speedup X] [--fast-beats-scalar]
+                      [--require-frame] [--min-parallel-speedup X]
+
+The parallel-speedup floor is core-count aware: the frame section records
+how many CPUs the bench saw, and the floor is only enforced when
+cpus >= workers — a one-CPU container cannot exhibit parallel speedup,
+and pretending otherwise would just teach people to ignore the gate.
 
 Exit status is nonzero (with a message on stderr) on any violation.
 """
@@ -20,7 +29,56 @@ SCHEMA_VERSION = 1
 PROFILES = {"cc1", "go", "mpeg2enc", "pegwit", "perl", "vortex"}
 
 
-def validate(doc, path, mode, min_speedup, fast_beats_scalar):
+FRAME_RATE_FIELDS = (
+    "serial_pack_mb_s",
+    "parallel_pack_mb_s",
+    "pack_speedup",
+    "serial_unpack_mb_s",
+    "parallel_unpack_mb_s",
+    "unpack_speedup",
+)
+
+
+def validate_frame(frame, path, require_frame, min_parallel_speedup):
+    """Validates the optional frame section; returns violation strings."""
+    errs = []
+    if frame is None:
+        if require_frame:
+            errs.append(f"{path}: frame section missing (--require-frame)")
+        return errs
+    if not isinstance(frame, dict):
+        return [f"{path}: frame is not an object"]
+    if frame.get("mode") not in ("smoke", "full"):
+        errs.append(f"{path}: frame.mode {frame.get('mode')!r} not smoke|full")
+    for field in ("workers", "cpus", "bytes"):
+        v = frame.get(field)
+        if not isinstance(v, int) or v <= 0:
+            errs.append(f"{path}: frame.{field} = {v!r} is not a positive integer")
+    for field in FRAME_RATE_FIELDS:
+        v = frame.get(field)
+        if not isinstance(v, (int, float)) or v <= 0:
+            errs.append(f"{path}: frame.{field} = {v!r} is not a positive number")
+    workers = frame.get("workers", 0)
+    cpus = frame.get("cpus", 0)
+    if min_parallel_speedup is not None and isinstance(workers, int) and isinstance(cpus, int):
+        if cpus >= workers > 1:
+            for field in ("pack_speedup", "unpack_speedup"):
+                v = frame.get(field, 0)
+                if not (isinstance(v, (int, float)) and v >= min_parallel_speedup):
+                    errs.append(
+                        f"{path}: frame.{field} {v!r} < {min_parallel_speedup} "
+                        f"with {workers} workers on {cpus} cpus"
+                    )
+        else:
+            print(
+                f"{path}: note: parallel-speedup floor skipped "
+                f"({cpus} cpu(s) < {workers} workers)"
+            )
+    return errs
+
+
+def validate(doc, path, mode, min_speedup, fast_beats_scalar,
+             require_frame=False, min_parallel_speedup=None):
     """Returns a list of violation strings (empty when the doc is valid)."""
     errs = []
 
@@ -41,6 +99,8 @@ def validate(doc, path, mode, min_speedup, fast_beats_scalar):
     expect(doc.get("seed") == 42, f"seed {doc.get('seed')!r} != 42")
     if mode is not None:
         expect(doc.get("mode") == mode, f"mode {doc.get('mode')!r} != {mode!r}")
+
+    errs.extend(validate_frame(doc.get("frame"), path, require_frame, min_parallel_speedup))
 
     rows = doc.get("profiles")
     if not isinstance(rows, list):
@@ -74,6 +134,18 @@ def main():
         action="store_true",
         help="require fast_mb_s > scalar_mb_s on every profile",
     )
+    ap.add_argument(
+        "--require-frame",
+        action="store_true",
+        help="fail when the frame section is absent",
+    )
+    ap.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=None,
+        help="floor for frame pack/unpack speedup, enforced only when "
+        "the recorded cpus >= workers",
+    )
     args = ap.parse_args()
 
     try:
@@ -82,11 +154,16 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"{args.file}: {e}")
 
-    errs = validate(doc, args.file, args.mode, args.min_speedup, args.fast_beats_scalar)
+    errs = validate(doc, args.file, args.mode, args.min_speedup, args.fast_beats_scalar,
+                    args.require_frame, args.min_parallel_speedup)
     if errs:
         sys.exit("\n".join(errs))
+    frame = doc.get("frame")
+    frame_note = (
+        f", frame {frame['workers']}w/{frame['cpus']}cpu" if isinstance(frame, dict) else ""
+    )
     print(f"{args.file}: valid codec scorecard (schema v{SCHEMA_VERSION}, "
-          f"{len(doc['profiles'])} profiles, mode {doc.get('mode')})")
+          f"{len(doc['profiles'])} profiles, mode {doc.get('mode')}{frame_note})")
 
 
 if __name__ == "__main__":
