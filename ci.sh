@@ -267,4 +267,88 @@ TESTKIT_BENCH_FAST=1 \
     cargo bench -q --offline -p codepack-bench --bench profile_overhead > /dev/null \
     || { echo "profile overhead budget exceeded"; exit 1; }
 
+echo "== tier-2: service smoke (cpackd + loadgen) =="
+# The cpackd robustness contract, end to end through the real daemon:
+# a >=100k-request fixed-seed loadgen against a live cpackd must resolve
+# every request exactly once with zero mismatches; kill -9 of the daemon
+# mid-run must surface as typed connection failures and a nonzero
+# loadgen exit (never a hang, never a wrong answer); a restarted daemon
+# must serve the same seed to completion; chaos mode (worker kills, torn
+# frames, garbage bytes, burn bursts) must still lose nothing. One
+# validator (tools/validate_bench.py --require-service) checks the fresh
+# scorecard and the checked-in BENCH_service.json.
+CPACKD=target/release/cpackd
+SVC_PORT=7311
+
+# cpackd serves until stdin closes; the fifo held open on fd 8 is its
+# lifeline, so `exec 8>&-` is a graceful drain and kill -9 is the crash.
+mkfifo "$OBS_TMP/svc.stdin"
+"$CPACKD" --addr "127.0.0.1:$SVC_PORT" < "$OBS_TMP/svc.stdin" \
+    > "$OBS_TMP/svc.log" 2>&1 &
+SVC_PID=$!
+exec 8> "$OBS_TMP/svc.stdin"
+for _ in $(seq 1 100); do
+    grep -q "cpackd: listening" "$OBS_TMP/svc.log" 2>/dev/null && break
+    sleep 0.05
+done
+grep -q "cpackd: listening" "$OBS_TMP/svc.log" \
+    || { echo "cpackd never came up"; cat "$OBS_TMP/svc.log"; exit 1; }
+
+# Full fixed-seed drive: 100k requests, every response checked against
+# the library's answer, scorecard schema-validated.
+"$CPACK" loadgen --requests 100000 --clients 4 --seed 42 \
+    --connect "127.0.0.1:$SVC_PORT" --out "$OBS_TMP/bench_service.json" \
+    2> /dev/null \
+    || { echo "loadgen against live cpackd failed"; exit 1; }
+python3 tools/validate_bench.py "$OBS_TMP/bench_service.json" \
+    --mode smoke --require-service
+
+# Crash the daemon mid-run: the in-flight loadgen must exit nonzero with
+# typed connection failures — lost responses would fail validation
+# before the exit code is even consulted.
+"$CPACK" loadgen --requests 100000 --clients 4 --seed 43 \
+    --connect "127.0.0.1:$SVC_PORT" --out "$OBS_TMP/bench_killed.json" \
+    > /dev/null 2> "$OBS_TMP/loadgen-killed.err" &
+LG_PID=$!
+sleep 1
+kill -9 "$SVC_PID" 2>/dev/null || true
+wait "$SVC_PID" 2>/dev/null || true
+if wait "$LG_PID"; then
+    echo "loadgen exited 0 despite a kill -9'd daemon"; exit 1
+fi
+grep -q "connection failures" "$OBS_TMP/loadgen-killed.err" \
+    || { echo "killed daemon not reported as typed connection failures"; \
+         cat "$OBS_TMP/loadgen-killed.err"; exit 1; }
+exec 8>&-
+
+# Restart (fresh port dodges TIME_WAIT) and re-drive the same seed.
+SVC_PORT2=7312
+mkfifo "$OBS_TMP/svc2.stdin"
+"$CPACKD" --addr "127.0.0.1:$SVC_PORT2" < "$OBS_TMP/svc2.stdin" \
+    > "$OBS_TMP/svc2.log" 2>&1 &
+SVC2_PID=$!
+exec 8> "$OBS_TMP/svc2.stdin"
+for _ in $(seq 1 100); do
+    grep -q "cpackd: listening" "$OBS_TMP/svc2.log" 2>/dev/null && break
+    sleep 0.05
+done
+"$CPACK" loadgen --requests 20000 --clients 4 --seed 43 \
+    --connect "127.0.0.1:$SVC_PORT2" --out /dev/null 2> /dev/null \
+    || { echo "restarted cpackd could not serve the re-driven workload"; exit 1; }
+exec 8>&-
+wait "$SVC2_PID" 2>/dev/null || true
+
+# Chaos run (in-process server): worker kills, garbage, torn frames and
+# burn bursts riding alongside the workload — still zero lost, zero
+# mismatched, or loadgen itself exits nonzero.
+"$CPACK" loadgen --requests 20000 --clients 4 --seed 42 --chaos \
+    --out "$OBS_TMP/bench_chaos.json" 2> /dev/null \
+    || { echo "chaos loadgen violated the zero-loss contract"; exit 1; }
+python3 tools/validate_bench.py "$OBS_TMP/bench_chaos.json" \
+    --mode smoke --require-service
+
+# Checked-in scorecard: schema-valid full-mode numbers.
+python3 tools/validate_bench.py BENCH_service.json --mode full --require-service
+echo "tier-2 service smoke: 100k live + kill -9 typed + restart + chaos clean"
+
 echo "ci: all green"

@@ -86,9 +86,61 @@ USAGE:
                                         journaled matrix runner, reporting
                                         detected/recovered/trapped/silent
                                         and protection slowdown vs native
+    cpack loadgen  [--requests N] [--clients N] [--seed S] [--connect ADDR]
+                   [--mode smoke|full] [--out FILE.json] [--chaos]
+                                        drive cpackd with a fixed-seed mixed
+                                        workload (compress/decompress/ping/
+                                        lint/profile), verify every response
+                                        against the direct library result,
+                                        and write the BENCH_service.json
+                                        latency scorecard (p50/p95/p99/p999);
+                                        without --connect an in-process
+                                        server is used; --chaos adds worker
+                                        kills, slow requests, and torn/
+                                        garbage frames while asserting zero
+                                        lost or duplicated responses
+
+Exit codes: 0 success, 1 operation failed (corrupt data, I/O error, lint
+findings, lost responses), 2 command-line misuse.
 ";
 
 const SEED: u64 = 42;
+
+/// A classified CLI failure, mapped to the process exit code: misuse of
+/// the command line (bad flags, missing arguments) exits 2; everything
+/// that went wrong while doing the work — corrupt data, I/O failures,
+/// lint findings — exits 1. Scripts can tell "you called it wrong" from
+/// "your data is bad" without parsing stderr.
+#[derive(Debug)]
+pub enum CliError {
+    /// Command-line misuse; exit code 2.
+    Usage(String),
+    /// The operation itself failed; exit code 1.
+    Failure(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Failure(msg)
+    }
+}
+
+impl CliError {
+    /// The message to print on stderr.
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Failure(m) => m,
+        }
+    }
+
+    /// The process exit code this failure class maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Failure(_) => 1,
+        }
+    }
+}
 
 /// Rejects any argument past what a subcommand consumed, so typos and
 /// unsupported flags fail loudly instead of being silently ignored.
@@ -1147,8 +1199,8 @@ fn pack_input_words(input: &str) -> Result<Vec<u32>, String> {
         .collect())
 }
 
-/// `cpack pack <profile|FILE|-> [-o FILE|-] [--workers N] [--integrity ...]`
-pub fn pack(args: &[String]) -> Result<(), String> {
+/// Parses `cpack pack` arguments; errors here are command-line misuse.
+fn pack_args(args: &[String]) -> Result<(String, String, PackOptions), String> {
     let mut input: Option<&String> = None;
     let mut out = String::from("-");
     let mut opts = PackOptions::default();
@@ -1189,7 +1241,13 @@ pub fn pack(args: &[String]) -> Result<(), String> {
         }
     }
     let input = input.ok_or(format!("pack: missing input\n{PACK_USAGE}"))?;
-    let words = pack_input_words(input)?;
+    Ok((input.clone(), out, opts))
+}
+
+/// `cpack pack <profile|FILE|-> [-o FILE|-] [--workers N] [--integrity ...]`
+pub fn pack(args: &[String]) -> Result<(), CliError> {
+    let (input, out, opts) = pack_args(args).map_err(CliError::Usage)?;
+    let words = pack_input_words(&input)?;
     let frame = pack_frame(&words, &opts);
     write_output("pack", &out, &frame)?;
     eprintln!(
@@ -1262,8 +1320,12 @@ fn unpack_to(cmd: &str, input: &str, out: &str, opts: &UnpackOptions) -> Result<
 }
 
 /// `cpack unpack <FILE|-> [-o FILE|-] [--workers N] [--backend scalar|fast]`
-pub fn unpack(args: &[String]) -> Result<(), String> {
-    let (input, out, opts) = frame_decode_args("unpack", args, UNPACK_USAGE, true)?;
+///
+/// Exit codes: 0 on success, 1 when the frame is corrupt or I/O fails,
+/// 2 on command-line misuse.
+pub fn unpack(args: &[String]) -> Result<(), CliError> {
+    let (input, out, opts) =
+        frame_decode_args("unpack", args, UNPACK_USAGE, true).map_err(CliError::Usage)?;
     let n = unpack_to("unpack", input, &out, &opts)?;
     eprintln!(
         "unpack: {n} words ({} bytes), backend {}, {} worker(s)",
@@ -1275,8 +1337,11 @@ pub fn unpack(args: &[String]) -> Result<(), String> {
 }
 
 /// `cpack cat <FILE|-> [--workers N] [--backend scalar|fast]`
-pub fn cat(args: &[String]) -> Result<(), String> {
-    let (input, _, opts) = frame_decode_args("cat", args, CAT_USAGE, false)?;
+///
+/// Exit codes mirror `unpack`: corruption exits 1, misuse exits 2.
+pub fn cat(args: &[String]) -> Result<(), CliError> {
+    let (input, _, opts) =
+        frame_decode_args("cat", args, CAT_USAGE, false).map_err(CliError::Usage)?;
     unpack_to("cat", input, "-", &opts)?;
     Ok(())
 }

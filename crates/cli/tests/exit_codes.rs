@@ -1,0 +1,172 @@
+//! Binary-level exit-code contract for `cpack`.
+//!
+//! The CLI promises a three-way taxonomy: **0** success, **1** the
+//! operation failed (corrupt data, missing files, lost responses),
+//! **2** command-line misuse. Scripts (ci.sh among them) branch on
+//! these, so each class is pinned here by running the real binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cpack(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cpack"))
+        .args(args)
+        .output()
+        .expect("cpack binary runs")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpack-exit-codes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn success_paths_exit_zero() {
+    let out = cpack(&["list"]);
+    assert_eq!(out.status.code(), Some(0), "list: {out:?}");
+
+    let out = cpack(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // No command at all prints usage and succeeds.
+    let out = cpack(&[]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn pack_unpack_round_trip_exits_zero() {
+    let cpk = scratch("ok.cpk");
+    let raw = scratch("ok.bin");
+    let out = cpack(&["pack", "pegwit", "-o", cpk.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "pack: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = cpack(&["unpack", cpk.to_str().unwrap(), "-o", raw.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "unpack: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(std::fs::metadata(&raw).unwrap().len() > 0);
+
+    let out = cpack(&["cat", cpk.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(!out.stdout.is_empty());
+}
+
+#[test]
+fn corrupt_and_missing_data_exit_one() {
+    // A frame with its body bit-flipped: pack succeeds, unpack must
+    // report corruption with exit 1 (not 2 — the command line is fine).
+    let cpk = scratch("corrupt.cpk");
+    let out = cpack(&["pack", "pegwit", "-o", cpk.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let mut bytes = std::fs::read(&cpk).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&cpk, &bytes).unwrap();
+
+    for cmd in ["unpack", "cat"] {
+        let out = cpack(&[cmd, cpk.to_str().unwrap()]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{cmd} on corrupt frame: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            !out.stderr.is_empty(),
+            "{cmd} explains the corruption on stderr"
+        );
+    }
+
+    // A missing input file is an operational failure, not misuse.
+    let out = cpack(&["unpack", "/nonexistent/road/to/nowhere.cpk"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    let out = cpack(&["pack", "/nonexistent/road/to/nowhere.bin"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn truncated_frame_exits_one() {
+    let cpk = scratch("truncated.cpk");
+    let out = cpack(&["pack", "pegwit", "-o", cpk.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let bytes = std::fs::read(&cpk).unwrap();
+    std::fs::write(&cpk, &bytes[..bytes.len() / 3]).unwrap();
+
+    let out = cpack(&["unpack", cpk.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "truncated: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn command_line_misuse_exits_two() {
+    // Unknown command.
+    let out = cpack(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // Unknown flags on the frame commands.
+    for args in [
+        &["pack", "pegwit", "--bogus"][..],
+        &["unpack", "x.cpk", "--bogus"],
+        &["cat", "x.cpk", "--bogus"],
+        &["loadgen", "--bogus"],
+    ] {
+        let out = cpack(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(!out.stderr.is_empty(), "{args:?} explains the misuse");
+    }
+
+    // Bad flag values are misuse too.
+    let out = cpack(&["pack", "pegwit", "--integrity", "sha9000"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    let out = cpack(&["loadgen", "--requests", "not-a-number"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    let out = cpack(&["loadgen", "--mode", "sideways"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn loadgen_smoke_exits_zero_and_emits_scorecard() {
+    let out_file = scratch("bench_service_smoke.json");
+    let out = cpack(&[
+        "loadgen",
+        "--requests",
+        "400",
+        "--clients",
+        "2",
+        "--seed",
+        "42",
+        "--out",
+        out_file.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "loadgen: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&out_file).unwrap();
+    assert!(doc.contains("\"suite\": \"service\""));
+    assert!(doc.contains("\"lost\": 0"));
+    assert!(doc.contains("\"mismatched\": 0"));
+}

@@ -156,6 +156,36 @@ impl std::error::Error for FrameError {
     }
 }
 
+impl From<FrameError> for io::Error {
+    /// Wraps a frame error so it can travel through `io::Error` without
+    /// losing identity: the original [`FrameError`] rides along as the
+    /// error's source and [`FrameError::from_io_error`] recovers it.
+    /// Truncation maps to [`io::ErrorKind::UnexpectedEof`] (it *is* an
+    /// unexpected end of input); everything else is `InvalidData`.
+    fn from(e: FrameError) -> io::Error {
+        let kind = match &e {
+            FrameError::Truncated { .. } => io::ErrorKind::UnexpectedEof,
+            _ => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e)
+    }
+}
+
+impl FrameError {
+    /// Recovers the original frame error from an `io::Error` produced by
+    /// [`From<FrameError>`] (directly or through a nested [`FrameReader`]).
+    /// An `io::Error` that does not carry a `FrameError` becomes
+    /// [`FrameError::Io`] with the error's message — the round trip
+    /// `FrameError -> io::Error -> FrameError` is the identity for every
+    /// variant.
+    pub fn from_io_error(e: &io::Error) -> FrameError {
+        match e.get_ref().and_then(|s| s.downcast_ref::<FrameError>()) {
+            Some(frame_err) => frame_err.clone(),
+            None => FrameError::Io(e.to_string()),
+        }
+    }
+}
+
 /// Knobs of [`pack_frame`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PackOptions {
@@ -547,6 +577,58 @@ impl GroupDecoder<'_> {
     }
 }
 
+/// The structural skeleton of a frame, as [`scan_frame`] reports it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameSummary {
+    /// The original text size in bytes, as the header declares.
+    pub content_size: u64,
+    /// The per-chunk integrity trailer mode.
+    pub integrity: StreamIntegrity,
+    /// Per-group compressed payload sizes, in group order.
+    pub group_payload_lens: Vec<u32>,
+}
+
+/// Scans a frame's structure — header, chunk framing, end marker, both
+/// structural CRCs — **without decoding any payload**. This is the cheap
+/// half of frame validation (the service's profile endpoint uses it to
+/// report per-group compressed sizes); [`unpack_frame`] adds the per-group
+/// integrity and codec checks.
+///
+/// # Errors
+///
+/// Any [`FrameError`] the frame skeleton can produce; payload corruption
+/// that only the trailer or codec would catch is *not* detected here.
+pub fn scan_frame(frame: &[u8]) -> Result<FrameSummary, FrameError> {
+    let mut c = Cursor {
+        bytes: frame,
+        pos: 0,
+    };
+    let header = parse_header(&mut c)?;
+    let mut meta = Vec::new();
+    let mut lens = Vec::with_capacity(header.n_groups());
+    for _ in 0..header.n_groups() {
+        let (payload, _, _) = scan_chunk(&mut c, header.integrity, &mut meta)?;
+        lens.push(payload.len() as u32);
+    }
+    if c.u32()? != 0 {
+        return Err(FrameError::Inconsistent("missing end-of-frame marker"));
+    }
+    meta.extend_from_slice(&header.content_size.to_le_bytes());
+    if crc32(&meta) != c.u32()? {
+        return Err(FrameError::ChecksumMismatch {
+            region: FrameRegion::Trailer,
+        });
+    }
+    if c.pos != frame.len() {
+        return Err(FrameError::Inconsistent("trailing bytes after frame"));
+    }
+    Ok(FrameSummary {
+        content_size: header.content_size,
+        integrity: header.integrity,
+        group_payload_lens: lens,
+    })
+}
+
 /// Unpacks a `.cpk` frame back to the original text.
 ///
 /// The frame structure is scanned serially (cheap: lengths and checksums of
@@ -796,7 +878,9 @@ impl<R: Read> FrameReader<R> {
                 }
                 Ok(k) => filled += k,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(FrameError::Io(e.to_string())),
+                // Recover a nested frame error (e.g. reading from another
+                // FrameReader) instead of flattening it to a string.
+                Err(e) => return Err(FrameError::from_io_error(&e)),
             }
         }
         self.pos += n as u64;
@@ -882,8 +966,7 @@ impl<R: Read> Read for FrameReader<R> {
             if self.finished {
                 return Ok(0);
             }
-            self.advance()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            self.advance().map_err(io::Error::from)?;
         }
         let n = buf.len().min(self.pending.len() - self.pending_pos);
         buf[..n].copy_from_slice(&self.pending[self.pending_pos..self.pending_pos + n]);
@@ -1168,6 +1251,141 @@ mod tests {
         let mut r = FrameReader::new(&frame[..cut]).unwrap();
         let mut out = Vec::new();
         assert!(r.read_to_end(&mut out).is_err());
+    }
+
+    #[test]
+    fn every_frame_error_variant_round_trips_through_io_error() {
+        // The service layer and the streaming reader both push FrameErrors
+        // through io::Error; none of the variants may lose identity.
+        let variants = vec![
+            FrameError::Truncated { at: 123 },
+            FrameError::BadMagic,
+            FrameError::VersionSkew { version: 9 },
+            FrameError::UnknownFlags { flags: 0x8002 },
+            FrameError::ChecksumMismatch {
+                region: FrameRegion::Header,
+            },
+            FrameError::ChecksumMismatch {
+                region: FrameRegion::Group(17),
+            },
+            FrameError::ChecksumMismatch {
+                region: FrameRegion::Trailer,
+            },
+            FrameError::Corrupt {
+                group: 3,
+                source: DecompressError::Truncated { at_bit: 7 },
+            },
+            FrameError::Inconsistent("zero-length group chunk"),
+            FrameError::Io("disk on fire".to_string()),
+        ];
+        for v in variants {
+            let io_err = io::Error::from(v.clone());
+            assert_eq!(FrameError::from_io_error(&io_err), v, "{v:?}");
+        }
+        // Truncation is an EOF condition; data damage is InvalidData.
+        assert_eq!(
+            io::Error::from(FrameError::Truncated { at: 0 }).kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        assert_eq!(
+            io::Error::from(FrameError::BadMagic).kind(),
+            io::ErrorKind::InvalidData
+        );
+        // A foreign io::Error degrades to FrameError::Io with the message.
+        let foreign = io::Error::new(io::ErrorKind::PermissionDenied, "nope");
+        assert_eq!(
+            FrameError::from_io_error(&foreign),
+            FrameError::Io("nope".to_string())
+        );
+    }
+
+    #[test]
+    fn reader_truncation_survives_the_io_layer() {
+        let frame = pack_frame(&text(64), &PackOptions::default());
+        let mut r = FrameReader::new(&frame[..frame.len() - 20]).unwrap();
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        match FrameError::from_io_error(&err) {
+            FrameError::Truncated { .. } => {}
+            other => panic!("expected Truncated through io::Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_reader_errors_keep_their_variant() {
+        // A FrameReader reading from a source that fails with a wrapped
+        // FrameError must surface that error, not a stringified Io copy.
+        struct Failing;
+        impl Read for Failing {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::from(FrameError::ChecksumMismatch {
+                    region: FrameRegion::Group(5),
+                }))
+            }
+        }
+        let mut r = FrameReader {
+            inner: Failing,
+            header: Header {
+                integrity: StreamIntegrity::None,
+                content_size: 256,
+                high: Dictionary::from_ranked_values(Vec::new()),
+                low: Dictionary::from_ranked_values(Vec::new()),
+            },
+            fast: None,
+            remaining: 256,
+            groups_read: 0,
+            meta: Vec::new(),
+            pending: Vec::new(),
+            pending_pos: 0,
+            pos: 0,
+            finished: false,
+        };
+        let err = r.advance().unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::ChecksumMismatch {
+                region: FrameRegion::Group(5)
+            }
+        );
+    }
+
+    #[test]
+    fn scan_frame_reports_the_skeleton() {
+        let words = text(100); // 4 groups (100 words pad to 128)
+        for integrity in [
+            StreamIntegrity::None,
+            StreamIntegrity::Parity,
+            StreamIntegrity::Crc32,
+        ] {
+            let frame = pack_frame(
+                &words,
+                &PackOptions {
+                    integrity,
+                    ..PackOptions::default()
+                },
+            );
+            let summary = scan_frame(&frame).unwrap();
+            assert_eq!(summary.content_size, 400);
+            assert_eq!(summary.integrity, integrity);
+            assert_eq!(summary.group_payload_lens.len(), 4);
+            assert!(summary.group_payload_lens.iter().all(|&l| l > 0));
+        }
+        // The scan checks structure only: a flipped payload byte passes the
+        // scan (the trailer CRC covers metadata, not payloads) but a
+        // flipped trailer byte fails it.
+        let frame = pack_frame(&words, &PackOptions::default());
+        let mut bad = frame.clone();
+        let at = bad.len() - 1;
+        bad[at] ^= 0xff;
+        assert_eq!(
+            scan_frame(&bad),
+            Err(FrameError::ChecksumMismatch {
+                region: FrameRegion::Trailer
+            })
+        );
+        for cut in 0..frame.len() {
+            assert!(scan_frame(&frame[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

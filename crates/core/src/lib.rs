@@ -70,8 +70,8 @@ pub use fetch::{
     MissSource, NativeFetch,
 };
 pub use frame::{
-    pack_frame, unpack_frame, FrameError, FrameReader, FrameRegion, FrameWriter, PackOptions,
-    UnpackOptions, FRAME_MAGIC, FRAME_VERSION,
+    pack_frame, scan_frame, unpack_frame, FrameError, FrameReader, FrameRegion, FrameSummary,
+    FrameWriter, PackOptions, UnpackOptions, FRAME_MAGIC, FRAME_VERSION,
 };
 pub use image::{
     decode_block_bytes, BlockInfo, CodePackImage, CompressionConfig, CorruptionOutOfRange,

@@ -148,8 +148,11 @@ impl Histogram {
         if p == 100.0 {
             return self.max;
         }
-        // 1-based rank of the requested sample.
-        let rank = ((p / 100.0 * self.total as f64).ceil() as u64).clamp(1, self.total);
+        // 1-based rank of the requested sample. The nudge absorbs
+        // float noise: 99.9 / 100.0 * 1000.0 evaluates to 999.0000…01,
+        // and a bare ceil would skip rank 999 entirely.
+        let raw = p / 100.0 * self.total as f64;
+        let rank = ((raw - 1e-9).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -439,6 +442,79 @@ mod tests {
         // Out-of-range p saturates to the endpoints.
         assert_eq!(h.percentile(-5.0), 2);
         assert_eq!(h.percentile(250.0), 100);
+    }
+
+    #[test]
+    fn single_sample_answers_every_percentile_exactly() {
+        // With one sample there is only one truthful answer; the tail
+        // percentiles the service scorecard leans on (p99, p999) must
+        // not inflate it to a bucket bound.
+        for v in [0u64, 1, 5, 127, 1 << 20, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for p in [0.0, 50.0, 95.0, 99.0, 99.9, 100.0] {
+                assert_eq!(h.percentile(p), v, "p{p} of single sample {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_samples_answer_every_percentile_exactly() {
+        // All-equal input: min == max pins every bucket bound down to
+        // the one observed value, whatever the count.
+        for n in [2u64, 3, 1_000] {
+            let mut h = Histogram::new();
+            for _ in 0..n {
+                h.record(37);
+            }
+            for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+                assert_eq!(h.percentile(p), 37, "p{p} of {n} equal samples");
+            }
+        }
+    }
+
+    #[test]
+    fn tail_percentiles_are_exact_on_bucket_aligned_distributions() {
+        // 990 samples at 127, 9 at 1023, 1 at 8191 — all bucket upper
+        // bounds, so the bucketed answer is the true order statistic.
+        let mut h = Histogram::new();
+        for _ in 0..990 {
+            h.record(127);
+        }
+        for _ in 0..9 {
+            h.record(1023);
+        }
+        h.record(8191);
+        assert_eq!(h.count(), 1_000);
+        // rank(p50) = 500 and rank(p99) = 990 both land in the 127s.
+        assert_eq!(h.percentile(50.0), 127);
+        assert_eq!(h.percentile(99.0), 127);
+        // rank(p99.9) = 999 crosses into the 1023s: the p999 column
+        // sees the tail that p99 misses.
+        assert_eq!(h.percentile(99.9), 1023);
+        assert_eq!(h.percentile(100.0), 8191);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let mut h = Histogram::new();
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..500 {
+            // xorshift: an arbitrary but fixed spread of magnitudes.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 1_000_000);
+        }
+        let mut last = 0u64;
+        for tenths in 0..=1_000u32 {
+            let p = f64::from(tenths) / 10.0;
+            let v = h.percentile(p);
+            assert!(v >= last, "p{p} = {v} dropped below {last}");
+            last = v;
+        }
+        assert_eq!(h.percentile(0.0), h.min());
+        assert_eq!(h.percentile(100.0), h.max());
     }
 
     #[test]

@@ -76,6 +76,46 @@ pub const PROFILE_DECODE_FAST: &str = "profile.decode.fast";
 /// Profiled decompressor invocations through the scalar backend.
 pub const PROFILE_DECODE_SCALAR: &str = "profile.decode.scalar";
 
+/// Requests the `cpackd` service admitted into its queue. Per-endpoint
+/// and per-status breakdowns appear as `svc.requests.<op>` and
+/// `svc.responses.<status>` using `Op::name` / `Status::name` (defined
+/// in `codepack-svc`); the constants here are the family's fixed
+/// aggregate names.
+pub const SVC_REQUESTS: &str = "svc.requests";
+
+/// Requests shed with a typed `Overloaded` because the admission queue
+/// was full. Shed requests never execute.
+pub const SVC_SHED: &str = "svc.shed";
+
+/// Requests answered `DeadlineExceeded` — expired while queued or
+/// abandoned by the waiting connection after the deadline passed.
+pub const SVC_DEADLINE_EXCEEDED: &str = "svc.deadline_exceeded";
+
+/// Requests rejected with `ShuttingDown` during a graceful drain.
+pub const SVC_SHUTTING_DOWN: &str = "svc.shutting_down";
+
+/// Worker threads that died (chaos kill or panic) while serving.
+pub const SVC_WORKER_DEATHS: &str = "svc.worker.deaths";
+
+/// Worker threads respawned to replace dead ones.
+pub const SVC_WORKER_RESPAWNS: &str = "svc.worker.respawns";
+
+/// Malformed protocol frames rejected at the connection layer.
+pub const SVC_PROTO_ERRORS: &str = "svc.proto_errors";
+
+/// Compress-cache hits (response served from memory).
+pub const SVC_CACHE_HITS: &str = "svc.cache.hits";
+
+/// Compress-cache misses (response computed).
+pub const SVC_CACHE_MISSES: &str = "svc.cache.misses";
+
+/// Compress-cache entries evicted by the capacity bounds.
+pub const SVC_CACHE_EVICTIONS: &str = "svc.cache.evictions";
+
+/// Histogram of request service time (queue wait + execution), in
+/// microseconds, over successfully executed requests.
+pub const SVC_LATENCY_US: &str = "svc.latency_us";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -100,6 +140,17 @@ mod tests {
             (super::PROFILE_FETCHES, "profile."),
             (super::PROFILE_DECODE_FAST, "profile."),
             (super::PROFILE_DECODE_SCALAR, "profile."),
+            (super::SVC_REQUESTS, "svc."),
+            (super::SVC_SHED, "svc."),
+            (super::SVC_DEADLINE_EXCEEDED, "svc."),
+            (super::SVC_SHUTTING_DOWN, "svc."),
+            (super::SVC_WORKER_DEATHS, "svc."),
+            (super::SVC_WORKER_RESPAWNS, "svc."),
+            (super::SVC_PROTO_ERRORS, "svc."),
+            (super::SVC_CACHE_HITS, "svc."),
+            (super::SVC_CACHE_MISSES, "svc."),
+            (super::SVC_CACHE_EVICTIONS, "svc."),
+            (super::SVC_LATENCY_US, "svc."),
         ];
         for (i, (a, family)) in all.iter().enumerate() {
             assert!(a.starts_with(family), "{a} belongs to {family}");

@@ -1,0 +1,250 @@
+//! Sharded in-memory cache of compressed images, keyed by content hash.
+//!
+//! The compress endpoint is a pure function of its payload, so identical
+//! requests can be answered from memory. The cache is sharded to keep lock
+//! contention off the hot path (shard = high bits of the key, so the
+//! FNV-1a avalanche spreads load), and **bounded** in both entries and
+//! bytes per shard with deterministic FIFO eviction: for a given sequence
+//! of inserts into a shard, the same entries survive on every run —
+//! there is no clock, no randomness, and no access-recency feedback to
+//! make eviction order depend on timing.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache shape knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of shards (0 disables the cache entirely).
+    pub shards: usize,
+    /// Max entries per shard.
+    pub max_entries_per_shard: usize,
+    /// Max value bytes per shard.
+    pub max_bytes_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            shards: 8,
+            max_entries_per_shard: 512,
+            max_bytes_per_shard: 8 << 20,
+        }
+    }
+}
+
+/// FNV-1a 64-bit: the cache's content hash. Stable across runs and
+/// platforms — the key of an entry is a pure function of the payload.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Shard {
+    map: HashMap<u64, Vec<u8>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+    bytes: usize,
+}
+
+/// The sharded, bounded cache.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    config: CacheConfig,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedCache {
+    /// An empty cache with the given shape.
+    pub fn new(config: CacheConfig) -> ShardedCache {
+        let shards = (0..config.shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    order: VecDeque::new(),
+                    bytes: 0,
+                })
+            })
+            .collect();
+        ShardedCache {
+            shards,
+            config,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: u64) -> &Mutex<Shard> {
+        // High bits: FNV's avalanche is weakest in the low bits.
+        let i = (key >> 32) as usize % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Looks up `key`, counting the hit or miss.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        if self.shards.is_empty() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        match shard.map.get(&key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `key -> value`, evicting oldest-inserted entries until the
+    /// shard fits its bounds again. A value bigger than a whole shard is
+    /// simply not cached.
+    pub fn insert(&self, key: u64, value: Vec<u8>) {
+        if self.shards.is_empty() || value.len() > self.config.max_bytes_per_shard {
+            return;
+        }
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        if shard.map.contains_key(&key) {
+            return; // same content hash ⇒ same value; nothing to update
+        }
+        while shard.order.len() >= self.config.max_entries_per_shard
+            || shard.bytes + value.len() > self.config.max_bytes_per_shard
+        {
+            let oldest = match shard.order.pop_front() {
+                Some(k) => k,
+                None => break,
+            };
+            if let Some(v) = shard.map.remove(&oldest) {
+                shard.bytes -= v.len();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.bytes += value.len();
+        shard.order.push_back(key);
+        shard.map.insert(key, value);
+    }
+
+    /// (hits, misses, evictions) so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Entries currently resident, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ShardedCache {
+        ShardedCache::new(CacheConfig {
+            shards: 1,
+            max_entries_per_shard: 3,
+            max_bytes_per_shard: 100,
+        })
+    }
+
+    #[test]
+    fn content_hash_is_stable() {
+        // FNV-1a reference values: the key is part of the on-wire contract
+        // between loadgen's expectations and the server's cache.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(content_hash(b"ab"), content_hash(b"ab"));
+        assert_ne!(content_hash(b"ab"), content_hash(b"ba"));
+    }
+
+    #[test]
+    fn hit_miss_and_round_trip() {
+        let c = tiny();
+        assert_eq!(c.get(1), None);
+        c.insert(1, vec![1, 2, 3]);
+        assert_eq!(c.get(1), Some(vec![1, 2, 3]));
+        assert_eq!(c.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn entry_bound_evicts_fifo() {
+        let c = tiny();
+        for k in 0..5u64 {
+            c.insert(k, vec![k as u8]);
+        }
+        // Capacity 3: the two oldest (0, 1) must be gone, newest resident.
+        assert_eq!(c.get(0), None);
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(2), Some(vec![2]));
+        assert_eq!(c.get(4), Some(vec![4]));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().2, 2);
+    }
+
+    #[test]
+    fn byte_bound_evicts_until_fit() {
+        let c = tiny();
+        c.insert(1, vec![0; 60]);
+        c.insert(2, vec![0; 30]);
+        c.insert(3, vec![0; 50]); // 140 > 100: evict 1 (60) → 80, fits
+        assert_eq!(c.get(1), None);
+        assert!(c.get(2).is_some() && c.get(3).is_some());
+    }
+
+    #[test]
+    fn oversized_value_not_cached() {
+        let c = tiny();
+        c.insert(1, vec![0; 101]);
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_is_deterministic() {
+        let survivors = |order: &[u64]| -> Vec<u64> {
+            let c = tiny();
+            for &k in order {
+                c.insert(k, vec![k as u8]);
+            }
+            (0..10u64).filter(|&k| c.get(k).is_some()).collect()
+        };
+        let keys = [7u64, 3, 9, 1, 5, 2];
+        assert_eq!(survivors(&keys), survivors(&keys));
+        assert_eq!(survivors(&keys), vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn zero_shards_disables_cleanly() {
+        let c = ShardedCache::new(CacheConfig {
+            shards: 0,
+            max_entries_per_shard: 10,
+            max_bytes_per_shard: 10,
+        });
+        c.insert(1, vec![1]);
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+}

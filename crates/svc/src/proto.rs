@@ -1,0 +1,595 @@
+//! The `cpackd` wire protocol: length-prefixed binary request/response
+//! frames over a byte stream.
+//!
+//! The protocol is deliberately tiny — fixed-size headers, little-endian
+//! integers, one length-prefixed payload per message — so both sides can
+//! parse it with nothing but `std` and reject malformed traffic with a
+//! typed error instead of a hang or a panic. Every request carries the
+//! caller's deadline, so the server can enforce timeouts without trusting
+//! the client to go away.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! request:  magic "CPRQ" | version u16 | op u16 | id u64
+//!           | deadline_ms u32 | payload_len u32 | payload bytes
+//! response: magic "CPRS" | version u16 | status u16 | id u64
+//!           | payload_len u32 | payload bytes
+//! ```
+//!
+//! The `id` is chosen by the client and echoed verbatim by the server;
+//! a client detecting a mismatched id knows the stream has desynchronized
+//! (a torn or duplicated response) and must drop the connection. Error
+//! responses carry a human-readable message as their payload.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every request frame.
+pub const REQUEST_MAGIC: [u8; 4] = *b"CPRQ";
+/// Magic bytes opening every response frame.
+pub const RESPONSE_MAGIC: [u8; 4] = *b"CPRS";
+/// The protocol version this build speaks.
+pub const PROTO_VERSION: u16 = 1;
+/// Hard wire-format bound on one payload. Servers may (and do) configure a
+/// tighter per-request limit; this cap is what the parser will buffer at
+/// most before rejecting, whatever the configuration.
+pub const MAX_WIRE_PAYLOAD: u32 = 64 << 20;
+
+/// Fixed request header size in bytes.
+pub const REQUEST_HEADER_LEN: usize = 4 + 2 + 2 + 8 + 4 + 4;
+/// Fixed response header size in bytes.
+pub const RESPONSE_HEADER_LEN: usize = 4 + 2 + 2 + 8 + 4;
+
+/// A service endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Echo the payload back (health check).
+    Ping,
+    /// Payload: little-endian instruction words. Response: a `.cpk` frame,
+    /// byte-identical to `pack_frame` with the server's options.
+    Compress,
+    /// Payload: a `.cpk` frame. Response: the decoded instruction words as
+    /// little-endian bytes, byte-identical to `unpack_frame`.
+    Decompress,
+    /// Payload: a `.cpk` frame. Response: a small JSON verdict after a
+    /// full structural + codec walk of the frame.
+    Lint,
+    /// Payload: little-endian instruction words. Response: a JSON
+    /// compression profile (sizes, ratio, group-payload percentiles).
+    Profile,
+    /// Response: the server's metrics registry as JSON.
+    Metrics,
+    /// Chaos endpoint: payload byte 0 selects the failure mode (see
+    /// [`CHAOS_EXIT_AFTER_REPLY`] / [`CHAOS_PANIC_MID_REQUEST`]). The
+    /// worker thread that picks this up dies; the pool must respawn it
+    /// and no response may be lost.
+    ChaosKill,
+    /// Busy-work endpoint: payload is a little-endian `u32` number of
+    /// milliseconds the worker sleeps before replying. Used by tests and
+    /// the load generator to create backlog and exercise deadlines.
+    Burn,
+}
+
+/// `ChaosKill` payload byte: reply `Ok`, then the worker thread exits.
+pub const CHAOS_EXIT_AFTER_REPLY: u8 = 0;
+/// `ChaosKill` payload byte: the worker panics mid-request, before any
+/// reply is produced. The connection must still answer (typed
+/// `WorkerLost`), and the pool must respawn the worker.
+pub const CHAOS_PANIC_MID_REQUEST: u8 = 1;
+
+impl Op {
+    fn code(self) -> u16 {
+        match self {
+            Op::Ping => 0,
+            Op::Compress => 1,
+            Op::Decompress => 2,
+            Op::Lint => 3,
+            Op::Profile => 4,
+            Op::Metrics => 5,
+            Op::ChaosKill => 6,
+            Op::Burn => 7,
+        }
+    }
+
+    fn from_code(code: u16) -> Option<Op> {
+        Some(match code {
+            0 => Op::Ping,
+            1 => Op::Compress,
+            2 => Op::Decompress,
+            3 => Op::Lint,
+            4 => Op::Profile,
+            5 => Op::Metrics,
+            6 => Op::ChaosKill,
+            7 => Op::Burn,
+            _ => return None,
+        })
+    }
+
+    /// The endpoint's metric label (`svc.requests.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::Compress => "compress",
+            Op::Decompress => "decompress",
+            Op::Lint => "lint",
+            Op::Profile => "profile",
+            Op::Metrics => "metrics",
+            Op::ChaosKill => "chaos_kill",
+            Op::Burn => "burn",
+        }
+    }
+
+    /// All endpoints, in wire-code order.
+    pub fn all() -> [Op; 8] {
+        [
+            Op::Ping,
+            Op::Compress,
+            Op::Decompress,
+            Op::Lint,
+            Op::Profile,
+            Op::Metrics,
+            Op::ChaosKill,
+            Op::Burn,
+        ]
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A response status. `Ok` carries the result payload; everything else
+/// carries a message. The taxonomy mirrors the CLI's exit-code classes:
+/// `BadRequest` is a usage error (exit 2 at the CLI), `Corrupt` is a data
+/// error (exit 1), and the rest are service conditions a client may retry
+/// or must surface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Success; the payload is the endpoint's result.
+    Ok,
+    /// The request itself is malformed (unknown op, bad payload shape).
+    /// Not retryable.
+    BadRequest,
+    /// The payload failed integrity or codec checks (a `FrameError` or
+    /// `DecompressError`). Not retryable.
+    Corrupt,
+    /// The payload exceeds the server's configured limit. Not retryable.
+    TooLarge,
+    /// The admission queue was full; the request was shed without being
+    /// executed. Retryable.
+    Overloaded,
+    /// The deadline expired before (or while) the request executed.
+    /// Retryable if the caller still has budget.
+    DeadlineExceeded,
+    /// The server is draining; no new work is admitted. Retryable against
+    /// a restarted server.
+    ShuttingDown,
+    /// The worker thread processing the request died before replying.
+    /// Retryable — the request may or may not have had side effects, but
+    /// every `cpackd` endpoint is idempotent.
+    WorkerLost,
+}
+
+impl Status {
+    fn code(self) -> u16 {
+        match self {
+            Status::Ok => 0,
+            Status::BadRequest => 1,
+            Status::Corrupt => 2,
+            Status::TooLarge => 3,
+            Status::Overloaded => 4,
+            Status::DeadlineExceeded => 5,
+            Status::ShuttingDown => 6,
+            Status::WorkerLost => 7,
+        }
+    }
+
+    fn from_code(code: u16) -> Option<Status> {
+        Some(match code {
+            0 => Status::Ok,
+            1 => Status::BadRequest,
+            2 => Status::Corrupt,
+            3 => Status::TooLarge,
+            4 => Status::Overloaded,
+            5 => Status::DeadlineExceeded,
+            6 => Status::ShuttingDown,
+            7 => Status::WorkerLost,
+            _ => return None,
+        })
+    }
+
+    /// The status's metric label (`svc.responses.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::BadRequest => "bad_request",
+            Status::Corrupt => "corrupt",
+            Status::TooLarge => "too_large",
+            Status::Overloaded => "overloaded",
+            Status::DeadlineExceeded => "deadline_exceeded",
+            Status::ShuttingDown => "shutting_down",
+            Status::WorkerLost => "worker_lost",
+        }
+    }
+
+    /// Whether a client retry can plausibly succeed. `BadRequest`,
+    /// `Corrupt`, and `TooLarge` are properties of the request itself and
+    /// never clear on their own.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            Status::Overloaded
+                | Status::DeadlineExceeded
+                | Status::ShuttingDown
+                | Status::WorkerLost
+        )
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// The endpoint.
+    pub op: Op,
+    /// The caller's deadline in milliseconds (0 = use the server default).
+    pub deadline_ms: u32,
+    /// The request payload.
+    pub payload: Vec<u8>,
+}
+
+/// One parsed response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// The request id this answers.
+    pub id: u64,
+    /// The outcome.
+    pub status: Status,
+    /// Result bytes (`Ok`) or a message (any error status).
+    pub payload: Vec<u8>,
+}
+
+/// Error reading or writing protocol frames. Every malformed byte stream
+/// maps to one of these — the parser never panics and never hangs past
+/// the configured socket timeout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The stream ended mid-frame.
+    Truncated,
+    /// The frame does not start with the expected magic.
+    BadMagic,
+    /// The peer speaks an incompatible protocol version.
+    VersionSkew {
+        /// The version the frame declares.
+        version: u16,
+    },
+    /// The op code is not one this build knows.
+    UnknownOp(u16),
+    /// The status code is not one this build knows.
+    UnknownStatus(u16),
+    /// The declared payload length exceeds the acceptable bound.
+    TooLarge {
+        /// The declared length.
+        len: u32,
+        /// The bound it violated.
+        limit: u32,
+    },
+    /// The underlying socket failed (includes read/write timeouts).
+    Io(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "stream truncated mid-frame"),
+            ProtoError::BadMagic => write!(f, "not a cpackd protocol frame (bad magic)"),
+            ProtoError::VersionSkew { version } => write!(
+                f,
+                "unsupported protocol version {version} (this build speaks {PROTO_VERSION})"
+            ),
+            ProtoError::UnknownOp(code) => write!(f, "unknown op code {code}"),
+            ProtoError::UnknownStatus(code) => write!(f, "unknown status code {code}"),
+            ProtoError::TooLarge { len, limit } => {
+                write!(f, "payload of {len} bytes exceeds the {limit}-byte limit")
+            }
+            ProtoError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> ProtoError {
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => ProtoError::Truncated,
+            _ => ProtoError::Io(e.to_string()),
+        }
+    }
+}
+
+fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ProtoError> {
+    r.read_exact(buf).map_err(ProtoError::from)
+}
+
+/// Reads exactly the first byte of a frame, distinguishing a clean EOF
+/// (peer closed between frames → `Ok(None)`) from a truncation.
+fn read_first_byte(r: &mut impl Read) -> Result<Option<u8>, ProtoError> {
+    let mut b = [0u8; 1];
+    loop {
+        match r.read(&mut b) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(b[0])),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::from(e)),
+        }
+    }
+}
+
+fn payload_with_limit(r: &mut impl Read, len: u32, limit: u32) -> Result<Vec<u8>, ProtoError> {
+    let limit = limit.min(MAX_WIRE_PAYLOAD);
+    if len > limit {
+        return Err(ProtoError::TooLarge { len, limit });
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact(r, &mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one request frame. `Ok(None)` means the peer closed the stream
+/// cleanly between frames; anything else mid-frame is [`ProtoError`].
+/// `max_payload` bounds how much this call will buffer (further capped by
+/// [`MAX_WIRE_PAYLOAD`]).
+pub fn read_request(r: &mut impl Read, max_payload: u32) -> Result<Option<Request>, ProtoError> {
+    let first = match read_first_byte(r)? {
+        None => return Ok(None),
+        Some(b) => b,
+    };
+    let mut head = [0u8; REQUEST_HEADER_LEN];
+    head[0] = first;
+    read_exact(r, &mut head[1..])?;
+    if head[..4] != REQUEST_MAGIC {
+        return Err(ProtoError::BadMagic);
+    }
+    let version = u16::from_le_bytes([head[4], head[5]]);
+    if version != PROTO_VERSION {
+        return Err(ProtoError::VersionSkew { version });
+    }
+    let op_code = u16::from_le_bytes([head[6], head[7]]);
+    let op = Op::from_code(op_code).ok_or(ProtoError::UnknownOp(op_code))?;
+    let id = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+    let deadline_ms = u32::from_le_bytes(head[16..20].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(head[20..24].try_into().expect("4 bytes"));
+    let payload = payload_with_limit(r, len, max_payload)?;
+    Ok(Some(Request {
+        id,
+        op,
+        deadline_ms,
+        payload,
+    }))
+}
+
+/// Writes one request frame.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), ProtoError> {
+    let mut head = Vec::with_capacity(REQUEST_HEADER_LEN);
+    head.extend_from_slice(&REQUEST_MAGIC);
+    head.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    head.extend_from_slice(&req.op.code().to_le_bytes());
+    head.extend_from_slice(&req.id.to_le_bytes());
+    head.extend_from_slice(&req.deadline_ms.to_le_bytes());
+    head.extend_from_slice(&(req.payload.len() as u32).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(&req.payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one response frame. `Ok(None)` means the peer closed the stream
+/// cleanly between frames.
+pub fn read_response(r: &mut impl Read, max_payload: u32) -> Result<Option<Response>, ProtoError> {
+    let first = match read_first_byte(r)? {
+        None => return Ok(None),
+        Some(b) => b,
+    };
+    let mut head = [0u8; RESPONSE_HEADER_LEN];
+    head[0] = first;
+    read_exact(r, &mut head[1..])?;
+    if head[..4] != RESPONSE_MAGIC {
+        return Err(ProtoError::BadMagic);
+    }
+    let version = u16::from_le_bytes([head[4], head[5]]);
+    if version != PROTO_VERSION {
+        return Err(ProtoError::VersionSkew { version });
+    }
+    let status_code = u16::from_le_bytes([head[6], head[7]]);
+    let status = Status::from_code(status_code).ok_or(ProtoError::UnknownStatus(status_code))?;
+    let id = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(head[16..20].try_into().expect("4 bytes"));
+    let payload = payload_with_limit(r, len, max_payload)?;
+    Ok(Some(Response {
+        id,
+        status,
+        payload,
+    }))
+}
+
+/// Writes one response frame.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), ProtoError> {
+    let mut head = Vec::with_capacity(RESPONSE_HEADER_LEN);
+    head.extend_from_slice(&RESPONSE_MAGIC);
+    head.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    head.extend_from_slice(&resp.status.code().to_le_bytes());
+    head.extend_from_slice(&resp.id.to_le_bytes());
+    head.extend_from_slice(&(resp.payload.len() as u32).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(&resp.payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        for op in Op::all() {
+            let req = Request {
+                id: 0xdead_beef_1234,
+                op,
+                deadline_ms: 250,
+                payload: vec![1, 2, 3, 4, 5],
+            };
+            let mut wire = Vec::new();
+            write_request(&mut wire, &req).unwrap();
+            let back = read_request(&mut wire.as_slice(), MAX_WIRE_PAYLOAD)
+                .unwrap()
+                .expect("one frame");
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips_every_status() {
+        for status in [
+            Status::Ok,
+            Status::BadRequest,
+            Status::Corrupt,
+            Status::TooLarge,
+            Status::Overloaded,
+            Status::DeadlineExceeded,
+            Status::ShuttingDown,
+            Status::WorkerLost,
+        ] {
+            let resp = Response {
+                id: 7,
+                status,
+                payload: status.name().as_bytes().to_vec(),
+            };
+            let mut wire = Vec::new();
+            write_response(&mut wire, &resp).unwrap();
+            let back = read_response(&mut wire.as_slice(), MAX_WIRE_PAYLOAD)
+                .unwrap()
+                .expect("one frame");
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_torn_is_truncated() {
+        assert_eq!(read_request(&mut [].as_slice(), 1024), Ok(None));
+        let req = Request {
+            id: 1,
+            op: Op::Ping,
+            deadline_ms: 0,
+            payload: vec![9; 32],
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        for cut in 1..wire.len() {
+            assert_eq!(
+                read_request(&mut &wire[..cut], 1024),
+                Err(ProtoError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_version_op_status_rejected() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            &Request {
+                id: 1,
+                op: Op::Ping,
+                deadline_ms: 0,
+                payload: Vec::new(),
+            },
+        )
+        .unwrap();
+        let mut bad = wire.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            read_request(&mut bad.as_slice(), 1024),
+            Err(ProtoError::BadMagic)
+        );
+        let mut skew = wire.clone();
+        skew[4] = 99;
+        assert_eq!(
+            read_request(&mut skew.as_slice(), 1024),
+            Err(ProtoError::VersionSkew { version: 99 })
+        );
+        let mut op = wire.clone();
+        op[6] = 0xff;
+        assert_eq!(
+            read_request(&mut op.as_slice(), 1024),
+            Err(ProtoError::UnknownOp(0xff))
+        );
+        let mut resp_wire = Vec::new();
+        write_response(
+            &mut resp_wire,
+            &Response {
+                id: 1,
+                status: Status::Ok,
+                payload: Vec::new(),
+            },
+        )
+        .unwrap();
+        resp_wire[6] = 0xee;
+        assert_eq!(
+            read_response(&mut resp_wire.as_slice(), 1024),
+            Err(ProtoError::UnknownStatus(0xee))
+        );
+    }
+
+    #[test]
+    fn oversized_payload_rejected_before_buffering() {
+        let req = Request {
+            id: 1,
+            op: Op::Compress,
+            deadline_ms: 0,
+            payload: vec![0; 100],
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        assert_eq!(
+            read_request(&mut wire.as_slice(), 64),
+            Err(ProtoError::TooLarge {
+                len: 100,
+                limit: 64
+            })
+        );
+        // A hostile length field never allocates past the wire cap.
+        let mut hostile = wire.clone();
+        hostile[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            read_request(&mut hostile.as_slice(), u32::MAX),
+            Err(ProtoError::TooLarge {
+                len: u32::MAX,
+                limit: MAX_WIRE_PAYLOAD
+            })
+        );
+    }
+
+    #[test]
+    fn retryable_statuses_match_contract() {
+        assert!(Status::Overloaded.is_retryable());
+        assert!(Status::ShuttingDown.is_retryable());
+        assert!(Status::WorkerLost.is_retryable());
+        assert!(Status::DeadlineExceeded.is_retryable());
+        assert!(!Status::BadRequest.is_retryable());
+        assert!(!Status::Corrupt.is_retryable());
+        assert!(!Status::TooLarge.is_retryable());
+    }
+}

@@ -1,0 +1,135 @@
+//! Bounded, deterministic retry/backoff: the PR 3 matrix-runner pattern
+//! lifted to the service client.
+//!
+//! A retry schedule is a **pure function** of `(policy, seed, call_id)`:
+//! the jitter comes from the testkit PRNG seeded with
+//! [`mix_seed`](codepack_testkit::mix_seed), never from a clock or thread
+//! identity, so a fixed-seed load run produces byte-identical schedules at
+//! any worker count. The schedule respects three bounds by construction:
+//!
+//! - at most `max_attempts - 1` delays (one fewer than attempts),
+//! - every delay `<= max_delay_us` (the jitter cap — exponential growth
+//!   plus jitter never exceeds it),
+//! - the cumulative sum `<= max_total_delay_us`.
+
+use codepack_testkit::{mix_seed, Rng};
+
+/// Knobs of the client's retry loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, microseconds.
+    pub base_delay_us: u64,
+    /// Cap on any single delay, jitter included, microseconds.
+    pub max_delay_us: u64,
+    /// Cap on the whole schedule's summed delay, microseconds.
+    pub max_total_delay_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_us: 200,
+            max_delay_us: 20_000,
+            max_total_delay_us: 100_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_us: 0,
+            max_delay_us: 0,
+            max_total_delay_us: 0,
+        }
+    }
+
+    /// The deterministic backoff schedule for one call: the delays (in
+    /// microseconds) slept before retry 1, 2, … — a pure function of the
+    /// inputs, identical on every thread and every run.
+    ///
+    /// Each entry is an equal-jitter draw: half the exponential step plus
+    /// a uniformly random other half, capped at `max_delay_us`, then
+    /// clipped so the running total never exceeds `max_total_delay_us`
+    /// (trailing zero-delay retries are still taken — the budget caps
+    /// sleeping, not trying).
+    pub fn schedule(&self, seed: u64, call_id: u64) -> Vec<u64> {
+        let retries = self.max_attempts.saturating_sub(1) as usize;
+        let mut rng = Rng::seed_from_u64(mix_seed(seed, call_id));
+        let mut delays = Vec::with_capacity(retries);
+        let mut budget = self.max_total_delay_us;
+        for attempt in 0..retries {
+            let step = self
+                .base_delay_us
+                .saturating_mul(1u64.checked_shl(attempt as u32).unwrap_or(u64::MAX))
+                .min(self.max_delay_us);
+            let half = step / 2;
+            let jittered = if half == 0 {
+                step
+            } else {
+                half + rng.gen_range(0..=half)
+            };
+            let clipped = jittered.min(self.max_delay_us).min(budget);
+            budget -= clipped;
+            delays.push(clipped);
+        }
+        delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_pure_function() {
+        let p = RetryPolicy::default();
+        let a = p.schedule(42, 7);
+        let b = p.schedule(42, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, p.schedule(42, 8), "different calls decorrelate");
+        assert_ne!(a, p.schedule(43, 7), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn bounds_hold_by_construction() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay_us: 100,
+            max_delay_us: 1_000,
+            max_total_delay_us: 3_000,
+        };
+        for call in 0..200u64 {
+            let s = p.schedule(1, call);
+            assert_eq!(s.len(), 9);
+            assert!(s.iter().all(|&d| d <= p.max_delay_us), "{s:?}");
+            assert!(s.iter().sum::<u64>() <= p.max_total_delay_us, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn no_retries_means_empty_schedule() {
+        assert!(RetryPolicy::none().schedule(0, 0).is_empty());
+        let one = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        assert!(one.schedule(9, 9).is_empty());
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay_us: 0,
+            max_delay_us: 1_000,
+            max_total_delay_us: 1_000,
+        };
+        assert_eq!(p.schedule(3, 3), vec![0, 0, 0, 0]);
+    }
+}

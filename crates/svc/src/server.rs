@@ -1,0 +1,773 @@
+//! The `cpackd` server: a fault-tolerant compression service on loopback
+//! TCP.
+//!
+//! The design goal is *typed degradation*: every way the service can fail
+//! a request maps to a [`Status`] the client can reason about, never a
+//! hang and never a silently dropped connection. The moving parts:
+//!
+//! - **Acceptor thread** — accepts connections and spawns one connection
+//!   thread each; woken for shutdown by a self-connect.
+//! - **Connection threads** — parse requests, enforce admission and
+//!   deadlines, and write responses. A connection thread is the single
+//!   writer for its socket, so responses are never interleaved.
+//! - **Bounded admission queue** — an `mpsc::sync_channel` of configured
+//!   depth. Admission uses `try_send`: a full queue sheds the request
+//!   with a typed [`Status::Overloaded`] instead of queueing unboundedly
+//!   or blocking the connection.
+//! - **Worker pool** — threads draining the queue. A worker that dies
+//!   mid-request (chaos kill, panic) drops its response channel, which
+//!   the waiting connection observes as a typed [`Status::WorkerLost`];
+//!   a drop guard respawns the worker so capacity recovers without
+//!   operator action.
+//! - **Deadlines** — every request carries one (clamped to the server's
+//!   bounds). The connection waits at most that long for the worker and
+//!   then answers [`Status::DeadlineExceeded`]; workers also refuse to
+//!   start work on requests that expired while queued.
+//! - **Graceful drain** — [`ServerHandle::shutdown`] stops admission
+//!   (late requests get [`Status::ShuttingDown`]), lets in-flight work
+//!   finish, joins every thread, and returns a final metrics snapshot.
+//!
+//! All `svc.*` accounting flows through one [`MetricsRegistry`];
+//! response-status counters are incremented by the connection thread at
+//! write time, so `svc.responses.<status>` counts exactly what clients
+//! were told.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use codepack_core::frame::{pack_frame, scan_frame, unpack_frame, PackOptions, UnpackOptions};
+use codepack_mem::StreamIntegrity;
+use codepack_obs::names::{
+    SVC_CACHE_EVICTIONS, SVC_CACHE_HITS, SVC_CACHE_MISSES, SVC_DEADLINE_EXCEEDED, SVC_LATENCY_US,
+    SVC_PROTO_ERRORS, SVC_REQUESTS, SVC_SHED, SVC_SHUTTING_DOWN, SVC_WORKER_DEATHS,
+    SVC_WORKER_RESPAWNS,
+};
+use codepack_obs::MetricsRegistry;
+
+use crate::cache::{content_hash, CacheConfig, ShardedCache};
+use crate::proto::{
+    self, Op, ProtoError, Request, Response, Status, CHAOS_EXIT_AFTER_REPLY,
+    CHAOS_PANIC_MID_REQUEST,
+};
+
+/// Longest sleep one `Burn` request can hold a worker, milliseconds.
+/// Bounds how much backlog a hostile client can manufacture per request.
+pub const BURN_CAP_MS: u32 = 1_000;
+
+/// Server shape and limits.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission queue depth; a full queue sheds with `Overloaded`.
+    pub queue_depth: usize,
+    /// Per-request payload limit, bytes.
+    pub max_payload: u32,
+    /// Deadline applied when a request carries `deadline_ms == 0`.
+    pub default_deadline_ms: u32,
+    /// Upper clamp on any request's deadline.
+    pub max_deadline_ms: u32,
+    /// Idle-connection read timeout, milliseconds (0 = none).
+    pub idle_timeout_ms: u64,
+    /// Compress-result cache shape.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_payload: 8 << 20,
+            default_deadline_ms: 2_000,
+            max_deadline_ms: 30_000,
+            idle_timeout_ms: 60_000,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The effective deadline for a request-declared value: 0 means the
+    /// server default, everything is clamped to `max_deadline_ms`.
+    fn effective_deadline(&self, requested_ms: u32) -> Duration {
+        let ms = if requested_ms == 0 {
+            self.default_deadline_ms
+        } else {
+            requested_ms.min(self.max_deadline_ms)
+        };
+        Duration::from_millis(u64::from(ms))
+    }
+}
+
+/// One unit of admitted work, in flight between a connection thread and
+/// a worker. Dropping `resp_tx` unanswered is how a dead worker turns
+/// into a typed `WorkerLost` at the connection.
+struct Job {
+    req: Request,
+    accepted_at: Instant,
+    deadline: Duration,
+    resp_tx: mpsc::Sender<Response>,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    config: ServerConfig,
+    metrics: Mutex<MetricsRegistry>,
+    cache: ShardedCache,
+    shutting_down: AtomicBool,
+    job_rx: Mutex<mpsc::Receiver<Job>>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    worker_seq: AtomicUsize,
+}
+
+/// Locks a mutex, recovering from poisoning: a worker that panicked can
+/// never take the metrics or queue down with it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Live connections: the registered stream (so drain can shut its read
+/// half) paired with its serving thread.
+type ConnRegistry = Arc<Mutex<Vec<(TcpStream, thread::JoinHandle<()>)>>>;
+
+/// A running `cpackd` server. Dropping the handle performs a graceful
+/// shutdown; call [`ServerHandle::shutdown`] to also get the final
+/// metrics snapshot.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    conns: ConnRegistry,
+    job_tx: Option<mpsc::SyncSender<Job>>,
+}
+
+/// Starts a server bound to `addr` (use `"127.0.0.1:0"` for an ephemeral
+/// port; the bound address is available via [`ServerHandle::addr`]).
+pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+    let workers = config.workers.max(1);
+    let cache = ShardedCache::new(config.cache);
+    let shared = Arc::new(Shared {
+        config,
+        metrics: Mutex::new(MetricsRegistry::new()),
+        cache,
+        shutting_down: AtomicBool::new(false),
+        job_rx: Mutex::new(job_rx),
+        workers: Mutex::new(Vec::new()),
+        worker_seq: AtomicUsize::new(0),
+    });
+    for _ in 0..workers {
+        spawn_worker(&shared);
+    }
+    let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        let job_tx = job_tx.clone();
+        thread::Builder::new()
+            .name("cpackd-acceptor".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let Ok(registered) = stream.try_clone() else {
+                        continue;
+                    };
+                    let handle = {
+                        let shared = Arc::clone(&shared);
+                        let job_tx = job_tx.clone();
+                        thread::Builder::new()
+                            .name("cpackd-conn".to_string())
+                            .spawn(move || run_conn(&shared, stream, &job_tx))
+                    };
+                    if let Ok(handle) = handle {
+                        let mut conns = lock(&conns);
+                        // Prune finished connections so a long-running
+                        // daemon doesn't accumulate dead handles.
+                        conns.retain(|(_, h)| !h.is_finished());
+                        conns.push((registered, handle));
+                    }
+                }
+            })?
+    };
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        acceptor: Some(acceptor),
+        conns,
+        job_tx: Some(job_tx),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Gracefully drains the server: stops admission, finishes in-flight
+    /// requests, joins every thread, and returns the final metrics
+    /// (cache stats folded in).
+    pub fn shutdown(mut self) -> MetricsRegistry {
+        self.drain();
+        snapshot_metrics(&self.shared)
+    }
+
+    fn drain(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of accept(); it sees the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Stop reading new requests on every live connection. In-flight
+        // requests still get their responses written before the
+        // connection thread exits on the resulting EOF.
+        let conns = std::mem::take(&mut *lock(&self.conns));
+        for (stream, handle) in conns {
+            let _ = stream.shutdown(Shutdown::Read);
+            let _ = handle.join();
+        }
+        // With every connection gone, dropping the last job sender lets
+        // the workers drain the queue and exit.
+        self.job_tx = None;
+        loop {
+            let handle = lock(&self.shared.workers).pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// A consistent metrics snapshot with the cache counters folded in.
+fn snapshot_metrics(shared: &Shared) -> MetricsRegistry {
+    let mut snap = MetricsRegistry::new();
+    snap.merge(&lock(&shared.metrics));
+    let (hits, misses, evictions) = shared.cache.stats();
+    snap.incr(SVC_CACHE_HITS, hits);
+    snap.incr(SVC_CACHE_MISSES, misses);
+    snap.incr(SVC_CACHE_EVICTIONS, evictions);
+    snap
+}
+
+/// Spawns one worker thread and registers its handle for shutdown.
+fn spawn_worker(shared: &Arc<Shared>) {
+    let n = shared.worker_seq.fetch_add(1, Ordering::SeqCst);
+    let cloned = Arc::clone(shared);
+    let spawned = thread::Builder::new()
+        .name(format!("cpackd-worker-{n}"))
+        .spawn(move || run_worker(&cloned));
+    match spawned {
+        Ok(handle) => lock(&shared.workers).push(handle),
+        Err(e) => eprintln!("cpackd: failed to spawn worker: {e}"),
+    }
+}
+
+/// Respawns the worker when it dies for any reason other than drain —
+/// a chaos exit returns from `run_worker` with the guard armed, and a
+/// panic unwinds through it. Either way the pool heals itself.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    armed: bool,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        lock(&self.shared.metrics).incr(SVC_WORKER_DEATHS, 1);
+        if !self.shared.shutting_down.load(Ordering::SeqCst) {
+            lock(&self.shared.metrics).incr(SVC_WORKER_RESPAWNS, 1);
+            spawn_worker(&self.shared);
+        }
+    }
+}
+
+fn run_worker(shared: &Arc<Shared>) {
+    let mut guard = RespawnGuard {
+        shared: Arc::clone(shared),
+        armed: true,
+    };
+    loop {
+        // Hold the receiver lock only for the dequeue, never during
+        // request execution.
+        let job = lock(&shared.job_rx).recv();
+        match job {
+            // Every sender is gone: the server is draining. Disarm so
+            // the guard treats this as a clean exit.
+            Err(_) => {
+                guard.armed = false;
+                return;
+            }
+            Ok(job) => {
+                if serve(shared, job).is_break() {
+                    // Chaos exit-after-reply: die with the guard armed
+                    // so the pool respawns a replacement.
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Executes one admitted job. `Break` means the worker thread must die
+/// (chaos). A panic inside propagates: the response channel drops
+/// unanswered (→ `WorkerLost` at the connection) and the respawn guard
+/// heals the pool.
+fn serve(shared: &Arc<Shared>, job: Job) -> ControlFlow<()> {
+    let Job {
+        req,
+        accepted_at,
+        deadline,
+        resp_tx,
+    } = job;
+    if accepted_at.elapsed() >= deadline {
+        // Expired while queued: refuse to burn worker time on an answer
+        // nobody is waiting for.
+        let _ = resp_tx.send(Response {
+            id: req.id,
+            status: Status::DeadlineExceeded,
+            payload: b"deadline expired while queued".to_vec(),
+        });
+        return ControlFlow::Continue(());
+    }
+    let (status, payload) = match req.op {
+        Op::ChaosKill => match req.payload.first().copied() {
+            Some(CHAOS_EXIT_AFTER_REPLY) => {
+                let _ = resp_tx.send(Response {
+                    id: req.id,
+                    status: Status::Ok,
+                    payload: Vec::new(),
+                });
+                return ControlFlow::Break(());
+            }
+            Some(CHAOS_PANIC_MID_REQUEST) => {
+                // Unwinds through the respawn guard; `resp_tx` drops
+                // unanswered and the connection reports `WorkerLost`.
+                panic!("chaos: injected worker panic (request {})", req.id);
+            }
+            _ => (
+                Status::BadRequest,
+                b"chaos payload must be one mode byte".to_vec(),
+            ),
+        },
+        Op::Burn => match <[u8; 4]>::try_from(req.payload.as_slice()) {
+            Ok(le) => {
+                let ms = u32::from_le_bytes(le).min(BURN_CAP_MS);
+                thread::sleep(Duration::from_millis(u64::from(ms)));
+                (Status::Ok, Vec::new())
+            }
+            Err(_) => (
+                Status::BadRequest,
+                b"burn payload must be a little-endian u32".to_vec(),
+            ),
+        },
+        op => execute(shared, op, &req.payload),
+    };
+    let _ = resp_tx.send(Response {
+        id: req.id,
+        status,
+        payload,
+    });
+    ControlFlow::Continue(())
+}
+
+fn integrity_name(i: StreamIntegrity) -> &'static str {
+    match i {
+        StreamIntegrity::None => "none",
+        StreamIntegrity::Parity => "parity",
+        StreamIntegrity::Crc32 => "crc32",
+    }
+}
+
+fn words_from_le(payload: &[u8]) -> Option<Vec<u32>> {
+    if !payload.len().is_multiple_of(4) {
+        return None;
+    }
+    Some(
+        payload
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect(),
+    )
+}
+
+fn words_to_le(words: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// The pure endpoint handlers: a function of the payload (plus the
+/// cache and metrics for `Compress` / `Metrics`). `Ok` responses are
+/// byte-identical to the corresponding direct library calls.
+fn execute(shared: &Arc<Shared>, op: Op, payload: &[u8]) -> (Status, Vec<u8>) {
+    match op {
+        Op::Ping => (Status::Ok, payload.to_vec()),
+        Op::Compress => {
+            let Some(words) = words_from_le(payload) else {
+                return (
+                    Status::BadRequest,
+                    b"compress payload must be whole little-endian words".to_vec(),
+                );
+            };
+            let key = content_hash(payload);
+            if let Some(frame) = shared.cache.get(key) {
+                return (Status::Ok, frame);
+            }
+            let frame = pack_frame(&words, &PackOptions::default());
+            shared.cache.insert(key, frame.clone());
+            (Status::Ok, frame)
+        }
+        Op::Decompress => match unpack_frame(payload, &UnpackOptions::default()) {
+            Ok(words) => (Status::Ok, words_to_le(&words)),
+            Err(e) => (Status::Corrupt, e.to_string().into_bytes()),
+        },
+        Op::Lint => {
+            let summary = match scan_frame(payload) {
+                Ok(s) => s,
+                Err(e) => return (Status::Corrupt, e.to_string().into_bytes()),
+            };
+            // The scan is structural only; the full unpack adds the
+            // per-group integrity and codec checks.
+            if let Err(e) = unpack_frame(payload, &UnpackOptions::default()) {
+                return (Status::Corrupt, e.to_string().into_bytes());
+            }
+            let verdict = format!(
+                "{{\"schema\":\"cpackd.lint.v1\",\"ok\":true,\"content_size\":{},\
+                 \"groups\":{},\"integrity\":\"{}\",\"frame_bytes\":{}}}",
+                summary.content_size,
+                summary.group_payload_lens.len(),
+                integrity_name(summary.integrity),
+                payload.len(),
+            );
+            (Status::Ok, verdict.into_bytes())
+        }
+        Op::Profile => {
+            let Some(words) = words_from_le(payload) else {
+                return (
+                    Status::BadRequest,
+                    b"profile payload must be whole little-endian words".to_vec(),
+                );
+            };
+            let frame = pack_frame(&words, &PackOptions::default());
+            let summary = scan_frame(&frame).expect("freshly packed frame scans clean");
+            let lens = &summary.group_payload_lens;
+            let (min, max, sum) = lens.iter().fold((u32::MAX, 0u32, 0u64), |(lo, hi, s), &l| {
+                (lo.min(l), hi.max(l), s + u64::from(l))
+            });
+            let mean = if lens.is_empty() {
+                0.0
+            } else {
+                sum as f64 / lens.len() as f64
+            };
+            let ratio = if payload.is_empty() {
+                0.0
+            } else {
+                frame.len() as f64 / payload.len() as f64
+            };
+            let profile = format!(
+                "{{\"schema\":\"cpackd.profile.v1\",\"in_bytes\":{},\"out_bytes\":{},\
+                 \"ratio\":{ratio:.6},\"groups\":{},\"group_payload_min\":{},\
+                 \"group_payload_max\":{},\"group_payload_mean\":{mean:.2}}}",
+                payload.len(),
+                frame.len(),
+                lens.len(),
+                if lens.is_empty() { 0 } else { min },
+                max,
+            );
+            (Status::Ok, profile.into_bytes())
+        }
+        Op::Metrics => (Status::Ok, snapshot_metrics(shared).to_json().into_bytes()),
+        Op::ChaosKill | Op::Burn => unreachable!("handled by the worker loop"),
+    }
+}
+
+/// Writes `resp` and does the authoritative client-visible accounting:
+/// `svc.responses.<status>` counts exactly what was written to the wire.
+fn respond(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    resp: &Response,
+    latency: Option<Duration>,
+) -> Result<(), ProtoError> {
+    {
+        let mut m = lock(&shared.metrics);
+        m.incr(&format!("svc.responses.{}", resp.status.name()), 1);
+        if resp.status == Status::DeadlineExceeded {
+            m.incr(SVC_DEADLINE_EXCEEDED, 1);
+        }
+        if resp.status == Status::Ok {
+            if let Some(lat) = latency {
+                m.observe(SVC_LATENCY_US, lat.as_micros() as u64);
+            }
+        }
+    }
+    proto::write_response(stream, resp)
+}
+
+fn run_conn(shared: &Arc<Shared>, mut stream: TcpStream, job_tx: &mpsc::SyncSender<Job>) {
+    if shared.config.idle_timeout_ms > 0 {
+        let idle = Duration::from_millis(shared.config.idle_timeout_ms);
+        let _ = stream.set_read_timeout(Some(idle));
+    }
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let req = match proto::read_request(&mut stream, shared.config.max_payload) {
+            Ok(None) => return, // clean close between frames
+            Ok(Some(r)) => r,
+            Err(e) => {
+                lock(&shared.metrics).incr(SVC_PROTO_ERRORS, 1);
+                let status = match &e {
+                    // The peer is gone or the stream died: nothing to say.
+                    ProtoError::Truncated | ProtoError::Io(_) => return,
+                    ProtoError::TooLarge { .. } => Status::TooLarge,
+                    _ => Status::BadRequest,
+                };
+                // A parse error loses the request id, so the reply
+                // carries id 0; the stream may be desynchronized, so the
+                // connection closes after answering.
+                let _ = respond(
+                    shared,
+                    &mut stream,
+                    &Response {
+                        id: 0,
+                        status,
+                        payload: e.to_string().into_bytes(),
+                    },
+                    None,
+                );
+                return;
+            }
+        };
+        let accepted_at = Instant::now();
+        let deadline = shared.config.effective_deadline(req.deadline_ms);
+        let id = req.id;
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            lock(&shared.metrics).incr(SVC_SHUTTING_DOWN, 1);
+            let _ = respond(
+                shared,
+                &mut stream,
+                &Response {
+                    id,
+                    status: Status::ShuttingDown,
+                    payload: b"server is draining".to_vec(),
+                },
+                None,
+            );
+            continue;
+        }
+        let (resp_tx, resp_rx) = mpsc::channel();
+        let op_name = req.op.name();
+        let job = Job {
+            req,
+            accepted_at,
+            deadline,
+            resp_tx,
+        };
+        match job_tx.try_send(job) {
+            Ok(()) => {
+                let mut m = lock(&shared.metrics);
+                m.incr(SVC_REQUESTS, 1);
+                m.incr(&format!("svc.requests.{op_name}"), 1);
+            }
+            Err(TrySendError::Full(_)) => {
+                // Typed load shedding: the request never executes and the
+                // client is told exactly why.
+                lock(&shared.metrics).incr(SVC_SHED, 1);
+                let _ = respond(
+                    shared,
+                    &mut stream,
+                    &Response {
+                        id,
+                        status: Status::Overloaded,
+                        payload: b"admission queue full".to_vec(),
+                    },
+                    None,
+                );
+                continue;
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                lock(&shared.metrics).incr(SVC_SHUTTING_DOWN, 1);
+                let _ = respond(
+                    shared,
+                    &mut stream,
+                    &Response {
+                        id,
+                        status: Status::ShuttingDown,
+                        payload: b"server is draining".to_vec(),
+                    },
+                    None,
+                );
+                continue;
+            }
+        }
+        let resp = match resp_rx.recv_timeout(deadline) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => {
+                lock(&shared.metrics).incr(SVC_DEADLINE_EXCEEDED, 1);
+                Response {
+                    id,
+                    status: Status::DeadlineExceeded,
+                    payload: b"deadline exceeded".to_vec(),
+                }
+            }
+            // The worker died before answering: its end of the channel
+            // dropped without a send. The respawn guard is already
+            // healing the pool; the client gets a typed, retryable
+            // status instead of a hang.
+            Err(RecvTimeoutError::Disconnected) => Response {
+                id,
+                status: Status::WorkerLost,
+                payload: b"worker died mid-request".to_vec(),
+            },
+        };
+        // recv_timeout already bumped the deadline aggregate above;
+        // responses.<status> is counted (once) inside respond().
+        let latency = accepted_at.elapsed();
+        if respond(shared, &mut stream, &resp, Some(latency)).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_clamping() {
+        let c = ServerConfig::default();
+        assert_eq!(
+            c.effective_deadline(0),
+            Duration::from_millis(u64::from(c.default_deadline_ms))
+        );
+        assert_eq!(c.effective_deadline(50), Duration::from_millis(50));
+        assert_eq!(
+            c.effective_deadline(u32::MAX),
+            Duration::from_millis(u64::from(c.max_deadline_ms))
+        );
+    }
+
+    fn bare_shared() -> Arc<Shared> {
+        let (_tx, rx) = mpsc::sync_channel::<Job>(1);
+        Arc::new(Shared {
+            config: ServerConfig::default(),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            cache: ShardedCache::new(CacheConfig::default()),
+            shutting_down: AtomicBool::new(false),
+            job_rx: Mutex::new(rx),
+            workers: Mutex::new(Vec::new()),
+            worker_seq: AtomicUsize::new(0),
+        })
+    }
+
+    fn sample_words(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| 0x3860_0000 | (i % 7)).collect()
+    }
+
+    #[test]
+    fn compress_matches_direct_library_call() {
+        let shared = bare_shared();
+        let words = sample_words(200);
+        let payload = words_to_le(&words);
+        let (status, frame) = execute(&shared, Op::Compress, &payload);
+        assert_eq!(status, Status::Ok);
+        assert_eq!(frame, pack_frame(&words, &PackOptions::default()));
+        // Second call is served from the cache, byte-identical.
+        let (status2, frame2) = execute(&shared, Op::Compress, &payload);
+        assert_eq!(status2, Status::Ok);
+        assert_eq!(frame2, frame);
+        assert_eq!(shared.cache.stats().0, 1, "one cache hit");
+    }
+
+    #[test]
+    fn decompress_round_trips_and_types_corruption() {
+        let shared = bare_shared();
+        let words = sample_words(64);
+        let frame = pack_frame(&words, &PackOptions::default());
+        let (status, out) = execute(&shared, Op::Decompress, &frame);
+        assert_eq!(status, Status::Ok);
+        assert_eq!(out, words_to_le(&words));
+        let (bad, msg) = execute(&shared, Op::Decompress, &frame[..frame.len() - 3]);
+        assert_eq!(bad, Status::Corrupt);
+        assert!(!msg.is_empty());
+    }
+
+    #[test]
+    fn misaligned_compress_is_bad_request() {
+        let shared = bare_shared();
+        let (status, _) = execute(&shared, Op::Compress, &[1, 2, 3]);
+        assert_eq!(status, Status::BadRequest);
+        let (status, _) = execute(&shared, Op::Profile, &[1, 2, 3, 4, 5]);
+        assert_eq!(status, Status::BadRequest);
+    }
+
+    #[test]
+    fn lint_and_profile_emit_json_verdicts() {
+        let shared = bare_shared();
+        let words = sample_words(96);
+        let payload = words_to_le(&words);
+        let frame = pack_frame(&words, &PackOptions::default());
+        let (status, verdict) = execute(&shared, Op::Lint, &frame);
+        assert_eq!(status, Status::Ok);
+        let verdict = String::from_utf8(verdict).unwrap();
+        assert!(verdict.contains("\"ok\":true"), "{verdict}");
+        assert!(verdict.contains("\"groups\":3"), "{verdict}");
+        assert!(verdict.contains("\"integrity\":\"crc32\""), "{verdict}");
+        let (status, profile) = execute(&shared, Op::Profile, &payload);
+        assert_eq!(status, Status::Ok);
+        let profile = String::from_utf8(profile).unwrap();
+        assert!(profile.contains("\"in_bytes\":384"), "{profile}");
+        assert!(profile.contains("\"groups\":3"), "{profile}");
+        // Corrupt frames get a typed verdict, not a panic.
+        let mut torn = frame.clone();
+        torn[5] ^= 0xff;
+        let (status, _) = execute(&shared, Op::Lint, &torn);
+        assert_eq!(status, Status::Corrupt);
+    }
+
+    #[test]
+    fn metrics_endpoint_folds_cache_stats() {
+        let shared = bare_shared();
+        let payload = words_to_le(&sample_words(32));
+        execute(&shared, Op::Compress, &payload);
+        execute(&shared, Op::Compress, &payload);
+        let (status, json) = execute(&shared, Op::Metrics, &[]);
+        assert_eq!(status, Status::Ok);
+        let json = String::from_utf8(json).unwrap();
+        assert!(json.contains(SVC_CACHE_HITS), "{json}");
+        assert!(json.contains(SVC_CACHE_MISSES), "{json}");
+    }
+}

@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
-"""Validator for the BENCH_codec.json codec scorecard.
+"""Validator for the BENCH_*.json scorecards.
 
-The scorecard is a versioned artifact (schema_version 1): CI validates
+Each scorecard is a versioned artifact (schema_version 1): CI validates
 both the fresh smoke run and the checked-in full-mode numbers with this
-one script, so the schema is enforced in exactly one place. It carries
-two sections: per-profile decode rows (owned by the decode_throughput
-bench) and an optional "frame" section (owned by frame_throughput) with
-serial-vs-parallel .cpk pack/unpack rates.
+one script, so each schema is enforced in exactly one place. The script
+dispatches on the top-level "suite" field:
+
+  suite "codec"   — per-profile decode rows (decode_throughput) plus an
+                    optional "frame" section (frame_throughput) with
+                    serial-vs-parallel .cpk pack/unpack rates.
+  suite "service" — the `cpack loadgen` scorecard for cpackd: request
+                    accounting (the zero-loss contract: lost,
+                    duplicated, and mismatched must all be 0) and the
+                    latency percentile ladder.
 
 Usage:
     validate_bench.py FILE --mode smoke|full
                       [--min-speedup X] [--fast-beats-scalar]
                       [--require-frame] [--min-parallel-speedup X]
+                      [--require-service]
 
 The parallel-speedup floor is core-count aware: the frame section records
 how many CPUs the bench saw, and the floor is only enforced when
@@ -74,6 +81,71 @@ def validate_frame(frame, path, require_frame, min_parallel_speedup):
                 f"{path}: note: parallel-speedup floor skipped "
                 f"({cpus} cpu(s) < {workers} workers)"
             )
+    return errs
+
+
+LATENCY_LADDER = ("p50", "p95", "p99", "p999", "max")
+
+
+def validate_service(doc, path, mode):
+    """Validates a suite="service" loadgen scorecard; returns violations."""
+    errs = []
+
+    def expect(cond, msg):
+        if not cond:
+            errs.append(f"{path}: {msg}")
+
+    expect(
+        doc.get("schema_version") == SCHEMA_VERSION,
+        f"schema_version {doc.get('schema_version')!r} != {SCHEMA_VERSION}",
+    )
+    expect(doc.get("bench") == "loadgen", f"bench {doc.get('bench')!r} != 'loadgen'")
+    expect(doc.get("unit") == "us", f"unit {doc.get('unit')!r} != 'us'")
+    expect(isinstance(doc.get("seed"), int), f"seed {doc.get('seed')!r} is not an int")
+    if mode is not None:
+        expect(doc.get("mode") == mode, f"mode {doc.get('mode')!r} != {mode!r}")
+    for field in ("requests", "clients"):
+        v = doc.get(field)
+        if not isinstance(v, int) or v <= 0:
+            errs.append(f"{path}: {field} = {v!r} is not a positive integer")
+    expect(isinstance(doc.get("chaos"), bool), "chaos is not a boolean")
+
+    results = doc.get("results")
+    if not isinstance(results, dict):
+        errs.append(f"{path}: results is not an object")
+        return errs
+    # The robustness contract: every request resolved exactly once, and
+    # every Ok response matched the library's answer byte-for-byte.
+    for field in ("lost", "duplicated", "mismatched"):
+        if results.get(field) != 0:
+            errs.append(f"{path}: results.{field} = {results.get(field)!r} != 0")
+    ok = results.get("ok")
+    if not isinstance(ok, int) or ok <= 0:
+        errs.append(f"{path}: results.ok = {ok!r} is not a positive integer")
+    for field in ("failed", "connection_errors"):
+        v = results.get(field)
+        if not isinstance(v, int) or v < 0:
+            errs.append(f"{path}: results.{field} = {v!r} is not a non-negative integer")
+    rejected = results.get("rejected")
+    if not isinstance(rejected, dict) or any(
+        not isinstance(v, int) or v < 0 for v in rejected.values()
+    ):
+        errs.append(f"{path}: results.rejected is not an object of non-negative counts")
+
+    lat = doc.get("latency_us")
+    if not isinstance(lat, dict):
+        errs.append(f"{path}: latency_us is not an object")
+        return errs
+    for field in ("min", "mean") + LATENCY_LADDER:
+        v = lat.get(field)
+        if not isinstance(v, (int, float)) or v < 0:
+            errs.append(f"{path}: latency_us.{field} = {v!r} is not a non-negative number")
+    ladder = [lat.get(f, 0) for f in ("min",) + LATENCY_LADDER]
+    for (lo_name, lo), (hi_name, hi) in zip(
+        zip(("min",) + LATENCY_LADDER, ladder), zip(LATENCY_LADDER, ladder[1:])
+    ):
+        if isinstance(lo, (int, float)) and isinstance(hi, (int, float)) and lo > hi:
+            errs.append(f"{path}: latency_us.{lo_name} {lo} > latency_us.{hi_name} {hi}")
     return errs
 
 
@@ -146,6 +218,11 @@ def main():
         help="floor for frame pack/unpack speedup, enforced only when "
         "the recorded cpus >= workers",
     )
+    ap.add_argument(
+        "--require-service",
+        action="store_true",
+        help="fail unless the document is a suite=\"service\" loadgen scorecard",
+    )
     args = ap.parse_args()
 
     try:
@@ -153,6 +230,21 @@ def main():
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"{args.file}: {e}")
+
+    suite = doc.get("suite")
+    if args.require_service and suite != "service":
+        sys.exit(f"{args.file}: suite {suite!r} != 'service' (--require-service)")
+
+    if suite == "service":
+        errs = validate_service(doc, args.file, args.mode)
+        if errs:
+            sys.exit("\n".join(errs))
+        results = doc["results"]
+        print(f"{args.file}: valid service scorecard (schema v{SCHEMA_VERSION}, "
+              f"{doc['requests']} requests, {results['ok']} ok, "
+              f"{results['failed']} typed failures, chaos {doc['chaos']}, "
+              f"p99 {doc['latency_us']['p99']}us, mode {doc.get('mode')})")
+        return
 
     errs = validate(doc, args.file, args.mode, args.min_speedup, args.fast_beats_scalar,
                     args.require_frame, args.min_parallel_speedup)
