@@ -11,6 +11,14 @@ cargo fmt --all --check
 echo "== clippy (offline, deny warnings) =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
+echo "== hermeticity grep gate (core/analyze/isa) =="
+# No wall clocks, no randomness, no hash-ordered serialization in the
+# deterministic crates; see tools/check_hermetic.sh for the rationale.
+tools/check_hermetic.sh
+
+echo "== rustdoc (offline, deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps --workspace
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
@@ -180,6 +188,52 @@ assert not r["clean"] and r["errors"] > 0
 assert any(d["severity"] == "error" and (d["addr"] or "").startswith("0x")
            for d in r["diagnostics"]), "no error diagnostic names an address"
 print("tier-2 lint smoke: corrupted index entry detected statically")
+PYEOF
+
+echo "== tier-2: .cpk frame lint gate =="
+# Every benchmark packed to a stream frame must pass the *static* frame
+# linter (chunk extents, CRCs, integrity trailers, payload decode — no
+# unpack), and a single flipped payload byte must fail the gate with a
+# JSON diagnostic naming the damaged group.
+for p in cc1 go mpeg2enc pegwit perl vortex; do
+    "$CPACK" pack "$p" -o "$OBS_TMP/frame-$p.cpk" 2> /dev/null
+    "$CPACK" lint "$OBS_TMP/frame-$p.cpk" --json > "$OBS_TMP/flint-$p.json" \
+        || { echo "frame lint gate failed for $p"; cat "$OBS_TMP/flint-$p.json"; exit 1; }
+done
+python3 - "$OBS_TMP" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+for p in ["cc1", "go", "mpeg2enc", "pegwit", "perl", "vortex"]:
+    with open(f"{tmp}/flint-{p}.json") as f:
+        r = json.load(f)
+    assert r["clean"] and r["errors"] == 0, f"{p}: frame lint not clean"
+    for c in ["frame-header", "frame-chunk", "frame-integrity",
+              "frame-payload", "frame-trailer", "decode-table-kind"]:
+        assert c in r["checks_run"], f"{p}: check {c} did not run"
+# Flip one payload byte of the first group of pegwit's frame.
+with open(f"{tmp}/frame-pegwit.cpk", "rb") as f:
+    b = bytearray(f.read())
+hi = int.from_bytes(b[16:18], "little")
+lo = int.from_bytes(b[18:20], "little")
+payload_at = 20 + 2 * (hi + lo) + 4 + 4 + 2
+b[payload_at] ^= 0x01
+with open(f"{tmp}/frame-pegwit-corrupt.cpk", "wb") as f:
+    f.write(b)
+print("tier-2 frame lint: 6 frames clean, all frame checks ran")
+PYEOF
+if "$CPACK" lint "$OBS_TMP/frame-pegwit-corrupt.cpk" --json \
+        > "$OBS_TMP/flint-corrupt.json"; then
+    echo "frame lint gate MISSED a flipped payload byte"; exit 1
+fi
+python3 - "$OBS_TMP" <<'PYEOF'
+import json, sys
+tmp = sys.argv[1]
+with open(f"{tmp}/flint-corrupt.json") as f:
+    r = json.load(f)
+assert not r["clean"] and r["errors"] > 0
+assert any("group 0" in d["message"] for d in r["diagnostics"]), \
+    "no diagnostic names the damaged group"
+print("tier-2 frame lint: flipped payload byte detected, group named")
 PYEOF
 
 echo "== tier-2: codec + frame fuzzer (fixed seed, both backends) =="

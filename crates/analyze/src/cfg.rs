@@ -22,10 +22,10 @@
 
 use codepack_isa::{decode_at, DecodeError, Instruction, Program, TEXT_BASE};
 
-use crate::diag::{Diagnostic, LintReport};
+use crate::diag::{Capped, Diagnostic, LintReport};
 
-/// How many individual diagnostics a single check emits before collapsing
-/// the remainder into one summary line.
+/// How many individual diagnostics a single check emits before suppressing
+/// the remainder into [`LintReport::suppressed`].
 const PER_CHECK_CAP: usize = 16;
 
 /// How control leaves an instruction, in instruction-index space.
@@ -188,28 +188,20 @@ pub fn check_cfg(cfg: &Cfg, report: &mut LintReport) {
 }
 
 fn check_encodings(cfg: &Cfg, report: &mut LintReport) {
-    let mut emitted = 0usize;
-    let mut suppressed = 0usize;
+    let mut cap = Capped::new("illegal-encoding", PER_CHECK_CAP);
     for (i, insn) in cfg.insns.iter().enumerate() {
         let Err(e) = insn else { continue };
-        if emitted == PER_CHECK_CAP {
-            suppressed += 1;
-            continue;
-        }
-        emitted += 1;
         let d = if cfg.reachable[i] {
             Diagnostic::error("illegal-encoding", format!("{e}"))
         } else {
             Diagnostic::warning("illegal-encoding", format!("{e} (in unreachable code)"))
         };
-        report.push(d.at(e.addr).with_context(cfg.context_line(i as u32)));
+        cap.push(
+            report,
+            d.at(e.addr).with_context(cfg.context_line(i as u32)),
+        );
     }
-    if suppressed > 0 {
-        report.push(Diagnostic::info(
-            "illegal-encoding",
-            format!("{suppressed} further undecodable word(s) suppressed"),
-        ));
-    }
+    cap.finish(report);
 }
 
 fn check_transfers(cfg: &Cfg, report: &mut LintReport) {
@@ -275,8 +267,7 @@ fn check_fall_off_end(cfg: &Cfg, report: &mut LintReport) {
 }
 
 fn check_dead_code(cfg: &Cfg, report: &mut LintReport) {
-    let mut emitted = 0usize;
-    let mut suppressed_runs = 0usize;
+    let mut cap = Capped::new("dead-code", PER_CHECK_CAP);
     let mut i = 0u32;
     let n = cfg.len();
     while i < n {
@@ -294,12 +285,8 @@ fn check_dead_code(cfg: &Cfg, report: &mut LintReport) {
         if i == n && all_nops {
             continue;
         }
-        if emitted == PER_CHECK_CAP {
-            suppressed_runs += 1;
-            continue;
-        }
-        emitted += 1;
-        report.push(
+        cap.push(
+            report,
             Diagnostic::warning(
                 "dead-code",
                 format!(
@@ -312,12 +299,7 @@ fn check_dead_code(cfg: &Cfg, report: &mut LintReport) {
             .with_context(cfg.context_line(start)),
         );
     }
-    if suppressed_runs > 0 {
-        report.push(Diagnostic::info(
-            "dead-code",
-            format!("{suppressed_runs} further unreachable run(s) suppressed"),
-        ));
-    }
+    cap.finish(report);
 }
 
 /// Encodes a short hand-written program for tests.

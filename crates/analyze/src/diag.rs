@@ -142,6 +142,10 @@ pub struct LintReport {
     pub checks_run: Vec<&'static str>,
     /// Static-vs-codec ratio cross-check, when an image was linted.
     pub ratio: Option<RatioReport>,
+    /// Per-check counts of findings suppressed past that check's emission
+    /// cap, sorted by check name. Structured so callers (and the JSON
+    /// output) can see how much a capped check left unreported.
+    pub suppressed: Vec<(&'static str, u64)>,
 }
 
 impl LintReport {
@@ -163,6 +167,23 @@ impl LintReport {
     /// Adds a finding.
     pub fn push(&mut self, d: Diagnostic) {
         self.diagnostics.push(d);
+    }
+
+    /// Records that `n` further findings from `check` were suppressed past
+    /// its emission cap (accumulates; keeps the list sorted by check name).
+    pub fn suppress(&mut self, check: &'static str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self.suppressed.binary_search_by(|(c, _)| c.cmp(&check)) {
+            Ok(i) => self.suppressed[i].1 += n,
+            Err(i) => self.suppressed.insert(i, (check, n)),
+        }
+    }
+
+    /// Total findings suppressed across all checks.
+    pub fn total_suppressed(&self) -> u64 {
+        self.suppressed.iter().map(|&(_, n)| n).sum()
     }
 
     /// Number of error-severity findings.
@@ -197,6 +218,9 @@ impl LintReport {
             for line in &d.context {
                 let _ = writeln!(out, "      {line}");
             }
+        }
+        for &(check, n) in &self.suppressed {
+            let _ = writeln!(out, "  suppressed[{check}]: {n} further finding(s)");
         }
         if let Some(r) = &self.ratio {
             let _ = writeln!(
@@ -244,6 +268,14 @@ impl LintReport {
                 w.null();
             }
         }
+        w.key("suppressed").begin_array();
+        for &(check, n) in &self.suppressed {
+            w.begin_object();
+            w.field_str("check", check);
+            w.field_u64("count", n);
+            w.end_object();
+        }
+        w.end_array();
         w.key("diagnostics").begin_array();
         for d in &self.diagnostics {
             w.begin_object();
@@ -269,6 +301,43 @@ impl LintReport {
         w.end_array();
         w.end_object();
         w.finish()
+    }
+}
+
+/// Per-check emission counter: emits diagnostics up to a cap, then counts
+/// the remainder into [`LintReport::suppressed`] so nothing is silently
+/// dropped. Every chatty check routes its findings through one of these.
+pub struct Capped {
+    check: &'static str,
+    cap: usize,
+    emitted: usize,
+    suppressed: u64,
+}
+
+impl Capped {
+    /// A counter for `check` that emits at most `cap` diagnostics.
+    pub fn new(check: &'static str, cap: usize) -> Capped {
+        Capped {
+            check,
+            cap,
+            emitted: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Emits `d` into `report`, or counts it as suppressed past the cap.
+    pub fn push(&mut self, report: &mut LintReport, d: Diagnostic) {
+        if self.emitted < self.cap {
+            self.emitted += 1;
+            report.push(d);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    /// Folds the suppressed count into the report (call once, at the end).
+    pub fn finish(self, report: &mut LintReport) {
+        report.suppress(self.check, self.suppressed);
     }
 }
 
@@ -305,6 +374,45 @@ mod tests {
         let boom = text.find("boom").unwrap();
         let note = text.find("note").unwrap();
         assert!(boom < note, "errors render before infos:\n{text}");
+    }
+
+    #[test]
+    fn capped_records_suppressed_in_both_renderings() {
+        let mut r = LintReport::new("t");
+        let mut cap = Capped::new("dict-slot", 3);
+        for i in 0..10 {
+            cap.push(&mut r, Diagnostic::error("dict-slot", format!("bad {i}")));
+        }
+        cap.finish(&mut r);
+        assert_eq!(r.diagnostics.len(), 3, "emission stops at the cap");
+        assert_eq!(r.suppressed, vec![("dict-slot", 7)]);
+        assert_eq!(r.total_suppressed(), 7);
+
+        let text = r.render();
+        assert!(
+            text.contains("suppressed[dict-slot]: 7 further finding(s)"),
+            "{text}"
+        );
+
+        let v = json::parse(&r.to_json()).unwrap();
+        let sup = v.get("suppressed").and_then(Value::as_array).unwrap();
+        assert_eq!(sup.len(), 1);
+        assert_eq!(
+            sup[0].get("check").and_then(Value::as_str),
+            Some("dict-slot")
+        );
+        assert_eq!(sup[0].get("count").and_then(Value::as_u64), Some(7));
+
+        // A second counter for the same check accumulates.
+        let mut again = Capped::new("dict-slot", 0);
+        again.push(&mut r, Diagnostic::error("dict-slot", "more"));
+        again.finish(&mut r);
+        assert_eq!(r.suppressed, vec![("dict-slot", 8)]);
+
+        // An uncapped check never appears.
+        let quiet = Capped::new("stream-slack", 4);
+        quiet.finish(&mut r);
+        assert_eq!(r.suppressed.len(), 1);
     }
 
     #[test]

@@ -31,9 +31,10 @@ use codepack_core::{
 };
 use codepack_isa::{decode, TEXT_BASE};
 
-use crate::diag::{Diagnostic, LintReport, RatioReport};
+use crate::diag::{Capped, Diagnostic, LintReport, RatioReport};
 
-/// How many per-word diagnostics one check emits before summarizing.
+/// How many per-word diagnostics one check emits before suppressing the
+/// remainder into [`LintReport::suppressed`].
 const PER_CHECK_CAP: usize = 8;
 
 /// Everything the walker needs, borrowed from either a live
@@ -90,44 +91,6 @@ pub struct StaticWalk {
     pub complete: bool,
 }
 
-/// Per-check emission counter that collapses chatter past a cap.
-struct Capped {
-    check: &'static str,
-    emitted: usize,
-    suppressed: usize,
-}
-
-impl Capped {
-    fn new(check: &'static str) -> Capped {
-        Capped {
-            check,
-            emitted: 0,
-            suppressed: 0,
-        }
-    }
-
-    fn push(&mut self, report: &mut LintReport, d: Diagnostic) {
-        if self.emitted < PER_CHECK_CAP {
-            self.emitted += 1;
-            report.push(d);
-        } else {
-            self.suppressed += 1;
-        }
-    }
-
-    fn finish(self, report: &mut LintReport) {
-        if self.suppressed > 0 {
-            report.push(Diagnostic::info(
-                self.check,
-                format!(
-                    "{} further {} finding(s) suppressed",
-                    self.suppressed, self.check
-                ),
-            ));
-        }
-    }
-}
-
 /// Reads one codeword and returns the half-word value, charging `stats`.
 /// `Err` carries a diagnostic message.
 fn walk_halfword(
@@ -179,18 +142,22 @@ fn walk_halfword(
 
 /// Walks one block starting at `byte_offset`; pushes 16 words and charges
 /// `stats`. Returns `Err(diagnostic message)` on the first structural
-/// fault inside the block.
-fn walk_block(
-    parts: &ImageParts<'_>,
+/// fault inside the block. Shared with the `.cpk` frame linter
+/// ([`crate::frame`]), which walks the same block encoding inside group
+/// payloads.
+pub(crate) fn walk_block(
+    stream: &[u8],
+    high_values: &[u16],
+    low_values: &[u16],
     byte_offset: u32,
     base_addr: u32,
     words: &mut Vec<u32>,
     stats: &mut CompositionStats,
 ) -> Result<u32, String> {
-    let slice = parts.stream.get(byte_offset as usize..).ok_or_else(|| {
+    let slice = stream.get(byte_offset as usize..).ok_or_else(|| {
         format!(
             "block offset {byte_offset} is beyond the {}-byte stream",
-            parts.stream.len()
+            stream.len()
         )
     })?;
     let mut reader = BitReader::new(slice);
@@ -212,15 +179,9 @@ fn walk_block(
         stats.compressed_tag_bits += 1;
         for j in 0..BLOCK_INSNS {
             let addr = base_addr + 4 * j;
-            let high = walk_halfword(
-                &mut reader,
-                &parts.high_values,
-                &HIGH_CLASSES,
-                "high",
-                stats,
-            )
-            .map_err(|m| format!("{m} (instruction at {addr:#010x})"))?;
-            let low = walk_halfword(&mut reader, &parts.low_values, &LOW_CLASSES, "low", stats)
+            let high = walk_halfword(&mut reader, high_values, &HIGH_CLASSES, "high", stats)
+                .map_err(|m| format!("{m} (instruction at {addr:#010x})"))?;
+            let low = walk_halfword(&mut reader, low_values, &LOW_CLASSES, "low", stats)
                 .map_err(|m| format!("{m} (instruction at {addr:#010x})"))?;
             words.push((u32::from(high) << 16) | u32::from(low));
         }
@@ -293,6 +254,17 @@ pub fn check_image(
         }
     }
 
+    // Decode-table soundness: build the decoder the codec would use for
+    // these dictionaries and exhaustively prove every table entry against
+    // scalar tag semantics (independent of the stream, so it runs even
+    // when the walk cannot).
+    {
+        let high = Dictionary::from_ranked_values(parts.high_values.clone());
+        let low = Dictionary::from_ranked_values(parts.low_values.clone());
+        let fast = FastDecoder::new(&high, &low);
+        crate::tables::check_decode_tables(&fast, &high, &low, report);
+    }
+
     // Exactly one index entry per group of two blocks.
     let expected_groups = parts.n_insns.div_ceil(GROUP_INSNS);
     if parts.index.len() as u32 != expected_groups {
@@ -309,9 +281,9 @@ pub fn check_image(
         ));
     }
 
-    let mut extent = Capped::new("index-extent");
-    let mut second = Capped::new("index-second-offset");
-    let mut slot = Capped::new("dict-slot");
+    let mut extent = Capped::new("index-extent", PER_CHECK_CAP);
+    let mut second = Capped::new("index-second-offset", PER_CHECK_CAP);
+    let mut slot = Capped::new("dict-slot", PER_CHECK_CAP);
 
     // Walk every group: first block at the entry's absolute offset, second
     // at its relative offset; extents must tile the stream in order.
@@ -344,7 +316,15 @@ pub fn check_image(
             let start = if b == 0 { first } else { first + second_rel };
             let base_addr = group_addr + 4 * BLOCK_INSNS * b;
             let before = words.len();
-            match walk_block(parts, start, base_addr, &mut words, &mut stats) {
+            match walk_block(
+                parts.stream,
+                &parts.high_values,
+                &parts.low_values,
+                start,
+                base_addr,
+                &mut words,
+                &mut stats,
+            ) {
                 Ok(end) => block_end[b as usize] = end,
                 Err(msg) => {
                     complete = false;
@@ -434,7 +414,7 @@ fn check_decode_backends(parts: &ImageParts<'_>, words: &[u32], report: &mut Lin
     let high = Dictionary::from_ranked_values(parts.high_values.clone());
     let low = Dictionary::from_ranked_values(parts.low_values.clone());
     let fast = FastDecoder::new(&high, &low);
-    let mut cap = Capped::new("decode-backend");
+    let mut cap = Capped::new("decode-backend", PER_CHECK_CAP);
     for (g, &entry) in parts.index.iter().enumerate() {
         let (first, second_rel) = index_entry_parts(entry);
         for b in 0..BLOCKS_PER_GROUP {
@@ -571,7 +551,7 @@ fn check_native(
             "native comparison limited: the walk did not recover every block",
         ));
     }
-    let mut cap = Capped::new("decompress-mismatch");
+    let mut cap = Capped::new("decompress-mismatch", PER_CHECK_CAP);
     for (i, &expect) in native.iter().enumerate() {
         let got = words.get(i).copied().unwrap_or(0);
         if got != expect {
@@ -666,6 +646,10 @@ mod tests {
         let image = compress(&text);
         let (report, walk) = lint_image(&image, None);
         assert!(report.checks_run.contains(&"decode-backend"));
+        assert!(
+            report.checks_run.contains(&"decode-table-kind"),
+            "table prover runs as part of the image checks"
+        );
         assert!(report.is_clean(), "{}", report.render());
         // The walk's words really are what both backends produce.
         assert_eq!(&walk.words[..text.len()], &text[..]);

@@ -7,7 +7,7 @@
 //! compressed storage from native storage. This crate makes that premise
 //! checkable ahead of time:
 //!
-//! * [`cfg`] recovers a control-flow graph from the binary (decode, basic
+//! * [`mod@cfg`] recovers a control-flow graph from the binary (decode, basic
 //!   blocks, reachability) and proves the static properties the runtime
 //!   relies on — every branch/jump lands inside text, no reachable path
 //!   falls off the end, no reachable word is undecodable.
@@ -43,26 +43,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
 pub mod diag;
+pub mod frame;
 pub mod image;
+pub mod tables;
 
+pub use callgraph::{build_call_graph, check_call_graph, CallGraph};
 pub use cfg::{check_cfg, recover_cfg, Cfg, Flow};
-pub use dataflow::check_use_before_def;
+pub use dataflow::{check_use_before_def, check_use_before_def_with};
 pub use diag::{Diagnostic, LintReport, RatioReport, Severity};
+pub use frame::{check_frame, lint_frame, FrameWalk};
 pub use image::{check_image, ImageParts, StaticWalk};
+pub use tables::check_decode_tables;
 
 use codepack_core::{CodePackImage, RomParts};
 use codepack_isa::Program;
 
-/// Lints a native SR32 program: CFG recovery, static CFG checks, and the
-/// use-before-def dataflow pass.
+/// Lints a native SR32 program: CFG recovery, static CFG checks, the
+/// interprocedural call-graph checks, and the use-before-def dataflow
+/// pass (with call summaries from the shared call graph).
 pub fn lint_program(program: &Program) -> LintReport {
     let mut report = LintReport::new(program.name());
     let cfg = recover_cfg(program);
     check_cfg(&cfg, &mut report);
-    check_use_before_def(&cfg, &mut report);
+    let graph = build_call_graph(&cfg);
+    check_call_graph(&cfg, &graph, &mut report);
+    check_use_before_def_with(&cfg, Some(&graph), &mut report);
     report
 }
 

@@ -1,0 +1,374 @@
+//! Decode-table soundness prover.
+//!
+//! [`codepack_core::FastDecoder`] resolves codewords with one lookup in a
+//! precomputed table; the scalar [`codepack_core::BitReader`] path reads
+//! tag and index bit-by-bit. The two are differentially *tested* against
+//! each other elsewhere — this module instead **proves** the table sound
+//! by exhaustive enumeration: for every possible bit window (all
+//! `2^window_bits` of them) it re-derives, from the scalar tag semantics
+//! and the dictionary alone, what the table entry must say, and compares
+//! against the entry the decoder actually built (read through the hidden
+//! [`codepack_core::TableView`] inspection surface).
+//!
+//! The derivation is the scalar protocol verbatim: read 2 bits through a
+//! real `BitReader` positioned over the window; a value `<= 0b01` is a
+//! complete 2-bit tag, otherwise one more bit completes a 3-bit tag. The
+//! raw tag (`111`) must map to a `Raw` entry consuming exactly the tag.
+//! Any other tag selects a codeword class from [`codepack_core::layout`];
+//! if tag + index bits exceed the window the entry must be `TooLong`,
+//! otherwise the index bits give a rank whose entry must be a `Hit`
+//! carrying the dictionary value (rank in range) or a `BadRank` carrying
+//! the offending rank (out of range) — consuming tag + index bits either
+//! way.
+//!
+//! Checks (stable names, all Error severity — a wrong table entry means
+//! the hot path can silently mis-decode):
+//!
+//! * `decode-table-shape` — table size is `2^window_bits`, the window is
+//!   within the decoder's supported range, and the recorded dictionary
+//!   length matches the dictionary.
+//! * `decode-table-kind` — an entry resolves a window to the wrong kind.
+//! * `decode-table-consumed` — an entry consumes the wrong bit count.
+//! * `decode-table-payload` — an entry carries the wrong half-word value
+//!   or rank.
+
+use codepack_core::layout::{CodewordClass, HIGH_CLASSES, LOW_CLASSES, RAW_TAG, RAW_TAG_BITS};
+use codepack_core::{BitReader, Dictionary, FastDecoder, TableEntry, TableEntryKind, TableView};
+
+use crate::diag::{Capped, Diagnostic, LintReport};
+
+/// How many diagnostics each table check emits before suppressing.
+const PER_CHECK_CAP: usize = 8;
+
+/// Derives the entry a sound table must hold for `window`, from the scalar
+/// tag semantics (via a real [`BitReader`] over the window bits) and the
+/// dictionary contents alone.
+fn expected_entry(
+    window: u32,
+    window_bits: u32,
+    dict: &Dictionary,
+    classes: &[CodewordClass; 5],
+) -> TableEntry {
+    // The window, left-aligned in two bytes: the reader sees exactly the
+    // stream prefix the table indexes on. Reads beyond `window_bits` are
+    // guarded below, never issued against the padding.
+    let bytes = ((window as u16) << (16 - window_bits)).to_be_bytes();
+    let mut reader = BitReader::new(&bytes);
+
+    let first_two = reader.read(2).expect("window_bits >= 3") as u8;
+    let (tag, tag_bits) = if first_two <= 0b01 {
+        (first_two, 2u8)
+    } else {
+        (
+            (first_two << 1) | reader.read(1).expect("window_bits >= 3") as u8,
+            3u8,
+        )
+    };
+    if tag == RAW_TAG {
+        return TableEntry {
+            kind: TableEntryKind::Raw,
+            consumed: u32::from(RAW_TAG_BITS),
+            payload: 0,
+        };
+    }
+    let class = classes
+        .iter()
+        .find(|c| c.tag == tag && c.tag_bits == tag_bits)
+        .expect("tags tile the prefix code");
+    let needed = u32::from(class.len_bits());
+    if needed > window_bits {
+        return TableEntry {
+            kind: TableEntryKind::TooLong,
+            consumed: 0,
+            payload: 0,
+        };
+    }
+    let idx = reader.read(u32::from(class.index_bits)).expect("in window") as u16;
+    let rank = class.base + idx;
+    match dict.value(rank) {
+        Some(v) => TableEntry {
+            kind: TableEntryKind::Hit,
+            consumed: needed,
+            payload: v,
+        },
+        None => TableEntry {
+            kind: TableEntryKind::BadRank,
+            consumed: needed,
+            payload: rank,
+        },
+    }
+}
+
+fn kind_name(kind: TableEntryKind) -> &'static str {
+    match kind {
+        TableEntryKind::Hit => "hit",
+        TableEntryKind::Raw => "raw",
+        TableEntryKind::BadRank => "bad-rank",
+        TableEntryKind::TooLong => "too-long",
+    }
+}
+
+/// Shared per-check suppression counters for one prover run (both
+/// tables feed the same caps, so the suppressed totals are per report).
+struct TableCaps {
+    shape: Capped,
+    kind: Capped,
+    consumed: Capped,
+    payload: Capped,
+}
+
+impl TableCaps {
+    fn new() -> TableCaps {
+        TableCaps {
+            shape: Capped::new("decode-table-shape", PER_CHECK_CAP),
+            kind: Capped::new("decode-table-kind", PER_CHECK_CAP),
+            consumed: Capped::new("decode-table-consumed", PER_CHECK_CAP),
+            payload: Capped::new("decode-table-payload", PER_CHECK_CAP),
+        }
+    }
+
+    fn finish(self, report: &mut LintReport) {
+        self.shape.finish(report);
+        self.kind.finish(report);
+        self.consumed.finish(report);
+        self.payload.finish(report);
+    }
+}
+
+/// Proves one table sound against its dictionary.
+fn check_table(
+    view: &TableView<'_>,
+    dict: &Dictionary,
+    classes: &'static [CodewordClass; 5],
+    which: &str,
+    report: &mut LintReport,
+    caps: &mut TableCaps,
+) {
+    let wb = view.window_bits();
+    if !(u32::from(RAW_TAG_BITS)..=16).contains(&wb) || view.len() != 1usize << wb {
+        caps.shape.push(
+            report,
+            Diagnostic::error(
+                "decode-table-shape",
+                format!(
+                    "{which} table claims a {wb}-bit window but holds {} entr(ies); \
+                     a sound table holds 2^window_bits with 3 <= window_bits <= 16",
+                    view.len()
+                ),
+            ),
+        );
+        return; // Enumeration below assumes the shape holds.
+    }
+    if view.dict_len() != dict.len() {
+        caps.shape.push(
+            report,
+            Diagnostic::error(
+                "decode-table-shape",
+                format!(
+                    "{which} table encodes rank bounds for a {}-entry dictionary \
+                     but the dictionary holds {} entries",
+                    view.dict_len(),
+                    dict.len()
+                ),
+            ),
+        );
+    }
+
+    for window in 0..view.len() as u32 {
+        let want = expected_entry(window, wb, dict, classes);
+        let got = view.entry(window as usize);
+        let ctx = format!("{which} window {window:0width$b}", width = wb as usize);
+        if got.kind != want.kind {
+            caps.kind.push(
+                report,
+                Diagnostic::error(
+                    "decode-table-kind",
+                    format!(
+                        "{ctx}: table resolves to {} but scalar semantics require {}",
+                        kind_name(got.kind),
+                        kind_name(want.kind)
+                    ),
+                ),
+            );
+            continue; // Consumed/payload comparisons are per-kind.
+        }
+        if got.consumed != want.consumed {
+            caps.consumed.push(
+                report,
+                Diagnostic::error(
+                    "decode-table-consumed",
+                    format!(
+                        "{ctx}: table consumes {} bit(s) but the {} codeword is {} bit(s)",
+                        got.consumed,
+                        kind_name(want.kind),
+                        want.consumed
+                    ),
+                ),
+            );
+        }
+        if got.payload != want.payload {
+            caps.payload.push(
+                report,
+                Diagnostic::error(
+                    "decode-table-payload",
+                    format!(
+                        "{ctx}: table carries payload {:#06x} but scalar decode yields {:#06x}",
+                        got.payload, want.payload
+                    ),
+                ),
+            );
+        }
+    }
+}
+
+/// Exhaustively proves both of a decoder's tables sound against the
+/// dictionaries they were built from: every one of the `2^window_bits`
+/// windows per table must agree with scalar tag semantics on kind,
+/// consumed bit count, and payload.
+pub fn check_decode_tables(
+    decoder: &FastDecoder,
+    high_dict: &Dictionary,
+    low_dict: &Dictionary,
+    report: &mut LintReport,
+) {
+    report.ran("decode-table-shape");
+    report.ran("decode-table-kind");
+    report.ran("decode-table-consumed");
+    report.ran("decode-table-payload");
+    let mut caps = TableCaps::new();
+    for (high, dict, classes, which) in [
+        (true, high_dict, &HIGH_CLASSES, "high"),
+        (false, low_dict, &LOW_CLASSES, "low"),
+    ] {
+        check_table(
+            &decoder.inspect(high),
+            dict,
+            classes,
+            which,
+            report,
+            &mut caps,
+        );
+    }
+    caps.finish(report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dicts() -> (Dictionary, Dictionary) {
+        // Small dictionaries leave most ranks unmapped, so every entry
+        // kind (hit, raw, bad-rank) appears in the default-window tables.
+        let high = Dictionary::from_ranked_values(vec![0x2402, 0x3c01, 0x8c62]);
+        let low = Dictionary::from_ranked_values(vec![0x0000, 0x0001, 0x0010]);
+        (high, low)
+    }
+
+    fn prove(decoder: &FastDecoder) -> LintReport {
+        let (high, low) = dicts();
+        let mut report = LintReport::new("tables");
+        check_decode_tables(decoder, &high, &low, &mut report);
+        report
+    }
+
+    #[test]
+    fn default_window_tables_prove_sound() {
+        let (high, low) = dicts();
+        let report = prove(&FastDecoder::new(&high, &low));
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.warnings(), 0);
+        assert!(report.checks_run.contains(&"decode-table-kind"));
+    }
+
+    #[test]
+    fn narrow_windows_prove_sound_including_too_long_entries() {
+        let (high, low) = dicts();
+        for window_bits in [3, 4, 6, 8, 10] {
+            let decoder = FastDecoder::with_window(&high, &low, window_bits);
+            let report = prove(&decoder);
+            assert!(
+                report.is_clean(),
+                "window {window_bits}: {}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn full_dictionaries_prove_sound() {
+        // No bad-rank entries at all when every rank is mapped.
+        use codepack_core::layout::{HIGH_DICT_CAPACITY, LOW_DICT_CAPACITY};
+        let high =
+            Dictionary::from_ranked_values((0..HIGH_DICT_CAPACITY).map(|i| i << 4).collect());
+        let low = Dictionary::from_ranked_values((0..LOW_DICT_CAPACITY).collect());
+        let mut report = LintReport::new("full");
+        let decoder = FastDecoder::new(&high, &low);
+        check_decode_tables(&decoder, &high, &low, &mut report);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn poisoned_payload_is_rejected() {
+        let (high, low) = dicts();
+        let mut decoder = FastDecoder::new(&high, &low);
+        // Window 0 in the high table: tag 00 + index 00 -> rank 0, a hit.
+        decoder.poison_entry(true, 0, 0x0001);
+        let report = prove(&decoder);
+        assert!(!report.is_clean());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.check == "decode-table-payload")
+            .expect("payload mismatch reported");
+        assert!(d.message.contains("high window"), "{}", d.message);
+    }
+
+    #[test]
+    fn poisoned_consumed_length_is_rejected() {
+        let (high, low) = dicts();
+        let mut decoder = FastDecoder::new(&high, &low);
+        // Flip a bit inside the consumed-length field (bits 16..22).
+        decoder.poison_entry(false, 0, 1 << 16);
+        let report = prove(&decoder);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.check == "decode-table-consumed" && d.message.contains("low window")));
+    }
+
+    #[test]
+    fn poisoned_kind_is_rejected() {
+        let (high, low) = dicts();
+        let mut decoder = FastDecoder::new(&high, &low);
+        // Flip the kind field (bits 24..): a hit becomes something else.
+        decoder.poison_entry(true, 0, 1 << 24);
+        let report = prove(&decoder);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.check == "decode-table-kind"));
+    }
+
+    #[test]
+    fn mass_poisoning_is_capped_with_suppressed_count() {
+        let (high, low) = dicts();
+        let mut decoder = FastDecoder::new(&high, &low);
+        for window in 0..64 {
+            decoder.poison_entry(true, window, 0x0001);
+        }
+        let report = prove(&decoder);
+        let emitted = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.check == "decode-table-payload")
+            .count();
+        assert_eq!(emitted, PER_CHECK_CAP);
+        let suppressed = report
+            .suppressed
+            .iter()
+            .find(|(c, _)| *c == "decode-table-payload")
+            .map(|&(_, n)| n)
+            .expect("suppressed count recorded");
+        assert_eq!(suppressed as usize, 64 - PER_CHECK_CAP);
+    }
+}

@@ -1,6 +1,6 @@
 //! Implementation of the `cpack` subcommands.
 
-use codepack_analyze::{lint_compressed, lint_rom, Diagnostic, LintReport};
+use codepack_analyze::{lint_compressed, lint_frame, lint_rom, Diagnostic, LintReport};
 use codepack_baselines::{estimate_thumb, CcrpImage, HuffPackImage, InsnDictImage};
 use codepack_core::frame::{pack_frame, unpack_frame, PackOptions, UnpackOptions};
 use codepack_core::parse_rom_parts;
@@ -39,10 +39,13 @@ USAGE:
     cpack lint     <profile|FILE.cpk> [--json]
                                         sr32lint: static CFG verification
                                         (decode, reachability, branch
-                                        targets, use-before-def) and
-                                        compressed-image checks (index
-                                        extents, dictionary slots, stats
-                                        recount, byte-exact decompression);
+                                        targets, call graph, use-before-def
+                                        with callee summaries), decode-table
+                                        soundness proof, compressed-image
+                                        checks, and — on a CPKF stream
+                                        frame — the static frame linter
+                                        (chunk extents, CRCs, integrity
+                                        trailers, payload decode);
                                         exits nonzero on any error
     cpack matrix   [INSNS] [--workers N] [--json] [--metrics-dir DIR]
                    [--retries N] [--journal DIR] [--resume]
@@ -1104,6 +1107,11 @@ pub fn lint(args: &[String]) -> Result<(), String> {
         lint_compressed(&program, &image)
     } else if std::path::Path::new(target).is_file() {
         let bytes = std::fs::read(target).map_err(|e| format!("reading {target}: {e}"))?;
+        if bytes.starts_with(&codepack_core::frame::FRAME_MAGIC) {
+            // A .cpk stream frame: run the static frame linter.
+            let report = lint_frame(&bytes, target.as_str());
+            return finish_lint(&report, json);
+        }
         match parse_rom_parts(&bytes) {
             Ok(rom) => lint_rom(&rom, target.as_str()),
             Err(e) => {
@@ -1119,6 +1127,12 @@ pub fn lint(args: &[String]) -> Result<(), String> {
         ));
     };
 
+    finish_lint(&report, json)
+}
+
+/// Prints a lint report in the requested form and maps it to the lint
+/// exit status (clean → `Ok`).
+fn finish_lint(report: &LintReport, json: bool) -> Result<(), String> {
     if json {
         println!("{}", report.to_json());
     } else {

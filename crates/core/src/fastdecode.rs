@@ -423,6 +423,87 @@ impl DecodeTable {
     }
 }
 
+/// What a decode-table entry resolves a bit window to.
+///
+/// Part of the hidden inspection surface consumed by the `sr32lint`
+/// decode-table soundness prover (`codepack-analyze`), which re-derives the
+/// expected entry for every window from the scalar tag semantics and
+/// compares. Not a stable public API.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableEntryKind {
+    /// A complete dictionary codeword: payload is the decoded half-word.
+    Hit,
+    /// The 3-bit raw-literal escape; only the tag is consumed by the table.
+    Raw,
+    /// A well-formed codeword whose rank lies past the dictionary: payload
+    /// is the offending rank.
+    BadRank,
+    /// The window is shorter than the codeword it starts.
+    TooLong,
+}
+
+/// One unpacked decode-table entry, as seen through [`FastDecoder::inspect`].
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableEntry {
+    /// What the window resolves to.
+    pub kind: TableEntryKind,
+    /// Codeword bits the table step consumes.
+    pub consumed: u32,
+    /// Decoded half-word (`Hit`) or offending rank (`BadRank`); zero
+    /// otherwise.
+    pub payload: u16,
+}
+
+/// Read-only view of one decode table, for the static prover.
+#[doc(hidden)]
+pub struct TableView<'a> {
+    table: &'a DecodeTable,
+}
+
+impl TableView<'_> {
+    /// The window width the table was built for.
+    pub fn window_bits(&self) -> u32 {
+        self.table.window_bits
+    }
+
+    /// Number of entries (`1 << window_bits` for a well-formed table).
+    pub fn len(&self) -> usize {
+        self.table.entries.len()
+    }
+
+    /// `true` when the table has no entries (never, for a built table).
+    pub fn is_empty(&self) -> bool {
+        self.table.entries.is_empty()
+    }
+
+    /// The dictionary length the table encodes rank bounds against.
+    pub fn dict_len(&self) -> u16 {
+        self.table.dict_len
+    }
+
+    /// Unpacks entry `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window >= self.len()`.
+    pub fn entry(&self, window: usize) -> TableEntry {
+        let e = self.table.entries[window];
+        let kind = match e >> KIND_SHIFT {
+            KIND_HIT => TableEntryKind::Hit,
+            KIND_RAW => TableEntryKind::Raw,
+            KIND_BAD_RANK => TableEntryKind::BadRank,
+            _ => TableEntryKind::TooLong,
+        };
+        TableEntry {
+            kind,
+            consumed: (e >> LEN_SHIFT) & LEN_MASK,
+            payload: e as u16,
+        }
+    }
+}
+
 /// The table-driven batch decoder for one pair of dictionaries.
 ///
 /// Construction walks both dictionaries once to build the decode tables
@@ -468,6 +549,30 @@ impl FastDecoder {
             high: DecodeTable::build(high_dict, &HIGH_CLASSES, true, window_bits),
             low: DecodeTable::build(low_dict, &LOW_CLASSES, false, window_bits),
         }
+    }
+
+    /// Inspection view of one decode table (`true` = high dictionary).
+    ///
+    /// Hidden surface for the `sr32lint` table prover; not a stable API.
+    #[doc(hidden)]
+    pub fn inspect(&self, high: bool) -> TableView<'_> {
+        TableView {
+            table: if high { &self.high } else { &self.low },
+        }
+    }
+
+    /// XORs `xor` into the packed entry at `window` of one decode table —
+    /// the deliberate-corruption hook for the prover's negative tests. The
+    /// decoder itself remains memory-safe on any poisoned table (entries
+    /// only select match arms and consume counts masked to 6 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is outside the table.
+    #[doc(hidden)]
+    pub fn poison_entry(&mut self, high: bool, window: usize, xor: u32) {
+        let table = if high { &mut self.high } else { &mut self.low };
+        table.entries[window] ^= xor;
     }
 
     /// Decodes one 16-instruction block starting at `bytes[0]`.

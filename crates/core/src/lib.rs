@@ -65,6 +65,8 @@ pub use bits::{BitReader, BitWriter};
 pub use dict::Dictionary;
 pub use error::DecompressError;
 pub use fastdecode::{DecodeBackend, DecodeCounters, FastDecoder, LOOKUP_BITS};
+#[doc(hidden)]
+pub use fastdecode::{TableEntry, TableEntryKind, TableView};
 pub use fetch::{
     CodePackFetch, DecompressorConfig, FetchEngine, FetchStats, IndexCacheModel, MissService,
     MissSource, NativeFetch,

@@ -3,7 +3,7 @@
 //! The workspace's codec behind a request/response daemon on loopback
 //! TCP, built for *typed degradation*: under overload, deadline
 //! pressure, worker death, or shutdown, every request gets an explicit
-//! [`Status`](proto::Status) — never a hang, never a silently dropped
+//! [`Status`] — never a hang, never a silently dropped
 //! connection. Hermetic by construction: `std` only, loopback only.
 //!
 //! The pieces:

@@ -3,7 +3,7 @@
 //!
 //! A retry schedule is a **pure function** of `(policy, seed, call_id)`:
 //! the jitter comes from the testkit PRNG seeded with
-//! [`mix_seed`](codepack_testkit::mix_seed), never from a clock or thread
+//! [`mix_seed`], never from a clock or thread
 //! identity, so a fixed-seed load run produces byte-identical schedules at
 //! any worker count. The schedule respects three bounds by construction:
 //!

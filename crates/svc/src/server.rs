@@ -41,6 +41,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use codepack_analyze::{check_frame, LintReport};
 use codepack_core::frame::{pack_frame, scan_frame, unpack_frame, PackOptions, UnpackOptions};
 use codepack_mem::StreamIntegrity;
 use codepack_obs::names::{
@@ -453,22 +454,24 @@ fn execute(shared: &Arc<Shared>, op: Op, payload: &[u8]) -> (Status, Vec<u8>) {
             Err(e) => (Status::Corrupt, e.to_string().into_bytes()),
         },
         Op::Lint => {
-            let summary = match scan_frame(payload) {
-                Ok(s) => s,
-                Err(e) => return (Status::Corrupt, e.to_string().into_bytes()),
-            };
-            // The scan is structural only; the full unpack adds the
-            // per-group integrity and codec checks.
-            if let Err(e) = unpack_frame(payload, &UnpackOptions::default()) {
-                return (Status::Corrupt, e.to_string().into_bytes());
+            // Static frame verification: chunk extents, CRCs, integrity
+            // trailers, payload decode, and the decode-table soundness
+            // proof — one pass, no image materialized.
+            let mut report = LintReport::new("stream");
+            let walk = check_frame(payload, &mut report);
+            if !report.is_clean() {
+                return (Status::Corrupt, report.to_json().into_bytes());
             }
             let verdict = format!(
                 "{{\"schema\":\"cpackd.lint.v1\",\"ok\":true,\"content_size\":{},\
-                 \"groups\":{},\"integrity\":\"{}\",\"frame_bytes\":{}}}",
-                summary.content_size,
-                summary.group_payload_lens.len(),
-                integrity_name(summary.integrity),
+                 \"groups\":{},\"integrity\":\"{}\",\"frame_bytes\":{},\
+                 \"warnings\":{},\"checks_run\":{}}}",
+                walk.content_size,
+                walk.groups,
+                integrity_name(walk.integrity),
                 payload.len(),
+                report.warnings(),
+                report.checks_run.len(),
             );
             (Status::Ok, verdict.into_bytes())
         }

@@ -14,7 +14,7 @@
 //! * [`forall!`](forall) + [`prop`] — property testing: N cases from a
 //!   deterministic seed, counterexample shrinking for integers and
 //!   vectors, failing-seed persistence to `target/testkit-regressions/`.
-//! * [`bench`] — micro-benchmarks: calibrated batches, median/MAD
+//! * [`mod@bench`] — micro-benchmarks: calibrated batches, median/MAD
 //!   statistics, text table + JSON emission to `target/bench/*.json`.
 //!
 //! Environment knobs: `TESTKIT_SEED`, `TESTKIT_CASES`,

@@ -10,7 +10,9 @@
 //! * [`cpu`] — functional executor and in-order / out-of-order pipelines,
 //! * [`sim`] — whole-system simulations and experiment harness helpers,
 //! * [`baselines`] — prior-art schemes (CCRP, instruction dictionaries,
-//!   16-bit re-encoding) and software-managed decompression.
+//!   16-bit re-encoding) and software-managed decompression,
+//! * [`analyze`] — sr32lint: static CFG/call-graph verification, the
+//!   decode-table soundness prover, and the image/frame linters.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use codepack_analyze as analyze;
 pub use codepack_baselines as baselines;
 pub use codepack_core as core;
 pub use codepack_cpu as cpu;

@@ -1,0 +1,133 @@
+//! Static-vs-dynamic differential for the `.cpk` frame linter.
+//!
+//! The linter's core claim is that its one-pass static walk of a frame
+//! is *semantically equivalent* to actually unpacking it: on every
+//! well-formed frame the statically decoded words are byte-identical to
+//! [`unpack_frame`], and the walk is clean exactly when the parser
+//! accepts. Pinned here across all six benchmark profiles, three seeds,
+//! and all three integrity modes, plus targeted damage cases showing
+//! the two sides also *reject* together — with the linter naming the
+//! damaged group while the parser only returns the first error.
+
+use codepack::analyze::{check_frame, lint_frame, LintReport};
+use codepack::core::frame::{pack_frame, unpack_frame, PackOptions, UnpackOptions};
+use codepack::mem::StreamIntegrity;
+use codepack::synth::{generate, BenchmarkProfile};
+
+fn profiles() -> Vec<(&'static str, BenchmarkProfile)> {
+    vec![
+        ("cc1", BenchmarkProfile::cc1_like()),
+        ("go", BenchmarkProfile::go_like()),
+        ("mpeg2enc", BenchmarkProfile::mpeg2enc_like()),
+        ("pegwit", BenchmarkProfile::pegwit_like()),
+        ("perl", BenchmarkProfile::perl_like()),
+        ("vortex", BenchmarkProfile::vortex_like()),
+    ]
+}
+
+const INTEGRITIES: [StreamIntegrity; 3] = [
+    StreamIntegrity::None,
+    StreamIntegrity::Parity,
+    StreamIntegrity::Crc32,
+];
+
+#[test]
+fn static_walk_matches_unpack_across_profiles_seeds_and_integrity_modes() {
+    for (name, profile) in profiles() {
+        for seed in [3u64, 17, 42] {
+            let text = generate(&profile, seed).text_words().to_vec();
+            for integrity in INTEGRITIES {
+                let frame = pack_frame(
+                    &text,
+                    &PackOptions {
+                        integrity,
+                        ..PackOptions::default()
+                    },
+                );
+                let mut report = LintReport::new(name);
+                let walk = check_frame(&frame, &mut report);
+                assert!(
+                    report.is_clean(),
+                    "{name}/{seed}/{}: {}",
+                    integrity.as_str(),
+                    report.render()
+                );
+                assert!(walk.complete);
+                assert_eq!(walk.integrity, integrity);
+                assert_eq!(walk.content_size, 4 * text.len() as u64);
+
+                let unpacked = unpack_frame(&frame, &UnpackOptions::default())
+                    .expect("well-formed frame unpacks");
+                assert_eq!(
+                    walk.words,
+                    unpacked,
+                    "{name}/{seed}/{}: static walk diverged from unpack_frame",
+                    integrity.as_str()
+                );
+                assert_eq!(walk.words, text, "{name}/{seed}: round trip broke");
+            }
+        }
+    }
+}
+
+/// Byte offset of the first group's first payload byte in a frame.
+fn first_payload_at(frame: &[u8]) -> usize {
+    let hi = u16::from_le_bytes([frame[16], frame[17]]) as usize;
+    let lo = u16::from_le_bytes([frame[18], frame[19]]) as usize;
+    // fixed header (20) + dictionaries + header CRC (4)
+    //   + payload_len (4) + first_len (2)
+    20 + 2 * (hi + lo) + 4 + 4 + 2
+}
+
+#[test]
+fn linter_and_parser_reject_the_same_damaged_frames() {
+    let text = generate(&BenchmarkProfile::pegwit_like(), 42)
+        .text_words()
+        .to_vec();
+    let frame = pack_frame(
+        &text,
+        &PackOptions {
+            integrity: StreamIntegrity::Crc32,
+            ..PackOptions::default()
+        },
+    );
+
+    // A flipped payload byte: parser errors, linter errors *and* names
+    // the group.
+    let mut torn = frame.clone();
+    torn[first_payload_at(&frame)] ^= 0x01;
+    assert!(unpack_frame(&torn, &UnpackOptions::default()).is_err());
+    let report = lint_frame(&torn, "torn");
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.check == "frame-integrity" && d.message.contains("group 0")),
+        "{}",
+        report.render()
+    );
+
+    // Truncations at assorted depths: both sides must reject every one.
+    for cut in [2, 10, frame.len() / 3, frame.len() / 2, frame.len() - 1] {
+        assert!(unpack_frame(&frame[..cut], &UnpackOptions::default()).is_err());
+        assert!(!lint_frame(&frame[..cut], "cut").is_clean(), "cut at {cut}");
+    }
+
+    // Header damage under the header CRC.
+    let mut bad = frame.clone();
+    bad[12] ^= 0x10; // content_size
+    assert!(unpack_frame(&bad, &UnpackOptions::default()).is_err());
+    assert!(!lint_frame(&bad, "hdr").is_clean());
+
+    // Trailing junk.
+    let mut long = frame.clone();
+    long.push(0);
+    assert!(unpack_frame(&long, &UnpackOptions::default()).is_err());
+    assert!(!lint_frame(&long, "junk").is_clean());
+
+    // And the clean frame still passes both, so the negatives above are
+    // meaningful.
+    assert!(unpack_frame(&frame, &UnpackOptions::default()).is_ok());
+    assert!(lint_frame(&frame, "clean").is_clean());
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Hermeticity gate for the deterministic core crates.
+#
+# crates/core, crates/analyze, and crates/isa must be pure functions of
+# their inputs: the codec's byte streams, the linter's reports, and the
+# decoder tables are all golden-value- and cross-worker-compared in CI,
+# so a wall-clock read or a random draw anywhere in them is a latent
+# nondeterminism bug even if today's tests happen to pass.
+#
+# Enforced textually (fast, dependency-free, and impossible to dodge via
+# cfg gymnastics):
+#
+#   * no std::time::Instant / SystemTime — wall clock reads
+#   * no rand:: / rand_core:: — randomness (the workspace has no rand
+#     crate; this also blocks a vendored copy sneaking in)
+#   * HashMap/HashSet only in crates/core/src/dict.rs — hash iteration
+#     order is seeded per process, so a HashMap iterated into any
+#     serialized output (frames, reports, tables) is nondeterministic.
+#     dict.rs is the one audited exception: its map feeds a counting
+#     pass whose results are explicitly re-sorted with a total order
+#     before they reach any output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CRATES=(crates/core/src crates/analyze/src crates/isa/src)
+fail=0
+
+ban() {
+    local pattern="$1" why="$2"
+    shift 2
+    if hits=$(grep -rn "$pattern" "$@" 2>/dev/null); then
+        echo "hermeticity: $why:" >&2
+        echo "$hits" >&2
+        fail=1
+    fi
+}
+
+ban 'std::time::Instant' "wall-clock Instant in a deterministic crate" "${CRATES[@]}"
+ban 'SystemTime' "wall-clock SystemTime in a deterministic crate" "${CRATES[@]}"
+ban 'rand::' "randomness in a deterministic crate" "${CRATES[@]}"
+ban 'rand_core::' "randomness in a deterministic crate" "${CRATES[@]}"
+
+# Hash collections everywhere except the audited dict.rs counting pass.
+if hits=$(grep -rn 'HashMap\|HashSet' "${CRATES[@]}" 2>/dev/null \
+        | grep -v '^crates/core/src/dict\.rs:'); then
+    echo "hermeticity: hash collection outside crates/core/src/dict.rs" >&2
+    echo "(seeded iteration order must never feed serialized output):" >&2
+    echo "$hits" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "hermeticity gate FAILED" >&2
+    exit 1
+fi
+echo "hermeticity gate: core/analyze/isa clean"
